@@ -1,0 +1,67 @@
+// Command figures regenerates the paper's evaluation figures (9–15) as text
+// tables or CSV.
+//
+// Usage:
+//
+//	figures [-figure N] [-scale S] [-seed K] [-check] [-csv]
+//
+// Without -figure it runs the full evaluation suite. -scale multiplies the
+// workload sizes (1.0 = the defaults documented in DESIGN.md; ≈15 matches
+// the paper's full TCP trace volume). -check enables oracle validation of
+// every answer while the simulation runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"adaptivefilters/internal/experiment"
+)
+
+func main() {
+	var (
+		figure = flag.Int("figure", 0, "paper figure number to run (9..15); 0 = all")
+		scale  = flag.Float64("scale", 1.0, "workload size multiplier")
+		seed   = flag.Int64("seed", 1, "determinism seed")
+		check  = flag.Bool("check", false, "validate answers against the ground-truth oracle")
+		every  = flag.Int("check-every", 25, "oracle check sampling period (with -check)")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	opts := experiment.Options{Scale: *scale, Seed: *seed, Check: *check, CheckEvery: *every}
+
+	var figs []experiment.Figure
+	if *figure == 0 {
+		figs = experiment.Figures()
+	} else {
+		f, ok := experiment.FigureByID(*figure)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "figures: unknown figure %d (have 9..15)\n", *figure)
+			os.Exit(2)
+		}
+		figs = []experiment.Figure{f}
+	}
+
+	for i, f := range figs {
+		start := time.Now()
+		table := f.Run(opts)
+		if *csv {
+			if err := table.CSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := table.Fprint(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  (%.1fs)\n", time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,193 @@
+// Command streamsim runs one configured simulation: a workload, a query, a
+// protocol and a tolerance, printing the message accounting and (optionally)
+// oracle verification.
+//
+// Examples:
+//
+//	streamsim -workload synthetic -protocol ft-nrp -eps 0.2
+//	streamsim -workload tcp -protocol rtp -k 20 -r 5 -check
+//	streamsim -workload synthetic -protocol ft-rp -k 50 -eps 0.3 -q 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"adaptivefilters/internal/core"
+	"adaptivefilters/internal/experiment"
+	"adaptivefilters/internal/query"
+	"adaptivefilters/internal/server"
+	"adaptivefilters/internal/workload"
+)
+
+func main() {
+	var (
+		wl      = flag.String("workload", "synthetic", "workload: synthetic | tcp | replay")
+		trace   = flag.String("trace", "", "CSV trace file for -workload replay (time,stream,value)")
+		proto   = flag.String("protocol", "ft-nrp", "protocol: no-filter | zt-nrp | ft-nrp | rtp | zt-rp | ft-rp | vb-knn")
+		n       = flag.Int("n", 1000, "number of streams")
+		events  = flag.Int("events", 50000, "approximate number of events")
+		sigma   = flag.Float64("sigma", 20, "synthetic random-walk step deviation")
+		seed    = flag.Int64("seed", 1, "determinism seed")
+		lo      = flag.Float64("lo", 400, "range query lower bound")
+		hi      = flag.Float64("hi", 600, "range query upper bound")
+		k       = flag.Int("k", 20, "rank requirement for k-NN/top-k protocols")
+		r       = flag.Int("r", 5, "rank slack for rtp")
+		qpoint  = flag.Float64("q", 500, "k-NN query point (use -top for q=+inf)")
+		top     = flag.Bool("top", false, "use the top-k (q=+inf) transform")
+		eps     = flag.Float64("eps", 0.2, "symmetric fraction tolerance ε⁺=ε⁻")
+		width   = flag.Float64("width", 100, "value tolerance ε_v for vb-knn")
+		epsP    = flag.Float64("eps-plus", -1, "explicit ε⁺ (overrides -eps)")
+		epsM    = flag.Float64("eps-minus", -1, "explicit ε⁻ (overrides -eps)")
+		sel     = flag.String("selection", "boundary", "silent filter selection: boundary | random")
+		check   = flag.Bool("check", false, "verify answers against the ground-truth oracle")
+		every   = flag.Int("check-every", 10, "oracle sampling period")
+		verbose = flag.Bool("v", false, "print the final answer set")
+	)
+	flag.Parse()
+
+	var w workload.Workload
+	var err error
+	switch *wl {
+	case "synthetic":
+		cfg := workload.SyntheticConfig{
+			N: *n, Lo: 0, Hi: 1000, MeanGap: 20, Sigma: *sigma,
+			Horizon: float64(*events) * 20 / float64(*n), Seed: *seed,
+		}
+		w, err = workload.NewSynthetic(cfg)
+	case "tcp":
+		cfg := workload.DefaultTCPLike(*events, *seed)
+		cfg.N = *n
+		w, err = workload.NewTCPLike(cfg)
+	case "replay":
+		var f *os.File
+		f, err = os.Open(*trace)
+		if err == nil {
+			w, err = workload.ParseCSV(*trace, f, 0)
+			f.Close()
+		}
+	default:
+		err = fmt.Errorf("unknown workload %q", *wl)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamsim:", err)
+		os.Exit(2)
+	}
+
+	ep, em := *eps, *eps
+	if *epsP >= 0 {
+		ep = *epsP
+	}
+	if *epsM >= 0 {
+		em = *epsM
+	}
+	tol := core.FractionTolerance{EpsPlus: ep, EpsMinus: em}
+	selection := core.SelectBoundaryNearest
+	if strings.HasPrefix(*sel, "r") {
+		selection = core.SelectRandom
+	}
+	rng := query.NewRange(*lo, *hi)
+	center := query.At(*qpoint)
+	if *top {
+		center = query.Top()
+	}
+
+	var spec *experiment.CheckSpec
+	cfg := experiment.Config{Workload: w}
+	switch *proto {
+	case "no-filter":
+		cfg.NewProtocol = func(c *server.Cluster) server.Protocol {
+			return core.NewNoFilterRange(c, rng)
+		}
+		if *check {
+			spec = experiment.CheckFractionRange(rng, core.FractionTolerance{}, *every)
+		}
+	case "zt-nrp":
+		cfg.NewProtocol = func(c *server.Cluster) server.Protocol {
+			return core.NewZTNRP(c, rng)
+		}
+		if *check {
+			spec = experiment.CheckFractionRange(rng, core.FractionTolerance{}, *every)
+		}
+	case "ft-nrp":
+		cfg.NewProtocol = func(c *server.Cluster) server.Protocol {
+			return core.NewFTNRP(c, rng, core.FTNRPConfig{Tol: tol, Selection: selection, Seed: *seed})
+		}
+		if *check {
+			spec = experiment.CheckFractionRange(rng, tol, *every)
+		}
+	case "rtp":
+		rt := core.RankTolerance{K: *k, R: *r}
+		cfg.NewProtocol = func(c *server.Cluster) server.Protocol {
+			return core.NewRTP(c, center, rt)
+		}
+		if *check {
+			spec = experiment.CheckRank(center, rt, *every)
+		}
+	case "zt-rp":
+		cfg.NewProtocol = func(c *server.Cluster) server.Protocol {
+			return core.NewZTRP(c, center, *k)
+		}
+		if *check {
+			spec = experiment.CheckRank(center, core.RankTolerance{K: *k}, *every)
+		}
+	case "ft-rp":
+		cfg.NewProtocol = func(c *server.Cluster) server.Protocol {
+			fc := core.DefaultFTRPConfig(tol)
+			fc.Selection = selection
+			fc.Seed = *seed
+			return core.NewFTRP(c, center, *k, fc)
+		}
+		if *check {
+			spec = experiment.CheckFractionKNN(query.KNN{Q: center, K: *k}, tol, *every)
+		}
+	case "vb-knn":
+		cfg.NewProtocol = func(c *server.Cluster) server.Protocol {
+			return core.NewVBKNN(c, query.KNN{Q: center, K: *k}, *width)
+		}
+		if *check {
+			// The value-based baseline offers no rank guarantee; checking it
+			// against a rank tolerance quantifies exactly that (Figure 1).
+			spec = experiment.CheckRank(center, core.RankTolerance{K: *k, R: *r}, *every)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "streamsim: unknown protocol %q\n", *proto)
+		os.Exit(2)
+	}
+	cfg.Check = spec
+
+	res := experiment.Run(cfg)
+
+	fmt.Printf("workload:   %s\n", res.Workload)
+	fmt.Printf("protocol:   %s\n", res.Protocol)
+	fmt.Printf("events:     %d\n", res.Events)
+	fmt.Printf("init msgs:  %d (excluded from the paper's metric)\n", res.InitMessages)
+	fmt.Printf("maintenance messages: %d\n", res.MaintMessages)
+	kinds := make([]string, 0, len(res.ByKind))
+	for kind := range res.ByKind {
+		kinds = append(kinds, kind)
+	}
+	sort.Strings(kinds)
+	for _, kind := range kinds {
+		fmt.Printf("  %-12s %d\n", kind, res.ByKind[kind])
+	}
+	fmt.Printf("server ops: %d\n", res.ServerOps)
+	if spec != nil {
+		fmt.Printf("oracle:     %d checks, %d violations", res.Checks, res.Violations)
+		if res.FirstViolation != "" {
+			fmt.Printf(" (first: %s)", res.FirstViolation)
+		}
+		fmt.Println()
+		if res.MaxFPlus > 0 || res.MaxFMinus > 0 {
+			fmt.Printf("worst observed F⁺=%.3f F⁻=%.3f\n", res.MaxFPlus, res.MaxFMinus)
+		}
+	}
+	if *verbose {
+		fmt.Printf("answer (%d): %v\n", len(res.FinalAnswer), res.FinalAnswer)
+	} else {
+		fmt.Printf("answer size: %d\n", len(res.FinalAnswer))
+	}
+}

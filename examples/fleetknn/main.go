@@ -1,0 +1,101 @@
+// Fleetknn runs the paper's continuous k-NN scenario (location monitoring,
+// §1/§3.2) in two flavors:
+//
+//  1. 1-D: vehicles on a highway (positions are mile markers); a dispatcher
+//     continuously wants the k vehicles nearest an incident with
+//     fraction-based tolerance — FT-RP against the zero-tolerance ZT-RP.
+//  2. 2-D: the multidim extension — delivery drones over a city with disk
+//     filters and rank-based tolerance (RTP2D).
+//
+// Run with: go run ./examples/fleetknn
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adaptivefilters/internal/core"
+	"adaptivefilters/internal/multidim"
+	"adaptivefilters/internal/query"
+	"adaptivefilters/internal/server"
+)
+
+func main() {
+	highway()
+	fmt.Println()
+	drones()
+}
+
+func highway() {
+	const (
+		n        = 2000
+		k        = 25
+		incident = 500.0 // mile marker of the incident
+		steps    = 100000
+	)
+	rng := rand.New(rand.NewSource(11))
+	positions := make([]float64, n)
+	for i := range positions {
+		positions[i] = rng.Float64() * 1000
+	}
+	fmt.Printf("1-D fleet: %d vehicles, dispatcher wants the %d nearest to mile %g\n",
+		n, k, incident)
+
+	run := func(name string, build func(c *server.Cluster) server.Protocol) uint64 {
+		c := server.NewCluster(positions)
+		p := build(c)
+		c.SetProtocol(p)
+		c.Initialize()
+		r := rand.New(rand.NewSource(77)) // identical movement for both runs
+		cur := append([]float64(nil), positions...)
+		for s := 0; s < steps; s++ {
+			id := r.Intn(n)
+			cur[id] += r.NormFloat64() * 2 // vehicles creep along the road
+			c.Deliver(id, cur[id])
+		}
+		fmt.Printf("  %-28s %8d maintenance messages, answer size %d\n",
+			name, c.Counter().Maintenance(), len(p.Answer()))
+		return c.Counter().Maintenance()
+	}
+
+	zt := run("ZT-RP (exact)", func(c *server.Cluster) server.Protocol {
+		return core.NewZTRP(c, query.At(incident), k)
+	})
+	tol := core.FractionTolerance{EpsPlus: 0.3, EpsMinus: 0.3}
+	ft := run(fmt.Sprintf("FT-RP (%v)", tol), func(c *server.Cluster) server.Protocol {
+		return core.NewFTRP(c, query.At(incident), k, core.DefaultFTRPConfig(tol))
+	})
+	fmt.Printf("  tolerance saves %.1fx communication\n", float64(zt)/float64(ft))
+}
+
+func drones() {
+	const (
+		n     = 400
+		k     = 8
+		steps = 40000
+	)
+	rng := rand.New(rand.NewSource(13))
+	pts := make([]multidim.Point, n)
+	for i := range pts {
+		pts[i] = multidim.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	depot := multidim.Point{X: 50, Y: 50}
+	tol := core.RankTolerance{K: k, R: 6}
+	fmt.Printf("2-D fleet (multidim extension): %d drones, %d nearest to the depot, rank slack %d\n",
+		n, k, tol.R)
+
+	c := multidim.NewCluster(pts)
+	p := multidim.NewRTP2D(c, depot, tol)
+	p.Initialize()
+	cur := append([]multidim.Point(nil), pts...)
+	for s := 0; s < steps; s++ {
+		id := rng.Intn(n)
+		cur[id].X += rng.NormFloat64() * 0.5
+		cur[id].Y += rng.NormFloat64() * 0.5
+		c.Deliver(id, cur[id])
+	}
+	fmt.Printf("  %d moves → %d maintenance messages (%.1f%% suppressed), %d bound deployments\n",
+		steps, c.Counter().Maintenance(),
+		100*(1-float64(c.Counter().Maintenance())/float64(steps)), p.Deploys)
+	fmt.Printf("  drones on call: %v inside disk %v\n", p.Answer(), p.Bound())
+}

@@ -1,0 +1,72 @@
+// Netmonitor reproduces the paper's §6.1 motivating scenario: a central
+// console watches 800 subnets and continuously reports the k subnets with
+// the highest "bytes sent" of their latest connection — a top-k query with
+// rank-based tolerance (the user accepts any subnet truly ranking k+r or
+// better).
+//
+// Run with: go run ./examples/netmonitor [-k 20] [-r 5] [-conns 40000]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"adaptivefilters/internal/core"
+	"adaptivefilters/internal/experiment"
+	"adaptivefilters/internal/query"
+	"adaptivefilters/internal/server"
+	"adaptivefilters/internal/workload"
+)
+
+func main() {
+	var (
+		k     = flag.Int("k", 20, "rank requirement: report the top-k subnets")
+		r     = flag.Int("r", 5, "rank slack: any subnet ranking k+r or above is acceptable")
+		conns = flag.Int("conns", 40000, "connections to simulate")
+		seed  = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+
+	w, err := workload.NewTCPLike(workload.DefaultTCPLike(*conns, *seed))
+	if err != nil {
+		panic(err)
+	}
+	tol := core.RankTolerance{K: *k, R: *r}
+
+	fmt.Printf("monitoring top-%d subnets by connection bytes across %d subnets (%d connections)\n",
+		*k, w.N(), *conns)
+	fmt.Printf("rank tolerance: answers may rank up to %d\n\n", tol.Eps())
+
+	baseline := experiment.Run(experiment.Config{
+		Workload: w,
+		NewProtocol: func(c *server.Cluster) server.Protocol {
+			return core.NewNoFilterKNN(c, query.TopK(*k))
+		},
+	})
+	fmt.Printf("no filter:      %7d maintenance messages (every connection reported)\n",
+		baseline.MaintMessages)
+
+	var rtp *core.RTP
+	res := experiment.Run(experiment.Config{
+		Workload: w,
+		Check:    experiment.CheckRank(query.Top(), tol, 25),
+		NewProtocol: func(c *server.Cluster) server.Protocol {
+			rtp = core.NewRTP(c, query.Top(), tol)
+			return rtp
+		},
+	})
+	fmt.Printf("RTP (r=%d):      %7d maintenance messages, %d bound deployments, %d full re-inits\n",
+		*r, res.MaintMessages, rtp.Deploys, rtp.Reinits)
+	fmt.Printf("oracle checks:  %d sampled, %d violations\n\n", res.Checks, res.Violations)
+
+	if res.MaintMessages < baseline.MaintMessages {
+		fmt.Printf("RTP saves %.1fx communication at rank slack %d\n",
+			float64(baseline.MaintMessages)/float64(res.MaintMessages), *r)
+	} else {
+		fmt.Printf("RTP costs %.1fx MORE than no-filter here — the paper observes exactly "+
+			"this at r=0 (bound recomputed on every crossing); try a larger -r\n",
+			float64(res.MaintMessages)/float64(baseline.MaintMessages))
+	}
+
+	fmt.Printf("\ncurrent top-%d subnets (ids): %v\n", *k, res.FinalAnswer)
+}

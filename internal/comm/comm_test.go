@@ -1,0 +1,105 @@
+package comm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterStartsInInitPhase(t *testing.T) {
+	var c Counter
+	if c.Phase() != Init {
+		t.Fatalf("Phase() = %v, want Init", c.Phase())
+	}
+	c.Add(Update, 3)
+	if got := c.Get(Init, Update); got != 3 {
+		t.Fatalf("Get(Init, Update) = %d, want 3", got)
+	}
+	if got := c.Maintenance(); got != 0 {
+		t.Fatalf("Maintenance() = %d, want 0", got)
+	}
+}
+
+func TestCounterPhaseSwitch(t *testing.T) {
+	var c Counter
+	c.Add(Probe, 2)
+	c.SetPhase(Maintenance)
+	c.Add(Probe, 5)
+	c.Add(Install, 7)
+	if got := c.Get(Init, Probe); got != 2 {
+		t.Fatalf("init probes = %d, want 2", got)
+	}
+	if got := c.Get(Maintenance, Probe); got != 5 {
+		t.Fatalf("maintenance probes = %d, want 5", got)
+	}
+	if got := c.Maintenance(); got != 12 {
+		t.Fatalf("Maintenance() = %d, want 12", got)
+	}
+	if got := c.Total(); got != 14 {
+		t.Fatalf("Total() = %d, want 14", got)
+	}
+}
+
+func TestCounterPhaseTotals(t *testing.T) {
+	var c Counter
+	for _, k := range Kinds() {
+		c.Add(k, 1)
+	}
+	if got := c.PhaseTotal(Init); got != uint64(len(Kinds())) {
+		t.Fatalf("PhaseTotal(Init) = %d, want %d", got, len(Kinds()))
+	}
+}
+
+func TestCounterReset(t *testing.T) {
+	var c Counter
+	c.SetPhase(Maintenance)
+	c.Add(Update, 9)
+	c.AddServerOps(5)
+	c.Reset()
+	if c.Total() != 0 || c.ServerOps != 0 || c.Phase() != Init {
+		t.Fatalf("Reset left state: %+v", c)
+	}
+}
+
+func TestCounterServerOps(t *testing.T) {
+	var c Counter
+	c.AddServerOps(10)
+	c.AddServerOps(5)
+	if c.ServerOps != 15 {
+		t.Fatalf("ServerOps = %d, want 15", c.ServerOps)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		Update:     "update",
+		Probe:      "probe",
+		ProbeReply: "probe-reply",
+		Install:    "install",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Fatalf("unknown kind string = %q", got)
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	if Init.String() != "init" || Maintenance.String() != "maintenance" {
+		t.Fatalf("phase strings = %q, %q", Init.String(), Maintenance.String())
+	}
+}
+
+func TestCounterString(t *testing.T) {
+	var c Counter
+	c.SetPhase(Maintenance)
+	c.Add(Update, 4)
+	s := c.String()
+	for _, want := range []string{"maint=4", "update=4", "serverOps=0"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+}

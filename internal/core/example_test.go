@@ -1,0 +1,66 @@
+package core_test
+
+import (
+	"fmt"
+
+	"adaptivefilters/internal/core"
+	"adaptivefilters/internal/query"
+	"adaptivefilters/internal/server"
+)
+
+// ExampleFTNRP shows the fraction-based range protocol end to end: five
+// streams inside [400,600], silent filters assigned, and a Fix_Error cycle
+// restoring correctness after an answer stream leaves.
+func ExampleFTNRP() {
+	vals := []float64{410, 450, 500, 550, 590, 100, 200, 300, 700, 800}
+	cluster := server.NewCluster(vals)
+	proto := core.NewFTNRP(cluster, query.NewRange(400, 600), core.FTNRPConfig{
+		Tol:       core.FractionTolerance{EpsPlus: 0.4, EpsMinus: 0.4},
+		Selection: core.SelectBoundaryNearest,
+	})
+	cluster.SetProtocol(proto)
+	cluster.Initialize()
+
+	fmt.Println("answer:", proto.Answer())
+	fmt.Println("silent filters:", proto.NPlus(), "false-positive,", proto.NMinus(), "false-negative")
+
+	cluster.Deliver(1, 300) // an answer stream leaves the range
+	fmt.Println("after a departure:", proto.Answer())
+	fmt.Println("maintenance messages so far:", cluster.Counter().Maintenance())
+	// Output:
+	// answer: [0 1 2 3 4]
+	// silent filters: 2 false-positive, 2 false-negative
+	// after a departure: [0 2 3 4]
+	// maintenance messages so far: 4
+}
+
+// ExampleRTP runs the paper's Figure 6 walkthrough: a 2-NN query with rank
+// slack 2 around q=100.
+func ExampleRTP() {
+	vals := []float64{101, 102, 103, 104, 110, 120, 130, 140}
+	cluster := server.NewCluster(vals)
+	proto := core.NewRTP(cluster, query.At(100), core.RankTolerance{K: 2, R: 2})
+	cluster.SetProtocol(proto)
+	cluster.Initialize()
+
+	fmt.Println("A:", proto.Answer(), "X:", proto.X(), "R:", proto.Bound())
+	cluster.Deliver(2, 115) // Figure 6(b): a tracked non-answer leaves R
+	cluster.Deliver(0, 120) // Figure 6(c): an answer leaves; X replaces it
+	fmt.Println("A:", proto.Answer(), "X:", proto.X())
+	// Output:
+	// A: [0 1] X: [0 1 2 3] R: [93,107]
+	// A: [1 3] X: [1 3]
+}
+
+// ExampleFractionTolerance_AnswerBounds reproduces the §3.4.1 observation:
+// a 10-NN query with ε⁺ = 0.1 may return 11 streams, at most one of them
+// wrong.
+func ExampleFractionTolerance_AnswerBounds() {
+	tol := core.FractionTolerance{EpsPlus: 0.1, EpsMinus: 0.1}
+	min, max := tol.AnswerBounds(10)
+	fmt.Println("answer size window:", min, "..", max)
+	fmt.Println("tolerated false positives in 11 answers:", tol.MaxFalsePositives(11))
+	// Output:
+	// answer size window: 9 .. 11
+	// tolerated false positives in 11 answers: 1
+}

@@ -1,0 +1,142 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"adaptivefilters/internal/comm"
+	"adaptivefilters/internal/core"
+	"adaptivefilters/internal/oracle"
+	"adaptivefilters/internal/query"
+	"adaptivefilters/internal/server"
+)
+
+func TestNoFilterRangeExactAndChatty(t *testing.T) {
+	c := server.NewCluster(ftnrpVals())
+	p := core.NewNoFilterRange(c, testRange)
+	c.SetProtocol(p)
+	c.Initialize()
+	if p.Name() != "no-filter-range" {
+		t.Fatalf("Name() = %q", p.Name())
+	}
+	if !sameIDs(p.Answer(), []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("A(t0) = %v", p.Answer())
+	}
+	// Every update costs exactly one message, even non-crossing ones.
+	before := c.Counter().Maintenance()
+	c.Deliver(0, 420) // moves within range
+	c.Deliver(0, 700) // leaves
+	c.Deliver(9, 799) // moves outside
+	if got := c.Counter().Maintenance() - before; got != 3 {
+		t.Fatalf("3 updates cost %d messages, want 3", got)
+	}
+	if !sameIDs(p.Answer(), []int{1, 2, 3, 4}) {
+		t.Fatalf("A = %v", p.Answer())
+	}
+}
+
+func TestNoFilterKNNExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	vals := make([]float64, 30)
+	for i := range vals {
+		vals[i] = rng.Float64() * 1000
+	}
+	c := server.NewCluster(vals)
+	p := core.NewNoFilterKNN(c, query.NewKNN(query.At(500), 4))
+	c.SetProtocol(p)
+	chk := oracle.New(vals)
+	c.Initialize()
+	zero := core.RankTolerance{K: 4, R: 0}
+	for step := 0; step < 2000; step++ {
+		id := rng.Intn(len(vals))
+		v := rng.Float64() * 1000
+		chk.Apply(id, v)
+		c.Deliver(id, v)
+		if err := chk.CheckRank(p.Answer(), query.At(500), zero); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+func TestNoFilterKNNTopK(t *testing.T) {
+	vals := []float64{10, 50, 30, 90, 70}
+	c := server.NewCluster(vals)
+	p := core.NewNoFilterKNN(c, query.TopK(2))
+	c.SetProtocol(p)
+	c.Initialize()
+	if p.Name() != "no-filter-knn" {
+		t.Fatalf("Name() = %q", p.Name())
+	}
+	got := p.Answer()
+	if len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("top-2 = %v, want [3 4]", got)
+	}
+	c.Deliver(0, 95)
+	got = p.Answer()
+	if len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("top-2 after update = %v, want [0 3]", got)
+	}
+}
+
+func TestNoFilterCountsUpdatesPerEvent(t *testing.T) {
+	// The paper's footnote: with no filter, a maintenance message is an
+	// update message from a stream source — one per event.
+	c := server.NewCluster(make([]float64, 4))
+	p := core.NewNoFilterKNN(c, query.TopK(1))
+	c.SetProtocol(p)
+	c.Initialize()
+	for i := 0; i < 25; i++ {
+		c.Deliver(i%4, float64(i))
+	}
+	if got := c.Counter().Get(comm.Maintenance, comm.Update); got != 25 {
+		t.Fatalf("update messages = %d, want 25", got)
+	}
+}
+
+func TestSelectionString(t *testing.T) {
+	if core.SelectRandom.String() != "random" {
+		t.Fatalf("SelectRandom = %q", core.SelectRandom.String())
+	}
+	if core.SelectBoundaryNearest.String() != "boundary-nearest" {
+		t.Fatalf("SelectBoundaryNearest = %q", core.SelectBoundaryNearest.String())
+	}
+	if core.ReinitAlways.String() != "always" || core.ReinitNever.String() != "never" {
+		t.Fatal("reinit policy strings wrong")
+	}
+}
+
+func TestBoundaryNearestBeatsRandomOnDriftingBoundary(t *testing.T) {
+	// Figure 14's claim as a property: with streams parked near the range
+	// boundary, boundary-nearest must silence the right ones and save
+	// messages compared to random selection.
+	run := func(sel core.Selection) uint64 {
+		rng := rand.New(rand.NewSource(31))
+		n := 100
+		vals := make([]float64, n)
+		for i := range vals {
+			if i < 20 {
+				vals[i] = 590 + rng.Float64()*20 // hugging the 600 boundary
+			} else {
+				vals[i] = rng.Float64() * 300 // far below the range
+			}
+		}
+		c := server.NewCluster(vals)
+		tol := core.FractionTolerance{EpsPlus: 0.5, EpsMinus: 0.5}
+		p := core.NewFTNRP(c, testRange, core.FTNRPConfig{Tol: tol, Selection: sel, Seed: 7})
+		c.SetProtocol(p)
+		c.Initialize()
+		cur := append([]float64(nil), vals...)
+		for step := 0; step < 5000; step++ {
+			id := rng.Intn(20) // only boundary streams move
+			cur[id] += rng.NormFloat64() * 15
+			c.Deliver(id, cur[id])
+		}
+		return c.Counter().Maintenance()
+	}
+	random := run(core.SelectRandom)
+	boundary := run(core.SelectBoundaryNearest)
+	if boundary >= random {
+		t.Fatalf("boundary-nearest = %d messages, random = %d; want boundary < random",
+			boundary, random)
+	}
+}

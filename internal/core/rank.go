@@ -1,0 +1,53 @@
+package core
+
+import (
+	"sort"
+
+	"adaptivefilters/internal/query"
+	"adaptivefilters/internal/server"
+)
+
+// rankTable returns all stream ids sorted by (distance from q, id) ascending
+// over the server's value table — the "old ranking scores kept by the
+// server" the protocols consult. The pass is charged to the server
+// computation metric.
+func rankTable(c *server.Cluster, q query.Center) []int {
+	n := c.N()
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	vals := c.TableValues()
+	sort.Slice(ids, func(a, b int) bool {
+		da, db := q.Dist(vals[ids[a]]), q.Dist(vals[ids[b]])
+		if da != db {
+			return da < db
+		}
+		return ids[a] < ids[b]
+	})
+	c.AddServerOps(n)
+	return ids
+}
+
+// tableDist returns the distance of stream id's table value from q.
+func tableDist(c *server.Cluster, q query.Center, id int) float64 {
+	v, _ := c.Table(id)
+	return q.Dist(v)
+}
+
+// midpoint returns the boundary radius halfway between two distances, the
+// paper's placement for R ("halfway between the (k+r)th and the (k+r+1)st
+// object").
+func midpoint(inner, outer float64) float64 { return (inner + outer) / 2 }
+
+// sortByTableDist orders ids ascending by (table distance from q, id).
+func sortByTableDist(c *server.Cluster, q query.Center, ids []int) {
+	sort.Slice(ids, func(a, b int) bool {
+		da, db := tableDist(c, q, ids[a]), tableDist(c, q, ids[b])
+		if da != db {
+			return da < db
+		}
+		return ids[a] < ids[b]
+	})
+	c.AddServerOps(len(ids))
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"adaptivefilters/internal/filter"
+	"adaptivefilters/internal/query"
+	"adaptivefilters/internal/server"
+	"adaptivefilters/internal/stream"
+)
+
+// RTP is the rank-based tolerance protocol for k-NN queries (paper §4,
+// Figure 5). The server maintains a closed region R around the query point
+// q that encloses at least the answer set and at most ε_k^r = k+r streams;
+// R's boundary sits halfway between the (k+r)-th and (k+r+1)-st closest
+// values known to the server. Every stream's filter is R, so the server only
+// hears about streams crossing R, and Definition 1 correctness holds as long
+// as A(t) ⊆ X(t) ⊆ {streams inside R}.
+type RTP struct {
+	c   *server.Cluster
+	q   query.Center
+	tol RankTolerance
+
+	inA intSet // A(t): the k answers
+	inX intSet // X(t): streams the server believes inside R (A ⊆ X)
+	d   float64
+	cur filter.Constraint
+
+	// Deploys counts bound deployments; Reinits counts full
+	// re-initializations from the expanding-search fallback (reports/tests).
+	Deploys uint64
+	Reinits uint64
+}
+
+// NewRTP returns the rank-based tolerance protocol for the k-NN query
+// around q. It panics on an invalid tolerance.
+func NewRTP(c *server.Cluster, q query.Center, tol RankTolerance) *RTP {
+	if err := tol.Validate(); err != nil {
+		panic(err)
+	}
+	if tol.Eps() >= c.N() {
+		panic(fmt.Sprintf("core: rank tolerance k+r=%d needs at least %d streams, have %d",
+			tol.Eps(), tol.Eps()+1, c.N()))
+	}
+	return &RTP{c: c, q: q, tol: tol, inA: newIntSet(), inX: newIntSet()}
+}
+
+// Name implements server.Protocol.
+func (p *RTP) Name() string { return fmt.Sprintf("rtp(k=%d,r=%d,%v)", p.tol.K, p.tol.R, p.q) }
+
+// Bound returns the currently deployed region constraint (tests).
+func (p *RTP) Bound() filter.Constraint { return p.cur }
+
+// X returns X(t) as sorted ids (tests).
+func (p *RTP) X() []int { return p.inX.sorted() }
+
+// Initialize implements the Figure 5 Initialization phase: probe everything,
+// seed A and X from the true ranking, deploy R.
+func (p *RTP) Initialize() {
+	p.c.ProbeAll()
+	sorted := rankTable(p.c, p.q)
+	p.inA, p.inX = newIntSet(), newIntSet()
+	for i, id := range sorted {
+		if i < p.tol.K {
+			p.inA.add(id)
+		}
+		if i < p.tol.Eps() {
+			p.inX.add(id)
+		} else {
+			break
+		}
+	}
+	p.deployBound(sorted)
+}
+
+// deployBound places R halfway between the ε_k^r-th and (ε_k^r+1)-st
+// table distances and installs it on every stream (Figure 5 Deploy_bound).
+func (p *RTP) deployBound(sorted []int) {
+	e := p.tol.Eps()
+	inner := tableDist(p.c, p.q, sorted[e-1])
+	outer := tableDist(p.c, p.q, sorted[e])
+	p.install(midpoint(inner, outer))
+}
+
+func (p *RTP) install(d float64) {
+	p.d = d
+	p.cur = p.q.BallConstraint(d)
+	p.c.InstallAll(p.cur)
+	p.Deploys++
+}
+
+// HandleUpdate implements the Figure 5 Maintenance phase.
+func (p *RTP) HandleUpdate(id stream.ID, v float64) {
+	p.c.AddServerOps(1)
+	inside := p.cur.Contains(v)
+	switch {
+	case p.inA.has(id):
+		if inside {
+			return // stale-side refresh; still an answer
+		}
+		p.answerLeft(id)
+	case p.inX.has(id):
+		// Case 1: a non-answer member of X left R.
+		if !inside {
+			p.inX.remove(id)
+		}
+	default:
+		// Case 3: a stream outside X reports; if it entered R it must be
+		// tracked (otherwise it is a stale-side refresh and is ignored).
+		if inside {
+			p.entered(id)
+		}
+	}
+}
+
+// answerLeft is Figure 5 Case 2: an answer stream left R.
+func (p *RTP) answerLeft(id stream.ID) {
+	p.inA.remove(id)
+	p.inX.remove(id)
+	// Step 3: replace from X−A when possible — pick the member with the
+	// highest rank (smallest table distance).
+	if p.inX.len() > p.inA.len() {
+		candidates := make([]int, 0, p.inX.len())
+		for _, x := range p.inX.sorted() {
+			if !p.inA.has(x) {
+				candidates = append(candidates, x)
+			}
+		}
+		sortByTableDist(p.c, p.q, candidates)
+		p.inA.add(candidates[0])
+		return
+	}
+	// Step 4: X−A is empty; expand the search region outward using the old
+	// ranking scores kept by the server.
+	if p.expandSearch() {
+		return
+	}
+	// Step 5: nothing found — re-run Initialization.
+	p.Reinits++
+	p.Initialize()
+}
+
+// expandSearch implements Figure 5 Case 2 step 4: grow a candidate region
+// R' through the stale ranking, conditionally probing candidates until at
+// least two respond, then rebuild A and X and redeploy the bound.
+func (p *RTP) expandSearch() bool {
+	sorted := rankTable(p.c, p.q)
+	e := p.tol.Eps()
+	hits := make(map[int]float64) // fresh values of conditional-probe hits
+	// pending holds every candidate covered by the current region that has
+	// not replied yet: the non-answer streams whose stale rank is within
+	// ε_k^r, plus one more stream per expansion step. Regions are nested, so
+	// previous hits remain hits and only misses need re-probing.
+	var pending []int
+	for _, id := range sorted[:e] {
+		if !p.inA.has(id) {
+			pending = append(pending, id)
+		}
+	}
+	for j := e + 1; j <= len(sorted); j++ {
+		dPrime := tableDist(p.c, p.q, sorted[j-1])
+		region := p.q.BallConstraint(dPrime)
+		if !p.inA.has(sorted[j-1]) {
+			pending = append(pending, sorted[j-1])
+		}
+		var misses []int
+		for _, cand := range pending {
+			if _, dup := hits[cand]; dup {
+				continue
+			}
+			if v, ok := p.c.ProbeIf(cand, region); ok {
+				hits[cand] = v
+			} else {
+				misses = append(misses, cand)
+			}
+		}
+		pending = misses
+		if len(hits) < 2 {
+			continue
+		}
+		// Found enough candidates: the closest joins A; X keeps up to r+1
+		// of the closest hits alongside A.
+		u := make([]int, 0, len(hits))
+		for idm := range hits {
+			u = append(u, idm)
+		}
+		sortByTableDist(p.c, p.q, u) // hits' table values are fresh
+		p.inA.add(u[0])
+		p.inX = newIntSet()
+		for a := range p.inA {
+			p.inX.add(a)
+		}
+		limit := p.tol.R + 1
+		if limit > len(u) {
+			limit = len(u)
+		}
+		for _, idm := range u[:limit] {
+			p.inX.add(idm)
+		}
+		// Place the new bound between the farthest X member and the nearest
+		// excluded candidate, capped by the probed region so conditional-
+		// probe misses are guaranteed to lie outside the new R (see
+		// DESIGN.md §3 on bound placement).
+		inner := p.maxXDist()
+		outer := dPrime
+		if limit < len(u) {
+			if d := tableDist(p.c, p.q, u[limit]); d < outer {
+				outer = d
+			}
+		}
+		if outer < inner {
+			outer = inner
+		}
+		p.install(midpoint(inner, outer))
+		return true
+	}
+	return false
+}
+
+func (p *RTP) maxXDist() float64 {
+	max := math.Inf(-1)
+	for x := range p.inX {
+		if d := tableDist(p.c, p.q, x); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// entered is Figure 5 Case 3: a stream outside X entered R.
+func (p *RTP) entered(id stream.ID) {
+	if p.inX.len() < p.tol.Eps() {
+		// Step 6: room in X — just track it.
+		p.inX.add(id)
+		return
+	}
+	// Step 7: X is full; probe its members for fresh values and rebuild.
+	for _, x := range p.inX.sorted() {
+		p.c.Probe(x)
+	}
+	sorted := rankTable(p.c, p.q)
+	p.inA, p.inX = newIntSet(), newIntSet()
+	for i, sid := range sorted {
+		if i < p.tol.K {
+			p.inA.add(sid)
+		}
+		if i < p.tol.Eps() {
+			p.inX.add(sid)
+		} else {
+			break
+		}
+	}
+	p.deployBound(sorted)
+}
+
+// Answer implements server.Protocol.
+func (p *RTP) Answer() []stream.ID { return p.inA.sorted() }

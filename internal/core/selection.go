@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Selection chooses which streams receive the silent false-positive /
+// false-negative filters during the fraction-based initialization phase.
+// The paper compares two heuristics (§6.2, Figure 14).
+type Selection int
+
+const (
+	// SelectBoundaryNearest assigns silent filters to the streams whose
+	// values lie closest to the query boundary — the streams most likely to
+	// cross it, so silencing them saves the most updates. This is the
+	// paper's better heuristic and the default.
+	SelectBoundaryNearest Selection = iota
+	// SelectRandom assigns silent filters uniformly at random.
+	SelectRandom
+)
+
+// String names the heuristic.
+func (s Selection) String() string {
+	if s == SelectRandom {
+		return "random"
+	}
+	return "boundary-nearest"
+}
+
+// pick returns up to n ids from candidates. For boundary-nearest, ids with
+// the smallest score are chosen (score = distance to the query boundary);
+// ties break by id for determinism. For random, a seeded shuffle decides.
+// The input slice is not modified.
+func (s Selection) pick(candidates []int, score func(id int) float64, n int, rng *rand.Rand) []int {
+	if n <= 0 || len(candidates) == 0 {
+		return nil
+	}
+	if n > len(candidates) {
+		n = len(candidates)
+	}
+	ids := append([]int(nil), candidates...)
+	switch s {
+	case SelectRandom:
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	default:
+		sort.Slice(ids, func(i, j int) bool {
+			si, sj := score(ids[i]), score(ids[j])
+			if si != sj {
+				return si < sj
+			}
+			return ids[i] < ids[j]
+		})
+	}
+	return ids[:n]
+}
+
+// intSet is a small deterministic set of stream ids with insertion-order
+// independent iteration (sorted), used for answer and filter bookkeeping.
+type intSet map[int]struct{}
+
+func newIntSet() intSet { return make(intSet) }
+
+func (s intSet) add(id int)      { s[id] = struct{}{} }
+func (s intSet) remove(id int)   { delete(s, id) }
+func (s intSet) has(id int) bool { _, ok := s[id]; return ok }
+func (s intSet) len() int        { return len(s) }
+
+// sorted returns the members ascending.
+func (s intSet) sorted() []int {
+	out := make([]int, 0, len(s))
+	for id := range s {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// min returns the smallest member; ok is false when empty.
+func (s intSet) min() (int, bool) {
+	best, ok := 0, false
+	for id := range s {
+		if !ok || id < best {
+			best, ok = id, true
+		}
+	}
+	return best, ok
+}

@@ -1,0 +1,131 @@
+// Package core implements the paper's contribution: non-value-based error
+// tolerances for entity-based queries (Definitions 1–3) and the filter-bound
+// assignment protocols that exploit them (RTP, ZT-NRP, FT-NRP, ZT-RP, FT-RP)
+// plus the no-filter baseline used in the evaluation.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// RankTolerance is the rank-based tolerance of Definition 1: for a
+// rank-based query with rank requirement K, an answer set A(t) is correct
+// iff |A(t)| = K and every member truly ranks Eps() = K+R or above.
+type RankTolerance struct {
+	K int // rank requirement of the query (k)
+	R int // extra rank slack (r >= 0)
+}
+
+// Eps returns ε_k^r = K + R, the worst acceptable rank.
+func (t RankTolerance) Eps() int { return t.K + t.R }
+
+// Validate checks the parameters.
+func (t RankTolerance) Validate() error {
+	if t.K <= 0 {
+		return fmt.Errorf("core: rank tolerance needs k >= 1, got %d", t.K)
+	}
+	if t.R < 0 {
+		return fmt.Errorf("core: rank tolerance needs r >= 0, got %d", t.R)
+	}
+	return nil
+}
+
+// String renders the tolerance.
+func (t RankTolerance) String() string { return fmt.Sprintf("rank(k=%d,r=%d)", t.K, t.R) }
+
+// FractionTolerance is the fraction-based tolerance of Definition 3: the
+// fraction of false positives F+(t) must stay <= EpsPlus and the fraction of
+// false negatives F−(t) <= EpsMinus at all times.
+//
+// The paper's correctness proofs assume both fractions are < 0.5; its own
+// experiments sweep up to 0.5 inclusive, so Validate accepts [0, 0.5].
+type FractionTolerance struct {
+	EpsPlus  float64 // ε⁺, max fraction of returned answers that are wrong
+	EpsMinus float64 // ε⁻, max fraction of correct answers not returned
+}
+
+// Validate checks 0 <= ε⁺, ε⁻ <= 0.5.
+func (t FractionTolerance) Validate() error {
+	for _, e := range []float64{t.EpsPlus, t.EpsMinus} {
+		if math.IsNaN(e) || e < 0 || e > 0.5 {
+			return fmt.Errorf("core: fraction tolerance must lie in [0, 0.5], got ε⁺=%g ε⁻=%g",
+				t.EpsPlus, t.EpsMinus)
+		}
+	}
+	return nil
+}
+
+// Zero reports whether the tolerance allows no error at all.
+func (t FractionTolerance) Zero() bool { return t.EpsPlus == 0 && t.EpsMinus == 0 }
+
+// MaxFalsePositives returns Emax⁺ for an answer of the given size: the
+// largest number of answer members that may be wrong (Equation 3), floored
+// so the guarantee is conservative.
+func (t FractionTolerance) MaxFalsePositives(answerSize int) int {
+	if answerSize <= 0 {
+		return 0
+	}
+	return int(math.Floor(float64(answerSize) * t.EpsPlus))
+}
+
+// MaxFalseNegatives returns Emax⁻ for an answer of the given size:
+// |A|·ε⁻(1−ε⁺)/(1−ε⁻) per Equations 2–4, floored.
+func (t FractionTolerance) MaxFalseNegatives(answerSize int) int {
+	if answerSize <= 0 || t.EpsMinus >= 1 {
+		return 0
+	}
+	return int(math.Floor(float64(answerSize) * t.EpsMinus * (1 - t.EpsPlus) / (1 - t.EpsMinus)))
+}
+
+// AnswerBounds returns the admissible answer-set size window for a k-NN
+// query under this tolerance: k(1−ε⁻) <= |A(t)| <= k/(1−ε⁺)
+// (Equations 7 and 9). The upper bound never exceeds 2k and the lower bound
+// never falls below k/2 for tolerances <= 0.5 (Equations 8 and 10).
+func (t FractionTolerance) AnswerBounds(k int) (minSize, maxSize int) {
+	minSize = int(math.Ceil(float64(k) * (1 - t.EpsMinus)))
+	maxSize = int(math.Floor(float64(k) / (1 - t.EpsPlus)))
+	if maxSize > 2*k {
+		maxSize = 2 * k
+	}
+	if minSize < (k+1)/2 {
+		minSize = (k + 1) / 2
+	}
+	return minSize, maxSize
+}
+
+// String renders the tolerance.
+func (t FractionTolerance) String() string {
+	return fmt.Sprintf("frac(ε⁺=%g,ε⁻=%g)", t.EpsPlus, t.EpsMinus)
+}
+
+// RhoFrontier returns the largest ρ⁻ admissible for a given ρ⁺ when a k-NN
+// query with user tolerance (ε⁺, ε⁻) is implemented through the range-query
+// protocol FT-NRP (Equation 15/16):
+//
+//	ρ⁻ = min((1−ε⁻)·ε⁺, ε⁻) − ρ⁺/(1−ε⁺)
+//
+// Negative results mean ρ⁺ is too large to admit any ρ⁻.
+func (t FractionTolerance) RhoFrontier(rhoPlus float64) float64 {
+	m := math.Min((1-t.EpsMinus)*t.EpsPlus, t.EpsMinus)
+	return m - rhoPlus/(1-t.EpsPlus)
+}
+
+// DeriveRho picks a point on the Equation 16 frontier. lambda in [0, 1]
+// splits the budget: lambda = 0 spends everything on false-negative filters
+// (ρ⁺ = 0), lambda = 1 spends everything on false-positive filters (ρ⁻ = 0).
+// The returned pair always satisfies RhoFrontier(ρ⁺) >= ρ⁻ with equality, so
+// both user constraints hold with the maximum number of silent filters for
+// that split.
+func (t FractionTolerance) DeriveRho(lambda float64) (rhoPlus, rhoMinus float64) {
+	if lambda < 0 {
+		lambda = 0
+	}
+	if lambda > 1 {
+		lambda = 1
+	}
+	m := math.Min((1-t.EpsMinus)*t.EpsPlus, t.EpsMinus)
+	rhoPlus = lambda * (1 - t.EpsPlus) * m
+	rhoMinus = (1 - lambda) * m
+	return rhoPlus, rhoMinus
+}

@@ -1,0 +1,178 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"adaptivefilters/internal/core"
+)
+
+func TestRankToleranceEps(t *testing.T) {
+	tol := core.RankTolerance{K: 3, R: 2}
+	if tol.Eps() != 5 {
+		t.Fatalf("Eps() = %d, want 5 (paper's ε_3^2 example)", tol.Eps())
+	}
+	if err := tol.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankToleranceValidate(t *testing.T) {
+	if err := (core.RankTolerance{K: 0, R: 1}).Validate(); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if err := (core.RankTolerance{K: 1, R: -1}).Validate(); err == nil {
+		t.Fatal("r=-1 accepted")
+	}
+}
+
+func TestFractionToleranceValidate(t *testing.T) {
+	good := []core.FractionTolerance{
+		{0, 0}, {0.5, 0.5}, {0.1, 0.3},
+	}
+	for _, tol := range good {
+		if err := tol.Validate(); err != nil {
+			t.Fatalf("%v rejected: %v", tol, err)
+		}
+	}
+	bad := []core.FractionTolerance{
+		{-0.1, 0}, {0, 0.51}, {math.NaN(), 0}, {0, math.NaN()},
+	}
+	for _, tol := range bad {
+		if err := tol.Validate(); err == nil {
+			t.Fatalf("%+v accepted", tol)
+		}
+	}
+}
+
+func TestMaxFalsePositives(t *testing.T) {
+	tol := core.FractionTolerance{EpsPlus: 0.1, EpsMinus: 0.1}
+	// Paper §3.4.1: 10-NN with ε⁺=0.1 → the system may return 11 streams
+	// with at most one wrong.
+	if got := tol.MaxFalsePositives(11); got != 1 {
+		t.Fatalf("Emax+ over 11 answers = %d, want 1", got)
+	}
+	if got := tol.MaxFalsePositives(9); got != 0 {
+		t.Fatalf("Emax+ over 9 answers = %d, want 0 (floor)", got)
+	}
+	if got := tol.MaxFalsePositives(0); got != 0 {
+		t.Fatalf("Emax+ over empty answer = %d", got)
+	}
+}
+
+func TestMaxFalseNegatives(t *testing.T) {
+	// Emax- = |A| ε⁻(1−ε⁺)/(1−ε⁻), Equations 2–4.
+	tol := core.FractionTolerance{EpsPlus: 0.2, EpsMinus: 0.25}
+	// 100 * 0.25*0.8/0.75 = 26.67 → 26.
+	if got := tol.MaxFalseNegatives(100); got != 26 {
+		t.Fatalf("Emax- = %d, want 26", got)
+	}
+	zero := core.FractionTolerance{}
+	if got := zero.MaxFalseNegatives(100); got != 0 {
+		t.Fatalf("zero tolerance Emax- = %d", got)
+	}
+}
+
+func TestAnswerBounds(t *testing.T) {
+	// Equations 7–10: k(1−ε⁻) <= |A| <= min(k/(1−ε⁺), 2k).
+	tol := core.FractionTolerance{EpsPlus: 0.1, EpsMinus: 0.1}
+	min, max := tol.AnswerBounds(10)
+	if min != 9 || max != 11 {
+		t.Fatalf("bounds(10) = [%d,%d], want [9,11]", min, max)
+	}
+	half := core.FractionTolerance{EpsPlus: 0.5, EpsMinus: 0.5}
+	min, max = half.AnswerBounds(10)
+	if min != 5 || max != 20 {
+		t.Fatalf("bounds at ε=0.5 = [%d,%d], want [5,20] (Equations 8, 10)", min, max)
+	}
+	exact := core.FractionTolerance{}
+	min, max = exact.AnswerBounds(10)
+	if min != 10 || max != 10 {
+		t.Fatalf("zero-tolerance bounds = [%d,%d], want [10,10]", min, max)
+	}
+}
+
+func TestQuickAnswerBoundsWindow(t *testing.T) {
+	f := func(ep, em float64, k uint8) bool {
+		tol := core.FractionTolerance{
+			EpsPlus:  math.Mod(math.Abs(ep), 0.5),
+			EpsMinus: math.Mod(math.Abs(em), 0.5),
+		}
+		kk := int(k%100) + 1
+		min, max := tol.AnswerBounds(kk)
+		// Equations 8 and 10: the window always stays within [k/2, 2k] and
+		// always contains k itself.
+		return min <= kk && kk <= max && max <= 2*kk && 2*min >= kk
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRhoFrontierEquation(t *testing.T) {
+	// Equation 16: ρ⁻ = min((1−ε⁻)ε⁺, ε⁻) − ρ⁺/(1−ε⁺).
+	tol := core.FractionTolerance{EpsPlus: 0.2, EpsMinus: 0.3}
+	m := math.Min((1-0.3)*0.2, 0.3) // 0.14
+	if got := tol.RhoFrontier(0); math.Abs(got-m) > 1e-12 {
+		t.Fatalf("RhoFrontier(0) = %v, want %v", got, m)
+	}
+	if got := tol.RhoFrontier(0.08); math.Abs(got-(m-0.1)) > 1e-12 {
+		t.Fatalf("RhoFrontier(0.08) = %v, want %v", got, m-0.1)
+	}
+}
+
+func TestDeriveRhoEndpoints(t *testing.T) {
+	tol := core.FractionTolerance{EpsPlus: 0.2, EpsMinus: 0.3}
+	rp, rm := tol.DeriveRho(0)
+	if rp != 0 || math.Abs(rm-0.14) > 1e-12 {
+		t.Fatalf("λ=0: ρ = (%v,%v), want (0, 0.14)", rp, rm)
+	}
+	rp, rm = tol.DeriveRho(1)
+	if rm != 0 || math.Abs(rp-0.8*0.14) > 1e-12 {
+		t.Fatalf("λ=1: ρ = (%v,%v), want (0.112, 0)", rp, rm)
+	}
+	// Out-of-range lambdas clamp.
+	rp0, rm0 := tol.DeriveRho(-3)
+	if rp1, rm1 := tol.DeriveRho(0); rp0 != rp1 || rm0 != rm1 {
+		t.Fatal("λ<0 not clamped")
+	}
+}
+
+func TestQuickDeriveRhoOnFrontier(t *testing.T) {
+	// Every derived pair satisfies Equation 15 with equality (Equation 16):
+	// ρ⁻ == RhoFrontier(ρ⁺), and both are non-negative.
+	f := func(ep, em, lambda float64) bool {
+		tol := core.FractionTolerance{
+			EpsPlus:  math.Mod(math.Abs(ep), 0.5),
+			EpsMinus: math.Mod(math.Abs(em), 0.5),
+		}
+		l := math.Mod(math.Abs(lambda), 1)
+		rp, rm := tol.DeriveRho(l)
+		if rp < 0 || rm < 0 {
+			return false
+		}
+		return math.Abs(rm-tol.RhoFrontier(rp)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroHelper(t *testing.T) {
+	if !(core.FractionTolerance{}).Zero() {
+		t.Fatal("zero tolerance not Zero()")
+	}
+	if (core.FractionTolerance{EpsPlus: 0.1}).Zero() {
+		t.Fatal("non-zero tolerance reported Zero()")
+	}
+}
+
+func TestToleranceStrings(t *testing.T) {
+	if s := (core.RankTolerance{K: 2, R: 3}).String(); s != "rank(k=2,r=3)" {
+		t.Fatalf("String() = %q", s)
+	}
+	if s := (core.FractionTolerance{EpsPlus: 0.1, EpsMinus: 0.2}).String(); s == "" {
+		t.Fatal("empty fraction string")
+	}
+}

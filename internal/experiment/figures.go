@@ -1,0 +1,388 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"adaptivefilters/internal/core"
+	"adaptivefilters/internal/metrics"
+	"adaptivefilters/internal/query"
+	"adaptivefilters/internal/server"
+	"adaptivefilters/internal/workload"
+)
+
+// Options tunes the figure harness.
+type Options struct {
+	// Scale multiplies event counts. 1.0 reproduces the default workload
+	// sizes documented in DESIGN.md; the paper's full TCP trace volume
+	// (606,497 connections) corresponds to Scale ≈ 15 for the TCP figures.
+	Scale float64
+	// Seed is the base determinism seed.
+	Seed int64
+	// Check enables oracle validation during runs (slower; the per-figure
+	// tests exercise it at small scale).
+	Check bool
+	// CheckEvery samples oracle checks (default 1 when Check is set).
+	CheckEvery int
+}
+
+// DefaultOptions returns Scale 1, seed 1.
+func DefaultOptions() Options { return Options{Scale: 1, Seed: 1} }
+
+func (o Options) scaled(base int) int {
+	s := o.Scale
+	if s <= 0 {
+		s = 1
+	}
+	n := int(math.Round(float64(base) * s))
+	if n < 100 {
+		n = 100
+	}
+	return n
+}
+
+func (o Options) every() int {
+	if o.CheckEvery > 0 {
+		return o.CheckEvery
+	}
+	return 1
+}
+
+// epsGrid is the tolerance axis used throughout the paper's figures.
+var epsGrid = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+
+// Figure is one reproducible experiment from the paper's evaluation.
+type Figure struct {
+	ID    int
+	Title string
+	Run   func(Options) *metrics.Table
+}
+
+// Figures returns the registry of all reproduced figures in order.
+func Figures() []Figure {
+	return []Figure{
+		{1, "Motivation: value-based vs rank-based tolerance", Figure1},
+		{9, "RTP: effect of r (TCP-like, top-k)", Figure9},
+		{10, "FT-NRP: effect of ε⁺/ε⁻ (TCP-like, range [400,600])", Figure10},
+		{11, "FT-NRP: scalability in stream count (TCP-like)", Figure11},
+		{12, "FT-NRP: effect of ε⁺/ε⁻ (synthetic, range [400,600])", Figure12},
+		{13, "FT-NRP: data fluctuation σ (synthetic)", Figure13},
+		{14, "FT-NRP: selection heuristics (synthetic)", Figure14},
+		{15, "ZT-RP/FT-RP: effect of ε⁺/ε⁻ (synthetic k-NN)", Figure15},
+		{16, "Supplemental: server computation", ServerCost},
+	}
+}
+
+// FigureByID returns the figure with the given paper number.
+func FigureByID(id int) (Figure, bool) {
+	for _, f := range Figures() {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return Figure{}, false
+}
+
+// --- workload builders ------------------------------------------------------
+
+func tcpWorkload(o Options, n, conns int) workload.Workload {
+	cfg := workload.DefaultTCPLike(conns, o.Seed)
+	cfg.N = n
+	w, err := workload.NewTCPLike(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func synWorkload(o Options, sigma float64, events int) workload.Workload {
+	cfg := workload.DefaultSynthetic(1, o.Seed)
+	cfg.Sigma = sigma
+	// horizon such that n/meanGap events per unit time yields the target.
+	cfg.Horizon = float64(events) * cfg.MeanGap / float64(cfg.N)
+	w, err := workload.NewSynthetic(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// --- Figure 9 ---------------------------------------------------------------
+
+// Figure9 reproduces "RTP: Effect of r": maintenance messages of the
+// rank-based tolerance protocol for a continuous top-k query as the rank
+// slack r grows, against the no-filter baseline.
+func Figure9(o Options) *metrics.Table {
+	conns := o.scaled(40_000)
+	w := tcpWorkload(o, 800, conns)
+	rs := []int{0, 1, 2, 3, 5, 8, 12, 16, 20}
+	ks := []int{15, 20, 25, 30}
+
+	base := Run(Config{Workload: w, NewProtocol: func(c *server.Cluster) server.Protocol {
+		return core.NewNoFilterKNN(c, query.TopK(15))
+	}})
+
+	cols := []string{"r", "no-filter"}
+	for _, k := range ks {
+		cols = append(cols, fmt.Sprintf("k=%d", k))
+	}
+	t := metrics.NewTable("Figure 9 — RTP: effect of r (maintenance messages)", cols...)
+	t.AddNote("workload %s, %d events; top-k query (q=+inf)", w.Name(), base.Events)
+	violations := 0
+	for _, r := range rs {
+		row := []any{r, base.MaintMessages}
+		for _, k := range ks {
+			k, r := k, r
+			var chk *CheckSpec
+			if o.Check {
+				chk = CheckRank(query.Top(), core.RankTolerance{K: k, R: r}, o.every())
+			}
+			res := Run(Config{Workload: w, Check: chk,
+				NewProtocol: func(c *server.Cluster) server.Protocol {
+					return core.NewRTP(c, query.Top(), core.RankTolerance{K: k, R: r})
+				}})
+			row = append(row, res.MaintMessages)
+			violations += res.Violations
+		}
+		t.AddRow(row...)
+	}
+	if o.Check {
+		t.AddNote("oracle violations across all cells: %d", violations)
+	}
+	return t
+}
+
+// --- Figures 10 and 12 ------------------------------------------------------
+
+func ftnrpGrid(o Options, w workload.Workload, title string) *metrics.Table {
+	rng := query.NewRange(400, 600)
+	cols := []string{"ε⁺ \\ ε⁻"}
+	for _, em := range epsGrid {
+		cols = append(cols, fmt.Sprintf("%.1f", em))
+	}
+	t := metrics.NewTable(title, cols...)
+	t.AddNote("workload %s; cells are maintenance messages of FT-NRP", w.Name())
+	violations := 0
+	for _, ep := range epsGrid {
+		row := []any{fmt.Sprintf("%.1f", ep)}
+		for _, em := range epsGrid {
+			tol := core.FractionTolerance{EpsPlus: ep, EpsMinus: em}
+			var chk *CheckSpec
+			if o.Check {
+				chk = CheckFractionRange(rng, tol, o.every())
+			}
+			res := Run(Config{Workload: w, Check: chk,
+				NewProtocol: func(c *server.Cluster) server.Protocol {
+					return core.NewFTNRP(c, rng, core.FTNRPConfig{
+						Tol: tol, Selection: core.SelectBoundaryNearest, Seed: o.Seed,
+					})
+				}})
+			row = append(row, res.MaintMessages)
+			violations += res.Violations
+		}
+		t.AddRow(row...)
+	}
+	if o.Check {
+		t.AddNote("oracle violations across all cells: %d", violations)
+	}
+	return t
+}
+
+// Figure10 reproduces the TCP-data FT-NRP tolerance surface.
+func Figure10(o Options) *metrics.Table {
+	w := tcpWorkload(o, 800, o.scaled(40_000))
+	return ftnrpGrid(o, w, "Figure 10 — FT-NRP: effect of ε⁺/ε⁻ (TCP-like)")
+}
+
+// Figure12 reproduces the synthetic-data FT-NRP tolerance surface.
+func Figure12(o Options) *metrics.Table {
+	w := synWorkload(o, 20, o.scaled(100_000))
+	return ftnrpGrid(o, w, "Figure 12 — FT-NRP: effect of ε⁺/ε⁻ (synthetic)")
+}
+
+// --- Figure 11 --------------------------------------------------------------
+
+// Figure11 reproduces FT-NRP scalability: maintenance messages against the
+// number of streams for several symmetric tolerances (ε⁺=ε⁻=ε; ε=0 is
+// ZT-NRP).
+func Figure11(o Options) *metrics.Table {
+	rng := query.NewRange(400, 600)
+	ns := []int{200, 400, 600, 800, 1000, 1200, 1400, 1600, 1800, 2000}
+	eps := []float64{0, 0.2, 0.3, 0.4, 0.5}
+	cols := []string{"streams"}
+	for _, e := range eps {
+		cols = append(cols, fmt.Sprintf("ε=%.1f", e))
+	}
+	t := metrics.NewTable("Figure 11 — FT-NRP scalability (maintenance messages)", cols...)
+	t.AddNote("TCP-like workload, 50 connections per subnet on average")
+	for _, n := range ns {
+		w := tcpWorkload(o, n, o.scaled(50*n))
+		row := []any{n}
+		for _, e := range eps {
+			tol := core.FractionTolerance{EpsPlus: e, EpsMinus: e}
+			res := Run(Config{Workload: w,
+				NewProtocol: func(c *server.Cluster) server.Protocol {
+					if tol.Zero() {
+						return core.NewZTNRP(c, rng)
+					}
+					return core.NewFTNRP(c, rng, core.FTNRPConfig{
+						Tol: tol, Selection: core.SelectBoundaryNearest, Seed: o.Seed,
+					})
+				}})
+			row = append(row, res.MaintMessages)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// --- Figure 13 --------------------------------------------------------------
+
+// Figure13 reproduces the data-fluctuation experiment: FT-NRP maintenance
+// messages against symmetric tolerance for several random-walk deviations σ.
+func Figure13(o Options) *metrics.Table {
+	rng := query.NewRange(400, 600)
+	sigmas := []float64{20, 40, 60, 80, 100}
+	cols := []string{"ε⁺=ε⁻"}
+	for _, s := range sigmas {
+		cols = append(cols, fmt.Sprintf("σ=%.0f", s))
+	}
+	t := metrics.NewTable("Figure 13 — FT-NRP: data fluctuation (synthetic)", cols...)
+	events := o.scaled(100_000)
+	for _, e := range epsGrid {
+		row := []any{fmt.Sprintf("%.1f", e)}
+		for _, s := range sigmas {
+			w := synWorkload(o, s, events)
+			tol := core.FractionTolerance{EpsPlus: e, EpsMinus: e}
+			res := Run(Config{Workload: w,
+				NewProtocol: func(c *server.Cluster) server.Protocol {
+					return core.NewFTNRP(c, rng, core.FTNRPConfig{
+						Tol: tol, Selection: core.SelectBoundaryNearest, Seed: o.Seed,
+					})
+				}})
+			row = append(row, res.MaintMessages)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// --- Figure 14 --------------------------------------------------------------
+
+// Figure14 reproduces the selection-heuristic comparison: random vs
+// boundary-nearest assignment of the silent filters.
+func Figure14(o Options) *metrics.Table {
+	rng := query.NewRange(400, 600)
+	w := synWorkload(o, 20, o.scaled(100_000))
+	t := metrics.NewTable("Figure 14 — FT-NRP: selection heuristics (synthetic)",
+		"ε⁺=ε⁻", "random", "boundary-nearest")
+	t.AddNote("workload %s", w.Name())
+	for _, e := range epsGrid {
+		tol := core.FractionTolerance{EpsPlus: e, EpsMinus: e}
+		row := []any{fmt.Sprintf("%.1f", e)}
+		for _, sel := range []core.Selection{core.SelectRandom, core.SelectBoundaryNearest} {
+			sel := sel
+			res := Run(Config{Workload: w,
+				NewProtocol: func(c *server.Cluster) server.Protocol {
+					return core.NewFTNRP(c, rng, core.FTNRPConfig{
+						Tol: tol, Selection: sel, Seed: o.Seed,
+					})
+				}})
+			row = append(row, res.MaintMessages)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// --- Figure 15 --------------------------------------------------------------
+
+// Figure15 reproduces the k-NN tolerance experiment: ZT-RP at ε=0 against
+// FT-RP for growing symmetric tolerance, for several k.
+func Figure15(o Options) *metrics.Table {
+	ks := []int{20, 60, 100}
+	cols := []string{"ε⁺=ε⁻"}
+	for _, k := range ks {
+		cols = append(cols, fmt.Sprintf("k=%d", k))
+	}
+	t := metrics.NewTable("Figure 15 — ZT-RP/FT-RP: effect of ε⁺/ε⁻ (maintenance messages, log-scale in paper)", cols...)
+	w := synWorkload(o, 20, o.scaled(30_000))
+	t.AddNote("workload %s; k-NN query point q=500; ε=0 row is ZT-RP", w.Name())
+	q := query.At(500)
+	violations := 0
+	for _, e := range epsGrid {
+		tol := core.FractionTolerance{EpsPlus: e, EpsMinus: e}
+		row := []any{fmt.Sprintf("%.1f", e)}
+		for _, k := range ks {
+			k := k
+			var chk *CheckSpec
+			if o.Check && e > 0 {
+				chk = CheckFractionKNN(query.KNN{Q: q, K: k}, tol, o.every())
+			}
+			res := Run(Config{Workload: w, Check: chk,
+				NewProtocol: func(c *server.Cluster) server.Protocol {
+					if tol.Zero() {
+						return core.NewZTRP(c, q, k)
+					}
+					return core.NewFTRP(c, q, k, core.DefaultFTRPConfig(tol))
+				}})
+			row = append(row, res.MaintMessages)
+			violations += res.Violations
+		}
+		t.AddRow(row...)
+	}
+	if o.Check {
+		t.AddNote("oracle violations across all cells: %d", violations)
+	}
+	return t
+}
+
+// --- shape helpers for EXPERIMENTS.md and tests -----------------------------
+
+// ColumnUint extracts a numeric column (by header name) from a table.
+func ColumnUint(t *metrics.Table, col string) ([]uint64, error) {
+	idx := -1
+	for i, c := range t.Cols {
+		if c == col {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("experiment: no column %q in %q", col, t.Title)
+	}
+	out := make([]uint64, 0, len(t.Rows))
+	for _, row := range t.Rows {
+		var v uint64
+		if _, err := fmt.Sscanf(row[idx], "%d", &v); err != nil {
+			return nil, fmt.Errorf("experiment: column %q cell %q: %w", col, row[idx], err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// MostlyDecreasing reports whether the series trends downward: the last
+// value is below the first and at least frac of consecutive steps do not
+// increase by more than jitter (a relative slack for noisy series).
+func MostlyDecreasing(series []uint64, frac, jitter float64) bool {
+	if len(series) < 2 {
+		return true
+	}
+	good := 0
+	for i := 1; i < len(series); i++ {
+		if float64(series[i]) <= float64(series[i-1])*(1+jitter) {
+			good++
+		}
+	}
+	return series[len(series)-1] < series[0] &&
+		float64(good) >= frac*float64(len(series)-1)
+}
+
+// Sorted returns a copy of the series sorted ascending (test helper).
+func Sorted(series []uint64) []uint64 {
+	out := append([]uint64(nil), series...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestFigure1Shape(t *testing.T) {
+	tbl := Figure1(Options{Scale: 0.2, Seed: 1})
+	msgs, err := ColumnUint(tbl, "maint msgs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := ColumnUint(tbl, "worst rank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viol := make([]float64, len(tbl.Rows))
+	for i, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viol[i] = v
+	}
+	nVB := len(msgs) - 2 // last two rows are RTP
+
+	// The value-based dilemma: messages fall monotonically with ε_v while
+	// the worst rank deteriorates.
+	for i := 1; i < nVB; i++ {
+		if msgs[i] > msgs[i-1] {
+			t.Fatalf("value rows: messages rose with ε_v: %v", msgs[:nVB])
+		}
+	}
+	if worst[nVB-1] <= worst[0] {
+		t.Fatalf("worst rank did not deteriorate with ε_v: %v", worst[:nVB])
+	}
+	if viol[nVB-1] == 0 {
+		t.Fatal("widest value tolerance produced zero rank violations (dilemma absent)")
+	}
+
+	// RTP rows: zero violations by construction, worst rank within ε.
+	for i := nVB; i < len(msgs); i++ {
+		if viol[i] != 0 {
+			t.Fatalf("RTP row %d has violations: %v", i, viol[i])
+		}
+	}
+	if worst[nVB] > 22 || worst[nVB+1] > 25 {
+		t.Fatalf("RTP worst ranks exceed guarantees: %v", worst[nVB:])
+	}
+
+	// The headline: RTP at r=5 is cheaper than the ε_v=0 and ε_v=100 value
+	// settings that achieve comparable rank quality.
+	if msgs[nVB+1] >= msgs[1] {
+		t.Fatalf("RTP r=5 (%d msgs) not below tight value filtering (%d msgs)",
+			msgs[nVB+1], msgs[1])
+	}
+}
+
+func TestServerCostShape(t *testing.T) {
+	tbl := ServerCost(Options{Scale: 0.1, Seed: 1})
+	ops, err := ColumnUint(tbl, "server ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := ColumnUint(tbl, "maint msgs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: no-filter, zt-nrp, ft-nrp 0.2, ft-nrp 0.5 — both metrics must
+	// fall monotonically down the table (the abstract's claim).
+	for i := 1; i < len(ops); i++ {
+		if ops[i] > ops[i-1] {
+			t.Fatalf("server ops rose at row %d: %v", i, ops)
+		}
+		if msgs[i] > msgs[i-1] {
+			t.Fatalf("messages rose at row %d: %v", i, msgs)
+		}
+	}
+	if ops[len(ops)-1] >= ops[0] {
+		t.Fatalf("tolerance saved no server work: %v", ops)
+	}
+}

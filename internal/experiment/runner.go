@@ -1,0 +1,187 @@
+// Package experiment wires workloads, clusters, protocols and the oracle
+// into reproducible runs, and regenerates every figure of the paper's
+// evaluation section (Figures 9–15) plus the supplemental studies (the
+// Figure 1 motivation experiment, the server-computation table) and the
+// ablations listed in DESIGN.md.
+package experiment
+
+import (
+	"fmt"
+
+	"adaptivefilters/internal/comm"
+	"adaptivefilters/internal/core"
+	"adaptivefilters/internal/oracle"
+	"adaptivefilters/internal/query"
+	"adaptivefilters/internal/server"
+	"adaptivefilters/internal/sim"
+	"adaptivefilters/internal/workload"
+)
+
+// CheckSpec asks the runner to validate the protocol answer against ground
+// truth while the simulation runs. Exactly one of the three query/tolerance
+// combinations must be set via the constructor helpers.
+type CheckSpec struct {
+	// Every validates after every Every-th delivered event (1 = always).
+	Every int
+
+	kind    checkKind
+	rng     query.Range
+	knn     query.KNN
+	rankTol core.RankTolerance
+	fracTol core.FractionTolerance
+}
+
+type checkKind int
+
+const (
+	checkNone checkKind = iota
+	checkRank
+	checkFracRange
+	checkFracKNN
+)
+
+// CheckRank validates Definition 1 (rank tolerance) for a k-NN query.
+func CheckRank(q query.Center, tol core.RankTolerance, every int) *CheckSpec {
+	return &CheckSpec{Every: every, kind: checkRank,
+		knn: query.KNN{Q: q, K: tol.K}, rankTol: tol}
+}
+
+// CheckFractionRange validates Definition 3 for a range query.
+func CheckFractionRange(rng query.Range, tol core.FractionTolerance, every int) *CheckSpec {
+	return &CheckSpec{Every: every, kind: checkFracRange, rng: rng, fracTol: tol}
+}
+
+// CheckFractionKNN validates Definition 3 plus the answer-size window for a
+// k-NN query.
+func CheckFractionKNN(q query.KNN, tol core.FractionTolerance, every int) *CheckSpec {
+	return &CheckSpec{Every: every, kind: checkFracKNN, knn: q, fracTol: tol}
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Workload drives the stream values.
+	Workload workload.Workload
+	// NewProtocol builds the protocol under test over the cluster.
+	NewProtocol func(c *server.Cluster) server.Protocol
+	// Cluster tunes message accounting.
+	Cluster server.Config
+	// Check optionally validates answers against ground truth.
+	Check *CheckSpec
+	// MaxEvents caps delivered events (0 = whole workload).
+	MaxEvents int
+}
+
+// Result summarizes one run.
+type Result struct {
+	Protocol     string
+	Workload     string
+	Events       int
+	InitMessages uint64
+	// MaintMessages is the paper's metric: all messages after t0.
+	MaintMessages  uint64
+	ByKind         map[string]uint64
+	ServerOps      uint64
+	Checks         int
+	Violations     int
+	FirstViolation string
+	FinalAnswer    []int
+	// MaxFPlus / MaxFMinus record the worst observed fractions when a
+	// fraction check is active (diagnostics for EXPERIMENTS.md).
+	MaxFPlus, MaxFMinus float64
+}
+
+// Run executes one simulation to completion and returns its summary.
+func Run(cfg Config) Result {
+	if cfg.Workload == nil || cfg.NewProtocol == nil {
+		panic("experiment: Config needs Workload and NewProtocol")
+	}
+	initial := cfg.Workload.Initial()
+	cluster := server.NewClusterWith(initial, cfg.Cluster)
+	proto := cfg.NewProtocol(cluster)
+	cluster.SetProtocol(proto)
+
+	var chk *oracle.Checker
+	if cfg.Check != nil {
+		chk = oracle.New(initial)
+	}
+
+	cluster.Initialize()
+
+	res := Result{Protocol: proto.Name(), Workload: cfg.Workload.Name()}
+	engine := sim.New()
+	it := cfg.Workload.Events()
+
+	var deliver func()
+	var nextEv workload.Event
+	var haveNext bool
+	advance := func() {
+		nextEv, haveNext = it.Next()
+		if !haveNext {
+			return
+		}
+		engine.MustAt(nextEv.Time, deliver)
+	}
+	deliver = func() {
+		ev := nextEv
+		res.Events++
+		if chk != nil {
+			chk.Apply(ev.Stream, ev.Value)
+		}
+		cluster.Deliver(ev.Stream, ev.Value)
+		if chk != nil && cfg.Check.Every > 0 && res.Events%cfg.Check.Every == 0 {
+			res.Checks++
+			check(cfg.Check, chk, proto, &res)
+		}
+		if cfg.MaxEvents > 0 && res.Events >= cfg.MaxEvents {
+			engine.Stop()
+			return
+		}
+		advance()
+	}
+	advance()
+	engine.Run()
+
+	ctr := cluster.Counter()
+	res.InitMessages = ctr.PhaseTotal(comm.Init)
+	res.MaintMessages = ctr.Maintenance()
+	res.ServerOps = ctr.ServerOps
+	res.ByKind = make(map[string]uint64, 4)
+	for _, k := range comm.Kinds() {
+		res.ByKind[k.String()] = ctr.Get(comm.Maintenance, k)
+	}
+	res.FinalAnswer = proto.Answer()
+	return res
+}
+
+func check(spec *CheckSpec, chk *oracle.Checker, proto server.Protocol, res *Result) {
+	ans := proto.Answer()
+	var err error
+	switch spec.kind {
+	case checkRank:
+		err = chk.CheckRank(ans, spec.knn.Q, spec.rankTol)
+	case checkFracRange:
+		fp, fm := chk.FractionStats(ans, spec.rng)
+		if fp > res.MaxFPlus {
+			res.MaxFPlus = fp
+		}
+		if fm > res.MaxFMinus {
+			res.MaxFMinus = fm
+		}
+		err = chk.CheckFractionRange(ans, spec.rng, spec.fracTol)
+	case checkFracKNN:
+		fp, fm := chk.FractionStatsKNN(ans, spec.knn)
+		if fp > res.MaxFPlus {
+			res.MaxFPlus = fp
+		}
+		if fm > res.MaxFMinus {
+			res.MaxFMinus = fm
+		}
+		err = chk.CheckFractionKNN(ans, spec.knn, spec.fracTol)
+	}
+	if err != nil {
+		res.Violations++
+		if res.FirstViolation == "" {
+			res.FirstViolation = fmt.Sprintf("event %d: %v", res.Events, err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package experiment
+
+import (
+	"adaptivefilters/internal/core"
+	"adaptivefilters/internal/metrics"
+	"adaptivefilters/internal/query"
+	"adaptivefilters/internal/server"
+)
+
+// ServerCost is the supplemental experiment backing the paper's abstract
+// claim that the protocols save "server computation" as well as
+// communication: identical synthetic workload, one row per protocol,
+// reporting both maintenance messages and the ServerOps metric (stream
+// records touched by server-side ranking and maintenance passes).
+func ServerCost(o Options) *metrics.Table {
+	w := synWorkload(o, 20, o.scaled(100_000))
+	rng := query.NewRange(400, 600)
+	t := metrics.NewTable("Supplemental — server computation (synthetic, range [400,600])",
+		"protocol", "maint msgs", "server ops")
+	t.AddNote("workload %s; server ops = stream records touched (incl. one full t0 scan)", w.Name())
+
+	rows := []struct {
+		name  string
+		build func(c *server.Cluster) server.Protocol
+	}{
+		{"no-filter", func(c *server.Cluster) server.Protocol {
+			return core.NewNoFilterRange(c, rng)
+		}},
+		{"zt-nrp", func(c *server.Cluster) server.Protocol {
+			return core.NewZTNRP(c, rng)
+		}},
+		{"ft-nrp ε=0.2", func(c *server.Cluster) server.Protocol {
+			return core.NewFTNRP(c, rng, core.FTNRPConfig{
+				Tol:       core.FractionTolerance{EpsPlus: 0.2, EpsMinus: 0.2},
+				Selection: core.SelectBoundaryNearest, Seed: o.Seed,
+			})
+		}},
+		{"ft-nrp ε=0.5", func(c *server.Cluster) server.Protocol {
+			return core.NewFTNRP(c, rng, core.FTNRPConfig{
+				Tol:       core.FractionTolerance{EpsPlus: 0.5, EpsMinus: 0.5},
+				Selection: core.SelectBoundaryNearest, Seed: o.Seed,
+			})
+		}},
+	}
+	for _, row := range rows {
+		res := Run(Config{Workload: w, NewProtocol: row.build})
+		t.AddRow(row.name, res.MaintMessages, res.ServerOps)
+	}
+	return t
+}

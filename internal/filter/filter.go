@@ -1,0 +1,144 @@
+// Package filter defines the adaptive filter constraints installed at stream
+// sources and their violation (boundary-crossing) semantics.
+//
+// A filter constraint is a closed interval [Lo, Hi] (paper §3.1). Let V' be
+// the last value the stream reported. A new value V violates the constraint
+// iff exactly one of V', V lies inside the interval — i.e. the value crossed
+// the boundary. Only violations are reported to the server.
+//
+// Two degenerate intervals play a special role in the fraction-based
+// protocols (paper §5.1.1):
+//
+//   - [−∞, +∞] — every value is inside, so the filter can never be violated.
+//     Installed on "false positive" streams, which effectively shuts them up.
+//   - [+∞, +∞] — no finite value is inside, so the filter can never be
+//     violated either. Installed on "false negative" streams.
+//
+// Both silence the stream; the distinction is pure server-side bookkeeping.
+package filter
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind discriminates the constraint forms.
+type Kind int
+
+const (
+	// None means no filter is installed: every update is reported.
+	None Kind = iota
+	// Interval is a closed interval [Lo, Hi]; updates are reported only on
+	// boundary crossings.
+	Interval
+	// Band is the classic *value-based* adaptive filter of Olston et al.
+	// (the paper's related work and Figure 1 foil): an interval of
+	// half-width Hi centered on the last reported value Lo. The stream
+	// reports when the value deviates by more than Hi from the last report
+	// and then re-centers the band locally — no install message needed.
+	// It provides a numeric-deviation guarantee but no rank or fraction
+	// guarantee, which is exactly the paper's motivation for non-value
+	// tolerance (reproduced by the Figure 1 experiment).
+	Band
+)
+
+// Constraint is a filter constraint. The zero value is None (no filter).
+type Constraint struct {
+	Kind   Kind
+	Lo, Hi float64
+}
+
+// NoFilter returns the "report everything" constraint.
+func NoFilter() Constraint { return Constraint{Kind: None} }
+
+// NewInterval returns the closed-interval constraint [lo, hi]. lo may exceed
+// hi, in which case the interval is empty (equivalent to Shut).
+func NewInterval(lo, hi float64) Constraint {
+	return Constraint{Kind: Interval, Lo: lo, Hi: hi}
+}
+
+// WideOpen returns [−∞, +∞]: a silent filter whose stream is presumed inside.
+// The paper calls these false positive filters.
+func WideOpen() Constraint { return NewInterval(math.Inf(-1), math.Inf(1)) }
+
+// Shut returns [+∞, +∞]: a silent filter whose stream is presumed outside.
+// The paper calls these false negative filters.
+func Shut() Constraint { return NewInterval(math.Inf(1), math.Inf(1)) }
+
+// NewBand returns a value-based band filter of the given half-width
+// centered on the last reported value.
+func NewBand(center, halfWidth float64) Constraint {
+	return Constraint{Kind: Band, Lo: center, Hi: halfWidth}
+}
+
+// BandCenter returns the band filter's current center (its Kind must be
+// Band).
+func (c Constraint) BandCenter() float64 { return c.Lo }
+
+// BandHalfWidth returns the band filter's half-width.
+func (c Constraint) BandHalfWidth() float64 { return c.Hi }
+
+// Contains reports whether v lies inside the constraint. For the None
+// constraint it returns false: an unfiltered stream has no notion of being
+// inside. For a Band it is |v − center| <= halfWidth.
+func (c Constraint) Contains(v float64) bool {
+	switch c.Kind {
+	case Interval:
+		return v >= c.Lo && v <= c.Hi
+	case Band:
+		return v >= c.Lo-c.Hi && v <= c.Lo+c.Hi
+	default:
+		return false
+	}
+}
+
+// Silent reports whether the constraint can never be violated by any finite
+// value: either every finite value is inside, or none is.
+func (c Constraint) Silent() bool {
+	if c.Kind != Interval {
+		return false
+	}
+	allIn := math.IsInf(c.Lo, -1) && math.IsInf(c.Hi, 1)
+	noneIn := c.Lo > c.Hi || (math.IsInf(c.Lo, 1) && math.IsInf(c.Hi, 1)) ||
+		(math.IsInf(c.Lo, -1) && math.IsInf(c.Hi, -1))
+	return allIn || noneIn
+}
+
+// IsWideOpen reports whether c is the [−∞, +∞] false-positive filter.
+func (c Constraint) IsWideOpen() bool {
+	return c.Kind == Interval && math.IsInf(c.Lo, -1) && math.IsInf(c.Hi, 1)
+}
+
+// IsShut reports whether c is a never-inside silent filter such as [+∞, +∞].
+func (c Constraint) IsShut() bool {
+	return c.Silent() && !c.IsWideOpen()
+}
+
+// Violates implements the paper's §3.1 definition: given the last reported
+// value prev and the new value v, the constraint is violated iff the value
+// crossed the interval boundary.
+func (c Constraint) Violates(prev, v float64) bool {
+	if c.Kind != Interval {
+		// No filter: the stream reports every update (paper §3.1), which the
+		// caller models separately; a non-interval constraint never
+		// "crosses".
+		return false
+	}
+	return c.Contains(prev) != c.Contains(v)
+}
+
+// String renders the constraint for logs and tests.
+func (c Constraint) String() string {
+	switch {
+	case c.Kind == None:
+		return "none"
+	case c.Kind == Band:
+		return fmt.Sprintf("band(%g±%g)", c.Lo, c.Hi)
+	case c.IsWideOpen():
+		return "[-inf,+inf]"
+	case c.IsShut():
+		return "[+inf,+inf]"
+	default:
+		return fmt.Sprintf("[%g,%g]", c.Lo, c.Hi)
+	}
+}

@@ -1,0 +1,200 @@
+package filter
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFilterProperties(t *testing.T) {
+	c := NoFilter()
+	if c.Kind != None {
+		t.Fatalf("Kind = %v, want None", c.Kind)
+	}
+	if c.Contains(5) {
+		t.Fatal("NoFilter.Contains(5) = true")
+	}
+	if c.Silent() {
+		t.Fatal("NoFilter.Silent() = true")
+	}
+	if c.Violates(1, 2) {
+		t.Fatal("NoFilter.Violates = true; crossings are undefined without an interval")
+	}
+	if c.String() != "none" {
+		t.Fatalf("String() = %q", c.String())
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	c := NewInterval(400, 600)
+	cases := []struct {
+		v    float64
+		want bool
+	}{
+		{399.999, false}, {400, true}, {500, true}, {600, true}, {600.001, false},
+	}
+	for _, tc := range cases {
+		if got := c.Contains(tc.v); got != tc.want {
+			t.Fatalf("Contains(%v) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestViolationSemantics(t *testing.T) {
+	// Paper §3.1: violated iff (V' in ∧ V out) or (V' out ∧ V in).
+	c := NewInterval(0, 10)
+	cases := []struct {
+		prev, v float64
+		want    bool
+	}{
+		{5, 15, true},   // leaves
+		{15, 5, true},   // enters
+		{5, 7, false},   // stays inside
+		{15, 20, false}, // stays outside
+		{-5, 15, false}, // moves across while staying outside
+		{0, 10, false},  // boundary to boundary, both inside (closed interval)
+		{10, 10.0001, true},
+	}
+	for _, tc := range cases {
+		if got := c.Violates(tc.prev, tc.v); got != tc.want {
+			t.Fatalf("Violates(%v→%v) = %v, want %v", tc.prev, tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestWideOpenFilter(t *testing.T) {
+	c := WideOpen()
+	if !c.IsWideOpen() || c.IsShut() {
+		t.Fatalf("WideOpen classification wrong: %v", c)
+	}
+	if !c.Silent() {
+		t.Fatal("WideOpen not silent")
+	}
+	for _, v := range []float64{-1e308, 0, 1e308} {
+		if !c.Contains(v) {
+			t.Fatalf("WideOpen.Contains(%v) = false", v)
+		}
+	}
+	if c.Violates(-1e9, 1e9) {
+		t.Fatal("WideOpen violated")
+	}
+	if c.String() != "[-inf,+inf]" {
+		t.Fatalf("String() = %q", c.String())
+	}
+}
+
+func TestShutFilter(t *testing.T) {
+	c := Shut()
+	if !c.IsShut() || c.IsWideOpen() {
+		t.Fatalf("Shut classification wrong: %v", c)
+	}
+	if !c.Silent() {
+		t.Fatal("Shut not silent")
+	}
+	for _, v := range []float64{-1e308, 0, 1e308} {
+		if c.Contains(v) {
+			t.Fatalf("Shut.Contains(%v) = true", v)
+		}
+	}
+	if c.Violates(-1e9, 1e9) {
+		t.Fatal("Shut violated")
+	}
+	if c.String() != "[+inf,+inf]" {
+		t.Fatalf("String() = %q", c.String())
+	}
+}
+
+func TestEmptyIntervalIsSilent(t *testing.T) {
+	c := NewInterval(10, 5)
+	if !c.Silent() {
+		t.Fatal("inverted interval not silent")
+	}
+	if c.Contains(7) {
+		t.Fatal("inverted interval contains a value")
+	}
+}
+
+func TestHalfOpenInfiniteIntervals(t *testing.T) {
+	up := NewInterval(100, math.Inf(1)) // v >= 100, the top-k ball
+	if up.Silent() {
+		t.Fatal("[100,+inf) classified silent")
+	}
+	if !up.Contains(100) || !up.Contains(1e300) || up.Contains(99) {
+		t.Fatal("[100,+inf) membership wrong")
+	}
+	down := NewInterval(math.Inf(-1), 100)
+	if down.Silent() {
+		t.Fatal("(-inf,100] classified silent")
+	}
+	if !down.Contains(-1e300) || !down.Contains(100) || down.Contains(101) {
+		t.Fatal("(-inf,100] membership wrong")
+	}
+	negOnly := NewInterval(math.Inf(-1), math.Inf(-1))
+	if !negOnly.Silent() {
+		t.Fatal("[-inf,-inf] not silent")
+	}
+}
+
+func TestQuickViolationIsMembershipChange(t *testing.T) {
+	f := func(lo, hi, prev, v float64) bool {
+		if lo != lo || hi != hi || prev != prev || v != v {
+			return true // skip NaN
+		}
+		c := NewInterval(lo, hi)
+		return c.Violates(prev, v) == (c.Contains(prev) != c.Contains(v))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickViolationSymmetry(t *testing.T) {
+	f := func(lo, hi, a, b float64) bool {
+		if lo != lo || hi != hi || a != a || b != b {
+			return true
+		}
+		c := NewInterval(lo, hi)
+		return c.Violates(a, b) == c.Violates(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSilentNeverViolates(t *testing.T) {
+	f := func(a, b float64, wide bool) bool {
+		if a != a || b != b {
+			return true
+		}
+		c := Shut()
+		if wide {
+			c = WideOpen()
+		}
+		return !c.Violates(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringFinite(t *testing.T) {
+	if got := NewInterval(400, 600).String(); got != "[400,600]" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestBandFilter(t *testing.T) {
+	b := NewBand(500, 25)
+	if b.Kind != Band || b.BandCenter() != 500 || b.BandHalfWidth() != 25 {
+		t.Fatalf("band accessors wrong: %+v", b)
+	}
+	if !b.Contains(475) || !b.Contains(525) || b.Contains(474.9) || b.Contains(525.1) {
+		t.Fatal("band membership wrong")
+	}
+	if b.Silent() {
+		t.Fatal("band classified silent")
+	}
+	if b.String() != "band(500±25)" {
+		t.Fatalf("String() = %q", b.String())
+	}
+}

@@ -1,0 +1,218 @@
+package multidim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"adaptivefilters/internal/comm"
+	"adaptivefilters/internal/core"
+)
+
+// FTRP2D is the fraction-based tolerance k-NN protocol (paper §5.2) over
+// 2-D points: the k-NN query becomes a disk-range query over R, silent
+// wide-open/shut disks implement the false-positive and false-negative
+// filters with budgets on the Equation 16 frontier, and R is recomputed
+// only when the answer size leaves its admissible window (with the same
+// window tightening as the 1-D core.FTRP; see DESIGN.md §3).
+type FTRP2D struct {
+	c   *Cluster
+	q   Point
+	k   int
+	tol core.FractionTolerance
+
+	nPlusBudget, nMinusBudget int
+	minA, maxA                int
+
+	ans   map[int]bool
+	fp    map[int]bool
+	fn    map[int]bool
+	count int
+	cur   Disk
+
+	// Recomputes counts full bound recomputations.
+	Recomputes uint64
+}
+
+// NewFTRP2D builds the protocol with a balanced Equation 16 split and wires
+// it into the cluster. It panics on invalid parameters.
+func NewFTRP2D(c *Cluster, q Point, k int, tol core.FractionTolerance) *FTRP2D {
+	if err := tol.Validate(); err != nil {
+		panic(err)
+	}
+	if k <= 0 || k >= c.N() {
+		panic(fmt.Sprintf("multidim: ft-rp2d needs 1 <= k < n, got k=%d n=%d", k, c.N()))
+	}
+	p := &FTRP2D{
+		c: c, q: q, k: k, tol: tol,
+		ans: map[int]bool{}, fp: map[int]bool{}, fn: map[int]bool{},
+	}
+	rhoPlus, rhoMinus := tol.DeriveRho(0.5)
+	p.nPlusBudget = int(float64(k) * rhoPlus)
+	p.nMinusBudget = int(float64(k) * rhoMinus)
+	p.deriveWindow()
+	c.SetHandler(p.handleUpdate)
+	return p
+}
+
+// deriveWindow mirrors core.FTRP.deriveWindow for the 2-D variant.
+func (p *FTRP2D) deriveWindow() {
+	for {
+		s := p.nPlusBudget + p.nMinusBudget
+		maxA := int(math.Floor(float64(p.k-s) / (1 - p.tol.EpsPlus)))
+		minA := int(math.Ceil(float64(p.k)*(1-p.tol.EpsMinus))) + s
+		if pm, pM := p.tol.AnswerBounds(p.k); true {
+			if minA < pm {
+				minA = pm
+			}
+			if maxA > pM {
+				maxA = pM
+			}
+		}
+		if (maxA >= p.k && minA <= p.k) || s == 0 {
+			p.minA, p.maxA = minA, maxA
+			return
+		}
+		if p.nMinusBudget >= p.nPlusBudget {
+			p.nMinusBudget--
+		} else {
+			p.nPlusBudget--
+		}
+	}
+}
+
+// Name identifies the protocol.
+func (p *FTRP2D) Name() string { return fmt.Sprintf("ft-rp2d(k=%d,%v)", p.k, p.tol) }
+
+// Bound returns the deployed disk (tests).
+func (p *FTRP2D) Bound() Disk { return p.cur }
+
+// Answer returns A(t) sorted by id.
+func (p *FTRP2D) Answer() []int { return sortedKeys(p.ans) }
+
+// NPlus returns the live false-positive filter count.
+func (p *FTRP2D) NPlus() int { return len(p.fp) }
+
+// NMinus returns the live false-negative filter count.
+func (p *FTRP2D) NMinus() int { return len(p.fn) }
+
+// Initialize probes everything and deploys R plus the silent disks.
+func (p *FTRP2D) Initialize() {
+	p.c.SetPhase(comm.Init)
+	p.c.ProbeAll()
+	p.rebuild()
+	p.c.SetPhase(comm.Maintenance)
+}
+
+func (p *FTRP2D) rebuild() {
+	ids := make([]int, p.c.N())
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		da, db := Dist(p.q, p.c.Table(ids[a])), Dist(p.q, p.c.Table(ids[b]))
+		if da != db {
+			return da < db
+		}
+		return ids[a] < ids[b]
+	})
+	p.c.Counter().AddServerOps(uint64(len(ids)))
+
+	p.ans, p.fp, p.fn = map[int]bool{}, map[int]bool{}, map[int]bool{}
+	p.count = 0
+	inner := Dist(p.q, p.c.Table(ids[p.k-1]))
+	outer := Dist(p.q, p.c.Table(ids[p.k]))
+	p.cur = Disk{C: p.q, R: (inner + outer) / 2}
+
+	// Boundary-nearest placement: inside streams with the largest distance,
+	// outside streams with the smallest.
+	for i := 0; i < p.k; i++ {
+		p.ans[ids[i]] = true
+	}
+	for i := p.k - 1; i >= p.k-p.nPlusBudget && i >= 0; i-- {
+		p.fp[ids[i]] = true
+	}
+	for i := p.k; i < p.k+p.nMinusBudget && i < len(ids); i++ {
+		p.fn[ids[i]] = true
+	}
+
+	p.c.Counter().Add(comm.Install, uint64(p.c.N()))
+	for _, id := range ids {
+		switch {
+		case p.fp[id]:
+			p.c.sources[id].Install(WideOpenDisk(), true)
+		case p.fn[id]:
+			p.c.sources[id].Install(ShutDisk(), false)
+		default:
+			p.c.sources[id].Install(p.cur, p.cur.Contains(p.c.Table(id)))
+		}
+	}
+	p.c.drain()
+	p.Recomputes++
+}
+
+func (p *FTRP2D) handleUpdate(id int, pt Point) {
+	if p.cur.Contains(pt) {
+		if !p.ans[id] {
+			p.ans[id] = true
+			p.count++
+		}
+	} else if p.ans[id] {
+		delete(p.ans, id)
+		if p.count > 0 {
+			p.count--
+		} else {
+			p.fixError()
+		}
+	}
+	p.checkWindow()
+}
+
+func (p *FTRP2D) fixError() {
+	if len(p.fp) > 0 {
+		sy := minKey2D(p.fp)
+		py := p.c.Probe(sy)
+		delete(p.fp, sy)
+		if p.cur.Contains(py) {
+			p.ans[sy] = true
+			p.install(sy, true)
+			return
+		}
+		delete(p.ans, sy)
+		p.install(sy, false)
+	}
+	if len(p.fn) > 0 {
+		sz := minKey2D(p.fn)
+		pz := p.c.Probe(sz)
+		delete(p.fn, sz)
+		inside := p.cur.Contains(pz)
+		if inside {
+			p.ans[sz] = true
+		}
+		p.install(sz, inside)
+	}
+}
+
+func (p *FTRP2D) install(id int, expectInside bool) {
+	p.c.Counter().Add(comm.Install, 1)
+	p.c.sources[id].Install(p.cur, expectInside)
+	p.c.drain()
+}
+
+func (p *FTRP2D) checkWindow() {
+	if n := len(p.ans); n >= p.minA && n <= p.maxA {
+		return
+	}
+	p.c.ProbeAll()
+	p.rebuild()
+}
+
+func minKey2D(m map[int]bool) int {
+	best, ok := 0, false
+	for id := range m {
+		if !ok || id < best {
+			best, ok = id, true
+		}
+	}
+	return best
+}

@@ -1,0 +1,207 @@
+// Package multidim extends the paper's one-dimensional protocols to
+// two-dimensional data, as §7 anticipates ("the concepts of our protocols
+// can be extended to multiple dimensions"): stream values are points in the
+// plane, filter constraints are disks around the query point, and the
+// rank-based tolerance protocol (RTP) carries over with |V−q| replaced by
+// Euclidean distance.
+//
+// The package is self-contained (its own sources and cluster) so the 1-D
+// core stays exactly as the paper describes it; message accounting reuses
+// the comm substrate so costs are comparable.
+package multidim
+
+import (
+	"fmt"
+	"math"
+
+	"adaptivefilters/internal/comm"
+)
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between two points.
+func Dist(a, b Point) float64 { return math.Hypot(a.X-b.X, a.Y-b.Y) }
+
+// Disk is the 2-D filter constraint: the closed disk of radius R around C.
+// A negative radius is the empty (shut) constraint; an infinite radius is
+// the wide-open constraint.
+type Disk struct {
+	C Point
+	R float64
+}
+
+// Contains reports whether p lies inside the disk.
+func (d Disk) Contains(p Point) bool { return Dist(d.C, p) <= d.R }
+
+// Silent reports whether no crossing can ever occur.
+func (d Disk) Silent() bool { return d.R < 0 || math.IsInf(d.R, 1) }
+
+// WideOpenDisk returns the never-violated all-inside constraint.
+func WideOpenDisk() Disk { return Disk{R: math.Inf(1)} }
+
+// ShutDisk returns the never-violated all-outside constraint.
+func ShutDisk() Disk { return Disk{R: -1} }
+
+// String renders the disk.
+func (d Disk) String() string {
+	switch {
+	case d.Silent() && d.R < 0:
+		return "disk(shut)"
+	case d.Silent():
+		return "disk(wide-open)"
+	default:
+		return fmt.Sprintf("disk(c=(%g,%g),r=%g)", d.C.X, d.C.Y, d.R)
+	}
+}
+
+// Source is one 2-D stream with a disk filter. It mirrors stream.Source.
+type Source struct {
+	id     int
+	val    Point
+	cons   Disk
+	inside bool
+	report func(id int, p Point)
+}
+
+// NewSource returns an unfiltered source (wide-open disks never violate, so
+// "no filter" is modelled by reportAll).
+func NewSource(id int, initial Point, report func(int, Point)) *Source {
+	return &Source{id: id, val: initial, cons: WideOpenDisk(), report: report}
+}
+
+// Set applies a new point and reports on disk-boundary crossings.
+func (s *Source) Set(p Point) bool {
+	prev := s.inside
+	s.val = p
+	now := s.cons.Contains(p)
+	if now != prev && !s.cons.Silent() {
+		s.inside = now
+		s.report(s.id, p)
+		return true
+	}
+	s.inside = now
+	return false
+}
+
+// Install sets a new disk constraint with the server's expected side; a
+// mismatch triggers an immediate report (cf. stream.Source.Install).
+func (s *Source) Install(d Disk, expectInside bool) bool {
+	s.cons = d
+	actual := d.Contains(s.val)
+	s.inside = actual
+	if actual != expectInside && !d.Silent() {
+		s.report(s.id, s.val)
+		return true
+	}
+	return false
+}
+
+// Probe returns the true point.
+func (s *Source) Probe() Point {
+	s.inside = s.cons.Contains(s.val)
+	return s.val
+}
+
+// Cluster wires 2-D sources to a protocol with message accounting.
+type Cluster struct {
+	sources []*Source
+	table   []Point
+	ctr     comm.Counter
+	pending []int
+	pvals   []Point
+	drainng bool
+	handler func(id int, p Point)
+}
+
+// NewCluster creates a 2-D cluster over the initial points.
+func NewCluster(initial []Point) *Cluster {
+	c := &Cluster{table: make([]Point, len(initial))}
+	c.sources = make([]*Source, len(initial))
+	for i, p := range initial {
+		i := i
+		c.sources[i] = NewSource(i, p, c.receive)
+	}
+	return c
+}
+
+// N returns the stream count.
+func (c *Cluster) N() int { return len(c.sources) }
+
+// Counter exposes message accounting.
+func (c *Cluster) Counter() *comm.Counter { return &c.ctr }
+
+// SetHandler installs the protocol update handler.
+func (c *Cluster) SetHandler(h func(id int, p Point)) { c.handler = h }
+
+func (c *Cluster) receive(id int, p Point) {
+	c.ctr.Add(comm.Update, 1)
+	c.table[id] = p
+	c.pending = append(c.pending, id)
+	c.pvals = append(c.pvals, p)
+}
+
+// Deliver applies a workload move and drains protocol work.
+func (c *Cluster) Deliver(id int, p Point) {
+	c.sources[id].Set(p)
+	c.drain()
+}
+
+func (c *Cluster) drain() {
+	if c.drainng {
+		return
+	}
+	c.drainng = true
+	defer func() { c.drainng = false }()
+	for len(c.pending) > 0 {
+		id, p := c.pending[0], c.pvals[0]
+		c.pending, c.pvals = c.pending[1:], c.pvals[1:]
+		if c.handler != nil {
+			c.handler(id, p)
+		}
+	}
+}
+
+// Probe requests one stream's point (2 messages).
+func (c *Cluster) Probe(id int) Point {
+	c.ctr.Add(comm.Probe, 1)
+	c.ctr.Add(comm.ProbeReply, 1)
+	p := c.sources[id].Probe()
+	c.table[id] = p
+	return p
+}
+
+// ProbeAll probes every stream.
+func (c *Cluster) ProbeAll() {
+	for i := range c.sources {
+		c.Probe(i)
+	}
+}
+
+// Install deploys a disk to one stream (1 message).
+func (c *Cluster) Install(id int, d Disk, expectInside bool) {
+	c.ctr.Add(comm.Install, 1)
+	c.sources[id].Install(d, expectInside)
+	c.drain()
+}
+
+// InstallAll deploys the same disk to every stream (n messages), deriving
+// expectations from the table.
+func (c *Cluster) InstallAll(d Disk) {
+	c.ctr.Add(comm.Install, uint64(c.N()))
+	for i, s := range c.sources {
+		s.Install(d, d.Contains(c.table[i]))
+	}
+	c.drain()
+}
+
+// Table returns the server's last known point for a stream.
+func (c *Cluster) Table(id int) Point { return c.table[id] }
+
+// TrueValue exposes ground truth for oracle/tests only.
+func (c *Cluster) TrueValue(id int) Point { return c.sources[id].val }
+
+// SetPhase switches message accounting phase.
+func (c *Cluster) SetPhase(p comm.Phase) { c.ctr.SetPhase(p) }

@@ -1,0 +1,206 @@
+package multidim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"adaptivefilters/internal/comm"
+	"adaptivefilters/internal/core"
+)
+
+func TestDist(t *testing.T) {
+	if d := Dist(Point{0, 0}, Point{3, 4}); d != 5 {
+		t.Fatalf("Dist = %v, want 5", d)
+	}
+}
+
+func TestDiskContains(t *testing.T) {
+	d := Disk{C: Point{0, 0}, R: 5}
+	if !d.Contains(Point{3, 4}) {
+		t.Fatal("boundary point excluded (closed disk)")
+	}
+	if d.Contains(Point{3, 4.1}) {
+		t.Fatal("outside point included")
+	}
+}
+
+func TestSilentDisks(t *testing.T) {
+	if !WideOpenDisk().Silent() || !ShutDisk().Silent() {
+		t.Fatal("silent disks not silent")
+	}
+	if !WideOpenDisk().Contains(Point{1e9, -1e9}) {
+		t.Fatal("wide-open disk excluded a point")
+	}
+	if ShutDisk().Contains(Point{}) {
+		t.Fatal("shut disk contained a point")
+	}
+	if (Disk{R: 5}).Silent() {
+		t.Fatal("finite disk silent")
+	}
+	for _, d := range []Disk{WideOpenDisk(), ShutDisk(), {C: Point{1, 2}, R: 3}} {
+		if d.String() == "" {
+			t.Fatal("empty disk string")
+		}
+	}
+}
+
+func TestSourceCrossingSemantics(t *testing.T) {
+	var reports int
+	s := NewSource(0, Point{0, 0}, func(int, Point) { reports++ })
+	s.Install(Disk{C: Point{0, 0}, R: 10}, true)
+	if s.Set(Point{5, 5}) { // dist ~7.07, still inside
+		t.Fatal("reported without crossing")
+	}
+	if !s.Set(Point{20, 0}) { // leaves
+		t.Fatal("leave not reported")
+	}
+	if s.Set(Point{30, 0}) { // stays outside
+		t.Fatal("reported while outside")
+	}
+	if !s.Set(Point{1, 1}) { // re-enters
+		t.Fatal("enter not reported")
+	}
+	if reports != 2 {
+		t.Fatalf("reports = %d, want 2", reports)
+	}
+}
+
+func TestSourceInstallMismatch(t *testing.T) {
+	var reports int
+	s := NewSource(0, Point{100, 100}, func(int, Point) { reports++ })
+	if !s.Install(Disk{C: Point{0, 0}, R: 5}, true) {
+		t.Fatal("mismatch install silent")
+	}
+	if reports != 1 {
+		t.Fatalf("reports = %d", reports)
+	}
+}
+
+func ringPoints(n int, q Point) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		d := float64(i + 1)
+		angle := float64(i) * 0.7
+		pts[i] = Point{q.X + d*math.Cos(angle), q.Y + d*math.Sin(angle)}
+	}
+	return pts
+}
+
+func TestRTP2DInitialization(t *testing.T) {
+	q := Point{50, 50}
+	c := NewCluster(ringPoints(10, q))
+	p := NewRTP2D(c, q, core.RankTolerance{K: 2, R: 2})
+	p.Initialize()
+	if got := p.Answer(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("A(t0) = %v, want [0 1]", got)
+	}
+	// Disk boundary halfway between the 4th (dist 4) and 5th (dist 5).
+	if p.Bound().R != 4.5 {
+		t.Fatalf("R = %v, want 4.5", p.Bound().R)
+	}
+	if got := c.Counter().Maintenance(); got != 0 {
+		t.Fatalf("maintenance after init = %d", got)
+	}
+}
+
+// brute2DRank returns the favorable rank of id among pts w.r.t. q.
+func brute2DRank(pts []Point, q Point, id int) int {
+	d := Dist(q, pts[id])
+	rank := 1
+	for j, p := range pts {
+		if j != id && Dist(q, p) < d {
+			rank++
+		}
+	}
+	return rank
+}
+
+func check2D(t *testing.T, pts []Point, q Point, ans []int, tol core.RankTolerance, step int) {
+	t.Helper()
+	if len(ans) != tol.K {
+		t.Fatalf("step %d: |A| = %d, want %d", step, len(ans), tol.K)
+	}
+	for _, id := range ans {
+		if r := brute2DRank(pts, q, id); r > tol.Eps() {
+			t.Fatalf("step %d: stream %d has rank %d > ε=%d", step, id, r, tol.Eps())
+		}
+	}
+}
+
+func TestRTP2DCorrectnessUnderRandomWalk(t *testing.T) {
+	q := Point{0, 0}
+	rng := rand.New(rand.NewSource(6))
+	n := 25
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{rng.Float64()*200 - 100, rng.Float64()*200 - 100}
+	}
+	tol := core.RankTolerance{K: 3, R: 2}
+	c := NewCluster(pts)
+	p := NewRTP2D(c, q, tol)
+	p.Initialize()
+	check2D(t, pts, q, p.Answer(), tol, -1)
+	for step := 0; step < 3000; step++ {
+		id := rng.Intn(n)
+		pts[id].X += rng.NormFloat64() * 10
+		pts[id].Y += rng.NormFloat64() * 10
+		c.Deliver(id, pts[id])
+		check2D(t, pts, q, p.Answer(), tol, step)
+	}
+}
+
+func TestRTP2DSavesMessagesVsReportAll(t *testing.T) {
+	q := Point{0, 0}
+	rng := rand.New(rand.NewSource(10))
+	n := 60
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{rng.Float64()*200 - 100, rng.Float64()*200 - 100}
+	}
+	c := NewCluster(append([]Point(nil), pts...))
+	p := NewRTP2D(c, q, core.RankTolerance{K: 3, R: 5})
+	p.Initialize()
+	events := 6000
+	for step := 0; step < events; step++ {
+		id := rng.Intn(n)
+		pts[id].X += rng.NormFloat64() * 3
+		pts[id].Y += rng.NormFloat64() * 3
+		c.Deliver(id, pts[id])
+	}
+	if got := c.Counter().Maintenance(); got >= uint64(events) {
+		t.Fatalf("RTP2D used %d messages for %d events; no savings", got, events)
+	}
+}
+
+func TestRTP2DPanicsOnBadTolerance(t *testing.T) {
+	c := NewCluster(ringPoints(3, Point{}))
+	defer func() {
+		if recover() == nil {
+			t.Error("ε >= n accepted")
+		}
+	}()
+	NewRTP2D(c, Point{}, core.RankTolerance{K: 2, R: 1})
+}
+
+func TestClusterProbeAccounting(t *testing.T) {
+	c := NewCluster(ringPoints(4, Point{}))
+	c.SetPhase(comm.Maintenance)
+	c.Probe(2)
+	ctr := c.Counter()
+	if ctr.Get(comm.Maintenance, comm.Probe) != 1 ||
+		ctr.Get(comm.Maintenance, comm.ProbeReply) != 1 {
+		t.Fatalf("probe accounting: %v", ctr)
+	}
+	if c.Table(2) != c.TrueValue(2) {
+		t.Fatal("probe did not refresh table")
+	}
+}
+
+func TestSortedKeysOrdered(t *testing.T) {
+	got := sortedKeys(map[int]bool{5: true, 1: true, 3: true})
+	if !sort.IntsAreSorted(got) || len(got) != 3 {
+		t.Fatalf("sortedKeys = %v", got)
+	}
+}

@@ -1,0 +1,252 @@
+package multidim
+
+import (
+	"fmt"
+	"sort"
+
+	"adaptivefilters/internal/comm"
+	"adaptivefilters/internal/core"
+)
+
+// RTP2D is the rank-based tolerance protocol (paper §4) over 2-D points:
+// the server maintains a disk R around the query point enclosing at most
+// ε_k^r streams, with the boundary halfway between the (k+r)-th and
+// (k+r+1)-st distances. Filters are disks; everything else mirrors the 1-D
+// RTP, including the conditional expanding search of Case 2.
+type RTP2D struct {
+	c   *Cluster
+	q   Point
+	tol core.RankTolerance
+
+	inA map[int]bool
+	inX map[int]bool
+	cur Disk
+
+	// Deploys and Reinits mirror core.RTP's counters.
+	Deploys uint64
+	Reinits uint64
+}
+
+// NewRTP2D builds the protocol and wires it into the cluster.
+func NewRTP2D(c *Cluster, q Point, tol core.RankTolerance) *RTP2D {
+	if err := tol.Validate(); err != nil {
+		panic(err)
+	}
+	if tol.Eps() >= c.N() {
+		panic(fmt.Sprintf("multidim: ε=%d needs more than %d streams", tol.Eps(), c.N()))
+	}
+	p := &RTP2D{c: c, q: q, tol: tol, inA: map[int]bool{}, inX: map[int]bool{}}
+	c.SetHandler(p.handleUpdate)
+	return p
+}
+
+// Name identifies the protocol.
+func (p *RTP2D) Name() string {
+	return fmt.Sprintf("rtp2d(k=%d,r=%d)", p.tol.K, p.tol.R)
+}
+
+// Bound returns the deployed disk (tests).
+func (p *RTP2D) Bound() Disk { return p.cur }
+
+// Answer returns A(t) sorted by id.
+func (p *RTP2D) Answer() []int { return sortedKeys(p.inA) }
+
+// X returns X(t) sorted by id (tests).
+func (p *RTP2D) X() []int { return sortedKeys(p.inX) }
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Initialize runs the initialization phase: probe all, seed A and X, deploy.
+func (p *RTP2D) Initialize() {
+	p.c.SetPhase(comm.Init)
+	p.c.ProbeAll()
+	p.rebuildFromTable()
+	p.c.SetPhase(comm.Maintenance)
+}
+
+func (p *RTP2D) rankTable() []int {
+	ids := make([]int, p.c.N())
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		da, db := Dist(p.q, p.c.Table(ids[a])), Dist(p.q, p.c.Table(ids[b]))
+		if da != db {
+			return da < db
+		}
+		return ids[a] < ids[b]
+	})
+	p.c.Counter().AddServerOps(uint64(p.c.N()))
+	return ids
+}
+
+func (p *RTP2D) rebuildFromTable() {
+	sorted := p.rankTable()
+	p.inA, p.inX = map[int]bool{}, map[int]bool{}
+	for i, id := range sorted {
+		if i < p.tol.K {
+			p.inA[id] = true
+		}
+		if i < p.tol.Eps() {
+			p.inX[id] = true
+		} else {
+			break
+		}
+	}
+	e := p.tol.Eps()
+	inner := Dist(p.q, p.c.Table(sorted[e-1]))
+	outer := Dist(p.q, p.c.Table(sorted[e]))
+	p.install((inner + outer) / 2)
+}
+
+func (p *RTP2D) install(r float64) {
+	p.cur = Disk{C: p.q, R: r}
+	p.c.InstallAll(p.cur)
+	p.Deploys++
+}
+
+func (p *RTP2D) handleUpdate(id int, pt Point) {
+	inside := p.cur.Contains(pt)
+	switch {
+	case p.inA[id]:
+		if inside {
+			return
+		}
+		p.answerLeft(id)
+	case p.inX[id]:
+		if !inside {
+			delete(p.inX, id)
+		}
+	default:
+		if inside {
+			p.entered(id)
+		}
+	}
+}
+
+func (p *RTP2D) answerLeft(id int) {
+	delete(p.inA, id)
+	delete(p.inX, id)
+	if len(p.inX) > len(p.inA) {
+		best, bestD := -1, 0.0
+		for x := range p.inX {
+			if p.inA[x] {
+				continue
+			}
+			d := Dist(p.q, p.c.Table(x))
+			if best < 0 || d < bestD || (d == bestD && x < best) {
+				best, bestD = x, d
+			}
+		}
+		p.inA[best] = true
+		return
+	}
+	if p.expandSearch() {
+		return
+	}
+	p.Reinits++
+	p.c.ProbeAll()
+	p.rebuildFromTable()
+}
+
+// expandSearch mirrors core.RTP's Case 2 step 4 with disks: grow a disk R'
+// through the stale ranking and conditionally probe candidates until two
+// respond.
+func (p *RTP2D) expandSearch() bool {
+	sorted := p.rankTable()
+	e := p.tol.Eps()
+	hits := map[int]Point{}
+	var pending []int
+	for _, id := range sorted[:e] {
+		if !p.inA[id] {
+			pending = append(pending, id)
+		}
+	}
+	for j := e + 1; j <= len(sorted); j++ {
+		dPrime := Dist(p.q, p.c.Table(sorted[j-1]))
+		region := Disk{C: p.q, R: dPrime}
+		if !p.inA[sorted[j-1]] {
+			pending = append(pending, sorted[j-1])
+		}
+		var misses []int
+		for _, cand := range pending {
+			if _, dup := hits[cand]; dup {
+				continue
+			}
+			// Conditional probe: the probe is always counted; the reply only
+			// on a hit (cf. server.Cluster.ProbeIf).
+			p.c.Counter().Add(comm.Probe, 1)
+			pt := p.c.sources[cand].Probe()
+			if region.Contains(pt) {
+				p.c.Counter().Add(comm.ProbeReply, 1)
+				p.c.table[cand] = pt
+				hits[cand] = pt
+			} else {
+				misses = append(misses, cand)
+			}
+		}
+		pending = misses
+		if len(hits) < 2 {
+			continue
+		}
+		u := make([]int, 0, len(hits))
+		for id := range hits {
+			u = append(u, id)
+		}
+		sort.Slice(u, func(a, b int) bool {
+			da, db := Dist(p.q, hits[u[a]]), Dist(p.q, hits[u[b]])
+			if da != db {
+				return da < db
+			}
+			return u[a] < u[b]
+		})
+		p.inA[u[0]] = true
+		p.inX = map[int]bool{}
+		for a := range p.inA {
+			p.inX[a] = true
+		}
+		limit := p.tol.R + 1
+		if limit > len(u) {
+			limit = len(u)
+		}
+		for _, id := range u[:limit] {
+			p.inX[id] = true
+		}
+		inner := 0.0
+		for x := range p.inX {
+			if d := Dist(p.q, p.c.Table(x)); d > inner {
+				inner = d
+			}
+		}
+		outer := dPrime
+		if limit < len(u) {
+			if d := Dist(p.q, hits[u[limit]]); d < outer {
+				outer = d
+			}
+		}
+		if outer < inner {
+			outer = inner
+		}
+		p.install((inner + outer) / 2)
+		return true
+	}
+	return false
+}
+
+func (p *RTP2D) entered(id int) {
+	if len(p.inX) < p.tol.Eps() {
+		p.inX[id] = true
+		return
+	}
+	for _, x := range sortedKeys(p.inX) {
+		p.c.Probe(x)
+	}
+	p.rebuildFromTable()
+}

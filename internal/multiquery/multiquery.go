@@ -1,0 +1,323 @@
+// Package multiquery implements the paper's §7 future-work extension:
+// supporting multiple standing queries over the same stream population with
+// shared composite filters.
+//
+// Each stream holds one filter constraint *per query*. A value change is
+// reported iff it crosses the boundary of at least one non-silent
+// per-query constraint — and the report is a single update message no
+// matter how many queries it affects, which is where the sharing wins over
+// running one independent cluster per query. Fraction-based tolerance is
+// exploited per query exactly as in FT-NRP: out of each query's answer a
+// few streams get silent (wide-open) entries, and out of the rest a few get
+// shut entries, with the count/Fix_Error machinery restoring correctness.
+package multiquery
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"adaptivefilters/internal/comm"
+	"adaptivefilters/internal/core"
+	"adaptivefilters/internal/filter"
+	"adaptivefilters/internal/query"
+)
+
+// QuerySpec is one standing range query with its fraction tolerance.
+type QuerySpec struct {
+	Range query.Range
+	Tol   core.FractionTolerance
+}
+
+// Manager hosts M range queries over n shared streams.
+type Manager struct {
+	specs []QuerySpec
+
+	vals  []float64 // ground truth (driven by Deliver)
+	table []float64 // server view
+	known []bool
+
+	// cons[s][q] is stream s's constraint for query q.
+	cons   [][]filter.Constraint
+	inside [][]bool
+
+	subs []*sub
+	ctr  comm.Counter
+	sel  *rand.Rand
+}
+
+// sub is the per-query FT-NRP state.
+type sub struct {
+	spec  QuerySpec
+	ans   map[int]bool
+	fp    map[int]bool
+	fn    map[int]bool
+	count int
+}
+
+// NewManager creates the manager over the initial stream values.
+func NewManager(initial []float64, specs []QuerySpec, seed int64) (*Manager, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("multiquery: need at least one query")
+	}
+	for i, s := range specs {
+		if err := s.Tol.Validate(); err != nil {
+			return nil, fmt.Errorf("multiquery: query %d: %w", i, err)
+		}
+	}
+	m := &Manager{
+		specs: specs,
+		vals:  append([]float64(nil), initial...),
+		table: make([]float64, len(initial)),
+		known: make([]bool, len(initial)),
+		sel:   rand.New(rand.NewSource(seed ^ 0x9E3779B9)),
+	}
+	m.cons = make([][]filter.Constraint, len(initial))
+	m.inside = make([][]bool, len(initial))
+	for s := range m.cons {
+		m.cons[s] = make([]filter.Constraint, len(specs))
+		m.inside[s] = make([]bool, len(specs))
+	}
+	for _, spec := range specs {
+		m.subs = append(m.subs, &sub{
+			spec: spec,
+			ans:  map[int]bool{}, fp: map[int]bool{}, fn: map[int]bool{},
+		})
+	}
+	return m, nil
+}
+
+// N returns the stream count.
+func (m *Manager) N() int { return len(m.vals) }
+
+// M returns the query count.
+func (m *Manager) M() int { return len(m.specs) }
+
+// Counter exposes message accounting.
+func (m *Manager) Counter() *comm.Counter { return &m.ctr }
+
+// Answer returns query qi's current answer set, sorted.
+func (m *Manager) Answer(qi int) []int {
+	out := make([]int, 0, len(m.subs[qi].ans))
+	for id := range m.subs[qi].ans {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SilentStreams returns the number of streams whose every per-query
+// constraint is silent — fully shut-down sensors.
+func (m *Manager) SilentStreams() int {
+	n := 0
+	for s := range m.cons {
+		all := true
+		for _, c := range m.cons[s] {
+			if !c.Silent() {
+				all = false
+				break
+			}
+		}
+		if all {
+			n++
+		}
+	}
+	return n
+}
+
+// Initialize probes every stream once (2n messages) and installs the
+// composite filters (n install messages — one message carries all per-query
+// entries).
+func (m *Manager) Initialize() {
+	m.ctr.SetPhase(comm.Init)
+	m.probeAll()
+	for qi := range m.subs {
+		m.initQuery(qi)
+	}
+	m.installComposite()
+	m.ctr.SetPhase(comm.Maintenance)
+}
+
+func (m *Manager) probeAll() {
+	for s := range m.vals {
+		m.probe(s)
+	}
+}
+
+func (m *Manager) probe(s int) float64 {
+	m.ctr.Add(comm.Probe, 1)
+	m.ctr.Add(comm.ProbeReply, 1)
+	m.table[s] = m.vals[s]
+	m.known[s] = true
+	for qi := range m.specs {
+		m.inside[s][qi] = m.cons[s][qi].Contains(m.vals[s])
+	}
+	return m.vals[s]
+}
+
+// initQuery computes query qi's answer and silent assignments from the
+// (fresh) table.
+func (m *Manager) initQuery(qi int) {
+	sb := m.subs[qi]
+	sb.ans, sb.fp, sb.fn = map[int]bool{}, map[int]bool{}, map[int]bool{}
+	sb.count = 0
+	var ins, outs []int
+	for s, v := range m.table {
+		if sb.spec.Range.Contains(v) {
+			sb.ans[s] = true
+			ins = append(ins, s)
+		} else {
+			outs = append(outs, s)
+		}
+	}
+	nPlus := sb.spec.Tol.MaxFalsePositives(len(ins))
+	nMinus := sb.spec.Tol.MaxFalseNegatives(len(ins))
+	score := func(id int) float64 { return sb.spec.Range.BoundaryDist(m.table[id]) }
+	for _, id := range pickBoundary(ins, score, nPlus) {
+		sb.fp[id] = true
+	}
+	for _, id := range pickBoundary(outs, score, nMinus) {
+		sb.fn[id] = true
+	}
+}
+
+// pickBoundary selects the n ids with the smallest score (ties by id).
+func pickBoundary(ids []int, score func(int) float64, n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if n > len(ids) {
+		n = len(ids)
+	}
+	sorted := append([]int(nil), ids...)
+	sort.Slice(sorted, func(a, b int) bool {
+		sa, sb := score(sorted[a]), score(sorted[b])
+		if sa != sb {
+			return sa < sb
+		}
+		return sorted[a] < sorted[b]
+	})
+	return sorted[:n]
+}
+
+// installComposite pushes every stream's per-query constraint vector in one
+// install message per stream.
+func (m *Manager) installComposite() {
+	m.ctr.Add(comm.Install, uint64(m.N()))
+	for s := range m.cons {
+		m.installStream(s)
+	}
+}
+
+func (m *Manager) installStream(s int) {
+	for qi, sb := range m.subs {
+		switch {
+		case sb.fp[s]:
+			m.cons[s][qi] = filter.WideOpen()
+		case sb.fn[s]:
+			m.cons[s][qi] = filter.Shut()
+		default:
+			m.cons[s][qi] = sb.spec.Range.Constraint()
+		}
+		m.inside[s][qi] = m.cons[s][qi].Contains(m.vals[s])
+	}
+}
+
+// reinstall updates one stream's constraint vector (1 install message).
+func (m *Manager) reinstall(s int) {
+	m.ctr.Add(comm.Install, 1)
+	m.installStream(s)
+}
+
+// Deliver applies a true value change; the stream reports iff any
+// non-silent per-query constraint boundary was crossed (one update message
+// total), and every query's maintenance then runs against the new value.
+func (m *Manager) Deliver(s int, v float64) {
+	m.vals[s] = v
+	crossed := false
+	for qi := range m.specs {
+		c := m.cons[s][qi]
+		if c.Silent() {
+			continue
+		}
+		now := c.Contains(v)
+		if now != m.inside[s][qi] {
+			m.inside[s][qi] = now
+			crossed = true
+		}
+	}
+	if !crossed {
+		return
+	}
+	m.ctr.Add(comm.Update, 1)
+	m.table[s] = v
+	m.known[s] = true
+	for qi := range m.subs {
+		m.maintain(qi, s, v)
+	}
+}
+
+// maintain is FT-NRP's maintenance phase for one query.
+func (m *Manager) maintain(qi, s int, v float64) {
+	sb := m.subs[qi]
+	m.ctr.AddServerOps(1)
+	// Silent entries never generate reports, but the report may have been
+	// caused by another query's constraint; only act when this query's own
+	// constraint is live (the paper's per-filter semantics).
+	if m.cons[s][qi].Silent() {
+		return
+	}
+	if sb.spec.Range.Contains(v) {
+		if !sb.ans[s] {
+			sb.ans[s] = true
+			sb.count++
+		}
+		return
+	}
+	if !sb.ans[s] {
+		return
+	}
+	delete(sb.ans, s)
+	if sb.count > 0 {
+		sb.count--
+		return
+	}
+	m.fixError(qi)
+}
+
+// fixError mirrors FT-NRP's Fix_Error for one query; probes cost the usual
+// two messages and constraint changes one install each.
+func (m *Manager) fixError(qi int) {
+	sb := m.subs[qi]
+	if len(sb.fp) > 0 {
+		sy := minKey(sb.fp)
+		vy := m.probe(sy)
+		delete(sb.fp, sy)
+		if sb.spec.Range.Contains(vy) {
+			sb.ans[sy] = true
+			m.reinstall(sy)
+			return
+		}
+		delete(sb.ans, sy)
+		m.reinstall(sy)
+	}
+	if len(sb.fn) > 0 {
+		sz := minKey(sb.fn)
+		vz := m.probe(sz)
+		delete(sb.fn, sz)
+		if sb.spec.Range.Contains(vz) {
+			sb.ans[sz] = true
+		}
+		m.reinstall(sz)
+	}
+}
+
+func minKey(m map[int]bool) int {
+	best, ok := 0, false
+	for id := range m {
+		if !ok || id < best {
+			best, ok = id, true
+		}
+	}
+	return best
+}

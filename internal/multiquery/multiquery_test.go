@@ -1,0 +1,194 @@
+package multiquery
+
+import (
+	"math/rand"
+	"testing"
+
+	"adaptivefilters/internal/core"
+	"adaptivefilters/internal/oracle"
+	"adaptivefilters/internal/query"
+	"adaptivefilters/internal/server"
+)
+
+func specs() []QuerySpec {
+	return []QuerySpec{
+		{Range: query.NewRange(100, 300), Tol: core.FractionTolerance{EpsPlus: 0.3, EpsMinus: 0.3}},
+		{Range: query.NewRange(250, 500), Tol: core.FractionTolerance{EpsPlus: 0.2, EpsMinus: 0.2}},
+		{Range: query.NewRange(700, 900), Tol: core.FractionTolerance{EpsPlus: 0.4, EpsMinus: 0.4}},
+	}
+}
+
+func TestManagerValidation(t *testing.T) {
+	if _, err := NewManager([]float64{1}, nil, 1); err == nil {
+		t.Fatal("empty query list accepted")
+	}
+	bad := []QuerySpec{{Range: query.NewRange(0, 1), Tol: core.FractionTolerance{EpsPlus: 0.9}}}
+	if _, err := NewManager([]float64{1}, bad, 1); err == nil {
+		t.Fatal("invalid tolerance accepted")
+	}
+}
+
+func TestManagerInitialAnswers(t *testing.T) {
+	vals := []float64{150, 275, 450, 800, 50}
+	m, err := NewManager(vals, specs(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Initialize()
+	if got := m.Answer(0); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("q0 answer = %v, want [0 1]", got)
+	}
+	if got := m.Answer(1); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("q1 answer = %v, want [1 2]", got)
+	}
+	if got := m.Answer(2); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("q2 answer = %v, want [3]", got)
+	}
+	if m.M() != 3 || m.N() != 5 {
+		t.Fatalf("M/N = %d/%d", m.M(), m.N())
+	}
+}
+
+func TestSingleMessageCoversAllQueries(t *testing.T) {
+	// A value change crossing two query boundaries at once must cost one
+	// update message.
+	vals := []float64{275} // inside q0 [100,300] and q1 [250,500]
+	zero := []QuerySpec{
+		{Range: query.NewRange(100, 300)},
+		{Range: query.NewRange(250, 500)},
+	}
+	m, _ := NewManager(vals, zero, 1)
+	m.Initialize()
+	before := m.Counter().Maintenance()
+	m.Deliver(0, 600) // leaves both ranges
+	if got := m.Counter().Maintenance() - before; got != 1 {
+		t.Fatalf("double crossing cost %d messages, want 1", got)
+	}
+	if len(m.Answer(0)) != 0 || len(m.Answer(1)) != 0 {
+		t.Fatalf("answers = %v / %v, want empty", m.Answer(0), m.Answer(1))
+	}
+}
+
+func TestNoCrossingIsSilent(t *testing.T) {
+	vals := []float64{275}
+	zero := []QuerySpec{{Range: query.NewRange(100, 300)}}
+	m, _ := NewManager(vals, zero, 1)
+	m.Initialize()
+	before := m.Counter().Maintenance()
+	m.Deliver(0, 280)
+	if got := m.Counter().Maintenance(); got != before {
+		t.Fatal("in-range move produced a message")
+	}
+}
+
+func TestFractionInvariantPerQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := 80
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.Float64() * 1000
+	}
+	m, _ := NewManager(vals, specs(), 7)
+	chk := oracle.New(vals)
+	m.Initialize()
+	for step := 0; step < 4000; step++ {
+		id := rng.Intn(n)
+		vals[id] += rng.NormFloat64() * 60
+		chk.Apply(id, vals[id])
+		m.Deliver(id, vals[id])
+		for qi, spec := range specs() {
+			if err := chk.CheckFractionRange(m.Answer(qi), spec.Range, spec.Tol); err != nil {
+				t.Fatalf("step %d query %d: %v", step, qi, err)
+			}
+		}
+	}
+}
+
+func TestSilentStreamsCount(t *testing.T) {
+	// One query covering few streams: streams silenced for the only query
+	// are fully shut down.
+	vals := []float64{150, 160, 170, 180, 900, 910, 920, 930}
+	one := []QuerySpec{{
+		Range: query.NewRange(100, 300),
+		Tol:   core.FractionTolerance{EpsPlus: 0.5, EpsMinus: 0.5},
+	}}
+	m, _ := NewManager(vals, one, 1)
+	m.Initialize()
+	// n+ = floor(4·0.5) = 2, n- = floor(4·0.5·0.5/0.5) = 2 → 4 silent.
+	if got := m.SilentStreams(); got != 4 {
+		t.Fatalf("SilentStreams = %d, want 4", got)
+	}
+}
+
+func TestSharedBeatsIndependentClusters(t *testing.T) {
+	// The point of the extension: one composite-filtered population costs
+	// fewer messages than one cluster per query.
+	rng := rand.New(rand.NewSource(41))
+	n := 100
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.Float64() * 1000
+	}
+	steps := 8000
+	moves := make([][2]float64, steps) // (id, value)
+	cur := append([]float64(nil), vals...)
+	for s := range moves {
+		id := rng.Intn(n)
+		cur[id] += rng.NormFloat64() * 50
+		moves[s] = [2]float64{float64(id), cur[id]}
+	}
+
+	m, _ := NewManager(vals, specs(), 3)
+	m.Initialize()
+	for _, mv := range moves {
+		m.Deliver(int(mv[0]), mv[1])
+	}
+	shared := m.Counter().Maintenance()
+
+	var independent uint64
+	for _, spec := range specs() {
+		spec := spec
+		c := server.NewCluster(vals)
+		p := core.NewFTNRP(c, spec.Range, core.FTNRPConfig{
+			Tol: spec.Tol, Selection: core.SelectBoundaryNearest, Seed: 3,
+		})
+		c.SetProtocol(p)
+		c.Initialize()
+		for _, mv := range moves {
+			c.Deliver(int(mv[0]), mv[1])
+		}
+		independent += c.Counter().Maintenance()
+	}
+	if shared >= independent {
+		t.Fatalf("shared = %d messages, independent = %d; sharing must win", shared, independent)
+	}
+}
+
+func TestAnswersMatchIndependentProtocolSemantics(t *testing.T) {
+	// With zero tolerance everywhere, shared answers must be exact.
+	rng := rand.New(rand.NewSource(51))
+	n := 60
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.Float64() * 1000
+	}
+	zero := []QuerySpec{
+		{Range: query.NewRange(100, 300)},
+		{Range: query.NewRange(250, 500)},
+	}
+	m, _ := NewManager(vals, zero, 1)
+	chk := oracle.New(vals)
+	m.Initialize()
+	for step := 0; step < 3000; step++ {
+		id := rng.Intn(n)
+		v := rng.Float64() * 1000
+		vals[id] = v
+		chk.Apply(id, v)
+		m.Deliver(id, v)
+		for qi, spec := range zero {
+			if err := chk.CheckFractionRange(m.Answer(qi), spec.Range, core.FractionTolerance{}); err != nil {
+				t.Fatalf("step %d query %d: %v", step, qi, err)
+			}
+		}
+	}
+}

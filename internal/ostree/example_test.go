@@ -1,0 +1,27 @@
+package ostree_test
+
+import (
+	"fmt"
+
+	"adaptivefilters/internal/ostree"
+)
+
+func Example() {
+	t := ostree.New()
+	for id, v := range []float64{42, 17, 99, 17} {
+		t.Insert(ostree.Key{V: v, ID: id})
+	}
+	fmt.Println("size:", t.Len())
+	min, _ := t.Min()
+	fmt.Println("min:", min.V, "id", min.ID)
+	second, _ := t.Select(1) // duplicate value 17 owned by the larger id
+	fmt.Println("2nd:", second.V, "id", second.ID)
+	fmt.Println("below 50:", t.CountLess(50))
+	fmt.Println("in [17,42]:", t.CountRange(17, 42))
+	// Output:
+	// size: 4
+	// min: 17 id 1
+	// 2nd: 17 id 3
+	// below 50: 3
+	// in [17,42]: 3
+}

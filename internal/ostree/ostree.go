@@ -1,0 +1,246 @@
+// Package ostree implements an order-statistic tree (a treap with subtree
+// sizes) keyed by (value, stream id) pairs.
+//
+// It is the ranking substrate used by the server-side no-filter baseline and
+// by the ground-truth oracle: it answers "how many streams have a value less
+// than v" and "which key holds rank i" in O(log n), which is what both rank
+// verification (Definition 1 of the paper) and k-NN ground truth need.
+//
+// Keys are unique: two streams may carry the same value but never the same
+// (value, id) pair. Ordering is by value first, id second, which gives a
+// deterministic total order in the presence of ties.
+package ostree
+
+// Key identifies one stream observation in the tree.
+type Key struct {
+	V  float64 // stream value
+	ID int     // stream identifier (tie break)
+}
+
+// Less reports the strict total order used by the tree.
+func (k Key) Less(o Key) bool {
+	if k.V != o.V {
+		return k.V < o.V
+	}
+	return k.ID < o.ID
+}
+
+type node struct {
+	key         Key
+	prio        uint64
+	size        int
+	left, right *node
+}
+
+func size(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *node) update() { n.size = 1 + size(n.left) + size(n.right) }
+
+// Tree is an order-statistic treap. The zero value is an empty tree.
+type Tree struct {
+	root  *node
+	state uint64 // deterministic priority stream
+}
+
+// New returns an empty tree. Priorities are derived from a fixed internal
+// stream so behaviour is deterministic across runs.
+func New() *Tree { return &Tree{state: 0x9E3779B97F4A7C15} }
+
+func (t *Tree) nextPrio() uint64 {
+	// splitmix64 step: deterministic, well distributed.
+	t.state += 0x9E3779B97F4A7C15
+	x := t.state
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Len returns the number of keys stored.
+func (t *Tree) Len() int { return size(t.root) }
+
+// split partitions n into keys < k and keys >= k.
+func split(n *node, k Key) (l, r *node) {
+	if n == nil {
+		return nil, nil
+	}
+	if n.key.Less(k) {
+		n.right, r = split(n.right, k)
+		n.update()
+		return n, r
+	}
+	l, n.left = split(n.left, k)
+	n.update()
+	return l, n
+}
+
+func merge(l, r *node) *node {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case l.prio >= r.prio:
+		l.right = merge(l.right, r)
+		l.update()
+		return l
+	default:
+		r.left = merge(l, r.left)
+		r.update()
+		return r
+	}
+}
+
+// Insert adds k to the tree. It returns false (and leaves the tree
+// unchanged) if the key is already present.
+func (t *Tree) Insert(k Key) bool {
+	if t.Contains(k) {
+		return false
+	}
+	if t.state == 0 { // zero-value Tree: initialize the priority stream
+		t.state = 0x9E3779B97F4A7C15
+	}
+	nn := &node{key: k, prio: t.nextPrio(), size: 1}
+	l, r := split(t.root, k)
+	t.root = merge(merge(l, nn), r)
+	return true
+}
+
+// Delete removes k. It returns false if the key was absent.
+func (t *Tree) Delete(k Key) bool {
+	var deleted bool
+	var del func(n *node) *node
+	del = func(n *node) *node {
+		if n == nil {
+			return nil
+		}
+		switch {
+		case k.Less(n.key):
+			n.left = del(n.left)
+		case n.key.Less(k):
+			n.right = del(n.right)
+		default:
+			deleted = true
+			return merge(n.left, n.right)
+		}
+		n.update()
+		return n
+	}
+	t.root = del(t.root)
+	return deleted
+}
+
+// Contains reports whether k is stored.
+func (t *Tree) Contains(k Key) bool {
+	n := t.root
+	for n != nil {
+		switch {
+		case k.Less(n.key):
+			n = n.left
+		case n.key.Less(k):
+			n = n.right
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Rank returns the number of keys strictly less than k. k itself need not be
+// present.
+func (t *Tree) Rank(k Key) int {
+	rank := 0
+	n := t.root
+	for n != nil {
+		if k.Less(n.key) || k == n.key {
+			n = n.left
+		} else {
+			rank += size(n.left) + 1
+			n = n.right
+		}
+	}
+	return rank
+}
+
+// Select returns the key with zero-based rank i (the i-th smallest). The
+// second result is false if i is out of range.
+func (t *Tree) Select(i int) (Key, bool) {
+	if i < 0 || i >= t.Len() {
+		return Key{}, false
+	}
+	n := t.root
+	for {
+		ls := size(n.left)
+		switch {
+		case i < ls:
+			n = n.left
+		case i == ls:
+			return n.key, true
+		default:
+			i -= ls + 1
+			n = n.right
+		}
+	}
+}
+
+// CountLess returns the number of stored keys with value strictly less
+// than v (regardless of id).
+func (t *Tree) CountLess(v float64) int {
+	// Key{v, minInt} sorts before every key with value v.
+	return t.Rank(Key{V: v, ID: minInt})
+}
+
+// CountLE returns the number of stored keys with value <= v.
+func (t *Tree) CountLE(v float64) int {
+	return t.Rank(Key{V: v, ID: maxInt})
+}
+
+// CountRange returns the number of stored keys with lo <= value <= hi.
+// It returns 0 when lo > hi.
+func (t *Tree) CountRange(lo, hi float64) int {
+	if lo > hi {
+		return 0
+	}
+	return t.CountLE(hi) - t.CountLess(lo)
+}
+
+// Min returns the smallest key. ok is false on an empty tree.
+func (t *Tree) Min() (Key, bool) { return t.Select(0) }
+
+// Max returns the largest key. ok is false on an empty tree.
+func (t *Tree) Max() (Key, bool) { return t.Select(t.Len() - 1) }
+
+// Ascend calls fn on every key in increasing order until fn returns false.
+func (t *Tree) Ascend(fn func(Key) bool) {
+	var walk func(n *node) bool
+	walk = func(n *node) bool {
+		if n == nil {
+			return true
+		}
+		if !walk(n.left) {
+			return false
+		}
+		if !fn(n.key) {
+			return false
+		}
+		return walk(n.right)
+	}
+	walk(t.root)
+}
+
+// Keys returns all keys in increasing order. Intended for tests and small
+// trees.
+func (t *Tree) Keys() []Key {
+	out := make([]Key, 0, t.Len())
+	t.Ascend(func(k Key) bool { out = append(out, k); return true })
+	return out
+}
+
+const (
+	maxInt = int(^uint(0) >> 1)
+	minInt = -maxInt - 1
+)

@@ -1,0 +1,135 @@
+// Package query defines the entity-based query model of the paper (§3.2):
+// non-rank-based range queries and rank-based k-NN queries over
+// one-dimensional stream values.
+//
+// A k-NN query is parameterized by a Center: a finite query point q ranks
+// streams by |V−q|; the ±∞ centers turn k-NN into k-maximum (top-k) and
+// k-minimum queries exactly as the paper describes ("a k-NN query can be
+// easily transformed to a k-minimum or k-maximum query, by setting q to −∞
+// or +∞").
+package query
+
+import (
+	"fmt"
+	"math"
+
+	"adaptivefilters/internal/filter"
+)
+
+// Range is a non-rank-based range query [Lo, Hi] (closed interval). Streams
+// whose values fall within the interval belong to the answer.
+type Range struct {
+	Lo, Hi float64
+}
+
+// NewRange returns the range query [lo, hi].
+func NewRange(lo, hi float64) Range { return Range{Lo: lo, Hi: hi} }
+
+// Contains reports whether value v satisfies the range query.
+func (r Range) Contains(v float64) bool { return v >= r.Lo && v <= r.Hi }
+
+// Constraint returns the filter constraint equal to the query interval —
+// the ZT-NRP assignment.
+func (r Range) Constraint() filter.Constraint { return filter.NewInterval(r.Lo, r.Hi) }
+
+// BoundaryDist returns the distance from v to the nearer interval endpoint.
+// The boundary-nearest selection heuristic (paper §6.2, Figure 14) prefers
+// streams with small BoundaryDist.
+func (r Range) BoundaryDist(v float64) float64 {
+	return math.Min(math.Abs(v-r.Lo), math.Abs(v-r.Hi))
+}
+
+// String renders the query.
+func (r Range) String() string { return fmt.Sprintf("range[%g,%g]", r.Lo, r.Hi) }
+
+// CenterKind discriminates the k-NN query point forms.
+type CenterKind int
+
+const (
+	// Finite is an ordinary query point q; distance is |v − q|.
+	Finite CenterKind = iota
+	// PosInf is q = +∞: k-NN becomes k-maximum (top-k); "distance" is −v so
+	// larger values rank closer.
+	PosInf
+	// NegInf is q = −∞: k-NN becomes k-minimum; "distance" is v.
+	NegInf
+)
+
+// Center is a k-NN query point.
+type Center struct {
+	Kind CenterKind
+	X    float64 // used only when Kind == Finite
+}
+
+// At returns a finite query point.
+func At(x float64) Center { return Center{Kind: Finite, X: x} }
+
+// Top returns the q = +∞ center: k-NN of Top is the top-k (k-maximum) query.
+func Top() Center { return Center{Kind: PosInf} }
+
+// Bottom returns the q = −∞ center (k-minimum query).
+func Bottom() Center { return Center{Kind: NegInf} }
+
+// Dist returns the ranking distance of value v from the center. For the
+// infinite centers it is a monotone surrogate (−v, v) rather than a true
+// metric distance, but all protocol logic only compares distances and forms
+// sublevel-set balls, for which the surrogate is exact.
+func (c Center) Dist(v float64) float64 {
+	switch c.Kind {
+	case PosInf:
+		return -v
+	case NegInf:
+		return v
+	default:
+		return math.Abs(v - c.X)
+	}
+}
+
+// Ball returns the value interval {v : Dist(v) <= d} as a closed interval.
+// For a finite center it is [X−d, X+d]; for PosInf it is [−d, +∞); for
+// NegInf it is (−∞, d].
+func (c Center) Ball(d float64) (lo, hi float64) {
+	switch c.Kind {
+	case PosInf:
+		return -d, math.Inf(1)
+	case NegInf:
+		return math.Inf(-1), d
+	default:
+		return c.X - d, c.X + d
+	}
+}
+
+// BallConstraint returns Ball(d) as a filter constraint.
+func (c Center) BallConstraint(d float64) filter.Constraint {
+	lo, hi := c.Ball(d)
+	return filter.NewInterval(lo, hi)
+}
+
+// String renders the center.
+func (c Center) String() string {
+	switch c.Kind {
+	case PosInf:
+		return "q=+inf(top)"
+	case NegInf:
+		return "q=-inf(bottom)"
+	default:
+		return fmt.Sprintf("q=%g", c.X)
+	}
+}
+
+// KNN is a rank-based k-nearest-neighbor query: the k streams whose values
+// are closest to the center.
+type KNN struct {
+	Q Center
+	K int
+}
+
+// NewKNN returns a k-NN query around q.
+func NewKNN(q Center, k int) KNN { return KNN{Q: q, K: k} }
+
+// TopK returns the continuous top-k query (k-maximum), as used in the
+// paper's TCP experiment (Figure 9).
+func TopK(k int) KNN { return KNN{Q: Top(), K: k} }
+
+// String renders the query.
+func (q KNN) String() string { return fmt.Sprintf("knn(k=%d,%v)", q.K, q.Q) }

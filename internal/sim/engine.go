@@ -1,0 +1,183 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// It replaces the commercial CSIM 19 simulator used by the paper: events are
+// executed in non-decreasing time order, events scheduled for the same time
+// run in FIFO order of scheduling, and all randomness is injected through
+// seeded sources so that every run is exactly reproducible.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. It is exported so tests and tools can
+// inspect pending work, but callers normally interact through Engine only.
+type Event struct {
+	// Time is the simulation time at which the callback fires.
+	Time float64
+	// Fn is the callback to execute. A nil Fn is a no-op placeholder.
+	Fn func()
+
+	seq       uint64 // tie-break: FIFO among equal times
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Cancel marks the event so it will be skipped when its time arrives.
+// Cancelling an already-executed event has no effect.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// ErrPastTime is returned when an event is scheduled before the current
+// simulation time.
+var ErrPastTime = errors.New("sim: event scheduled in the past")
+
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// ready to use and starts at time 0.
+type Engine struct {
+	now     float64
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+	running bool
+	// Executed counts events that have been run (excluding cancelled ones).
+	Executed uint64
+}
+
+// New returns an engine with its clock at 0.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of events still queued (including cancelled
+// events that have not yet been skipped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time t. It returns the event handle so
+// the caller may cancel it. Scheduling in the past is an error; scheduling
+// exactly at Now is allowed and runs after all previously scheduled events
+// for that instant.
+func (e *Engine) At(t float64, fn func()) (*Event, error) {
+	if t < e.now {
+		return nil, fmt.Errorf("%w: t=%v now=%v", ErrPastTime, t, e.now)
+	}
+	if math.IsNaN(t) {
+		return nil, fmt.Errorf("sim: NaN event time")
+	}
+	ev := &Event{Time: t, Fn: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev, nil
+}
+
+// Schedule schedules fn to run delay time units from now. Negative delays
+// are an error.
+func (e *Engine) Schedule(delay float64, fn func()) (*Event, error) {
+	return e.At(e.now+delay, fn)
+}
+
+// MustAt is At but panics on error; for wiring code where times are known
+// valid by construction.
+func (e *Engine) MustAt(t float64, fn func()) *Event {
+	ev, err := e.At(t, fn)
+	if err != nil {
+		panic(err)
+	}
+	return ev
+}
+
+// Stop halts the run loop after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step executes the next event. It returns false when the queue is empty.
+func (e *Engine) step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.Time
+		if ev.Fn != nil {
+			ev.Fn()
+			e.Executed++
+		}
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue empties or Stop is called. It returns
+// the number of events executed during this call.
+func (e *Engine) Run() uint64 {
+	if e.running {
+		panic("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	e.stopped = false
+	start := e.Executed
+	for !e.stopped && e.step() {
+	}
+	return e.Executed - start
+}
+
+// RunUntil executes events with Time <= t, then advances the clock to t
+// (if t is ahead of the last event). It returns the number executed.
+func (e *Engine) RunUntil(t float64) uint64 {
+	if e.running {
+		panic("sim: RunUntil called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	e.stopped = false
+	start := e.Executed
+	for !e.stopped {
+		// Peek cheapest event without popping cancelled markers eagerly.
+		for len(e.queue) > 0 && e.queue[0].cancelled {
+			heap.Pop(&e.queue)
+		}
+		if len(e.queue) == 0 || e.queue[0].Time > t {
+			break
+		}
+		e.step()
+	}
+	if !e.stopped && t > e.now {
+		e.now = t
+	}
+	return e.Executed - start
+}

@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := New()
+	if got := e.Now(); got != 0 {
+		t.Fatalf("Now() = %v, want 0", got)
+	}
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d, want 0", got)
+	}
+}
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.MustAt(3, func() { order = append(order, 3) })
+	e.MustAt(1, func() { order = append(order, 1) })
+	e.MustAt(2, func() { order = append(order, 2) })
+	if n := e.Run(); n != 3 {
+		t.Fatalf("Run() executed %d events, want 3", n)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now() = %v after run, want 3", e.Now())
+	}
+}
+
+func TestEngineFIFOForEqualTimes(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.MustAt(7, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("equal-time order[%d] = %d, want %d (FIFO)", i, got, i)
+		}
+	}
+}
+
+func TestEngineSchedulingDuringRun(t *testing.T) {
+	e := New()
+	var order []string
+	e.MustAt(1, func() {
+		order = append(order, "a")
+		e.MustAt(1, func() { order = append(order, "a-child") }) // same instant
+		e.MustAt(5, func() { order = append(order, "late") })
+	})
+	e.MustAt(2, func() { order = append(order, "b") })
+	e.Run()
+	want := []string{"a", "a-child", "b", "late"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineRejectsPastEvents(t *testing.T) {
+	e := New()
+	e.MustAt(10, func() {})
+	e.Run()
+	if _, err := e.At(5, func() {}); !errors.Is(err, ErrPastTime) {
+		t.Fatalf("At(past) error = %v, want ErrPastTime", err)
+	}
+	if _, err := e.Schedule(-1, func() {}); !errors.Is(err, ErrPastTime) {
+		t.Fatalf("Schedule(-1) error = %v, want ErrPastTime", err)
+	}
+}
+
+func TestEngineRejectsNaNTime(t *testing.T) {
+	e := New()
+	if _, err := e.At(math.NaN(), func() {}); err == nil {
+		t.Fatal("At(NaN) succeeded, want error")
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := New()
+	ran := false
+	ev := e.MustAt(1, func() { ran = true })
+	ev.Cancel()
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	if n := e.Run(); n != 0 {
+		t.Fatalf("Run() executed %d, want 0", n)
+	}
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := New()
+	var count int
+	for i := 1; i <= 10; i++ {
+		e.MustAt(float64(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("executed %d events before Stop, want 3", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("Pending() = %d after Stop, want 7", e.Pending())
+	}
+	// A second Run resumes.
+	e.Run()
+	if count != 10 {
+		t.Fatalf("executed %d events total, want 10", count)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := New()
+	var ran []float64
+	for _, ti := range []float64{1, 2, 3, 4, 5} {
+		ti := ti
+		e.MustAt(ti, func() { ran = append(ran, ti) })
+	}
+	if n := e.RunUntil(3); n != 3 {
+		t.Fatalf("RunUntil(3) executed %d, want 3", n)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("Now() = %v, want 3", e.Now())
+	}
+	if n := e.RunUntil(10); n != 2 {
+		t.Fatalf("RunUntil(10) executed %d, want 2", n)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("Now() = %v, want clock advanced to 10", e.Now())
+	}
+}
+
+func TestEngineRunUntilSkipsCancelled(t *testing.T) {
+	e := New()
+	ev := e.MustAt(1, func() { t.Fatal("cancelled event ran") })
+	ev.Cancel()
+	e.MustAt(2, func() {})
+	if n := e.RunUntil(5); n != 1 {
+		t.Fatalf("RunUntil executed %d, want 1", n)
+	}
+}
+
+func TestEngineExecutedCounter(t *testing.T) {
+	e := New()
+	for i := 0; i < 5; i++ {
+		e.MustAt(float64(i), func() {})
+	}
+	e.Run()
+	if e.Executed != 5 {
+		t.Fatalf("Executed = %d, want 5", e.Executed)
+	}
+}
+
+func TestEngineNilFnIsNoOp(t *testing.T) {
+	e := New()
+	e.MustAt(1, nil)
+	e.MustAt(2, func() {})
+	if n := e.Run(); n != 1 {
+		t.Fatalf("Run() counted %d executions, want 1 (nil Fn skipped)", n)
+	}
+	if e.Now() != 2 {
+		t.Fatalf("Now() = %v, want 2", e.Now())
+	}
+}
+
+func TestEngineReentrantRunPanics(t *testing.T) {
+	e := New()
+	e.MustAt(1, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("re-entrant Run did not panic")
+			}
+		}()
+		e.Run()
+	})
+	e.Run()
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	runOnce := func() []float64 {
+		e := New()
+		rng := NewRNG(42)
+		var times []float64
+		var schedule func()
+		schedule = func() {
+			if len(times) >= 100 {
+				return
+			}
+			delay := rng.Exp(3)
+			e.MustAt(e.Now()+delay, func() {
+				times = append(times, e.Now())
+				schedule()
+			})
+		}
+		schedule()
+		e.Run()
+		return times
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMustAtPanicsOnError(t *testing.T) {
+	e := New()
+	e.MustAt(1, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAt(past) did not panic")
+		}
+	}()
+	e.MustAt(0.5, func() {})
+}

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG bundles the random distributions the workload generators need on top
+// of a seeded math/rand source, so every component draws from an independent,
+// reproducible stream.
+type RNG struct {
+	*rand.Rand
+}
+
+// NewRNG returns a deterministic RNG for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{Rand: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent RNG from this one, labelled by id. Two Splits
+// with different ids produce uncorrelated streams; the parent is not
+// perturbed beyond a single Int63 draw per call.
+func (r *RNG) Split(id int64) *RNG {
+	mix := splitmix64(uint64(r.Int63()) ^ (uint64(id)*0x9E3779B97F4A7C15 + 0x632BE59BD9B4E019))
+	return NewRNG(int64(mix))
+}
+
+// Exp draws an exponentially distributed value with the given mean.
+func (r *RNG) Exp(mean float64) float64 { return r.ExpFloat64() * mean }
+
+// Normal draws a normally distributed value.
+func (r *RNG) Normal(mu, sigma float64) float64 { return r.NormFloat64()*sigma + mu }
+
+// Uniform draws uniformly from [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 { return lo + r.Float64()*(hi-lo) }
+
+// Pareto draws from a Pareto distribution with scale xm>0 and shape alpha>0.
+func (r *RNG) Pareto(xm, alpha float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// LogNormal draws exp(Normal(mu, sigma)).
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// splitmix64 is the standard 64-bit mixer used to derive child seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same-seed RNGs diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c1.Float64() == c2.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("split streams coincide on %d of 1000 draws", same)
+	}
+}
+
+func TestRNGSplitDeterministic(t *testing.T) {
+	mk := func() float64 { return NewRNG(9).Split(33).Float64() }
+	if mk() != mk() {
+		t.Fatal("Split is not deterministic for equal seeds/ids")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	rng := NewRNG(1)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := rng.Exp(20)
+		if v < 0 {
+			t.Fatalf("Exp produced negative value %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-20) > 0.5 {
+		t.Fatalf("Exp(20) sample mean = %v, want ≈20", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	rng := NewRNG(2)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := rng.Normal(0, 20)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean) > 0.5 {
+		t.Fatalf("Normal(0,20) sample mean = %v, want ≈0", mean)
+	}
+	if math.Abs(sd-20) > 0.5 {
+		t.Fatalf("Normal(0,20) sample sd = %v, want ≈20", sd)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	rng := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := rng.Uniform(400, 600)
+		if v < 400 || v >= 600 {
+			t.Fatalf("Uniform(400,600) produced %v", v)
+		}
+	}
+}
+
+func TestParetoProperties(t *testing.T) {
+	rng := NewRNG(4)
+	const n = 100000
+	below := 0
+	for i := 0; i < n; i++ {
+		v := rng.Pareto(1, 1.2)
+		if v < 1 {
+			below++
+		}
+	}
+	if below != 0 {
+		t.Fatalf("Pareto(1, 1.2) produced %d values below the scale", below)
+	}
+	// Median of Pareto(xm=1, a) is 2^(1/a).
+	med := sampleMedian(rng, n, func() float64 { return rng.Pareto(1, 2) })
+	want := math.Pow(2, 0.5)
+	if math.Abs(med-want) > 0.05 {
+		t.Fatalf("Pareto(1,2) sample median = %v, want ≈%v", med, want)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	rng := NewRNG(5)
+	med := sampleMedian(rng, 100000, func() float64 { return rng.LogNormal(6.2, 1.2) })
+	want := math.Exp(6.2)
+	if math.Abs(med-want)/want > 0.05 {
+		t.Fatalf("LogNormal(6.2,1.2) sample median = %v, want ≈%v", med, want)
+	}
+}
+
+func sampleMedian(_ *RNG, n int, draw func() float64) float64 {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = draw()
+	}
+	sort.Float64s(vals)
+	return vals[n/2]
+}

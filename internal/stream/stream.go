@@ -1,0 +1,147 @@
+// Package stream implements the filter-equipped remote stream sources of the
+// paper's system model (§3.1, Figure 3).
+//
+// Each source holds its current value and an adaptive filter constraint. When
+// the value changes it reports to the server only if the filter is violated
+// (the value crossed the constraint boundary) or if no filter is installed.
+// Sources also answer server probes and accept filter installations.
+package stream
+
+import (
+	"fmt"
+
+	"adaptivefilters/internal/filter"
+)
+
+// ID identifies a stream source. IDs are dense indices 0..n-1.
+type ID = int
+
+// ReportFunc is the uplink a source uses to send an update message to the
+// server. The server counts the message and queues it for protocol handling.
+type ReportFunc func(id ID, v float64)
+
+// Source is one remote data stream with its adaptive filter.
+type Source struct {
+	id     ID
+	val    float64
+	cons   filter.Constraint
+	inside bool // side of the interval of the last value known to the server
+	report ReportFunc
+	// Updates counts value changes applied to the source (its raw stream
+	// rate); Reports counts how many were actually sent to the server.
+	Updates uint64
+	Reports uint64
+}
+
+// New returns a source with the given initial value and no filter installed.
+// An unfiltered source reports every update (paper §3.1: "If no filter is
+// installed at a stream, all updates from the stream are reported").
+func New(id ID, initial float64, report ReportFunc) *Source {
+	if report == nil {
+		panic("stream: nil report func")
+	}
+	return &Source{id: id, val: initial, cons: filter.NoFilter(), report: report}
+}
+
+// ID returns the source identifier.
+func (s *Source) ID() ID { return s.id }
+
+// Value returns the true current value. Only the workload driver, probes and
+// the ground-truth oracle may call this; protocols must rely on reported
+// data.
+func (s *Source) Value() float64 { return s.val }
+
+// Constraint returns the currently installed filter constraint.
+func (s *Source) Constraint() filter.Constraint { return s.cons }
+
+// Inside reports the source's recorded side of its interval constraint —
+// i.e. the side the server believes the stream is on.
+func (s *Source) Inside() bool { return s.inside }
+
+// Set applies a new value from the workload. It reports to the server when
+// the filter is violated (or always, when unfiltered) and returns whether a
+// report was sent.
+func (s *Source) Set(v float64) bool {
+	s.Updates++
+	prevInside := s.inside
+	s.val = v
+	switch s.cons.Kind {
+	case filter.None:
+		s.send()
+		return true
+	case filter.Band:
+		// Value-based filter: report on deviation beyond the half-width and
+		// re-center locally (no server round-trip; Olston-style).
+		if !s.cons.Contains(v) {
+			s.cons = filter.NewBand(v, s.cons.BandHalfWidth())
+			s.send()
+			return true
+		}
+		return false
+	default:
+		nowInside := s.cons.Contains(v)
+		if nowInside != prevInside {
+			s.inside = nowInside
+			s.send()
+			return true
+		}
+		return false
+	}
+}
+
+// Install sets a new filter constraint. expectInside is the side of the new
+// interval the server believes this stream is on (from its value table). If
+// the true side differs, the source immediately reports its value so the
+// server's view converges; the report travels through the normal uplink and
+// is counted as an update message. Install returns whether such a mismatch
+// report was sent.
+//
+// The paper's correctness argument assumes stream values do not change
+// during constraint resolution; this handshake is what makes the assumption
+// implementable when bounds are computed from partially stale values (see
+// DESIGN.md §3).
+func (s *Source) Install(c filter.Constraint, expectInside bool) bool {
+	s.cons = c
+	switch c.Kind {
+	case filter.None:
+		s.inside = false
+		return false
+	case filter.Band:
+		// If the server centered the band on a stale value the stream is
+		// already outside it: report and re-center immediately.
+		s.inside = true
+		if !c.Contains(s.val) {
+			s.cons = filter.NewBand(s.val, c.BandHalfWidth())
+			s.send()
+			return true
+		}
+		return false
+	}
+	actual := c.Contains(s.val)
+	s.inside = actual
+	if actual != expectInside && !c.Silent() {
+		s.send()
+		return true
+	}
+	return false
+}
+
+// Probe returns the current value, modelling a server probe request plus the
+// stream's reply. Message accounting is done by the caller (the cluster).
+// Probing refreshes the recorded side of the constraint.
+func (s *Source) Probe() float64 {
+	if s.cons.Kind == filter.Interval {
+		s.inside = s.cons.Contains(s.val)
+	}
+	return s.val
+}
+
+func (s *Source) send() {
+	s.Reports++
+	s.report(s.id, s.val)
+}
+
+// String renders the source state for debugging.
+func (s *Source) String() string {
+	return fmt.Sprintf("S%d{v=%g cons=%v inside=%v}", s.id, s.val, s.cons, s.inside)
+}

@@ -1,0 +1,206 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+
+	"adaptivefilters/internal/filter"
+)
+
+type recorder struct {
+	ids  []ID
+	vals []float64
+}
+
+func (r *recorder) report(id ID, v float64) {
+	r.ids = append(r.ids, id)
+	r.vals = append(r.vals, v)
+}
+
+func TestUnfilteredReportsEverything(t *testing.T) {
+	var rec recorder
+	s := New(3, 10, rec.report)
+	for i, v := range []float64{11, 11, 12, -5} {
+		if !s.Set(v) {
+			t.Fatalf("Set #%d did not report without a filter", i)
+		}
+	}
+	if len(rec.ids) != 4 {
+		t.Fatalf("got %d reports, want 4", len(rec.ids))
+	}
+	if rec.ids[0] != 3 || rec.vals[3] != -5 {
+		t.Fatalf("report content wrong: %+v", rec)
+	}
+	if s.Updates != 4 || s.Reports != 4 {
+		t.Fatalf("Updates/Reports = %d/%d, want 4/4", s.Updates, s.Reports)
+	}
+}
+
+func TestIntervalFilterReportsOnlyCrossings(t *testing.T) {
+	var rec recorder
+	s := New(0, 500, rec.report)
+	s.Install(filter.NewInterval(400, 600), true)
+	steps := []struct {
+		v      float64
+		report bool
+	}{
+		{550, false}, // stays inside
+		{650, true},  // leaves
+		{700, false}, // stays outside
+		{450, true},  // re-enters
+		{400, false}, // inside (closed boundary)
+		{399, true},  // leaves by a hair
+	}
+	for i, st := range steps {
+		if got := s.Set(st.v); got != st.report {
+			t.Fatalf("step %d (v=%v): reported=%v, want %v", i, st.v, got, st.report)
+		}
+	}
+	if s.Reports != 3 {
+		t.Fatalf("Reports = %d, want 3", s.Reports)
+	}
+}
+
+func TestInstallMismatchTriggersReport(t *testing.T) {
+	var rec recorder
+	s := New(0, 700, rec.report) // truly outside [400,600]
+	if reported := s.Install(filter.NewInterval(400, 600), true); !reported {
+		t.Fatal("Install with wrong expected side did not report")
+	}
+	if len(rec.ids) != 1 || rec.vals[0] != 700 {
+		t.Fatalf("mismatch report = %+v, want value 700", rec)
+	}
+	// The recorded side is now correct; staying outside is silent.
+	if s.Set(800) {
+		t.Fatal("reported while staying outside after mismatch sync")
+	}
+}
+
+func TestInstallMatchIsSilent(t *testing.T) {
+	var rec recorder
+	s := New(0, 500, rec.report)
+	if s.Install(filter.NewInterval(400, 600), true) {
+		t.Fatal("Install with correct expected side reported")
+	}
+	if len(rec.ids) != 0 {
+		t.Fatalf("unexpected reports: %+v", rec)
+	}
+}
+
+func TestSilentFiltersNeverReport(t *testing.T) {
+	var rec recorder
+	s := New(0, 500, rec.report)
+	// A wide-open filter silences even though the expectation is wrong on
+	// purpose: silent filters must not generate mismatch reports.
+	if s.Install(filter.WideOpen(), false) {
+		t.Fatal("WideOpen install reported")
+	}
+	for _, v := range []float64{1, 1000, -1000} {
+		if s.Set(v) {
+			t.Fatalf("WideOpen filter reported on %v", v)
+		}
+	}
+	if s.Install(filter.Shut(), true) {
+		t.Fatal("Shut install reported")
+	}
+	for _, v := range []float64{1, 1000, -1000} {
+		if s.Set(v) {
+			t.Fatalf("Shut filter reported on %v", v)
+		}
+	}
+	if s.Reports != 0 {
+		t.Fatalf("Reports = %d, want 0", s.Reports)
+	}
+}
+
+func TestProbeReturnsTruthAndResyncs(t *testing.T) {
+	var rec recorder
+	s := New(0, 500, rec.report)
+	s.Install(filter.NewInterval(400, 600), true)
+	// Drift outside silently is impossible with an interval filter, but the
+	// filter may be re-installed with a stale expectation; Probe must refresh
+	// the recorded side.
+	s.Set(650) // reports (leaves)
+	if got := s.Probe(); got != 650 {
+		t.Fatalf("Probe() = %v, want 650", got)
+	}
+	if s.Inside() {
+		t.Fatal("Inside() = true after probing an outside value")
+	}
+}
+
+func TestRemovingFilterRestoresReportEverything(t *testing.T) {
+	var rec recorder
+	s := New(0, 500, rec.report)
+	s.Install(filter.NewInterval(0, 1000), true)
+	if s.Set(600) {
+		t.Fatal("reported while inside interval")
+	}
+	s.Install(filter.NoFilter(), false)
+	if !s.Set(601) {
+		t.Fatal("unfiltered stream did not report")
+	}
+}
+
+func TestNilReportPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with nil report did not panic")
+		}
+	}()
+	New(0, 0, nil)
+}
+
+func TestValueAndIDAccessors(t *testing.T) {
+	var rec recorder
+	s := New(9, 123, rec.report)
+	if s.ID() != 9 || s.Value() != 123 {
+		t.Fatalf("accessors = %d/%v", s.ID(), s.Value())
+	}
+	s.Set(456)
+	if s.Value() != 456 {
+		t.Fatalf("Value() = %v after Set", s.Value())
+	}
+	if s.Constraint().Kind != filter.None {
+		t.Fatalf("initial constraint = %v, want none", s.Constraint())
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	var rec recorder
+	s := New(2, 5, rec.report)
+	if got := s.String(); got == "" {
+		t.Fatal("String() empty")
+	}
+}
+
+func TestQuickReportIffMembershipChanges(t *testing.T) {
+	// Under an interval filter, a report happens iff the membership status
+	// changed relative to the previously recorded side — the paper's §3.1
+	// crossing rule.
+	f := func(lo, hi float64, vals []float64) bool {
+		if lo != lo || hi != hi {
+			return true
+		}
+		var rec recorder
+		s := New(0, 0, rec.report)
+		cons := filter.NewInterval(lo, hi)
+		s.Install(cons, cons.Contains(0))
+		prevInside := cons.Contains(s.Value())
+		for _, v := range vals {
+			if v != v {
+				continue
+			}
+			reported := s.Set(v)
+			nowInside := cons.Contains(v)
+			if reported != (nowInside != prevInside) {
+				return false
+			}
+			prevInside = nowInside
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+// Package workload generates the stream update sequences driving the
+// experiments: the paper's synthetic random-walk model (§6.2) and a
+// TCP-trace-like model substituting for the LBL Internet Traffic Archive
+// traces of §6.1 (see DESIGN.md §3 for the substitution rationale).
+//
+// A workload exposes the number of streams, their initial values at time t0,
+// and a time-ordered iterator of value-change events. All generators are
+// fully deterministic for a given seed.
+package workload
+
+import "container/heap"
+
+// Event is one stream value change at a simulation time strictly after t0.
+type Event struct {
+	Time   float64
+	Stream int
+	Value  float64
+}
+
+// Iterator yields events in non-decreasing time order.
+type Iterator interface {
+	// Next returns the next event; ok is false when the workload ends.
+	Next() (ev Event, ok bool)
+}
+
+// Workload describes a reproducible stream update sequence.
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// N returns the number of streams.
+	N() int
+	// Initial returns the true stream values at time t0. The slice is owned
+	// by the caller.
+	Initial() []float64
+	// Events returns a fresh iterator over the update sequence. Each call
+	// restarts the same deterministic sequence.
+	Events() Iterator
+}
+
+// perStream is a lazily merged iterator over independent per-stream event
+// generators, used by the random-walk model: each stream proposes its next
+// event and a binary heap picks the globally earliest.
+type perStream struct {
+	h mergeHeap
+}
+
+// streamGen produces the next event for one stream; ok=false retires it.
+type streamGen func() (Event, bool)
+
+func newPerStream(gens []streamGen) *perStream {
+	ps := &perStream{}
+	for i, g := range gens {
+		if ev, ok := g(); ok {
+			ps.h = append(ps.h, mergeItem{ev: ev, gen: g, seq: i})
+		}
+	}
+	heap.Init(&ps.h)
+	return ps
+}
+
+// Next implements Iterator.
+func (ps *perStream) Next() (Event, bool) {
+	if ps.h.Len() == 0 {
+		return Event{}, false
+	}
+	item := ps.h[0]
+	ev := item.ev
+	if nxt, ok := item.gen(); ok {
+		ps.h[0].ev = nxt
+		heap.Fix(&ps.h, 0)
+	} else {
+		heap.Pop(&ps.h)
+	}
+	return ev, true
+}
+
+type mergeItem struct {
+	ev  Event
+	gen streamGen
+	seq int
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].ev.Time != h[j].ev.Time {
+		return h[i].ev.Time < h[j].ev.Time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
