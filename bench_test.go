@@ -3,6 +3,7 @@ package adaptivefilters_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"adaptivefilters/internal/core"
@@ -24,7 +25,14 @@ const benchScale = 0.05
 // changes.
 func benchFigure(b *testing.B, run func(experiment.Options) *metrics.Table, cols []string) {
 	b.Helper()
-	opts := experiment.Options{Scale: benchScale, Seed: 1}
+	benchFigureWorkers(b, run, cols, 0)
+}
+
+// benchFigureWorkers is benchFigure with an explicit cell-engine pool size
+// (0 = sequential).
+func benchFigureWorkers(b *testing.B, run func(experiment.Options) *metrics.Table, cols []string, workers int) {
+	b.Helper()
+	opts := experiment.Options{Scale: benchScale, Seed: 1, Workers: workers}
 	var total uint64
 	for i := 0; i < b.N; i++ {
 		tbl := run(opts)
@@ -83,6 +91,33 @@ func BenchmarkFigure15(b *testing.B) {
 	benchFigure(b, experiment.Figure15, []string{"k=20", "k=60", "k=100"})
 }
 
+// BenchmarkFigureEngine compares the sequential and the parallel cell-engine
+// paths regenerating the same figures: identical tables (the engine derives
+// one seed per cell from the grid coordinates), wall-clock divided by the
+// worker pool. Figure 13 (30 cells) and Figure 12 (36 cells) are the most
+// cell-rich grids.
+func BenchmarkFigureEngine(b *testing.B) {
+	figs := []struct {
+		name string
+		run  func(experiment.Options) *metrics.Table
+		cols []string
+	}{
+		{"Figure12", experiment.Figure12, []string{"0.0", "0.5"}},
+		{"Figure13", experiment.Figure13, []string{"σ=20", "σ=100"}},
+	}
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, f := range figs {
+		for _, workers := range counts {
+			b.Run(fmt.Sprintf("%s/workers=%d", f.name, workers), func(b *testing.B) {
+				benchFigureWorkers(b, f.run, f.cols, workers)
+			})
+		}
+	}
+}
+
 // --- ablation benches (design choices documented in DESIGN.md) --------------
 
 func synWorkload(b *testing.B, n, events int, sigma float64) workload.Workload {
@@ -139,7 +174,7 @@ func BenchmarkAblationStrictVsFaithful(b *testing.B) {
 			reportMsgs(b, func() uint64 {
 				res := experiment.Run(experiment.Config{
 					Workload: w,
-					NewProtocol: func(c *server.Cluster) server.Protocol {
+					NewProtocol: func(c *server.Cluster, _ int64) server.Protocol {
 						return core.NewFTNRP(c, rng, core.FTNRPConfig{
 							Tol: tol, Selection: core.SelectBoundaryNearest,
 							Faithful: faithful,
@@ -164,7 +199,7 @@ func BenchmarkAblationReinit(b *testing.B) {
 			reportMsgs(b, func() uint64 {
 				res := experiment.Run(experiment.Config{
 					Workload: w,
-					NewProtocol: func(c *server.Cluster) server.Protocol {
+					NewProtocol: func(c *server.Cluster, _ int64) server.Protocol {
 						return core.NewFTNRP(c, rng, core.FTNRPConfig{
 							Tol: tol, Selection: core.SelectBoundaryNearest,
 							Reinit: policy,
@@ -188,7 +223,7 @@ func BenchmarkAblationRhoSplit(b *testing.B) {
 			reportMsgs(b, func() uint64 {
 				res := experiment.Run(experiment.Config{
 					Workload: w,
-					NewProtocol: func(c *server.Cluster) server.Protocol {
+					NewProtocol: func(c *server.Cluster, _ int64) server.Protocol {
 						cfg := core.DefaultFTRPConfig(tol)
 						cfg.Lambda = lambda
 						return core.NewFTRP(c, query.At(500), 40, cfg)
@@ -217,7 +252,7 @@ func BenchmarkAblationBroadcast(b *testing.B) {
 				res := experiment.Run(experiment.Config{
 					Workload: w,
 					Cluster:  server.Config{BroadcastInstall: broadcast},
-					NewProtocol: func(c *server.Cluster) server.Protocol {
+					NewProtocol: func(c *server.Cluster, _ int64) server.Protocol {
 						return core.NewRTP(c, query.At(500), tol)
 					},
 				})

@@ -3,18 +3,27 @@
 //
 // Usage:
 //
-//	figures [-figure N] [-scale S] [-seed K] [-check] [-csv]
+//	figures [-figure N] [-scale S] [-seed K] [-check] [-csv] [-parallel] [-workers W]
 //
 // Without -figure it runs the full evaluation suite. -scale multiplies the
 // workload sizes (1.0 = the defaults documented in DESIGN.md; ≈15 matches
 // the paper's full TCP trace volume). -check enables oracle validation of
 // every answer while the simulation runs.
+//
+// -parallel fans each figure's independent cells out over a
+// runtime.GOMAXPROCS worker pool; -workers W picks an explicit pool size.
+// Every cell derives its own seed from -seed and its grid coordinates, so
+// the tables are byte-identical to a sequential run. Ctrl-C cancels the
+// regeneration between cells.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"adaptivefilters/internal/experiment"
@@ -22,16 +31,27 @@ import (
 
 func main() {
 	var (
-		figure = flag.Int("figure", 0, "paper figure number to run (9..15); 0 = all")
-		scale  = flag.Float64("scale", 1.0, "workload size multiplier")
-		seed   = flag.Int64("seed", 1, "determinism seed")
-		check  = flag.Bool("check", false, "validate answers against the ground-truth oracle")
-		every  = flag.Int("check-every", 25, "oracle check sampling period (with -check)")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		figure   = flag.Int("figure", 0, "paper figure number to run (9..15); 0 = all")
+		scale    = flag.Float64("scale", 1.0, "workload size multiplier")
+		seed     = flag.Int64("seed", 1, "determinism seed")
+		check    = flag.Bool("check", false, "validate answers against the ground-truth oracle")
+		every    = flag.Int("check-every", 25, "oracle check sampling period (with -check)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		parallel = flag.Bool("parallel", false, "run each figure's cells on a GOMAXPROCS worker pool")
+		workers  = flag.Int("workers", 0, "explicit worker-pool size (implies -parallel; 0 = sequential)")
 	)
 	flag.Parse()
 
-	opts := experiment.Options{Scale: *scale, Seed: *seed, Check: *check, CheckEvery: *every}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := experiment.Options{
+		Scale: *scale, Seed: *seed, Check: *check, CheckEvery: *every,
+		Workers: *workers, Ctx: ctx,
+	}
+	if *parallel && *workers == 0 {
+		opts.Workers = -1 // resolve to runtime.GOMAXPROCS(0)
+	}
 
 	var figs []experiment.Figure
 	if *figure == 0 {
@@ -48,6 +68,10 @@ func main() {
 	for i, f := range figs {
 		start := time.Now()
 		table := f.Run(opts)
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "figures: cancelled")
+			os.Exit(1)
+		}
 		if *csv {
 			if err := table.CSV(os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, "figures:", err)

@@ -96,56 +96,56 @@ func main() {
 	}
 
 	var spec *experiment.CheckSpec
-	cfg := experiment.Config{Workload: w}
+	cfg := experiment.Config{Workload: w, Seed: *seed}
 	switch *proto {
 	case "no-filter":
-		cfg.NewProtocol = func(c *server.Cluster) server.Protocol {
+		cfg.NewProtocol = func(c *server.Cluster, _ int64) server.Protocol {
 			return core.NewNoFilterRange(c, rng)
 		}
 		if *check {
 			spec = experiment.CheckFractionRange(rng, core.FractionTolerance{}, *every)
 		}
 	case "zt-nrp":
-		cfg.NewProtocol = func(c *server.Cluster) server.Protocol {
+		cfg.NewProtocol = func(c *server.Cluster, _ int64) server.Protocol {
 			return core.NewZTNRP(c, rng)
 		}
 		if *check {
 			spec = experiment.CheckFractionRange(rng, core.FractionTolerance{}, *every)
 		}
 	case "ft-nrp":
-		cfg.NewProtocol = func(c *server.Cluster) server.Protocol {
-			return core.NewFTNRP(c, rng, core.FTNRPConfig{Tol: tol, Selection: selection, Seed: *seed})
+		cfg.NewProtocol = func(c *server.Cluster, seed int64) server.Protocol {
+			return core.NewFTNRP(c, rng, core.FTNRPConfig{Tol: tol, Selection: selection, Seed: seed})
 		}
 		if *check {
 			spec = experiment.CheckFractionRange(rng, tol, *every)
 		}
 	case "rtp":
 		rt := core.RankTolerance{K: *k, R: *r}
-		cfg.NewProtocol = func(c *server.Cluster) server.Protocol {
+		cfg.NewProtocol = func(c *server.Cluster, _ int64) server.Protocol {
 			return core.NewRTP(c, center, rt)
 		}
 		if *check {
 			spec = experiment.CheckRank(center, rt, *every)
 		}
 	case "zt-rp":
-		cfg.NewProtocol = func(c *server.Cluster) server.Protocol {
+		cfg.NewProtocol = func(c *server.Cluster, _ int64) server.Protocol {
 			return core.NewZTRP(c, center, *k)
 		}
 		if *check {
 			spec = experiment.CheckRank(center, core.RankTolerance{K: *k}, *every)
 		}
 	case "ft-rp":
-		cfg.NewProtocol = func(c *server.Cluster) server.Protocol {
+		cfg.NewProtocol = func(c *server.Cluster, seed int64) server.Protocol {
 			fc := core.DefaultFTRPConfig(tol)
 			fc.Selection = selection
-			fc.Seed = *seed
+			fc.Seed = seed
 			return core.NewFTRP(c, center, *k, fc)
 		}
 		if *check {
 			spec = experiment.CheckFractionKNN(query.KNN{Q: center, K: *k}, tol, *every)
 		}
 	case "vb-knn":
-		cfg.NewProtocol = func(c *server.Cluster) server.Protocol {
+		cfg.NewProtocol = func(c *server.Cluster, _ int64) server.Protocol {
 			return core.NewVBKNN(c, query.KNN{Q: center, K: *k}, *width)
 		}
 		if *check {

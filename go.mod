@@ -1,0 +1,3 @@
+module adaptivefilters
+
+go 1.24

@@ -7,6 +7,7 @@ import (
 	"adaptivefilters/internal/filter"
 	"adaptivefilters/internal/query"
 	"adaptivefilters/internal/server"
+	"adaptivefilters/internal/sim"
 	"adaptivefilters/internal/stream"
 )
 
@@ -82,7 +83,7 @@ func NewFTNRP(c *server.Cluster, rng query.Range, cfg FTNRPConfig) *FTNRP {
 	}
 	return &FTNRP{
 		c: c, rng: rng, cfg: cfg,
-		sel: rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D)),
+		sel: sim.NewRNG(cfg.Seed).Split(ftnrpSelStream).Rand,
 		ans: newIntSet(), fp: newIntSet(), fn: newIntSet(),
 	}
 }

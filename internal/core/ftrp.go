@@ -8,6 +8,7 @@ import (
 	"adaptivefilters/internal/filter"
 	"adaptivefilters/internal/query"
 	"adaptivefilters/internal/server"
+	"adaptivefilters/internal/sim"
 	"adaptivefilters/internal/stream"
 )
 
@@ -77,7 +78,7 @@ func NewFTRP(c *server.Cluster, q query.Center, k int, cfg FTRPConfig) *FTRP {
 	}
 	p := &FTRP{
 		c: c, q: q, k: k, cfg: cfg,
-		sel: rand.New(rand.NewSource(cfg.Seed ^ 0x2545F4914F6CDD1D)),
+		sel: sim.NewRNG(cfg.Seed).Split(ftrpSelStream).Rand,
 		ans: newIntSet(), fp: newIntSet(), fn: newIntSet(),
 	}
 	p.rhoPlus, p.rhoMinus = cfg.Tol.DeriveRho(cfg.Lambda)

@@ -5,6 +5,14 @@ import (
 	"sort"
 )
 
+// Labels for sim.RNG.Split deriving each protocol's selection stream from
+// its config seed; distinct labels keep the two protocols' draws
+// uncorrelated even when they share a seed.
+const (
+	ftnrpSelStream int64 = 0x5DEE
+	ftrpSelStream  int64 = 0x2545
+)
+
 // Selection chooses which streams receive the silent false-positive /
 // false-negative filters during the fraction-based initialization phase.
 // The paper compares two heuristics (§6.2, Figure 14).

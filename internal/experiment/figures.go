@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -18,16 +19,24 @@ type Options struct {
 	// sizes documented in DESIGN.md; the paper's full TCP trace volume
 	// (606,497 connections) corresponds to Scale ≈ 15 for the TCP figures.
 	Scale float64
-	// Seed is the base determinism seed.
+	// Seed is the base determinism seed. Each cell of a figure derives its
+	// own independent seed from it (see Cell.Seed), so tables are
+	// byte-identical for every Workers setting.
 	Seed int64
 	// Check enables oracle validation during runs (slower; the per-figure
 	// tests exercise it at small scale).
 	Check bool
 	// CheckEvery samples oracle checks (default 1 when Check is set).
 	CheckEvery int
+	// Workers bounds the cell engine's worker pool: 0 or 1 runs cells
+	// sequentially in index order, n > 1 uses a pool of n goroutines, and
+	// any negative value uses runtime.GOMAXPROCS(0).
+	Workers int
+	// Ctx optionally cancels a regeneration in flight (nil = never).
+	Ctx context.Context
 }
 
-// DefaultOptions returns Scale 1, seed 1.
+// DefaultOptions returns Scale 1, seed 1, sequential execution.
 func DefaultOptions() Options { return Options{Scale: 1, Seed: 1} }
 
 func (o Options) scaled(base int) int {
@@ -119,10 +128,35 @@ func Figure9(o Options) *metrics.Table {
 	rs := []int{0, 1, 2, 3, 5, 8, 12, 16, 20}
 	ks := []int{15, 20, 25, 30}
 
-	base := Run(Config{Workload: w, NewProtocol: func(c *server.Cluster) server.Protocol {
-		return core.NewNoFilterKNN(c, query.TopK(15))
+	cells := make([]Cell, 0, len(rs)*len(ks)+1)
+	// Row -1 holds the shared no-filter baseline, computed once.
+	cells = append(cells, Cell{Figure: 9, Row: -1, Col: 0, Run: func(seed int64) CellOut {
+		res := Run(Config{Workload: w, Seed: seed,
+			NewProtocol: func(c *server.Cluster, _ int64) server.Protocol {
+				return core.NewNoFilterKNN(c, query.TopK(15))
+			}})
+		return CellOut{Value: res}
 	}})
+	for ri, r := range rs {
+		for ci, k := range ks {
+			cells = append(cells, Cell{Figure: 9, Row: ri, Col: ci, Run: func(seed int64) CellOut {
+				var chk *CheckSpec
+				if o.Check {
+					chk = CheckRank(query.Top(), core.RankTolerance{K: k, R: r}, o.every())
+				}
+				res := Run(Config{Workload: w, Check: chk, Seed: seed,
+					NewProtocol: func(c *server.Cluster, _ int64) server.Protocol {
+						return core.NewRTP(c, query.Top(), core.RankTolerance{K: k, R: r})
+					}})
+				return CellOut{Value: res.MaintMessages, Violations: res.Violations}
+			}})
+		}
+	}
+	out := RunCells(o, cells)
 
+	// Comma-ok: on context cancellation unstarted cells hold nil Values and
+	// the table is abandoned by the caller; don't panic assembling it.
+	base, _ := out[0].Value.(Result)
 	cols := []string{"r", "no-filter"}
 	for _, k := range ks {
 		cols = append(cols, fmt.Sprintf("k=%d", k))
@@ -130,20 +164,13 @@ func Figure9(o Options) *metrics.Table {
 	t := metrics.NewTable("Figure 9 — RTP: effect of r (maintenance messages)", cols...)
 	t.AddNote("workload %s, %d events; top-k query (q=+inf)", w.Name(), base.Events)
 	violations := 0
+	idx := 1
 	for _, r := range rs {
 		row := []any{r, base.MaintMessages}
-		for _, k := range ks {
-			k, r := k, r
-			var chk *CheckSpec
-			if o.Check {
-				chk = CheckRank(query.Top(), core.RankTolerance{K: k, R: r}, o.every())
-			}
-			res := Run(Config{Workload: w, Check: chk,
-				NewProtocol: func(c *server.Cluster) server.Protocol {
-					return core.NewRTP(c, query.Top(), core.RankTolerance{K: k, R: r})
-				}})
-			row = append(row, res.MaintMessages)
-			violations += res.Violations
+		for range ks {
+			row = append(row, out[idx].Value)
+			violations += out[idx].Violations
+			idx++
 		}
 		t.AddRow(row...)
 	}
@@ -155,8 +182,29 @@ func Figure9(o Options) *metrics.Table {
 
 // --- Figures 10 and 12 ------------------------------------------------------
 
-func ftnrpGrid(o Options, w workload.Workload, title string) *metrics.Table {
+func ftnrpGrid(o Options, figID int, w workload.Workload, title string) *metrics.Table {
 	rng := query.NewRange(400, 600)
+	cells := make([]Cell, 0, len(epsGrid)*len(epsGrid))
+	for ri, ep := range epsGrid {
+		for ci, em := range epsGrid {
+			tol := core.FractionTolerance{EpsPlus: ep, EpsMinus: em}
+			cells = append(cells, Cell{Figure: figID, Row: ri, Col: ci, Run: func(seed int64) CellOut {
+				var chk *CheckSpec
+				if o.Check {
+					chk = CheckFractionRange(rng, tol, o.every())
+				}
+				res := Run(Config{Workload: w, Check: chk, Seed: seed,
+					NewProtocol: func(c *server.Cluster, seed int64) server.Protocol {
+						return core.NewFTNRP(c, rng, core.FTNRPConfig{
+							Tol: tol, Selection: core.SelectBoundaryNearest, Seed: seed,
+						})
+					}})
+				return CellOut{Value: res.MaintMessages, Violations: res.Violations}
+			}})
+		}
+	}
+	out := RunCells(o, cells)
+
 	cols := []string{"ε⁺ \\ ε⁻"}
 	for _, em := range epsGrid {
 		cols = append(cols, fmt.Sprintf("%.1f", em))
@@ -164,22 +212,13 @@ func ftnrpGrid(o Options, w workload.Workload, title string) *metrics.Table {
 	t := metrics.NewTable(title, cols...)
 	t.AddNote("workload %s; cells are maintenance messages of FT-NRP", w.Name())
 	violations := 0
+	idx := 0
 	for _, ep := range epsGrid {
 		row := []any{fmt.Sprintf("%.1f", ep)}
-		for _, em := range epsGrid {
-			tol := core.FractionTolerance{EpsPlus: ep, EpsMinus: em}
-			var chk *CheckSpec
-			if o.Check {
-				chk = CheckFractionRange(rng, tol, o.every())
-			}
-			res := Run(Config{Workload: w, Check: chk,
-				NewProtocol: func(c *server.Cluster) server.Protocol {
-					return core.NewFTNRP(c, rng, core.FTNRPConfig{
-						Tol: tol, Selection: core.SelectBoundaryNearest, Seed: o.Seed,
-					})
-				}})
-			row = append(row, res.MaintMessages)
-			violations += res.Violations
+		for range epsGrid {
+			row = append(row, out[idx].Value)
+			violations += out[idx].Violations
+			idx++
 		}
 		t.AddRow(row...)
 	}
@@ -192,13 +231,13 @@ func ftnrpGrid(o Options, w workload.Workload, title string) *metrics.Table {
 // Figure10 reproduces the TCP-data FT-NRP tolerance surface.
 func Figure10(o Options) *metrics.Table {
 	w := tcpWorkload(o, 800, o.scaled(40_000))
-	return ftnrpGrid(o, w, "Figure 10 — FT-NRP: effect of ε⁺/ε⁻ (TCP-like)")
+	return ftnrpGrid(o, 10, w, "Figure 10 — FT-NRP: effect of ε⁺/ε⁻ (TCP-like)")
 }
 
 // Figure12 reproduces the synthetic-data FT-NRP tolerance surface.
 func Figure12(o Options) *metrics.Table {
 	w := synWorkload(o, 20, o.scaled(100_000))
-	return ftnrpGrid(o, w, "Figure 12 — FT-NRP: effect of ε⁺/ε⁻ (synthetic)")
+	return ftnrpGrid(o, 12, w, "Figure 12 — FT-NRP: effect of ε⁺/ε⁻ (synthetic)")
 }
 
 // --- Figure 11 --------------------------------------------------------------
@@ -210,27 +249,44 @@ func Figure11(o Options) *metrics.Table {
 	rng := query.NewRange(400, 600)
 	ns := []int{200, 400, 600, 800, 1000, 1200, 1400, 1600, 1800, 2000}
 	eps := []float64{0, 0.2, 0.3, 0.4, 0.5}
+
+	ws := make([]workload.Workload, len(ns))
+	for ri, n := range ns {
+		ws[ri] = tcpWorkload(o, n, o.scaled(50*n))
+	}
+	cells := make([]Cell, 0, len(ns)*len(eps))
+	for ri := range ns {
+		w := ws[ri]
+		for ci, e := range eps {
+			tol := core.FractionTolerance{EpsPlus: e, EpsMinus: e}
+			cells = append(cells, Cell{Figure: 11, Row: ri, Col: ci, Run: func(seed int64) CellOut {
+				res := Run(Config{Workload: w, Seed: seed,
+					NewProtocol: func(c *server.Cluster, seed int64) server.Protocol {
+						if tol.Zero() {
+							return core.NewZTNRP(c, rng)
+						}
+						return core.NewFTNRP(c, rng, core.FTNRPConfig{
+							Tol: tol, Selection: core.SelectBoundaryNearest, Seed: seed,
+						})
+					}})
+				return CellOut{Value: res.MaintMessages}
+			}})
+		}
+	}
+	out := RunCells(o, cells)
+
 	cols := []string{"streams"}
 	for _, e := range eps {
 		cols = append(cols, fmt.Sprintf("ε=%.1f", e))
 	}
 	t := metrics.NewTable("Figure 11 — FT-NRP scalability (maintenance messages)", cols...)
 	t.AddNote("TCP-like workload, 50 connections per subnet on average")
+	idx := 0
 	for _, n := range ns {
-		w := tcpWorkload(o, n, o.scaled(50*n))
 		row := []any{n}
-		for _, e := range eps {
-			tol := core.FractionTolerance{EpsPlus: e, EpsMinus: e}
-			res := Run(Config{Workload: w,
-				NewProtocol: func(c *server.Cluster) server.Protocol {
-					if tol.Zero() {
-						return core.NewZTNRP(c, rng)
-					}
-					return core.NewFTNRP(c, rng, core.FTNRPConfig{
-						Tol: tol, Selection: core.SelectBoundaryNearest, Seed: o.Seed,
-					})
-				}})
-			row = append(row, res.MaintMessages)
+		for range eps {
+			row = append(row, out[idx].Value)
+			idx++
 		}
 		t.AddRow(row...)
 	}
@@ -244,24 +300,41 @@ func Figure11(o Options) *metrics.Table {
 func Figure13(o Options) *metrics.Table {
 	rng := query.NewRange(400, 600)
 	sigmas := []float64{20, 40, 60, 80, 100}
+	events := o.scaled(100_000)
+
+	ws := make([]workload.Workload, len(sigmas))
+	for ci, s := range sigmas {
+		ws[ci] = synWorkload(o, s, events)
+	}
+	cells := make([]Cell, 0, len(epsGrid)*len(sigmas))
+	for ri, e := range epsGrid {
+		tol := core.FractionTolerance{EpsPlus: e, EpsMinus: e}
+		for ci := range sigmas {
+			w := ws[ci]
+			cells = append(cells, Cell{Figure: 13, Row: ri, Col: ci, Run: func(seed int64) CellOut {
+				res := Run(Config{Workload: w, Seed: seed,
+					NewProtocol: func(c *server.Cluster, seed int64) server.Protocol {
+						return core.NewFTNRP(c, rng, core.FTNRPConfig{
+							Tol: tol, Selection: core.SelectBoundaryNearest, Seed: seed,
+						})
+					}})
+				return CellOut{Value: res.MaintMessages}
+			}})
+		}
+	}
+	out := RunCells(o, cells)
+
 	cols := []string{"ε⁺=ε⁻"}
 	for _, s := range sigmas {
 		cols = append(cols, fmt.Sprintf("σ=%.0f", s))
 	}
 	t := metrics.NewTable("Figure 13 — FT-NRP: data fluctuation (synthetic)", cols...)
-	events := o.scaled(100_000)
+	idx := 0
 	for _, e := range epsGrid {
 		row := []any{fmt.Sprintf("%.1f", e)}
-		for _, s := range sigmas {
-			w := synWorkload(o, s, events)
-			tol := core.FractionTolerance{EpsPlus: e, EpsMinus: e}
-			res := Run(Config{Workload: w,
-				NewProtocol: func(c *server.Cluster) server.Protocol {
-					return core.NewFTNRP(c, rng, core.FTNRPConfig{
-						Tol: tol, Selection: core.SelectBoundaryNearest, Seed: o.Seed,
-					})
-				}})
-			row = append(row, res.MaintMessages)
+		for range sigmas {
+			row = append(row, out[idx].Value)
+			idx++
 		}
 		t.AddRow(row...)
 	}
@@ -275,21 +348,34 @@ func Figure13(o Options) *metrics.Table {
 func Figure14(o Options) *metrics.Table {
 	rng := query.NewRange(400, 600)
 	w := synWorkload(o, 20, o.scaled(100_000))
+	sels := []core.Selection{core.SelectRandom, core.SelectBoundaryNearest}
+
+	cells := make([]Cell, 0, len(epsGrid)*len(sels))
+	for ri, e := range epsGrid {
+		tol := core.FractionTolerance{EpsPlus: e, EpsMinus: e}
+		for ci, sel := range sels {
+			cells = append(cells, Cell{Figure: 14, Row: ri, Col: ci, Run: func(seed int64) CellOut {
+				res := Run(Config{Workload: w, Seed: seed,
+					NewProtocol: func(c *server.Cluster, seed int64) server.Protocol {
+						return core.NewFTNRP(c, rng, core.FTNRPConfig{
+							Tol: tol, Selection: sel, Seed: seed,
+						})
+					}})
+				return CellOut{Value: res.MaintMessages}
+			}})
+		}
+	}
+	out := RunCells(o, cells)
+
 	t := metrics.NewTable("Figure 14 — FT-NRP: selection heuristics (synthetic)",
 		"ε⁺=ε⁻", "random", "boundary-nearest")
 	t.AddNote("workload %s", w.Name())
+	idx := 0
 	for _, e := range epsGrid {
-		tol := core.FractionTolerance{EpsPlus: e, EpsMinus: e}
 		row := []any{fmt.Sprintf("%.1f", e)}
-		for _, sel := range []core.Selection{core.SelectRandom, core.SelectBoundaryNearest} {
-			sel := sel
-			res := Run(Config{Workload: w,
-				NewProtocol: func(c *server.Cluster) server.Protocol {
-					return core.NewFTNRP(c, rng, core.FTNRPConfig{
-						Tol: tol, Selection: sel, Seed: o.Seed,
-					})
-				}})
-			row = append(row, res.MaintMessages)
+		for range sels {
+			row = append(row, out[idx].Value)
+			idx++
 		}
 		t.AddRow(row...)
 	}
@@ -302,33 +388,47 @@ func Figure14(o Options) *metrics.Table {
 // FT-RP for growing symmetric tolerance, for several k.
 func Figure15(o Options) *metrics.Table {
 	ks := []int{20, 60, 100}
+	w := synWorkload(o, 20, o.scaled(30_000))
+	q := query.At(500)
+
+	cells := make([]Cell, 0, len(epsGrid)*len(ks))
+	for ri, e := range epsGrid {
+		tol := core.FractionTolerance{EpsPlus: e, EpsMinus: e}
+		for ci, k := range ks {
+			cells = append(cells, Cell{Figure: 15, Row: ri, Col: ci, Run: func(seed int64) CellOut {
+				var chk *CheckSpec
+				if o.Check && e > 0 {
+					chk = CheckFractionKNN(query.KNN{Q: q, K: k}, tol, o.every())
+				}
+				res := Run(Config{Workload: w, Check: chk, Seed: seed,
+					NewProtocol: func(c *server.Cluster, seed int64) server.Protocol {
+						if tol.Zero() {
+							return core.NewZTRP(c, q, k)
+						}
+						cfg := core.DefaultFTRPConfig(tol)
+						cfg.Seed = seed
+						return core.NewFTRP(c, q, k, cfg)
+					}})
+				return CellOut{Value: res.MaintMessages, Violations: res.Violations}
+			}})
+		}
+	}
+	out := RunCells(o, cells)
+
 	cols := []string{"ε⁺=ε⁻"}
 	for _, k := range ks {
 		cols = append(cols, fmt.Sprintf("k=%d", k))
 	}
 	t := metrics.NewTable("Figure 15 — ZT-RP/FT-RP: effect of ε⁺/ε⁻ (maintenance messages, log-scale in paper)", cols...)
-	w := synWorkload(o, 20, o.scaled(30_000))
 	t.AddNote("workload %s; k-NN query point q=500; ε=0 row is ZT-RP", w.Name())
-	q := query.At(500)
 	violations := 0
+	idx := 0
 	for _, e := range epsGrid {
-		tol := core.FractionTolerance{EpsPlus: e, EpsMinus: e}
 		row := []any{fmt.Sprintf("%.1f", e)}
-		for _, k := range ks {
-			k := k
-			var chk *CheckSpec
-			if o.Check && e > 0 {
-				chk = CheckFractionKNN(query.KNN{Q: q, K: k}, tol, o.every())
-			}
-			res := Run(Config{Workload: w, Check: chk,
-				NewProtocol: func(c *server.Cluster) server.Protocol {
-					if tol.Zero() {
-						return core.NewZTRP(c, q, k)
-					}
-					return core.NewFTRP(c, q, k, core.DefaultFTRPConfig(tol))
-				}})
-			row = append(row, res.MaintMessages)
-			violations += res.Violations
+		for range ks {
+			row = append(row, out[idx].Value)
+			violations += out[idx].Violations
+			idx++
 		}
 		t.AddRow(row...)
 	}

@@ -11,6 +11,13 @@ import (
 	"adaptivefilters/internal/workload"
 )
 
+// rankQuality is the per-row payload of the Figure 1 cells.
+type rankQuality struct {
+	msgs    uint64
+	worst   int
+	violPct float64
+}
+
 // Figure1 quantifies the paper's Figure 1 motivation: value-based tolerance
 // is the wrong knob for an entity-based query. A continuous top-k query is
 // answered (a) with Olston-style value-band filters of width ε_v — the
@@ -31,41 +38,60 @@ func Figure1(o Options) *metrics.Table {
 		r = 2
 	)
 	tol := core.RankTolerance{K: k, R: r}
+	widths := []float64{0, 100, 1_000, 10_000, 100_000}
+	slacks := []int{r, 5}
+
+	cells := make([]Cell, 0, len(widths)+len(slacks))
+	for ri, width := range widths {
+		cells = append(cells, Cell{Figure: 1, Row: ri, Col: 0, Run: func(seed int64) CellOut {
+			q := runRankQuality(w, tol, func(c *server.Cluster, _ int64) server.Protocol {
+				return core.NewVBKNN(c, query.TopK(k), width)
+			}, seed)
+			return CellOut{Value: q}
+		}})
+	}
+	for ri, rr := range slacks {
+		rtol := core.RankTolerance{K: k, R: rr}
+		cells = append(cells, Cell{Figure: 1, Row: len(widths) + ri, Col: 0, Run: func(seed int64) CellOut {
+			q := runRankQuality(w, rtol, func(c *server.Cluster, _ int64) server.Protocol {
+				return core.NewRTP(c, query.Top(), rtol)
+			}, seed)
+			return CellOut{Value: q}
+		}})
+	}
+	out := RunCells(o, cells)
+
 	t := metrics.NewTable(
 		"Figure 1 (motivation) — value-based vs rank-based tolerance (top-k, TCP-like)",
 		"method", "maint msgs", "worst rank", "rank>k+r (% of checks)")
 	t.AddNote("k=%d, rank tolerance ε=k+r=%d; workload %s", k, tol.Eps(), w.Name())
-
-	for _, width := range []float64{0, 100, 1_000, 10_000, 100_000} {
-		width := width
-		msgs, worst, violPct := runRankQuality(w, tol, func(c *server.Cluster) server.Protocol {
-			return core.NewVBKNN(c, query.TopK(k), width)
-		})
-		t.AddRow(fmt.Sprintf("value ε_v=%g", width), msgs, worst, fmt.Sprintf("%.1f", violPct))
+	// Comma-ok: on context cancellation unstarted cells hold nil Values and
+	// the table is abandoned by the caller; don't panic assembling it.
+	for i, width := range widths {
+		q, _ := out[i].Value.(rankQuality)
+		t.AddRow(fmt.Sprintf("value ε_v=%g", width), q.msgs, q.worst, fmt.Sprintf("%.1f", q.violPct))
 	}
-	for _, rr := range []int{r, 5} {
-		rr := rr
-		rtol := core.RankTolerance{K: k, R: rr}
-		msgs, worst, violPct := runRankQuality(w, rtol, func(c *server.Cluster) server.Protocol {
-			return core.NewRTP(c, query.Top(), rtol)
-		})
-		t.AddRow(fmt.Sprintf("rank r=%d (RTP)", rr), msgs, worst, fmt.Sprintf("%.1f", violPct))
+	for i, rr := range slacks {
+		q, _ := out[len(widths)+i].Value.(rankQuality)
+		t.AddRow(fmt.Sprintf("rank r=%d (RTP)", rr), q.msgs, q.worst, fmt.Sprintf("%.1f", q.violPct))
 	}
 	return t
 }
 
 // runRankQuality drives one protocol over the workload, sampling the true
-// rank quality of its answers every few events.
+// rank quality of its answers every few events. The seed is handed to the
+// protocol constructor so randomized protocols stay cell-reproducible.
 func runRankQuality(w workload.Workload, tol core.RankTolerance,
-	build func(c *server.Cluster) server.Protocol) (msgs uint64, worstRank int, violPct float64) {
+	build func(c *server.Cluster, seed int64) server.Protocol, seed int64) rankQuality {
 
 	initial := w.Initial()
 	cluster := server.NewCluster(initial)
-	proto := build(cluster)
+	proto := build(cluster, seed)
 	cluster.SetProtocol(proto)
 	chk := oracle.New(initial)
 	cluster.Initialize()
 
+	var q rankQuality
 	const sampleEvery = 10
 	checks, violations := 0, 0
 	events := 0
@@ -88,8 +114,8 @@ func runRankQuality(w workload.Workload, tol core.RankTolerance,
 			if !ok {
 				continue
 			}
-			if rank > worstRank {
-				worstRank = rank
+			if rank > q.worst {
+				q.worst = rank
 			}
 			if rank > tol.Eps() {
 				bad = true
@@ -100,7 +126,8 @@ func runRankQuality(w workload.Workload, tol core.RankTolerance,
 		}
 	}
 	if checks > 0 {
-		violPct = 100 * float64(violations) / float64(checks)
+		q.violPct = 100 * float64(violations) / float64(checks)
 	}
-	return cluster.Counter().Maintenance(), worstRank, violPct
+	q.msgs = cluster.Counter().Maintenance()
+	return q
 }

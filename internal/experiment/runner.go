@@ -61,8 +61,13 @@ func CheckFractionKNN(q query.KNN, tol core.FractionTolerance, every int) *Check
 type Config struct {
 	// Workload drives the stream values.
 	Workload workload.Workload
-	// NewProtocol builds the protocol under test over the cluster.
-	NewProtocol func(c *server.Cluster) server.Protocol
+	// NewProtocol builds the protocol under test over the cluster. The seed
+	// argument is Config.Seed — in figure grids, the per-cell seed derived by
+	// the engine — and must be the constructor's only randomness source so
+	// runs stay reproducible under any cell scheduling.
+	NewProtocol func(c *server.Cluster, seed int64) server.Protocol
+	// Seed is handed to NewProtocol for protocol-internal randomness.
+	Seed int64
 	// Cluster tunes message accounting.
 	Cluster server.Config
 	// Check optionally validates answers against ground truth.
@@ -97,7 +102,7 @@ func Run(cfg Config) Result {
 	}
 	initial := cfg.Workload.Initial()
 	cluster := server.NewClusterWith(initial, cfg.Cluster)
-	proto := cfg.NewProtocol(cluster)
+	proto := cfg.NewProtocol(cluster, cfg.Seed)
 	cluster.SetProtocol(proto)
 
 	var chk *oracle.Checker

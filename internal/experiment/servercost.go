@@ -15,35 +15,46 @@ import (
 func ServerCost(o Options) *metrics.Table {
 	w := synWorkload(o, 20, o.scaled(100_000))
 	rng := query.NewRange(400, 600)
-	t := metrics.NewTable("Supplemental — server computation (synthetic, range [400,600])",
-		"protocol", "maint msgs", "server ops")
-	t.AddNote("workload %s; server ops = stream records touched (incl. one full t0 scan)", w.Name())
 
 	rows := []struct {
 		name  string
-		build func(c *server.Cluster) server.Protocol
+		build func(c *server.Cluster, seed int64) server.Protocol
 	}{
-		{"no-filter", func(c *server.Cluster) server.Protocol {
+		{"no-filter", func(c *server.Cluster, _ int64) server.Protocol {
 			return core.NewNoFilterRange(c, rng)
 		}},
-		{"zt-nrp", func(c *server.Cluster) server.Protocol {
+		{"zt-nrp", func(c *server.Cluster, _ int64) server.Protocol {
 			return core.NewZTNRP(c, rng)
 		}},
-		{"ft-nrp ε=0.2", func(c *server.Cluster) server.Protocol {
+		{"ft-nrp ε=0.2", func(c *server.Cluster, seed int64) server.Protocol {
 			return core.NewFTNRP(c, rng, core.FTNRPConfig{
 				Tol:       core.FractionTolerance{EpsPlus: 0.2, EpsMinus: 0.2},
-				Selection: core.SelectBoundaryNearest, Seed: o.Seed,
+				Selection: core.SelectBoundaryNearest, Seed: seed,
 			})
 		}},
-		{"ft-nrp ε=0.5", func(c *server.Cluster) server.Protocol {
+		{"ft-nrp ε=0.5", func(c *server.Cluster, seed int64) server.Protocol {
 			return core.NewFTNRP(c, rng, core.FTNRPConfig{
 				Tol:       core.FractionTolerance{EpsPlus: 0.5, EpsMinus: 0.5},
-				Selection: core.SelectBoundaryNearest, Seed: o.Seed,
+				Selection: core.SelectBoundaryNearest, Seed: seed,
 			})
 		}},
 	}
-	for _, row := range rows {
-		res := Run(Config{Workload: w, NewProtocol: row.build})
+	cells := make([]Cell, len(rows))
+	for ri, row := range rows {
+		cells[ri] = Cell{Figure: 16, Row: ri, Col: 0, Run: func(seed int64) CellOut {
+			res := Run(Config{Workload: w, Seed: seed, NewProtocol: row.build})
+			return CellOut{Value: res}
+		}}
+	}
+	out := RunCells(o, cells)
+
+	t := metrics.NewTable("Supplemental — server computation (synthetic, range [400,600])",
+		"protocol", "maint msgs", "server ops")
+	t.AddNote("workload %s; server ops = stream records touched (incl. one full t0 scan)", w.Name())
+	// Comma-ok: on context cancellation unstarted cells hold nil Values and
+	// the table is abandoned by the caller; don't panic assembling it.
+	for ri, row := range rows {
+		res, _ := out[ri].Value.(Result)
 		t.AddRow(row.name, res.MaintMessages, res.ServerOps)
 	}
 	return t

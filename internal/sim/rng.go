@@ -21,8 +21,7 @@ func NewRNG(seed int64) *RNG {
 // with different ids produce uncorrelated streams; the parent is not
 // perturbed beyond a single Int63 draw per call.
 func (r *RNG) Split(id int64) *RNG {
-	mix := splitmix64(uint64(r.Int63()) ^ (uint64(id)*0x9E3779B97F4A7C15 + 0x632BE59BD9B4E019))
-	return NewRNG(int64(mix))
+	return NewRNG(int64(mix64(uint64(r.Int63()), id)))
 }
 
 // Exp draws an exponentially distributed value with the given mean.
@@ -46,6 +45,27 @@ func (r *RNG) Pareto(xm, alpha float64) float64 {
 // LogNormal draws exp(Normal(mu, sigma)).
 func (r *RNG) LogNormal(mu, sigma float64) float64 {
 	return math.Exp(r.Normal(mu, sigma))
+}
+
+// DeriveSeed deterministically derives an independent seed from a base seed
+// and a coordinate path (for the figure harness: figure ID, row, column).
+// It chains splitmix64 over the parts, so changing any coordinate — or its
+// position in the path — yields an uncorrelated seed, while the same path
+// always reproduces the same seed. This is what lets experiment cells run
+// in any scheduling order (or on separate shards) and still regenerate
+// byte-identical tables.
+func DeriveSeed(base int64, parts ...int64) int64 {
+	x := splitmix64(uint64(base))
+	for _, p := range parts {
+		x = mix64(x, p)
+	}
+	return int64(x)
+}
+
+// mix64 folds one labelled coordinate into x, shared by Split and
+// DeriveSeed so the two derivation schemes cannot drift apart.
+func mix64(x uint64, p int64) uint64 {
+	return splitmix64(x ^ (uint64(p)*0x9E3779B97F4A7C15 + 0x632BE59BD9B4E019))
 }
 
 // splitmix64 is the standard 64-bit mixer used to derive child seeds.

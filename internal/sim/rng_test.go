@@ -37,6 +37,49 @@ func TestRNGSplitDeterministic(t *testing.T) {
 	}
 }
 
+func TestDeriveSeedStable(t *testing.T) {
+	if DeriveSeed(1, 9, 2, 3) != DeriveSeed(1, 9, 2, 3) {
+		t.Fatal("DeriveSeed is not a pure function of its inputs")
+	}
+}
+
+func TestDeriveSeedSensitivity(t *testing.T) {
+	base := DeriveSeed(1, 9, 2, 3)
+	variants := [][]int64{
+		{9, 2, 4},    // last coordinate
+		{9, 3, 3},    // middle coordinate
+		{10, 2, 3},   // first coordinate
+		{9, 3, 2},    // swapped path
+		{2, 9, 3},    // reordered path
+		{9, 2},       // shorter path
+		{9, 2, 3, 0}, // longer path
+	}
+	for _, v := range variants {
+		if DeriveSeed(1, v...) == base {
+			t.Fatalf("DeriveSeed(1, %v) collides with DeriveSeed(1, 9, 2, 3)", v)
+		}
+	}
+	if DeriveSeed(2, 9, 2, 3) == base {
+		t.Fatal("DeriveSeed ignores the base seed")
+	}
+}
+
+func TestDeriveSeedStreamsUncorrelated(t *testing.T) {
+	// Adjacent cells must yield RNGs whose streams do not coincide — the
+	// property the figure engine relies on for independent cell randomness.
+	a := NewRNG(DeriveSeed(1, 14, 0, 0))
+	b := NewRNG(DeriveSeed(1, 14, 0, 1))
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("adjacent cell seeds coincide on %d of 1000 draws", same)
+	}
+}
+
 func TestExpMean(t *testing.T) {
 	rng := NewRNG(1)
 	const n = 200000
