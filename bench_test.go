@@ -174,7 +174,7 @@ func BenchmarkAblationStrictVsFaithful(b *testing.B) {
 			reportMsgs(b, func() uint64 {
 				res := experiment.Run(experiment.Config{
 					Workload: w,
-					NewProtocol: func(c *server.Cluster, _ int64) server.Protocol {
+					NewProtocol: func(c server.Host, _ int64) server.Protocol {
 						return core.NewFTNRP(c, rng, core.FTNRPConfig{
 							Tol: tol, Selection: core.SelectBoundaryNearest,
 							Faithful: faithful,
@@ -199,7 +199,7 @@ func BenchmarkAblationReinit(b *testing.B) {
 			reportMsgs(b, func() uint64 {
 				res := experiment.Run(experiment.Config{
 					Workload: w,
-					NewProtocol: func(c *server.Cluster, _ int64) server.Protocol {
+					NewProtocol: func(c server.Host, _ int64) server.Protocol {
 						return core.NewFTNRP(c, rng, core.FTNRPConfig{
 							Tol: tol, Selection: core.SelectBoundaryNearest,
 							Reinit: policy,
@@ -223,7 +223,7 @@ func BenchmarkAblationRhoSplit(b *testing.B) {
 			reportMsgs(b, func() uint64 {
 				res := experiment.Run(experiment.Config{
 					Workload: w,
-					NewProtocol: func(c *server.Cluster, _ int64) server.Protocol {
+					NewProtocol: func(c server.Host, _ int64) server.Protocol {
 						cfg := core.DefaultFTRPConfig(tol)
 						cfg.Lambda = lambda
 						return core.NewFTRP(c, query.At(500), 40, cfg)
@@ -252,7 +252,7 @@ func BenchmarkAblationBroadcast(b *testing.B) {
 				res := experiment.Run(experiment.Config{
 					Workload: w,
 					Cluster:  server.Config{BroadcastInstall: broadcast},
-					NewProtocol: func(c *server.Cluster, _ int64) server.Protocol {
+					NewProtocol: func(c server.Host, _ int64) server.Protocol {
 						return core.NewRTP(c, query.At(500), tol)
 					},
 				})

@@ -1,27 +1,40 @@
 // Command streamsim runs one configured simulation: a workload, a query, a
 // protocol and a tolerance, printing the message accounting and (optionally)
-// oracle verification.
+// oracle verification. With -tenants it instead hosts many independent
+// instances of that configuration on a sharded runtime.Node and reports
+// per-tenant and node-level accounting plus ingest throughput.
 //
 // Examples:
 //
 //	streamsim -workload synthetic -protocol ft-nrp -eps 0.2
 //	streamsim -workload tcp -protocol rtp -k 20 -r 5 -check
 //	streamsim -workload synthetic -protocol ft-rp -k 50 -eps 0.3 -q 500
+//	streamsim -tenants 16 -shards 4 -n 200 -events 5000 -protocol ft-nrp
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
+	"adaptivefilters/internal/comm"
 	"adaptivefilters/internal/core"
 	"adaptivefilters/internal/experiment"
 	"adaptivefilters/internal/query"
+	"adaptivefilters/internal/runtime"
 	"adaptivefilters/internal/server"
+	"adaptivefilters/internal/sim"
 	"adaptivefilters/internal/workload"
 )
+
+// tenantWorkloadStream labels per-tenant workload seed derivation in
+// -tenants mode, keeping workload randomness independent from the protocol
+// seeds runtime.Node derives itself.
+const tenantWorkloadStream int64 = 0x7EA1
 
 func main() {
 	var (
@@ -46,35 +59,34 @@ func main() {
 		check   = flag.Bool("check", false, "verify answers against the ground-truth oracle")
 		every   = flag.Int("check-every", 10, "oracle sampling period")
 		verbose = flag.Bool("v", false, "print the final answer set")
+		tenants = flag.Int("tenants", 1, "host this many independent (workload × query) tenants on one node")
+		shards  = flag.Int("shards", 1, "event-loop goroutines for -tenants mode (-1 = GOMAXPROCS)")
+		batch   = flag.Int("batch", 512, "ingest batch size for -tenants mode")
 	)
 	flag.Parse()
 
-	var w workload.Workload
-	var err error
-	switch *wl {
-	case "synthetic":
-		cfg := workload.SyntheticConfig{
-			N: *n, Lo: 0, Hi: 1000, MeanGap: 20, Sigma: *sigma,
-			Horizon: float64(*events) * 20 / float64(*n), Seed: *seed,
+	mkWorkload := func(wseed int64) (workload.Workload, error) {
+		switch *wl {
+		case "synthetic":
+			cfg := workload.SyntheticConfig{
+				N: *n, Lo: 0, Hi: 1000, MeanGap: 20, Sigma: *sigma,
+				Horizon: float64(*events) * 20 / float64(*n), Seed: wseed,
+			}
+			return workload.NewSynthetic(cfg)
+		case "tcp":
+			cfg := workload.DefaultTCPLike(*events, wseed)
+			cfg.N = *n
+			return workload.NewTCPLike(cfg)
+		case "replay":
+			f, err := os.Open(*trace)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return workload.ParseCSV(*trace, f, 0)
+		default:
+			return nil, fmt.Errorf("unknown workload %q", *wl)
 		}
-		w, err = workload.NewSynthetic(cfg)
-	case "tcp":
-		cfg := workload.DefaultTCPLike(*events, *seed)
-		cfg.N = *n
-		w, err = workload.NewTCPLike(cfg)
-	case "replay":
-		var f *os.File
-		f, err = os.Open(*trace)
-		if err == nil {
-			w, err = workload.ParseCSV(*trace, f, 0)
-			f.Close()
-		}
-	default:
-		err = fmt.Errorf("unknown workload %q", *wl)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "streamsim:", err)
-		os.Exit(2)
 	}
 
 	ep, em := *eps, *eps
@@ -96,24 +108,24 @@ func main() {
 	}
 
 	var spec *experiment.CheckSpec
-	cfg := experiment.Config{Workload: w, Seed: *seed}
+	var build func(c server.Host, seed int64) server.Protocol
 	switch *proto {
 	case "no-filter":
-		cfg.NewProtocol = func(c *server.Cluster, _ int64) server.Protocol {
+		build = func(c server.Host, _ int64) server.Protocol {
 			return core.NewNoFilterRange(c, rng)
 		}
 		if *check {
 			spec = experiment.CheckFractionRange(rng, core.FractionTolerance{}, *every)
 		}
 	case "zt-nrp":
-		cfg.NewProtocol = func(c *server.Cluster, _ int64) server.Protocol {
+		build = func(c server.Host, _ int64) server.Protocol {
 			return core.NewZTNRP(c, rng)
 		}
 		if *check {
 			spec = experiment.CheckFractionRange(rng, core.FractionTolerance{}, *every)
 		}
 	case "ft-nrp":
-		cfg.NewProtocol = func(c *server.Cluster, seed int64) server.Protocol {
+		build = func(c server.Host, seed int64) server.Protocol {
 			return core.NewFTNRP(c, rng, core.FTNRPConfig{Tol: tol, Selection: selection, Seed: seed})
 		}
 		if *check {
@@ -121,21 +133,21 @@ func main() {
 		}
 	case "rtp":
 		rt := core.RankTolerance{K: *k, R: *r}
-		cfg.NewProtocol = func(c *server.Cluster, _ int64) server.Protocol {
+		build = func(c server.Host, _ int64) server.Protocol {
 			return core.NewRTP(c, center, rt)
 		}
 		if *check {
 			spec = experiment.CheckRank(center, rt, *every)
 		}
 	case "zt-rp":
-		cfg.NewProtocol = func(c *server.Cluster, _ int64) server.Protocol {
+		build = func(c server.Host, _ int64) server.Protocol {
 			return core.NewZTRP(c, center, *k)
 		}
 		if *check {
 			spec = experiment.CheckRank(center, core.RankTolerance{K: *k}, *every)
 		}
 	case "ft-rp":
-		cfg.NewProtocol = func(c *server.Cluster, seed int64) server.Protocol {
+		build = func(c server.Host, seed int64) server.Protocol {
 			fc := core.DefaultFTRPConfig(tol)
 			fc.Selection = selection
 			fc.Seed = seed
@@ -145,7 +157,7 @@ func main() {
 			spec = experiment.CheckFractionKNN(query.KNN{Q: center, K: *k}, tol, *every)
 		}
 	case "vb-knn":
-		cfg.NewProtocol = func(c *server.Cluster, _ int64) server.Protocol {
+		build = func(c server.Host, _ int64) server.Protocol {
 			return core.NewVBKNN(c, query.KNN{Q: center, K: *k}, *width)
 		}
 		if *check {
@@ -157,7 +169,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "streamsim: unknown protocol %q\n", *proto)
 		os.Exit(2)
 	}
-	cfg.Check = spec
+
+	if *tenants > 1 {
+		if *check {
+			fmt.Fprintln(os.Stderr, "streamsim: -check is ignored in -tenants mode")
+		}
+		if *batch <= 0 {
+			fmt.Fprintf(os.Stderr, "streamsim: -batch must be positive, got %d\n", *batch)
+			os.Exit(2)
+		}
+		if err := runTenants(*tenants, *shards, *batch, *seed, *proto, mkWorkload, build, *verbose); err != nil {
+			fmt.Fprintln(os.Stderr, "streamsim:", err)
+			os.Exit(2)
+		}
+		return
+	}
+
+	w, err := mkWorkload(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamsim:", err)
+		os.Exit(2)
+	}
+	cfg := experiment.Config{Workload: w, Seed: *seed, NewProtocol: build, Check: spec}
 
 	res := experiment.Run(cfg)
 
@@ -190,4 +223,103 @@ func main() {
 	} else {
 		fmt.Printf("answer size: %d\n", len(res.FinalAnswer))
 	}
+}
+
+// runTenants hosts `tenants` independent copies of the configured
+// (workload × protocol) pair on one runtime.Node: tenant i's workload is
+// derived from the base seed and i, its protocol seed from the node seed
+// via the runtime's own derivation. Events from all tenants are merged into
+// one time-ordered ingress stream and ingested in batches, mimicking a
+// mixed multi-tenant uplink.
+func runTenants(tenants, shards, batchSize int, seed int64, protoName string,
+	mkWorkload func(int64) (workload.Workload, error),
+	build func(c server.Host, seed int64) server.Protocol, verbose bool) error {
+
+	specs := make([]runtime.TenantSpec, tenants)
+	iters := make([]workload.Iterator, tenants)
+	for i := 0; i < tenants; i++ {
+		w, err := mkWorkload(sim.DeriveSeed(seed, tenantWorkloadStream, int64(i)))
+		if err != nil {
+			return err
+		}
+		specs[i] = runtime.TenantSpec{
+			Name:        fmt.Sprintf("%s/%s-%d", protoName, w.Name(), i),
+			Initial:     w.Initial(),
+			NewProtocol: build,
+		}
+		iters[i] = w.Events()
+	}
+	merge := workload.MergeIterators(iters)
+
+	node, err := runtime.NewNode(runtime.Config{Shards: shards, Seed: seed}, specs)
+	if err != nil {
+		return err
+	}
+	if err := node.Start(context.Background()); err != nil {
+		return err
+	}
+	defer node.Stop()
+
+	// Wait out the t0 initialization running in the shard loops, so the
+	// throughput figure measures steady-state ingest, not setup.
+	if err := node.Drain(); err != nil {
+		return err
+	}
+	start := time.Now()
+	var ingested uint64
+	buf := make([]runtime.Event, 0, batchSize)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if err := node.Ingest(buf); err != nil {
+			return err
+		}
+		ingested += uint64(len(buf))
+		buf = buf[:0]
+		return nil
+	}
+	// The per-tenant streams merge on event time (ties by tenant index), so
+	// the ingress order is deterministic and globally time-sorted.
+	for {
+		tev, ok := merge.Next()
+		if !ok {
+			break
+		}
+		buf = append(buf, runtime.Event{Tenant: tev.Source, Stream: tev.Event.Stream, Value: tev.Event.Value})
+		if len(buf) == batchSize {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if err := node.Drain(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	node.Stop()
+
+	fmt.Printf("tenants:    %d   shards: %d   batch: %d\n", tenants, node.Shards(), batchSize)
+	fmt.Printf("ingested:   %d events in %v (%.0f events/sec)\n",
+		ingested, elapsed.Round(time.Millisecond), float64(ingested)/elapsed.Seconds())
+	var worst, total uint64
+	for i := 0; i < tenants; i++ {
+		c := node.Counter(i)
+		if verbose || tenants <= 8 {
+			fmt.Printf("  %-28s events=%-7d maint=%-7d answer=%d\n",
+				node.TenantName(i), node.Events(i), c.Maintenance(), len(node.Answer(i)))
+		}
+		if m := c.Maintenance(); m > worst {
+			worst = m
+		}
+		total += c.Maintenance()
+	}
+	totals := node.Totals()
+	fmt.Printf("node totals: init=%d maintenance=%d serverOps=%d (worst tenant maint=%d, mean=%.1f)\n",
+		totals.PhaseTotal(comm.Init), totals.Maintenance(), totals.ServerOps,
+		worst, float64(total)/float64(tenants))
+	return nil
 }

@@ -6,8 +6,10 @@
 // internal/core, the distributed-stream substrate in internal/sim,
 // internal/stream, internal/server and internal/comm, the evaluation
 // harness in internal/experiment, and the workload generators in
-// internal/workload. See README.md for a tour, DESIGN.md for the system
-// inventory and EXPERIMENTS.md for the reproduced evaluation.
+// internal/workload; the sharded multi-tenant serving layer is
+// internal/runtime. See README.md for a tour and DESIGN.md for the system
+// inventory, the design decisions behind the reproduced evaluation, and
+// the Host/runtime layering.
 //
 // The root package only carries module-level documentation and the
 // benchmark suite (bench_test.go) that regenerates every figure of the

@@ -39,7 +39,7 @@ func main() {
 
 	baseline := experiment.Run(experiment.Config{
 		Workload: w,
-		NewProtocol: func(c *server.Cluster, _ int64) server.Protocol {
+		NewProtocol: func(c server.Host, _ int64) server.Protocol {
 			return core.NewNoFilterKNN(c, query.TopK(*k))
 		},
 	})
@@ -50,7 +50,7 @@ func main() {
 	res := experiment.Run(experiment.Config{
 		Workload: w,
 		Check:    experiment.CheckRank(query.Top(), tol, 25),
-		NewProtocol: func(c *server.Cluster, _ int64) server.Protocol {
+		NewProtocol: func(c server.Host, _ int64) server.Protocol {
 			rtp = core.NewRTP(c, query.Top(), tol)
 			return rtp
 		},

@@ -33,7 +33,7 @@ func main() {
 	// The user accepts up to 20% false positives and 20% false negatives.
 	tol := core.FractionTolerance{EpsPlus: 0.2, EpsMinus: 0.2}
 
-	run := func(name string, build func(c *server.Cluster, seed int64) server.Protocol) experiment.Result {
+	run := func(name string, build func(c server.Host, seed int64) server.Protocol) experiment.Result {
 		res := experiment.Run(experiment.Config{
 			Workload:    w,
 			NewProtocol: build,
@@ -47,13 +47,13 @@ func main() {
 	}
 
 	fmt.Printf("standing query %v with tolerance %v over %d streams\n\n", rng, tol, cfg.N)
-	noFilter := run("no filter", func(c *server.Cluster, seed int64) server.Protocol {
+	noFilter := run("no filter", func(c server.Host, seed int64) server.Protocol {
 		return core.NewNoFilterRange(c, rng)
 	})
-	zt := run("ZT-NRP (zero tol.)", func(c *server.Cluster, seed int64) server.Protocol {
+	zt := run("ZT-NRP (zero tol.)", func(c server.Host, seed int64) server.Protocol {
 		return core.NewZTNRP(c, rng)
 	})
-	ft := run("FT-NRP (ε=0.2)", func(c *server.Cluster, seed int64) server.Protocol {
+	ft := run("FT-NRP (ε=0.2)", func(c server.Host, seed int64) server.Protocol {
 		return core.NewFTNRP(c, rng, core.FTNRPConfig{
 			Tol: tol, Selection: core.SelectBoundaryNearest, Seed: seed,
 		})

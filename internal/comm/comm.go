@@ -77,8 +77,9 @@ type Counter struct {
 	counts [numPhases][numKinds]uint64
 	// ServerOps is a proxy for server computation: protocols add the size of
 	// each ranking / scanning pass they perform. The paper's abstract claims
-	// savings in "server computation" as well as communication; this metric
-	// substantiates that claim in EXPERIMENTS.md.
+	// savings in "server computation" as well as communication; the
+	// server-cost study (experiment.ServerCost, DESIGN.md §2) substantiates
+	// that claim.
 	ServerOps uint64
 }
 
@@ -115,6 +116,18 @@ func (c *Counter) Total() uint64 { return c.PhaseTotal(Init) + c.PhaseTotal(Main
 
 // Reset zeroes the counter and returns it to the Init phase.
 func (c *Counter) Reset() { *c = Counter{} }
+
+// Merge adds other's counts (every phase and kind, plus server ops) into c.
+// The runtime layer uses it to roll per-tenant counters up into node-level
+// totals; c's own phase is left untouched.
+func (c *Counter) Merge(other *Counter) {
+	for p := Phase(0); p < numPhases; p++ {
+		for k := Kind(0); k < numKinds; k++ {
+			c.counts[p][k] += other.counts[p][k]
+		}
+	}
+	c.ServerOps += other.ServerOps
+}
 
 // String renders a compact human-readable summary.
 func (c *Counter) String() string {

@@ -61,7 +61,7 @@ type FTNRPConfig struct {
 // sensor reading) — and the count/Fix_Error machinery keeps F⁺ <= ε⁺ and
 // F⁻ <= ε⁻ at all times.
 type FTNRP struct {
-	c   *server.Cluster
+	c   server.Host
 	rng query.Range
 	cfg FTNRPConfig
 	sel *rand.Rand
@@ -77,7 +77,7 @@ type FTNRP struct {
 
 // NewFTNRP returns the fraction-based range protocol. It panics on an
 // invalid tolerance so misconfigurations fail loudly at setup.
-func NewFTNRP(c *server.Cluster, rng query.Range, cfg FTNRPConfig) *FTNRP {
+func NewFTNRP(c server.Host, rng query.Range, cfg FTNRPConfig) *FTNRP {
 	if err := cfg.Tol.Validate(); err != nil {
 		panic(err)
 	}
@@ -105,10 +105,24 @@ func (p *FTNRP) HasAnswer(id stream.ID) bool { return p.ans.has(id) }
 
 // Initialize implements the Figure 7 Initialization phase.
 func (p *FTNRP) Initialize() {
+	vals := p.c.ProbeAll()
+	p.c.AddServerOps(len(vals))
+	p.InitializeFromTable(vals)
+	for id := range vals {
+		cons, inside := p.FilterFor(id, vals[id])
+		p.c.Install(id, cons, inside)
+	}
+}
+
+// InitializeFromTable computes the initial answer set and the silent-filter
+// assignments from the given table snapshot without exchanging any
+// messages. Hosts that probe once on behalf of several protocols
+// (multiquery.Manager) call it directly and deploy the resulting filters
+// themselves via FilterFor; Initialize composes it with a ProbeAll and
+// per-stream installs.
+func (p *FTNRP) InitializeFromTable(vals []float64) {
 	p.ans, p.fp, p.fn = newIntSet(), newIntSet(), newIntSet()
 	p.count = 0
-
-	vals := p.c.ProbeAll()
 	var inside, outside []int
 	for id, v := range vals {
 		if p.rng.Contains(v) {
@@ -118,8 +132,6 @@ func (p *FTNRP) Initialize() {
 			outside = append(outside, id)
 		}
 	}
-	p.c.AddServerOps(len(vals))
-
 	nPlus := p.cfg.Tol.MaxFalsePositives(len(inside))
 	nMinus := p.cfg.Tol.MaxFalseNegatives(len(inside))
 	score := func(id int) float64 { return p.rng.BoundaryDist(vals[id]) }
@@ -129,17 +141,20 @@ func (p *FTNRP) Initialize() {
 	for _, id := range p.cfg.Selection.pick(outside, score, nMinus, p.sel) {
 		p.fn.add(id)
 	}
+}
 
-	cons := p.rng.Constraint()
-	for id := range vals {
-		switch {
-		case p.fp.has(id):
-			p.c.Install(id, filter.WideOpen(), true)
-		case p.fn.has(id):
-			p.c.Install(id, filter.Shut(), false)
-		default:
-			p.c.Install(id, cons, p.rng.Contains(vals[id]))
-		}
+// FilterFor returns the constraint this protocol wants installed at stream
+// id given its table value v, plus the side of the constraint the server
+// believes the stream is on: the silent [−∞,∞] / [∞,∞] filters for the
+// selected tolerance holders, the query interval for everyone else.
+func (p *FTNRP) FilterFor(id stream.ID, v float64) (filter.Constraint, bool) {
+	switch {
+	case p.fp.has(id):
+		return filter.WideOpen(), true
+	case p.fn.has(id):
+		return filter.Shut(), false
+	default:
+		return p.rng.Constraint(), p.rng.Contains(v)
 	}
 }
 

@@ -45,7 +45,7 @@ func DefaultFTRPConfig(tol FractionTolerance) FTRPConfig {
 // only recomputed when the answer size leaves the admissible window
 // k(1−ε⁻) <= |A(t)| <= k/(1−ε⁺) (Equations 7 and 9).
 type FTRP struct {
-	c   *server.Cluster
+	c   server.Host
 	q   query.Center
 	k   int
 	cfg FTRPConfig
@@ -69,7 +69,7 @@ type FTRP struct {
 
 // NewFTRP returns the fraction-based k-NN protocol. It panics on an invalid
 // tolerance or k.
-func NewFTRP(c *server.Cluster, q query.Center, k int, cfg FTRPConfig) *FTRP {
+func NewFTRP(c server.Host, q query.Center, k int, cfg FTRPConfig) *FTRP {
 	if err := cfg.Tol.Validate(); err != nil {
 		panic(err)
 	}

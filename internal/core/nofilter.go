@@ -12,13 +12,13 @@ import (
 // used at all" series, where each update counts as one maintenance message),
 // and the server answer is always exact.
 type NoFilterRange struct {
-	c   *server.Cluster
+	c   server.Host
 	rng query.Range
 	ans intSet
 }
 
 // NewNoFilterRange returns the baseline protocol for the given range query.
-func NewNoFilterRange(c *server.Cluster, rng query.Range) *NoFilterRange {
+func NewNoFilterRange(c server.Host, rng query.Range) *NoFilterRange {
 	return &NoFilterRange{c: c, rng: rng, ans: newIntSet()}
 }
 
@@ -53,13 +53,13 @@ func (p *NoFilterRange) Answer() []stream.ID { return p.ans.sorted() }
 // NoFilterKNN is the no-filter baseline for k-NN / top-k queries. The server
 // maintains an exact order-statistic index over the fully reported values.
 type NoFilterKNN struct {
-	c  *server.Cluster
+	c  server.Host
 	q  query.KNN
 	ix *rankindex.Index
 }
 
 // NewNoFilterKNN returns the baseline protocol for the given k-NN query.
-func NewNoFilterKNN(c *server.Cluster, q query.KNN) *NoFilterKNN {
+func NewNoFilterKNN(c server.Host, q query.KNN) *NoFilterKNN {
 	return &NoFilterKNN{c: c, q: q, ix: rankindex.New(c.N())}
 }
 

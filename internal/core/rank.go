@@ -11,7 +11,7 @@ import (
 // over the server's value table — the "old ranking scores kept by the
 // server" the protocols consult. The pass is charged to the server
 // computation metric.
-func rankTable(c *server.Cluster, q query.Center) []int {
+func rankTable(c server.Host, q query.Center) []int {
 	n := c.N()
 	ids := make([]int, n)
 	for i := range ids {
@@ -30,7 +30,7 @@ func rankTable(c *server.Cluster, q query.Center) []int {
 }
 
 // tableDist returns the distance of stream id's table value from q.
-func tableDist(c *server.Cluster, q query.Center, id int) float64 {
+func tableDist(c server.Host, q query.Center, id int) float64 {
 	v, _ := c.Table(id)
 	return q.Dist(v)
 }
@@ -41,7 +41,7 @@ func tableDist(c *server.Cluster, q query.Center, id int) float64 {
 func midpoint(inner, outer float64) float64 { return (inner + outer) / 2 }
 
 // sortByTableDist orders ids ascending by (table distance from q, id).
-func sortByTableDist(c *server.Cluster, q query.Center, ids []int) {
+func sortByTableDist(c server.Host, q query.Center, ids []int) {
 	sort.Slice(ids, func(a, b int) bool {
 		da, db := tableDist(c, q, ids[a]), tableDist(c, q, ids[b])
 		if da != db {

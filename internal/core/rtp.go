@@ -18,7 +18,7 @@ import (
 // hears about streams crossing R, and Definition 1 correctness holds as long
 // as A(t) ⊆ X(t) ⊆ {streams inside R}.
 type RTP struct {
-	c   *server.Cluster
+	c   server.Host
 	q   query.Center
 	tol RankTolerance
 
@@ -35,7 +35,7 @@ type RTP struct {
 
 // NewRTP returns the rank-based tolerance protocol for the k-NN query
 // around q. It panics on an invalid tolerance.
-func NewRTP(c *server.Cluster, q query.Center, tol RankTolerance) *RTP {
+func NewRTP(c server.Host, q query.Center, tol RankTolerance) *RTP {
 	if err := tol.Validate(); err != nil {
 		panic(err)
 	}

@@ -23,7 +23,7 @@ import (
 // (experiment.Figure1) quantifies this trade-off against RTP's rank-based
 // tolerance.
 type VBKNN struct {
-	c *server.Cluster
+	c server.Host
 	q query.KNN
 	// Width is the value tolerance ε_v (band width; filters use Width/2).
 	Width float64
@@ -31,7 +31,7 @@ type VBKNN struct {
 }
 
 // NewVBKNN returns the value-based baseline with value tolerance width.
-func NewVBKNN(c *server.Cluster, q query.KNN, width float64) *VBKNN {
+func NewVBKNN(c server.Host, q query.KNN, width float64) *VBKNN {
 	if width < 0 {
 		panic(fmt.Sprintf("core: vb-knn needs width >= 0, got %g", width))
 	}

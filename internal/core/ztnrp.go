@@ -11,13 +11,13 @@ import (
 // each filter evaluates the range query locally and reports only boundary
 // crossings. The answer is always exact, but no tolerance is exploited.
 type ZTNRP struct {
-	c   *server.Cluster
+	c   server.Host
 	rng query.Range
 	ans intSet
 }
 
 // NewZTNRP returns the zero-tolerance range protocol.
-func NewZTNRP(c *server.Cluster, rng query.Range) *ZTNRP {
+func NewZTNRP(c server.Host, rng query.Range) *ZTNRP {
 	return &ZTNRP{c: c, rng: rng, ans: newIntSet()}
 }
 

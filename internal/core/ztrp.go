@@ -15,7 +15,7 @@ import (
 // allowed, any crossing of R forces R to be recomputed and re-announced to
 // every stream — the sensitivity the fraction-based FT-RP protocol removes.
 type ZTRP struct {
-	c   *server.Cluster
+	c   server.Host
 	q   query.Center
 	k   int
 	ans intSet
@@ -27,7 +27,7 @@ type ZTRP struct {
 }
 
 // NewZTRP returns the zero-tolerance k-NN protocol.
-func NewZTRP(c *server.Cluster, q query.Center, k int) *ZTRP {
+func NewZTRP(c server.Host, q query.Center, k int) *ZTRP {
 	if k <= 0 || k >= c.N() {
 		panic(fmt.Sprintf("core: zt-rp needs 1 <= k < n, got k=%d n=%d", k, c.N()))
 	}

@@ -132,7 +132,7 @@ func Figure9(o Options) *metrics.Table {
 	// Row -1 holds the shared no-filter baseline, computed once.
 	cells = append(cells, Cell{Figure: 9, Row: -1, Col: 0, Run: func(seed int64) CellOut {
 		res := Run(Config{Workload: w, Seed: seed,
-			NewProtocol: func(c *server.Cluster, _ int64) server.Protocol {
+			NewProtocol: func(c server.Host, _ int64) server.Protocol {
 				return core.NewNoFilterKNN(c, query.TopK(15))
 			}})
 		return CellOut{Value: res}
@@ -145,7 +145,7 @@ func Figure9(o Options) *metrics.Table {
 					chk = CheckRank(query.Top(), core.RankTolerance{K: k, R: r}, o.every())
 				}
 				res := Run(Config{Workload: w, Check: chk, Seed: seed,
-					NewProtocol: func(c *server.Cluster, _ int64) server.Protocol {
+					NewProtocol: func(c server.Host, _ int64) server.Protocol {
 						return core.NewRTP(c, query.Top(), core.RankTolerance{K: k, R: r})
 					}})
 				return CellOut{Value: res.MaintMessages, Violations: res.Violations}
@@ -194,7 +194,7 @@ func ftnrpGrid(o Options, figID int, w workload.Workload, title string) *metrics
 					chk = CheckFractionRange(rng, tol, o.every())
 				}
 				res := Run(Config{Workload: w, Check: chk, Seed: seed,
-					NewProtocol: func(c *server.Cluster, seed int64) server.Protocol {
+					NewProtocol: func(c server.Host, seed int64) server.Protocol {
 						return core.NewFTNRP(c, rng, core.FTNRPConfig{
 							Tol: tol, Selection: core.SelectBoundaryNearest, Seed: seed,
 						})
@@ -261,7 +261,7 @@ func Figure11(o Options) *metrics.Table {
 			tol := core.FractionTolerance{EpsPlus: e, EpsMinus: e}
 			cells = append(cells, Cell{Figure: 11, Row: ri, Col: ci, Run: func(seed int64) CellOut {
 				res := Run(Config{Workload: w, Seed: seed,
-					NewProtocol: func(c *server.Cluster, seed int64) server.Protocol {
+					NewProtocol: func(c server.Host, seed int64) server.Protocol {
 						if tol.Zero() {
 							return core.NewZTNRP(c, rng)
 						}
@@ -313,7 +313,7 @@ func Figure13(o Options) *metrics.Table {
 			w := ws[ci]
 			cells = append(cells, Cell{Figure: 13, Row: ri, Col: ci, Run: func(seed int64) CellOut {
 				res := Run(Config{Workload: w, Seed: seed,
-					NewProtocol: func(c *server.Cluster, seed int64) server.Protocol {
+					NewProtocol: func(c server.Host, seed int64) server.Protocol {
 						return core.NewFTNRP(c, rng, core.FTNRPConfig{
 							Tol: tol, Selection: core.SelectBoundaryNearest, Seed: seed,
 						})
@@ -356,7 +356,7 @@ func Figure14(o Options) *metrics.Table {
 		for ci, sel := range sels {
 			cells = append(cells, Cell{Figure: 14, Row: ri, Col: ci, Run: func(seed int64) CellOut {
 				res := Run(Config{Workload: w, Seed: seed,
-					NewProtocol: func(c *server.Cluster, seed int64) server.Protocol {
+					NewProtocol: func(c server.Host, seed int64) server.Protocol {
 						return core.NewFTNRP(c, rng, core.FTNRPConfig{
 							Tol: tol, Selection: sel, Seed: seed,
 						})
@@ -401,7 +401,7 @@ func Figure15(o Options) *metrics.Table {
 					chk = CheckFractionKNN(query.KNN{Q: q, K: k}, tol, o.every())
 				}
 				res := Run(Config{Workload: w, Check: chk, Seed: seed,
-					NewProtocol: func(c *server.Cluster, seed int64) server.Protocol {
+					NewProtocol: func(c server.Host, seed int64) server.Protocol {
 						if tol.Zero() {
 							return core.NewZTRP(c, q, k)
 						}
@@ -438,7 +438,7 @@ func Figure15(o Options) *metrics.Table {
 	return t
 }
 
-// --- shape helpers for EXPERIMENTS.md and tests -----------------------------
+// --- shape helpers for reports and tests ------------------------------------
 
 // ColumnUint extracts a numeric column (by header name) from a table.
 func ColumnUint(t *metrics.Table, col string) ([]uint64, error) {

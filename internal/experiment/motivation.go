@@ -44,7 +44,7 @@ func Figure1(o Options) *metrics.Table {
 	cells := make([]Cell, 0, len(widths)+len(slacks))
 	for ri, width := range widths {
 		cells = append(cells, Cell{Figure: 1, Row: ri, Col: 0, Run: func(seed int64) CellOut {
-			q := runRankQuality(w, tol, func(c *server.Cluster, _ int64) server.Protocol {
+			q := runRankQuality(w, tol, func(c server.Host, _ int64) server.Protocol {
 				return core.NewVBKNN(c, query.TopK(k), width)
 			}, seed)
 			return CellOut{Value: q}
@@ -53,7 +53,7 @@ func Figure1(o Options) *metrics.Table {
 	for ri, rr := range slacks {
 		rtol := core.RankTolerance{K: k, R: rr}
 		cells = append(cells, Cell{Figure: 1, Row: len(widths) + ri, Col: 0, Run: func(seed int64) CellOut {
-			q := runRankQuality(w, rtol, func(c *server.Cluster, _ int64) server.Protocol {
+			q := runRankQuality(w, rtol, func(c server.Host, _ int64) server.Protocol {
 				return core.NewRTP(c, query.Top(), rtol)
 			}, seed)
 			return CellOut{Value: q}
@@ -82,7 +82,7 @@ func Figure1(o Options) *metrics.Table {
 // rank quality of its answers every few events. The seed is handed to the
 // protocol constructor so randomized protocols stay cell-reproducible.
 func runRankQuality(w workload.Workload, tol core.RankTolerance,
-	build func(c *server.Cluster, seed int64) server.Protocol, seed int64) rankQuality {
+	build func(c server.Host, seed int64) server.Protocol, seed int64) rankQuality {
 
 	initial := w.Initial()
 	cluster := server.NewCluster(initial)

@@ -26,55 +26,55 @@ func TestProtocolsSatisfyTolerance(t *testing.T) {
 	cases := []struct {
 		name  string
 		check *CheckSpec
-		build func(c *server.Cluster, seed int64) server.Protocol
+		build func(c server.Host, seed int64) server.Protocol
 	}{
 		{"no-filter-range",
 			CheckFractionRange(rng, core.FractionTolerance{}, 1),
-			func(c *server.Cluster, _ int64) server.Protocol {
+			func(c server.Host, _ int64) server.Protocol {
 				return core.NewNoFilterRange(c, rng)
 			}},
 		{"no-filter-knn",
 			CheckRank(q, core.RankTolerance{K: 10}, 1),
-			func(c *server.Cluster, _ int64) server.Protocol {
+			func(c server.Host, _ int64) server.Protocol {
 				return core.NewNoFilterKNN(c, query.KNN{Q: q, K: 10})
 			}},
 		{"zt-nrp",
 			CheckFractionRange(rng, core.FractionTolerance{}, 1),
-			func(c *server.Cluster, _ int64) server.Protocol {
+			func(c server.Host, _ int64) server.Protocol {
 				return core.NewZTNRP(c, rng)
 			}},
 		{"zt-rp",
 			CheckRank(q, core.RankTolerance{K: 8}, 1),
-			func(c *server.Cluster, _ int64) server.Protocol {
+			func(c server.Host, _ int64) server.Protocol {
 				return core.NewZTRP(c, q, 8)
 			}},
 		{"rtp",
 			CheckRank(q, core.RankTolerance{K: 6, R: 3}, 1),
-			func(c *server.Cluster, _ int64) server.Protocol {
+			func(c server.Host, _ int64) server.Protocol {
 				return core.NewRTP(c, q, core.RankTolerance{K: 6, R: 3})
 			}},
 		{"rtp-top",
 			CheckRank(query.Top(), core.RankTolerance{K: 5, R: 2}, 1),
-			func(c *server.Cluster, _ int64) server.Protocol {
+			func(c server.Host, _ int64) server.Protocol {
 				return core.NewRTP(c, query.Top(), core.RankTolerance{K: 5, R: 2})
 			}},
 		{"ft-nrp-boundary",
 			CheckFractionRange(rng, frac, 1),
-			func(c *server.Cluster, seed int64) server.Protocol {
+			func(c server.Host, seed int64) server.Protocol {
 				return core.NewFTNRP(c, rng, core.FTNRPConfig{
 					Tol: frac, Selection: core.SelectBoundaryNearest, Seed: seed,
 				})
 			}},
 		{"ft-nrp-random",
 			CheckFractionRange(rng, frac, 1),
-			func(c *server.Cluster, seed int64) server.Protocol {
+			func(c server.Host, seed int64) server.Protocol {
 				return core.NewFTNRP(c, rng, core.FTNRPConfig{
 					Tol: frac, Selection: core.SelectRandom, Seed: seed,
 				})
 			}},
 		{"ft-nrp-asymmetric",
 			CheckFractionRange(rng, core.FractionTolerance{EpsPlus: 0.4, EpsMinus: 0.1}, 1),
-			func(c *server.Cluster, seed int64) server.Protocol {
+			func(c server.Host, seed int64) server.Protocol {
 				return core.NewFTNRP(c, rng, core.FTNRPConfig{
 					Tol:       core.FractionTolerance{EpsPlus: 0.4, EpsMinus: 0.1},
 					Selection: core.SelectBoundaryNearest, Seed: seed,
@@ -82,7 +82,7 @@ func TestProtocolsSatisfyTolerance(t *testing.T) {
 			}},
 		{"ft-rp",
 			CheckFractionKNN(query.KNN{Q: q, K: 10}, frac, 1),
-			func(c *server.Cluster, seed int64) server.Protocol {
+			func(c server.Host, seed int64) server.Protocol {
 				cfg := core.DefaultFTRPConfig(frac)
 				cfg.Seed = seed
 				return core.NewFTRP(c, q, 10, cfg)

@@ -20,7 +20,7 @@ func TestLossFreeRunIsCorrect(t *testing.T) {
 	res := Run(Config{
 		Workload: w,
 		Check:    CheckFractionRange(rng, core.FractionTolerance{}, 1),
-		NewProtocol: func(c *server.Cluster, _ int64) server.Protocol {
+		NewProtocol: func(c server.Host, _ int64) server.Protocol {
 			return core.NewZTNRP(c, rng)
 		},
 	})
@@ -37,8 +37,8 @@ func TestUplinkLossBreaksZeroTolerance(t *testing.T) {
 		Workload: w,
 		Cluster:  server.Config{DropUpdateProb: 0.2, DropSeed: 7},
 		Check:    CheckFractionRange(rng, core.FractionTolerance{}, 1),
-		NewProtocol: func(c *server.Cluster, _ int64) server.Protocol {
-			cl = c
+		NewProtocol: func(c server.Host, _ int64) server.Protocol {
+			cl = c.(*server.Cluster)
 			return core.NewZTNRP(c, rng)
 		},
 	})
@@ -62,7 +62,7 @@ func TestFractionToleranceAbsorbsSomeLoss(t *testing.T) {
 			Workload: w,
 			Cluster:  server.Config{DropUpdateProb: 0.05, DropSeed: 3},
 			Check:    CheckFractionRange(rng, tol, 1),
-			NewProtocol: func(c *server.Cluster, _ int64) server.Protocol {
+			NewProtocol: func(c server.Host, _ int64) server.Protocol {
 				return core.NewFTNRP(c, rng, core.FTNRPConfig{
 					Tol: tol, Selection: core.SelectBoundaryNearest,
 				})
@@ -87,8 +87,8 @@ func TestLossIsReproducible(t *testing.T) {
 			Workload: w,
 			Cluster:  server.Config{DropUpdateProb: 0.1, DropSeed: 5},
 			Check:    CheckFractionRange(rng, core.FractionTolerance{}, 1),
-			NewProtocol: func(c *server.Cluster, _ int64) server.Protocol {
-				cl = c
+			NewProtocol: func(c server.Host, _ int64) server.Protocol {
+				cl = c.(*server.Cluster)
 				return core.NewZTNRP(c, rng)
 			},
 		})

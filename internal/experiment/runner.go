@@ -61,11 +61,13 @@ func CheckFractionKNN(q query.KNN, tol core.FractionTolerance, every int) *Check
 type Config struct {
 	// Workload drives the stream values.
 	Workload workload.Workload
-	// NewProtocol builds the protocol under test over the cluster. The seed
+	// NewProtocol builds the protocol under test over the serving host (the
+	// runner always passes a *server.Cluster; runtime.Node reuses the same
+	// factory shape for its tenants). The seed
 	// argument is Config.Seed — in figure grids, the per-cell seed derived by
 	// the engine — and must be the constructor's only randomness source so
 	// runs stay reproducible under any cell scheduling.
-	NewProtocol func(c *server.Cluster, seed int64) server.Protocol
+	NewProtocol func(c server.Host, seed int64) server.Protocol
 	// Seed is handed to NewProtocol for protocol-internal randomness.
 	Seed int64
 	// Cluster tunes message accounting.
@@ -91,7 +93,7 @@ type Result struct {
 	FirstViolation string
 	FinalAnswer    []int
 	// MaxFPlus / MaxFMinus record the worst observed fractions when a
-	// fraction check is active (diagnostics for EXPERIMENTS.md).
+	// fraction check is active (diagnostics for the evaluation; DESIGN.md §3).
 	MaxFPlus, MaxFMinus float64
 }
 

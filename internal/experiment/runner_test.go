@@ -24,7 +24,7 @@ func smallSynthetic(t *testing.T, sigma float64, events int) workload.Workload {
 
 func TestRunNoFilterCountsEveryEvent(t *testing.T) {
 	w := smallSynthetic(t, 20, 2000)
-	res := Run(Config{Workload: w, NewProtocol: func(c *server.Cluster, _ int64) server.Protocol {
+	res := Run(Config{Workload: w, NewProtocol: func(c server.Host, _ int64) server.Protocol {
 		return core.NewNoFilterRange(c, query.NewRange(400, 600))
 	}})
 	if res.Events == 0 {
@@ -49,7 +49,7 @@ func TestRunWithOracleChecksFTNRP(t *testing.T) {
 	res := Run(Config{
 		Workload: w,
 		Check:    CheckFractionRange(rng, tol, 1),
-		NewProtocol: func(c *server.Cluster, _ int64) server.Protocol {
+		NewProtocol: func(c server.Host, _ int64) server.Protocol {
 			return core.NewFTNRP(c, rng, core.FTNRPConfig{
 				Tol: tol, Selection: core.SelectBoundaryNearest,
 			})
@@ -72,7 +72,7 @@ func TestRunWithRankCheckRTP(t *testing.T) {
 	res := Run(Config{
 		Workload: w,
 		Check:    CheckRank(query.At(500), tol, 1),
-		NewProtocol: func(c *server.Cluster, _ int64) server.Protocol {
+		NewProtocol: func(c server.Host, _ int64) server.Protocol {
 			return core.NewRTP(c, query.At(500), tol)
 		},
 	})
@@ -91,7 +91,7 @@ func TestRunWithKNNFractionCheckFTRP(t *testing.T) {
 	res := Run(Config{
 		Workload: w,
 		Check:    CheckFractionKNN(q, tol, 1),
-		NewProtocol: func(c *server.Cluster, _ int64) server.Protocol {
+		NewProtocol: func(c server.Host, _ int64) server.Protocol {
 			return core.NewFTRP(c, q.Q, q.K, core.DefaultFTRPConfig(tol))
 		},
 	})
@@ -103,7 +103,7 @@ func TestRunWithKNNFractionCheckFTRP(t *testing.T) {
 func TestRunMaxEventsCap(t *testing.T) {
 	w := smallSynthetic(t, 20, 5000)
 	res := Run(Config{Workload: w, MaxEvents: 100,
-		NewProtocol: func(c *server.Cluster, _ int64) server.Protocol {
+		NewProtocol: func(c server.Host, _ int64) server.Protocol {
 			return core.NewZTNRP(c, query.NewRange(400, 600))
 		}})
 	if res.Events != 100 {
@@ -117,7 +117,7 @@ func TestRunCheckSampling(t *testing.T) {
 	res := Run(Config{
 		Workload: w,
 		Check:    CheckFractionRange(rng, core.FractionTolerance{}, 10),
-		NewProtocol: func(c *server.Cluster, _ int64) server.Protocol {
+		NewProtocol: func(c server.Host, _ int64) server.Protocol {
 			return core.NewZTNRP(c, rng)
 		},
 	})
@@ -138,7 +138,7 @@ func TestRunPanicsOnMissingConfig(t *testing.T) {
 func TestRunDeterminism(t *testing.T) {
 	mk := func() Result {
 		w := smallSynthetic(t, 20, 2000)
-		return Run(Config{Workload: w, NewProtocol: func(c *server.Cluster, _ int64) server.Protocol {
+		return Run(Config{Workload: w, NewProtocol: func(c server.Host, _ int64) server.Protocol {
 			return core.NewFTNRP(c, query.NewRange(400, 600), core.FTNRPConfig{
 				Tol: core.FractionTolerance{EpsPlus: 0.3, EpsMinus: 0.3}, Seed: 5,
 			})

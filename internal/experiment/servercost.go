@@ -18,21 +18,21 @@ func ServerCost(o Options) *metrics.Table {
 
 	rows := []struct {
 		name  string
-		build func(c *server.Cluster, seed int64) server.Protocol
+		build func(c server.Host, seed int64) server.Protocol
 	}{
-		{"no-filter", func(c *server.Cluster, _ int64) server.Protocol {
+		{"no-filter", func(c server.Host, _ int64) server.Protocol {
 			return core.NewNoFilterRange(c, rng)
 		}},
-		{"zt-nrp", func(c *server.Cluster, _ int64) server.Protocol {
+		{"zt-nrp", func(c server.Host, _ int64) server.Protocol {
 			return core.NewZTNRP(c, rng)
 		}},
-		{"ft-nrp ε=0.2", func(c *server.Cluster, seed int64) server.Protocol {
+		{"ft-nrp ε=0.2", func(c server.Host, seed int64) server.Protocol {
 			return core.NewFTNRP(c, rng, core.FTNRPConfig{
 				Tol:       core.FractionTolerance{EpsPlus: 0.2, EpsMinus: 0.2},
 				Selection: core.SelectBoundaryNearest, Seed: seed,
 			})
 		}},
-		{"ft-nrp ε=0.5", func(c *server.Cluster, seed int64) server.Protocol {
+		{"ft-nrp ε=0.5", func(c server.Host, seed int64) server.Protocol {
 			return core.NewFTNRP(c, rng, core.FTNRPConfig{
 				Tol:       core.FractionTolerance{EpsPlus: 0.5, EpsMinus: 0.5},
 				Selection: core.SelectBoundaryNearest, Seed: seed,

@@ -6,22 +6,31 @@
 // reported iff it crosses the boundary of at least one non-silent
 // per-query constraint — and the report is a single update message no
 // matter how many queries it affects, which is where the sharing wins over
-// running one independent cluster per query. Fraction-based tolerance is
-// exploited per query exactly as in FT-NRP: out of each query's answer a
-// few streams get silent (wide-open) entries, and out of the rest a few get
-// shut entries, with the count/Fix_Error machinery restoring correctness.
+// running one independent cluster per query. Per-query protocol state is
+// not re-implemented here: every query is an ordinary core.FTNRP instance
+// programming against a server.Host view whose probes refresh the shared
+// value table and whose installs update that query's entry in the
+// composite filter. Only the composite fabric — the per-stream constraint
+// vectors, the shared table and the single message counter — lives in the
+// Manager.
 package multiquery
 
 import (
 	"fmt"
-	"math/rand"
-	"sort"
 
 	"adaptivefilters/internal/comm"
 	"adaptivefilters/internal/core"
 	"adaptivefilters/internal/filter"
 	"adaptivefilters/internal/query"
+	"adaptivefilters/internal/server"
+	"adaptivefilters/internal/sim"
+	"adaptivefilters/internal/stream"
 )
+
+// querySeedStream labels the per-query seed derivation from the manager's
+// base seed (sim.DeriveSeed), so two queries sharing a manager never share
+// a selection-RNG stream.
+const querySeedStream int64 = 0x9E37
 
 // QuerySpec is one standing range query with its fraction tolerance.
 type QuerySpec struct {
@@ -41,21 +50,13 @@ type Manager struct {
 	cons   [][]filter.Constraint
 	inside [][]bool
 
-	subs []*sub
+	subs []*core.FTNRP
 	ctr  comm.Counter
-	sel  *rand.Rand
 }
 
-// sub is the per-query FT-NRP state.
-type sub struct {
-	spec  QuerySpec
-	ans   map[int]bool
-	fp    map[int]bool
-	fn    map[int]bool
-	count int
-}
-
-// NewManager creates the manager over the initial stream values.
+// NewManager creates the manager over the initial stream values. Each
+// query's protocol draws its selection randomness from a seed derived from
+// the given base seed and the query index.
 func NewManager(initial []float64, specs []QuerySpec, seed int64) (*Manager, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("multiquery: need at least one query")
@@ -70,7 +71,6 @@ func NewManager(initial []float64, specs []QuerySpec, seed int64) (*Manager, err
 		vals:  append([]float64(nil), initial...),
 		table: make([]float64, len(initial)),
 		known: make([]bool, len(initial)),
-		sel:   rand.New(rand.NewSource(seed ^ 0x9E3779B9)),
 	}
 	m.cons = make([][]filter.Constraint, len(initial))
 	m.inside = make([][]bool, len(initial))
@@ -78,11 +78,16 @@ func NewManager(initial []float64, specs []QuerySpec, seed int64) (*Manager, err
 		m.cons[s] = make([]filter.Constraint, len(specs))
 		m.inside[s] = make([]bool, len(specs))
 	}
-	for _, spec := range specs {
-		m.subs = append(m.subs, &sub{
-			spec: spec,
-			ans:  map[int]bool{}, fp: map[int]bool{}, fn: map[int]bool{},
-		})
+	for qi, spec := range specs {
+		// ReinitNever: re-initialization would cost a per-query ProbeAll,
+		// defeating the shared-probe economics; depleted queries degrade to
+		// ZT-NRP exactly as the single-query protocol would.
+		m.subs = append(m.subs, core.NewFTNRP(&queryView{m: m, qi: qi}, spec.Range, core.FTNRPConfig{
+			Tol:       spec.Tol,
+			Selection: core.SelectBoundaryNearest,
+			Seed:      sim.DeriveSeed(seed, querySeedStream, int64(qi)),
+			Reinit:    core.ReinitNever,
+		}))
 	}
 	return m, nil
 }
@@ -97,14 +102,7 @@ func (m *Manager) M() int { return len(m.specs) }
 func (m *Manager) Counter() *comm.Counter { return &m.ctr }
 
 // Answer returns query qi's current answer set, sorted.
-func (m *Manager) Answer(qi int) []int {
-	out := make([]int, 0, len(m.subs[qi].ans))
-	for id := range m.subs[qi].ans {
-		out = append(out, id)
-	}
-	sort.Ints(out)
-	return out
-}
+func (m *Manager) Answer(qi int) []int { return m.subs[qi].Answer() }
 
 // SilentStreams returns the number of streams whose every per-query
 // constraint is silent — fully shut-down sensors.
@@ -125,14 +123,15 @@ func (m *Manager) SilentStreams() int {
 	return n
 }
 
-// Initialize probes every stream once (2n messages) and installs the
-// composite filters (n install messages — one message carries all per-query
-// entries).
+// Initialize probes every stream once (2n messages) on behalf of all
+// queries, computes each query's answer and silent assignments from that
+// shared snapshot, and installs the composite filters (n install messages —
+// one message carries all per-query entries).
 func (m *Manager) Initialize() {
 	m.ctr.SetPhase(comm.Init)
 	m.probeAll()
-	for qi := range m.subs {
-		m.initQuery(qi)
+	for _, sub := range m.subs {
+		sub.InitializeFromTable(m.table)
 	}
 	m.installComposite()
 	m.ctr.SetPhase(comm.Maintenance)
@@ -144,6 +143,9 @@ func (m *Manager) probeAll() {
 	}
 }
 
+// probe refreshes the shared table from ground truth (one Probe plus one
+// ProbeReply message) and re-records the stream's side of every per-query
+// constraint.
 func (m *Manager) probe(s int) float64 {
 	m.ctr.Add(comm.Probe, 1)
 	m.ctr.Add(comm.ProbeReply, 1)
@@ -155,78 +157,26 @@ func (m *Manager) probe(s int) float64 {
 	return m.vals[s]
 }
 
-// initQuery computes query qi's answer and silent assignments from the
-// (fresh) table.
-func (m *Manager) initQuery(qi int) {
-	sb := m.subs[qi]
-	sb.ans, sb.fp, sb.fn = map[int]bool{}, map[int]bool{}, map[int]bool{}
-	sb.count = 0
-	var ins, outs []int
-	for s, v := range m.table {
-		if sb.spec.Range.Contains(v) {
-			sb.ans[s] = true
-			ins = append(ins, s)
-		} else {
-			outs = append(outs, s)
-		}
-	}
-	nPlus := sb.spec.Tol.MaxFalsePositives(len(ins))
-	nMinus := sb.spec.Tol.MaxFalseNegatives(len(ins))
-	score := func(id int) float64 { return sb.spec.Range.BoundaryDist(m.table[id]) }
-	for _, id := range pickBoundary(ins, score, nPlus) {
-		sb.fp[id] = true
-	}
-	for _, id := range pickBoundary(outs, score, nMinus) {
-		sb.fn[id] = true
-	}
-}
-
-// pickBoundary selects the n ids with the smallest score (ties by id).
-func pickBoundary(ids []int, score func(int) float64, n int) []int {
-	if n <= 0 {
-		return nil
-	}
-	if n > len(ids) {
-		n = len(ids)
-	}
-	sorted := append([]int(nil), ids...)
-	sort.Slice(sorted, func(a, b int) bool {
-		sa, sb := score(sorted[a]), score(sorted[b])
-		if sa != sb {
-			return sa < sb
-		}
-		return sorted[a] < sorted[b]
-	})
-	return sorted[:n]
-}
-
 // installComposite pushes every stream's per-query constraint vector in one
-// install message per stream.
+// install message per stream, asking each query's protocol which filter it
+// wants deployed.
 func (m *Manager) installComposite() {
 	m.ctr.Add(comm.Install, uint64(m.N()))
 	for s := range m.cons {
-		m.installStream(s)
-	}
-}
-
-func (m *Manager) installStream(s int) {
-	for qi, sb := range m.subs {
-		switch {
-		case sb.fp[s]:
-			m.cons[s][qi] = filter.WideOpen()
-		case sb.fn[s]:
-			m.cons[s][qi] = filter.Shut()
-		default:
-			m.cons[s][qi] = sb.spec.Range.Constraint()
+		for qi, sub := range m.subs {
+			c, _ := sub.FilterFor(s, m.table[s])
+			m.setConstraint(s, qi, c)
 		}
-		m.inside[s][qi] = m.cons[s][qi].Contains(m.vals[s])
 	}
 }
 
-// reinstall updates one stream's constraint vector (1 install message).
-func (m *Manager) reinstall(s int) {
-	m.ctr.Add(comm.Install, 1)
-	m.installStream(s)
+// setConstraint updates one entry of the composite filter and re-records
+// the stream's side of it against ground truth. The multiquery model has no
+// install handshake: entries are rewritten only right after a probe of the
+// same stream, when table and true value agree (see DESIGN.md §3).
+func (m *Manager) setConstraint(s, qi int, c filter.Constraint) {
+	m.cons[s][qi] = c
+	m.inside[s][qi] = c.Contains(m.vals[s])
 }
 
 // Deliver applies a true value change; the stream reports iff any
@@ -252,72 +202,82 @@ func (m *Manager) Deliver(s int, v float64) {
 	m.ctr.Add(comm.Update, 1)
 	m.table[s] = v
 	m.known[s] = true
-	for qi := range m.subs {
-		m.maintain(qi, s, v)
+	for qi, sub := range m.subs {
+		// Silent entries never generate reports, but the report may have
+		// been caused by another query's constraint; only run a query's
+		// maintenance when its own constraint is live (the paper's
+		// per-filter semantics). The skipped query still pays the lookup.
+		if m.cons[s][qi].Silent() {
+			m.ctr.AddServerOps(1)
+			continue
+		}
+		sub.HandleUpdate(s, v)
 	}
 }
 
-// maintain is FT-NRP's maintenance phase for one query.
-func (m *Manager) maintain(qi, s int, v float64) {
-	sb := m.subs[qi]
-	m.ctr.AddServerOps(1)
-	// Silent entries never generate reports, but the report may have been
-	// caused by another query's constraint; only act when this query's own
-	// constraint is live (the paper's per-filter semantics).
-	if m.cons[s][qi].Silent() {
-		return
-	}
-	if sb.spec.Range.Contains(v) {
-		if !sb.ans[s] {
-			sb.ans[s] = true
-			sb.count++
-		}
-		return
-	}
-	if !sb.ans[s] {
-		return
-	}
-	delete(sb.ans, s)
-	if sb.count > 0 {
-		sb.count--
-		return
-	}
-	m.fixError(qi)
+// queryView adapts one query's slot in the composite filter fabric to the
+// server.Host interface core.FTNRP programs against: probes refresh the
+// shared table (and cost the usual two messages on the shared counter),
+// installs rewrite this query's constraint entry (one install message), and
+// server-side work lands on the shared computation metric.
+type queryView struct {
+	m  *Manager
+	qi int
 }
 
-// fixError mirrors FT-NRP's Fix_Error for one query; probes cost the usual
-// two messages and constraint changes one install each.
-func (m *Manager) fixError(qi int) {
-	sb := m.subs[qi]
-	if len(sb.fp) > 0 {
-		sy := minKey(sb.fp)
-		vy := m.probe(sy)
-		delete(sb.fp, sy)
-		if sb.spec.Range.Contains(vy) {
-			sb.ans[sy] = true
-			m.reinstall(sy)
-			return
-		}
-		delete(sb.ans, sy)
-		m.reinstall(sy)
+var _ server.Host = (*queryView)(nil)
+
+// N implements server.Host.
+func (v *queryView) N() int { return v.m.N() }
+
+// Probe implements server.Host over the shared table.
+func (v *queryView) Probe(id stream.ID) float64 { return v.m.probe(id) }
+
+// ProbeIf implements server.Host; FT-NRP never conditionally probes, but
+// the view stays a complete host. The probe is always counted, the reply
+// only on a hit, matching server.Cluster.ProbeIf.
+func (v *queryView) ProbeIf(id stream.ID, cons filter.Constraint) (float64, bool) {
+	v.m.ctr.Add(comm.Probe, 1)
+	if !cons.Contains(v.m.vals[id]) {
+		return 0, false
 	}
-	if len(sb.fn) > 0 {
-		sz := minKey(sb.fn)
-		vz := m.probe(sz)
-		delete(sb.fn, sz)
-		if sb.spec.Range.Contains(vz) {
-			sb.ans[sz] = true
-		}
-		m.reinstall(sz)
+	v.m.ctr.Add(comm.ProbeReply, 1)
+	v.m.table[id] = v.m.vals[id]
+	v.m.known[id] = true
+	return v.m.vals[id], true
+}
+
+// ProbeAll implements server.Host (2n messages on the shared counter).
+func (v *queryView) ProbeAll() []float64 {
+	v.m.probeAll()
+	return v.TableValues()
+}
+
+// Install rewrites this query's entry in stream id's composite filter for
+// one install message. expectInside is ignored: the multiquery model has no
+// install handshake (the entry is recomputed against ground truth).
+func (v *queryView) Install(id stream.ID, cons filter.Constraint, _ bool) {
+	v.m.ctr.Add(comm.Install, 1)
+	v.m.setConstraint(id, v.qi, cons)
+}
+
+// InstallAll rewrites this query's entry at every stream (n installs).
+func (v *queryView) InstallAll(cons filter.Constraint) {
+	v.m.ctr.Add(comm.Install, uint64(v.m.N()))
+	for s := range v.m.cons {
+		v.m.setConstraint(s, v.qi, cons)
 	}
 }
 
-func minKey(m map[int]bool) int {
-	best, ok := 0, false
-	for id := range m {
-		if !ok || id < best {
-			best, ok = id, true
-		}
-	}
-	return best
+// Table implements server.Host.
+func (v *queryView) Table(id stream.ID) (float64, bool) { return v.m.table[id], v.m.known[id] }
+
+// TableValues implements server.Host.
+func (v *queryView) TableValues() []float64 {
+	out := make([]float64, len(v.m.table))
+	copy(out, v.m.table)
+	return out
 }
+
+// AddServerOps implements server.Host on the shared computation metric.
+func (v *queryView) AddServerOps(n int) { v.m.ctr.AddServerOps(uint64(n)) }

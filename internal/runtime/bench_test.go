@@ -1,0 +1,117 @@
+package runtime
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	goruntime "runtime"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// benchResult is one row of the BENCH_runtime.json artifact CI uploads so
+// the serving layer's throughput trajectory is tracked per commit.
+type benchResult struct {
+	Shards       int     `json:"shards"`
+	Tenants      int     `json:"tenants"`
+	Events       int     `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+var (
+	benchMu      sync.Mutex
+	benchResults []benchResult
+)
+
+// TestMain emits the collected benchmark rows as JSON when
+// BENCH_RUNTIME_JSON names a destination file (the CI bench smoke sets it).
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("BENCH_RUNTIME_JSON"); path != "" && len(benchResults) > 0 {
+		benchMu.Lock()
+		sort.Slice(benchResults, func(i, j int) bool {
+			return benchResults[i].Shards < benchResults[j].Shards
+		})
+		doc := struct {
+			Benchmark  string        `json:"benchmark"`
+			GoMaxProcs int           `json:"go_max_procs"`
+			Results    []benchResult `json:"results"`
+		}{"BenchmarkRuntimeThroughput", goruntime.GOMAXPROCS(0), benchResults}
+		benchMu.Unlock()
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "runtime bench: writing", path, "failed:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
+
+// BenchmarkRuntimeThroughput measures end-to-end node throughput
+// (ingest → route → shard loop → protocol → accounting) in events/sec as a
+// function of the shard count. Tenants are independent, so throughput
+// should scale with shards until the machine runs out of cores.
+func BenchmarkRuntimeThroughput(b *testing.B) {
+	const (
+		tenants   = 8
+		streams   = 200
+		perTenant = 2000
+		batchSize = 512
+	)
+	specs := benchSpecs(tenants, streams)
+	batches := testEvents(specs, perTenant, batchSize)
+	totalEvents := tenants * perTenant
+
+	shardCounts := []int{1, 2, 4, 8}
+	for _, shards := range shardCounts {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				node, err := NewNode(Config{Shards: shards, Seed: 42}, specs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := node.Start(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				for _, batch := range batches {
+					if err := node.Ingest(batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := node.Drain(); err != nil {
+					b.Fatal(err)
+				}
+				node.Stop()
+			}
+			secs := b.Elapsed().Seconds()
+			if secs <= 0 {
+				return
+			}
+			perSec := float64(totalEvents) * float64(b.N) / secs
+			b.ReportMetric(perSec, "events/sec")
+			b.ReportMetric(float64(totalEvents), "events/op")
+			benchMu.Lock()
+			benchResults = append(benchResults, benchResult{
+				Shards: shards, Tenants: tenants,
+				Events: totalEvents, EventsPerSec: perSec,
+			})
+			benchMu.Unlock()
+		})
+	}
+}
+
+// benchSpecs reuses the heterogeneous test tenants but without *testing.T
+// plumbing (kept separate so test changes don't silently reshape the
+// benchmark).
+func benchSpecs(tenants, streams int) []TenantSpec {
+	return testSpecs(tenants, streams)
+}

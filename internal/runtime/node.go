@@ -1,0 +1,323 @@
+// Package runtime hosts many independent tenants — each a standing query,
+// its protocol and its own partition of streams — inside one serving node.
+//
+// The paper's system model (§3.1, Figure 3) is one server, one continuous
+// query, n streams; a production deployment multiplexes thousands of such
+// query instances onto shared hardware. A Node shards its tenants over a
+// fixed set of goroutine event loops fed by a batched ingest router. Each
+// tenant is pinned to exactly one shard, so per-tenant event order is
+// preserved and every tenant's trajectory is bit-identical to running it on
+// a private single-tenant server.Cluster — at any shard count. Tenant seeds
+// derive from the node seed via sim.DeriveSeed, per-tenant comm.Counters
+// merge into node totals, and shutdown is context-cancellable in the style
+// of experiment.RunCells.
+package runtime
+
+import (
+	"context"
+	"fmt"
+	goruntime "runtime"
+	"sync"
+
+	"adaptivefilters/internal/comm"
+	"adaptivefilters/internal/server"
+	"adaptivefilters/internal/sim"
+	"adaptivefilters/internal/stream"
+)
+
+// tenantSeedStream labels per-tenant seed derivation from Config.Seed
+// (cf. the selection-stream labels in internal/core), so a tenant's
+// protocol randomness depends only on (node seed, tenant index) — never on
+// shard placement or scheduling.
+const tenantSeedStream int64 = 0x7E4A
+
+// Event is one value change bound for one tenant's stream partition.
+type Event struct {
+	Tenant int
+	Stream stream.ID
+	Value  float64
+}
+
+// TenantSpec describes one tenant: its stream partition's initial values
+// and the protocol serving its query. The factory has the same shape as
+// experiment.Config.NewProtocol, so a protocol wired for the single-tenant
+// runner drops into a Node unchanged.
+type TenantSpec struct {
+	// Name labels the tenant in reports (defaults to "tenant-<i>").
+	Name string
+	// Initial seeds the tenant's private stream partition.
+	Initial []float64
+	// NewProtocol builds the tenant's protocol over its host. The seed is
+	// derived from the node seed and the tenant index and must be the
+	// factory's only randomness source.
+	NewProtocol func(h server.Host, seed int64) server.Protocol
+	// Server tunes the tenant's message accounting and fault injection.
+	Server server.Config
+}
+
+// Config tunes the node.
+type Config struct {
+	// Shards is the number of event-loop goroutines. 0 means 1; negative
+	// means GOMAXPROCS.
+	Shards int
+	// Seed is the node's base determinism seed; tenant i's protocol seed is
+	// sim.DeriveSeed(Seed, tenantSeedStream, i).
+	Seed int64
+	// Queue is the per-shard ingest buffer in batches (default 64).
+	Queue int
+}
+
+func (c Config) shards() int {
+	switch {
+	case c.Shards > 0:
+		return c.Shards
+	case c.Shards < 0:
+		return goruntime.GOMAXPROCS(0)
+	default:
+		return 1
+	}
+}
+
+func (c Config) queue() int {
+	if c.Queue > 0 {
+		return c.Queue
+	}
+	return 64
+}
+
+// tenant is one hosted query instance, owned by exactly one shard after
+// Start.
+type tenant struct {
+	name    string
+	cluster *server.Cluster
+	proto   server.Protocol
+	shard   int
+	events  uint64
+}
+
+// batch is one unit of shard work: events (all for this shard's tenants, in
+// arrival order) or a drain acknowledgement.
+type batch struct {
+	events []Event
+	ack    chan<- struct{}
+}
+
+// Node hosts tenants on sharded event loops. The ingest side (Start,
+// Ingest, Drain, Stop) must be driven from a single goroutine; the
+// concurrency lives in the shard loops behind it. Tenant state accessors
+// (Answer, Counter, Totals, Events) are race-free after a Drain or Stop.
+type Node struct {
+	cfg     Config
+	tenants []*tenant
+	shards  []chan batch
+
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	started bool
+	stopped bool
+}
+
+// NewNode builds the tenants (protocol factories run here, on the caller's
+// goroutine) and assigns them round-robin to cfg.Shards event loops.
+func NewNode(cfg Config, specs []TenantSpec) (*Node, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("runtime: need at least one tenant")
+	}
+	n := &Node{cfg: cfg}
+	shards := cfg.shards()
+	for i, spec := range specs {
+		if spec.NewProtocol == nil {
+			return nil, fmt.Errorf("runtime: tenant %d has no protocol factory", i)
+		}
+		if len(spec.Initial) == 0 {
+			return nil, fmt.Errorf("runtime: tenant %d has an empty stream partition", i)
+		}
+		name := spec.Name
+		if name == "" {
+			name = fmt.Sprintf("tenant-%d", i)
+		}
+		cluster := server.NewClusterWith(spec.Initial, spec.Server)
+		proto := spec.NewProtocol(cluster, sim.DeriveSeed(cfg.Seed, tenantSeedStream, int64(i)))
+		cluster.SetProtocol(proto)
+		n.tenants = append(n.tenants, &tenant{
+			name:    name,
+			cluster: cluster,
+			proto:   proto,
+			shard:   i % shards,
+		})
+	}
+	n.shards = make([]chan batch, shards)
+	for s := range n.shards {
+		n.shards[s] = make(chan batch, cfg.queue())
+	}
+	return n, nil
+}
+
+// NumTenants returns the tenant count.
+func (n *Node) NumTenants() int { return len(n.tenants) }
+
+// Shards returns the event-loop count.
+func (n *Node) Shards() int { return len(n.shards) }
+
+// TenantName returns tenant ti's label.
+func (n *Node) TenantName(ti int) string { return n.tenants[ti].name }
+
+// Start launches the shard loops. Each loop first runs the initialization
+// phase of every tenant pinned to it (so t0 setup parallelizes across
+// shards), then consumes routed batches until the context is cancelled or
+// Stop is called. Cancelling ctx stops the node the way cancelling
+// experiment.RunCells stops the figure engine: in-flight batches finish,
+// queued ones are dropped, and Ingest starts refusing work.
+func (n *Node) Start(ctx context.Context) error {
+	if n.started {
+		return fmt.Errorf("runtime: node already started")
+	}
+	n.started = true
+	n.ctx, n.cancel = context.WithCancel(ctx)
+	for s := range n.shards {
+		owned := make([]*tenant, 0, (len(n.tenants)+len(n.shards)-1)/len(n.shards))
+		for _, t := range n.tenants {
+			if t.shard == s {
+				owned = append(owned, t)
+			}
+		}
+		n.wg.Add(1)
+		go n.loop(n.shards[s], owned)
+	}
+	return nil
+}
+
+// loop is one shard's event loop: initialize owned tenants, then apply
+// batches in arrival order.
+func (n *Node) loop(ch <-chan batch, owned []*tenant) {
+	defer n.wg.Done()
+	for _, t := range owned {
+		// Checked between tenants so cancellation interrupts t0 setup too —
+		// with many tenants the initialization phase is O(tenants × n) and
+		// Stop would otherwise block on it.
+		if n.ctx.Err() != nil {
+			return
+		}
+		t.cluster.Initialize()
+	}
+	for {
+		select {
+		case <-n.ctx.Done():
+			return
+		case b, ok := <-ch:
+			if !ok {
+				return
+			}
+			for _, ev := range b.events {
+				t := n.tenants[ev.Tenant]
+				t.cluster.Deliver(ev.Stream, ev.Value)
+				t.events++
+			}
+			if b.ack != nil {
+				b.ack <- struct{}{}
+			}
+		}
+	}
+}
+
+// Ingest routes a batch of events to the shard loops. Events are grouped by
+// owning shard with their relative order preserved; a tenant lives on
+// exactly one shard, so per-tenant order is exactly the arrival order no
+// matter how many shards the node runs. One Ingest costs at most one
+// channel send per shard — callers feeding high-rate streams should batch
+// accordingly.
+func (n *Node) Ingest(events []Event) error {
+	if !n.started || n.stopped {
+		return fmt.Errorf("runtime: node not running")
+	}
+	if err := n.ctx.Err(); err != nil {
+		return err
+	}
+	groups := make([][]Event, len(n.shards))
+	for _, ev := range events {
+		if ev.Tenant < 0 || ev.Tenant >= len(n.tenants) {
+			return fmt.Errorf("runtime: event for unknown tenant %d", ev.Tenant)
+		}
+		t := n.tenants[ev.Tenant]
+		// Validated here, on the ingest side: an out-of-range id would only
+		// surface as an index panic inside a shard goroutine, where the
+		// caller cannot recover it.
+		if ev.Stream < 0 || ev.Stream >= t.cluster.N() {
+			return fmt.Errorf("runtime: event for unknown stream %d of tenant %d (n=%d)",
+				ev.Stream, ev.Tenant, t.cluster.N())
+		}
+		groups[t.shard] = append(groups[t.shard], ev)
+	}
+	for s, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		select {
+		case n.shards[s] <- batch{events: g}:
+		case <-n.ctx.Done():
+			return n.ctx.Err()
+		}
+	}
+	return nil
+}
+
+// Drain blocks until every shard has applied all batches ingested so far
+// (including its initialization work). After Drain returns, tenant state
+// read through Answer, Counter, Totals or Events is consistent and
+// race-free until the next Ingest.
+func (n *Node) Drain() error {
+	if !n.started || n.stopped {
+		return fmt.Errorf("runtime: node not running")
+	}
+	acks := make(chan struct{}, len(n.shards))
+	for s := range n.shards {
+		select {
+		case n.shards[s] <- batch{ack: acks}:
+		case <-n.ctx.Done():
+			return n.ctx.Err()
+		}
+	}
+	for range n.shards {
+		select {
+		case <-acks:
+		case <-n.ctx.Done():
+			return n.ctx.Err()
+		}
+	}
+	return nil
+}
+
+// Stop shuts the shard loops down and waits for them to exit. Batches still
+// queued are dropped (call Drain first for a graceful shutdown). Stop is
+// idempotent. Cancelling the Start context makes the loops wind down on
+// their own, but only Stop waits for that to finish — call it before
+// reading tenant state even after an external cancellation.
+func (n *Node) Stop() {
+	if !n.started || n.stopped {
+		return
+	}
+	n.stopped = true
+	n.cancel()
+	n.wg.Wait()
+}
+
+// Answer returns tenant ti's current answer set. Only call quiesced (after
+// Drain or Stop).
+func (n *Node) Answer(ti int) []stream.ID { return n.tenants[ti].proto.Answer() }
+
+// Counter returns tenant ti's message counter. Only call quiesced.
+func (n *Node) Counter(ti int) *comm.Counter { return n.tenants[ti].cluster.Counter() }
+
+// Events returns how many events tenant ti has applied. Only call quiesced.
+func (n *Node) Events(ti int) uint64 { return n.tenants[ti].events }
+
+// Totals merges every tenant's counter into one node-level counter. Only
+// call quiesced.
+func (n *Node) Totals() comm.Counter {
+	var total comm.Counter
+	for _, t := range n.tenants {
+		total.Merge(t.cluster.Counter())
+	}
+	return total
+}

@@ -16,8 +16,43 @@ import (
 
 	"adaptivefilters/internal/comm"
 	"adaptivefilters/internal/filter"
+	"adaptivefilters/internal/sim"
 	"adaptivefilters/internal/stream"
 )
+
+// Host is the narrow server-side surface a protocol programs against: the
+// communication primitives (probes, installs), the server value table and
+// the computation metric. A *Cluster is the canonical Host, but anything
+// that can answer probes, deploy filters and account messages — a per-query
+// view inside multiquery.Manager, a tenant slot inside runtime.Node, a mock
+// in tests — can host a protocol. Every message a protocol can cause flows
+// through this interface, so accounting stays exact no matter who hosts it.
+type Host interface {
+	// N returns the number of streams.
+	N() int
+	// Probe requests stream id's current value (one Probe plus one
+	// ProbeReply message) and refreshes the server table.
+	Probe(id stream.ID) float64
+	// ProbeIf asks stream id to reply only when its value lies inside cons;
+	// the probe is always counted, the reply only on a hit.
+	ProbeIf(id stream.ID, cons filter.Constraint) (float64, bool)
+	// ProbeAll probes every stream (2n messages) and returns the refreshed
+	// table.
+	ProbeAll() []float64
+	// Install deploys a filter constraint to one stream (one Install
+	// message). expectInside is the side of the interval the server's table
+	// implies.
+	Install(id stream.ID, cons filter.Constraint, expectInside bool)
+	// InstallAll deploys the same constraint to every stream.
+	InstallAll(cons filter.Constraint)
+	// Table returns the server's belief about stream id's value and whether
+	// the stream has ever been heard from.
+	Table(id stream.ID) (float64, bool)
+	// TableValues returns a snapshot copy of the server value table.
+	TableValues() []float64
+	// AddServerOps records server-side ranking work (computation metric).
+	AddServerOps(n int)
+}
 
 // Protocol is a filter-bound assignment protocol hosted by a Cluster: one of
 // the paper's RTP, ZT-NRP, FT-NRP, ZT-RP, FT-RP or the no-filter baseline.
@@ -54,13 +89,18 @@ type Config struct {
 	DropSeed int64
 }
 
+// lossSeedStream labels the uplink-loss RNG stream derived from
+// Config.DropSeed via sim.DeriveSeed (cf. the selection-stream labels in
+// internal/core).
+const lossSeedStream int64 = 0x1CEB
+
 type pendingUpdate struct {
 	id stream.ID
 	v  float64
 }
 
 // Cluster wires n stream sources to a hosted protocol and accounts every
-// message.
+// message. It is the canonical Host implementation.
 type Cluster struct {
 	cfg     Config
 	sources []*stream.Source
@@ -79,6 +119,8 @@ type Cluster struct {
 	DroppedUpdates uint64
 }
 
+var _ Host = (*Cluster)(nil)
+
 // NewCluster creates a cluster over the given initial true stream values.
 // The server table starts unknown: protocols learn values by probing.
 func NewCluster(initial []float64) *Cluster { return NewClusterWith(initial, Config{}) }
@@ -91,7 +133,7 @@ func NewClusterWith(initial []float64, cfg Config) *Cluster {
 		known: make([]bool, len(initial)),
 	}
 	if cfg.DropUpdateProb > 0 {
-		c.lossRng = rand.New(rand.NewSource(cfg.DropSeed ^ 0x1CEB00DA))
+		c.lossRng = sim.NewRNG(sim.DeriveSeed(cfg.DropSeed, lossSeedStream)).Rand
 	}
 	c.sources = make([]*stream.Source, len(initial))
 	for i, v := range initial {

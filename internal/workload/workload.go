@@ -80,6 +80,53 @@ type mergeItem struct {
 	seq int
 }
 
+// TaggedEvent is an Event plus the index of the source iterator that
+// produced it, for consumers merging several workloads (one per tenant in
+// cmd/streamsim's -tenants mode).
+type TaggedEvent struct {
+	Source int
+	Event  Event
+}
+
+// TaggedIterator yields tagged events in non-decreasing time order, ties
+// broken by source index.
+type TaggedIterator struct {
+	h mergeHeap
+}
+
+// MergeIterators merges per-source event iterators into one globally
+// time-ordered stream over the same heap the random-walk model uses
+// internally, so both merge paths share one tie-break rule.
+func MergeIterators(its []Iterator) *TaggedIterator {
+	ti := &TaggedIterator{}
+	for i, it := range its {
+		it := it
+		gen := streamGen(it.Next)
+		if ev, ok := gen(); ok {
+			ti.h = append(ti.h, mergeItem{ev: ev, gen: gen, seq: i})
+		}
+	}
+	heap.Init(&ti.h)
+	return ti
+}
+
+// Next returns the globally earliest pending event and its source index;
+// ok is false when every source is exhausted.
+func (ti *TaggedIterator) Next() (ev TaggedEvent, ok bool) {
+	if ti.h.Len() == 0 {
+		return TaggedEvent{}, false
+	}
+	item := &ti.h[0]
+	out := TaggedEvent{Source: item.seq, Event: item.ev}
+	if nxt, more := item.gen(); more {
+		item.ev = nxt
+		heap.Fix(&ti.h, 0)
+	} else {
+		heap.Pop(&ti.h)
+	}
+	return out, true
+}
+
 type mergeHeap []mergeItem
 
 func (h mergeHeap) Len() int { return len(h) }
