@@ -1,0 +1,62 @@
+// Command benchgate is the CI benchmark regression gate: it compares a
+// fresh BENCH_*.json suite against the committed baseline and exits
+// non-zero when throughput regressed beyond the tolerance or when any
+// ingest-path benchmark's allocs/op grew (the zero-allocation invariant).
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_baseline.json -current BENCH_suite.json [-max-regress 0.15]
+//
+// To refresh the baseline after an intentional performance change, run the
+// suite locally (or download the BENCH_suite artifact from a green main
+// build) and commit it as BENCH_baseline.json — see DESIGN.md, "Hot path &
+// benchmarking".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adaptivefilters/internal/bench"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "committed baseline suite")
+		currentPath  = flag.String("current", "BENCH_suite.json", "freshly measured suite")
+		maxRegress   = flag.Float64("max-regress", 0.15, "tolerated fractional events/sec drop")
+	)
+	flag.Parse()
+
+	baseline, err := bench.LoadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	current, err := bench.LoadFile(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	if baseline.GoMaxProcs != current.GoMaxProcs {
+		fmt.Fprintf(os.Stderr,
+			"benchgate: baseline GOMAXPROCS=%d vs current %d — hardware mismatch, "+
+				"throughput rule is advisory until the baseline is refreshed from this "+
+				"environment's artifact (allocs/op rules still enforced)\n",
+			baseline.GoMaxProcs, current.GoMaxProcs)
+	}
+	violations := bench.Compare(baseline, current, bench.GateConfig{
+		MaxThroughputRegress: *maxRegress,
+	})
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d violation(s) against %s:\n", len(violations), *baselinePath)
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "  -", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmark(s) within %.0f%% of %s, ingest path allocation-clean\n",
+		len(baseline.Results), *maxRegress*100, *baselinePath)
+}

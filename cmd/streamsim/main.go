@@ -62,6 +62,7 @@ func main() {
 		tenants = flag.Int("tenants", 1, "host this many independent (workload × query) tenants on one node")
 		shards  = flag.Int("shards", 1, "event-loop goroutines for -tenants mode (-1 = GOMAXPROCS)")
 		batch   = flag.Int("batch", 512, "ingest batch size for -tenants mode")
+		answers = flag.String("answers", "", "write a timing-free per-tenant answer/counter dump to this file (-tenants mode); byte-identical at any -shards, the CI determinism job diffs it")
 	)
 	flag.Parse()
 
@@ -178,7 +179,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "streamsim: -batch must be positive, got %d\n", *batch)
 			os.Exit(2)
 		}
-		if err := runTenants(*tenants, *shards, *batch, *seed, *proto, mkWorkload, build, *verbose); err != nil {
+		if err := runTenants(*tenants, *shards, *batch, *seed, *proto, mkWorkload, build, *verbose, *answers); err != nil {
 			fmt.Fprintln(os.Stderr, "streamsim:", err)
 			os.Exit(2)
 		}
@@ -233,7 +234,7 @@ func main() {
 // mixed multi-tenant uplink.
 func runTenants(tenants, shards, batchSize int, seed int64, protoName string,
 	mkWorkload func(int64) (workload.Workload, error),
-	build func(c server.Host, seed int64) server.Protocol, verbose bool) error {
+	build func(c server.Host, seed int64) server.Protocol, verbose bool, answersPath string) error {
 
 	specs := make([]runtime.TenantSpec, tenants)
 	iters := make([]workload.Iterator, tenants)
@@ -321,5 +322,25 @@ func runTenants(tenants, shards, batchSize int, seed int64, protoName string,
 	fmt.Printf("node totals: init=%d maintenance=%d serverOps=%d (worst tenant maint=%d, mean=%.1f)\n",
 		totals.PhaseTotal(comm.Init), totals.Maintenance(), totals.ServerOps,
 		worst, float64(total)/float64(tenants))
+	if answersPath != "" {
+		if err := writeAnswers(answersPath, node); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// writeAnswers dumps every tenant's final answer set and message counter
+// plus the node totals, with nothing time- or shard-dependent: the same
+// (seed, tenants, workload) must produce byte-identical dumps at any shard
+// count. CI's determinism job runs -shards 1 and -shards 4 and diffs.
+func writeAnswers(path string, node *runtime.Node) error {
+	var b strings.Builder
+	for i := 0; i < node.NumTenants(); i++ {
+		fmt.Fprintf(&b, "tenant %s events=%d counter={%v} answer=%v\n",
+			node.TenantName(i), node.Events(i), node.Counter(i), node.Answer(i))
+	}
+	totals := node.Totals()
+	fmt.Fprintf(&b, "totals {%v}\n", &totals)
+	return os.WriteFile(path, []byte(b.String()), 0o644)
 }

@@ -1,0 +1,137 @@
+// Package bench defines the repository's benchmark result schema, its JSON
+// serialization, and the regression-gate comparison CI applies to it.
+//
+// Three things emit Suite documents: the steady-state benchmark suite in
+// this package (BENCH_suite.json), internal/runtime's throughput benchmark
+// (BENCH_runtime.json), and any future BENCH_*.json producer. The committed
+// BENCH_baseline.json at the repository root pins the suite's expected
+// numbers; cmd/benchgate compares a fresh run against it and fails CI on a
+// throughput regression or any allocation creep on the ingest path. See
+// DESIGN.md, "Hot path & benchmarking", for how to refresh the baseline.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Result is one benchmark's steady-state measurement.
+type Result struct {
+	// Name identifies the benchmark (e.g. "multi-tenant-ingest/shards=8").
+	Name string `json:"name"`
+	// EventsPerOp is how many workload events one benchmark op processes.
+	EventsPerOp int `json:"events_per_op,omitempty"`
+	// NsPerOp is wall-clock nanoseconds per op.
+	NsPerOp float64 `json:"ns_per_op"`
+	// EventsPerSec is the headline throughput metric.
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	// BytesPerOp and AllocsPerOp are heap allocation costs per op, measured
+	// across all goroutines (shard loops included).
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// IngestPath marks benchmarks that exercise the steady-state ingest hot
+	// path, where the regression gate rejects any allocs/op increase (the
+	// zero-allocation invariant), not just throughput loss.
+	IngestPath bool `json:"ingest_path"`
+}
+
+// Suite is one benchmark run's emitted document.
+type Suite struct {
+	// Benchmark labels the producing suite.
+	Benchmark string `json:"benchmark"`
+	// GoMaxProcs records the parallelism the numbers were taken at.
+	GoMaxProcs int `json:"go_max_procs"`
+	// Results holds one entry per benchmark, sorted by name on write.
+	Results []Result `json:"results"`
+}
+
+// Add appends (or replaces, by name) a result.
+func (s *Suite) Add(r Result) {
+	for i := range s.Results {
+		if s.Results[i].Name == r.Name {
+			s.Results[i] = r
+			return
+		}
+	}
+	s.Results = append(s.Results, r)
+}
+
+// WriteFile stores the suite as deterministic, indented JSON.
+func (s *Suite) WriteFile(path string) error {
+	sort.Slice(s.Results, func(i, j int) bool { return s.Results[i].Name < s.Results[j].Name })
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadFile reads a suite document.
+func LoadFile(path string) (*Suite, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Suite
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// GateConfig tunes Compare.
+type GateConfig struct {
+	// MaxThroughputRegress is the tolerated fractional events/sec drop
+	// (0.15 = a current run may be up to 15% slower than the baseline).
+	MaxThroughputRegress float64
+}
+
+// Compare checks current against baseline and returns one human-readable
+// violation per failed rule (empty = gate passes):
+//
+//   - every baseline result must be present in current;
+//   - events/sec must not drop more than MaxThroughputRegress below the
+//     baseline (only for results that record throughput, and only when
+//     baseline and current ran at the same GOMAXPROCS — absolute
+//     throughput from different hardware classes is not comparable, so a
+//     mismatched baseline downgrades the throughput rule to advisory
+//     until it is refreshed from numbers measured where the gate runs);
+//   - on ingest-path results, allocs/op must not exceed the baseline at
+//     all — the zero-allocation invariant is exact, machine-independent,
+//     and enforced unconditionally.
+//
+// Results present only in current are ignored, so new benchmarks can land
+// before the baseline is refreshed.
+func Compare(baseline, current *Suite, cfg GateConfig) []string {
+	var violations []string
+	compareThroughput := baseline.GoMaxProcs == current.GoMaxProcs
+	byName := make(map[string]Result, len(current.Results))
+	for _, r := range current.Results {
+		byName[r.Name] = r
+	}
+	for _, base := range baseline.Results {
+		cur, ok := byName[base.Name]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: missing from current run (baseline has it)", base.Name))
+			continue
+		}
+		if compareThroughput && base.EventsPerSec > 0 {
+			floor := base.EventsPerSec * (1 - cfg.MaxThroughputRegress)
+			if cur.EventsPerSec < floor {
+				violations = append(violations, fmt.Sprintf(
+					"%s: throughput regressed %.1f%%: %.0f events/sec vs baseline %.0f (floor %.0f)",
+					base.Name, 100*(1-cur.EventsPerSec/base.EventsPerSec),
+					cur.EventsPerSec, base.EventsPerSec, floor))
+			}
+		}
+		if base.IngestPath && cur.AllocsPerOp > base.AllocsPerOp {
+			violations = append(violations, fmt.Sprintf(
+				"%s: ingest-path allocs/op grew: %.2f vs baseline %.2f",
+				base.Name, cur.AllocsPerOp, base.AllocsPerOp))
+		}
+	}
+	return violations
+}

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkSuite(results ...Result) *Suite {
+	return &Suite{Benchmark: "suite", GoMaxProcs: 8, Results: results}
+}
+
+func TestCompareCleanRunPasses(t *testing.T) {
+	base := mkSuite(
+		Result{Name: "ingest", EventsPerSec: 1e6, AllocsPerOp: 0, IngestPath: true},
+		Result{Name: "replay", EventsPerSec: 5e5, AllocsPerOp: 12},
+	)
+	cur := mkSuite(
+		Result{Name: "ingest", EventsPerSec: 0.9e6, AllocsPerOp: 0, IngestPath: true},
+		Result{Name: "replay", EventsPerSec: 5.5e5, AllocsPerOp: 12},
+	)
+	if v := Compare(base, cur, GateConfig{MaxThroughputRegress: 0.15}); len(v) != 0 {
+		t.Fatalf("clean run flagged: %v", v)
+	}
+}
+
+// TestCompareFailsOnInjectedSlowdown is the gate's acceptance scenario: a
+// 20% throughput drop on any tracked benchmark must trip the 15% gate.
+func TestCompareFailsOnInjectedSlowdown(t *testing.T) {
+	base := mkSuite(Result{Name: "ingest", EventsPerSec: 1e6, IngestPath: true})
+	cur := mkSuite(Result{Name: "ingest", EventsPerSec: 0.8e6, IngestPath: true})
+	v := Compare(base, cur, GateConfig{MaxThroughputRegress: 0.15})
+	if len(v) != 1 || !strings.Contains(v[0], "throughput regressed") {
+		t.Fatalf("20%% slowdown not flagged: %v", v)
+	}
+}
+
+func TestCompareFailsOnIngestAllocGrowth(t *testing.T) {
+	base := mkSuite(
+		Result{Name: "ingest", EventsPerSec: 1e6, AllocsPerOp: 0, IngestPath: true},
+		Result{Name: "replay", EventsPerSec: 1e6, AllocsPerOp: 10},
+	)
+	cur := mkSuite(
+		Result{Name: "ingest", EventsPerSec: 1e6, AllocsPerOp: 1, IngestPath: true},
+		// Off-path allocs may drift without tripping the gate.
+		Result{Name: "replay", EventsPerSec: 1e6, AllocsPerOp: 14},
+	)
+	v := Compare(base, cur, GateConfig{MaxThroughputRegress: 0.15})
+	if len(v) != 1 || !strings.Contains(v[0], "allocs/op grew") {
+		t.Fatalf("ingest alloc growth not flagged exactly once: %v", v)
+	}
+}
+
+// TestCompareSkipsThroughputAcrossHardware pins the gate's portability
+// rule: a baseline from a different GOMAXPROCS (different hardware class)
+// must not gate absolute events/sec, but the machine-independent
+// ingest-path alloc rule still applies.
+func TestCompareSkipsThroughputAcrossHardware(t *testing.T) {
+	base := mkSuite(Result{Name: "ingest", EventsPerSec: 1e6, AllocsPerOp: 0, IngestPath: true})
+	base.GoMaxProcs = 1
+	cur := mkSuite(Result{Name: "ingest", EventsPerSec: 0.5e6, AllocsPerOp: 0, IngestPath: true})
+	cur.GoMaxProcs = 4
+	if v := Compare(base, cur, GateConfig{MaxThroughputRegress: 0.15}); len(v) != 0 {
+		t.Fatalf("cross-hardware throughput gated: %v", v)
+	}
+	cur.Results[0].AllocsPerOp = 2
+	v := Compare(base, cur, GateConfig{MaxThroughputRegress: 0.15})
+	if len(v) != 1 || !strings.Contains(v[0], "allocs/op grew") {
+		t.Fatalf("cross-hardware alloc growth not flagged: %v", v)
+	}
+}
+
+func TestCompareFailsOnMissingBenchmark(t *testing.T) {
+	base := mkSuite(Result{Name: "ingest", EventsPerSec: 1e6})
+	cur := mkSuite(Result{Name: "other", EventsPerSec: 1e6})
+	v := Compare(base, cur, GateConfig{MaxThroughputRegress: 0.15})
+	if len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Fatalf("missing benchmark not flagged: %v", v)
+	}
+}
+
+func TestCompareIgnoresNewBenchmarks(t *testing.T) {
+	base := mkSuite(Result{Name: "ingest", EventsPerSec: 1e6})
+	cur := mkSuite(
+		Result{Name: "ingest", EventsPerSec: 1e6},
+		Result{Name: "brand-new", EventsPerSec: 1, AllocsPerOp: 1e9, IngestPath: true},
+	)
+	if v := Compare(base, cur, GateConfig{MaxThroughputRegress: 0.15}); len(v) != 0 {
+		t.Fatalf("new benchmark tripped the gate: %v", v)
+	}
+}
+
+func TestSuiteRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "suite.json")
+	s := mkSuite(
+		Result{Name: "b", EventsPerSec: 2, IngestPath: true},
+		Result{Name: "a", EventsPerSec: 1, EventsPerOp: 100, NsPerOp: 5, BytesPerOp: 3, AllocsPerOp: 1},
+	)
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 2 || got.Results[0].Name != "a" || got.Results[1].Name != "b" {
+		t.Fatalf("round trip = %+v", got.Results)
+	}
+	if got.Results[0].EventsPerOp != 100 || !got.Results[1].IngestPath {
+		t.Fatalf("fields lost: %+v", got.Results)
+	}
+}
+
+func TestSuiteAddReplacesByName(t *testing.T) {
+	var s Suite
+	s.Add(Result{Name: "x", EventsPerSec: 1})
+	s.Add(Result{Name: "x", EventsPerSec: 2})
+	s.Add(Result{Name: "y", EventsPerSec: 3})
+	if len(s.Results) != 2 || s.Results[0].EventsPerSec != 2 {
+		t.Fatalf("Add did not replace: %+v", s.Results)
+	}
+}

@@ -1,0 +1,50 @@
+// Package benchtest holds the shared measurement harness the repository's
+// benchmark suites use to fill bench.Suite documents. It lives in its own
+// package (rather than internal/bench) so that importing the result schema
+// from production code — cmd/benchgate — does not link the testing
+// framework.
+package benchtest
+
+import (
+	"runtime"
+	"testing"
+
+	"adaptivefilters/internal/bench"
+)
+
+// Measure times fn (which processes events workload events per call) b.N
+// times and records the result into suite. Allocations are read from the
+// global heap counters, so work done on shard-loop goroutines is included.
+// Callers warm the path (pools, protocol scratch) before calling Measure;
+// the recorded allocs/op is the steady-state figure the regression gate
+// pins.
+func Measure(b *testing.B, suite *bench.Suite, name string, events int, ingestPath bool, fn func()) {
+	b.Helper()
+	b.ReportAllocs()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn()
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	secs := b.Elapsed().Seconds()
+	if secs <= 0 || b.N == 0 {
+		return
+	}
+	r := bench.Result{
+		Name:         name,
+		EventsPerOp:  events,
+		NsPerOp:      secs * 1e9 / float64(b.N),
+		EventsPerSec: float64(events) * float64(b.N) / secs,
+		// Integer division mirrors testing's B/op and allocs/op rounding, so
+		// sub-one-per-op background noise cannot trip the exact alloc gate.
+		BytesPerOp:  float64((after.TotalAlloc - before.TotalAlloc) / uint64(b.N)),
+		AllocsPerOp: float64((after.Mallocs - before.Mallocs) / uint64(b.N)),
+		IngestPath:  ingestPath,
+	}
+	b.ReportMetric(r.EventsPerSec, "events/sec")
+	b.ReportMetric(r.AllocsPerOp, "measured-allocs/op")
+	suite.Add(r)
+}

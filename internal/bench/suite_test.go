@@ -1,0 +1,258 @@
+package bench_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	goruntime "runtime"
+	"testing"
+
+	"adaptivefilters/internal/bench"
+	"adaptivefilters/internal/bench/benchtest"
+	"adaptivefilters/internal/core"
+	"adaptivefilters/internal/query"
+	"adaptivefilters/internal/runtime"
+	"adaptivefilters/internal/server"
+	"adaptivefilters/internal/sim"
+	"adaptivefilters/internal/workload"
+)
+
+// suite collects every benchmark's measurement; TestMain writes it as
+// BENCH_suite.json when BENCH_SUITE_JSON names a destination (the CI
+// regression gate sets it and diffs against the committed baseline).
+var suite = bench.Suite{Benchmark: "suite", GoMaxProcs: goruntime.GOMAXPROCS(0)}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("BENCH_SUITE_JSON"); path != "" && len(suite.Results) > 0 {
+		if err := suite.WriteFile(path); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: writing", path, "failed:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
+
+// measure delegates to the shared harness, filing rows into this
+// package's suite document.
+func measure(b *testing.B, name string, events int, ingestPath bool, fn func()) {
+	b.Helper()
+	benchtest.Measure(b, &suite, name, events, ingestPath, fn)
+}
+
+// walk pre-generates a deterministic random-walk update sequence over n
+// streams so the timed loop replays identical events every op.
+func walk(n, events int, seed int64) (initial []float64, moves []struct {
+	id int
+	v  float64
+}) {
+	rng := sim.NewRNG(seed)
+	initial = make([]float64, n)
+	for i := range initial {
+		initial[i] = rng.Uniform(0, 1000)
+	}
+	cur := append([]float64(nil), initial...)
+	moves = make([]struct {
+		id int
+		v  float64
+	}, events)
+	for i := range moves {
+		id := rng.Intn(n)
+		cur[id] += rng.Normal(0, 20)
+		moves[i] = struct {
+			id int
+			v  float64
+		}{id, cur[id]}
+	}
+	return initial, moves
+}
+
+// BenchmarkProtocolStep measures the single-tenant protocol step — the
+// paper's server loop: deliver one update, run the hosted protocol's
+// maintenance phase, account the messages — at steady state for the two
+// protocol families the multi-tenant runtime hosts. The warmed path must
+// not allocate: the regression gate pins allocs/op at the committed
+// baseline (0).
+func BenchmarkProtocolStep(b *testing.B) {
+	const (
+		n      = 2000
+		events = 20000
+	)
+	cases := []struct {
+		name  string
+		build func(h server.Host) server.Protocol
+	}{
+		{"ft-nrp", func(h server.Host) server.Protocol {
+			return core.NewFTNRP(h, query.NewRange(400, 600), core.FTNRPConfig{
+				Tol:       core.FractionTolerance{EpsPlus: 0.3, EpsMinus: 0.3},
+				Selection: core.SelectBoundaryNearest,
+				Seed:      7,
+			})
+		}},
+		{"rtp", func(h server.Host) server.Protocol {
+			return core.NewRTP(h, query.At(500), core.RankTolerance{K: 20, R: 5})
+		}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			initial, moves := walk(n, events, 11)
+			c := server.NewCluster(initial)
+			c.SetProtocol(tc.build(c))
+			c.Initialize()
+			deliver := func() {
+				for _, mv := range moves {
+					c.Deliver(mv.id, mv.v)
+				}
+			}
+			deliver() // warm protocol scratch and the pending queue
+			measure(b, "protocol-step/"+tc.name, events, true, deliver)
+		})
+	}
+}
+
+// benchSpecs builds heterogeneous tenants (alternating FT-NRP and RTP,
+// unequal partition sizes) mirroring the runtime package's test population.
+func benchSpecs(tenants, streams int) []runtime.TenantSpec {
+	specs := make([]runtime.TenantSpec, tenants)
+	for i := range specs {
+		rng := sim.NewRNG(sim.DeriveSeed(1000, int64(i)))
+		initial := make([]float64, streams+i)
+		for s := range initial {
+			initial[s] = rng.Uniform(0, 1000)
+		}
+		i := i
+		specs[i] = runtime.TenantSpec{
+			Name:    fmt.Sprintf("q%d", i),
+			Initial: initial,
+			NewProtocol: func(h server.Host, seed int64) server.Protocol {
+				if i%2 == 0 {
+					return core.NewFTNRP(h, query.NewRange(300, 700), core.FTNRPConfig{
+						Tol:       core.FractionTolerance{EpsPlus: 0.3, EpsMinus: 0.3},
+						Selection: core.SelectRandom,
+						Seed:      seed,
+					})
+				}
+				return core.NewRTP(h, query.At(500), core.RankTolerance{K: 5, R: 3})
+			},
+		}
+	}
+	return specs
+}
+
+// benchBatches interleaves per-tenant random walks round-robin into ingest
+// batches, mimicking a mixed multi-tenant uplink.
+func benchBatches(specs []runtime.TenantSpec, perTenant, batchSize int) [][]runtime.Event {
+	walks := make([][]float64, len(specs))
+	rngs := make([]*sim.RNG, len(specs))
+	for i, spec := range specs {
+		walks[i] = append([]float64(nil), spec.Initial...)
+		rngs[i] = sim.NewRNG(sim.DeriveSeed(2000, int64(i)))
+	}
+	var all []runtime.Event
+	for e := 0; e < perTenant; e++ {
+		for i := range specs {
+			rng := rngs[i]
+			s := rng.Intn(len(walks[i]))
+			walks[i][s] += rng.Normal(0, 40)
+			all = append(all, runtime.Event{Tenant: i, Stream: s, Value: walks[i][s]})
+		}
+	}
+	var batches [][]runtime.Event
+	for len(all) > 0 {
+		n := batchSize
+		if n > len(all) {
+			n = len(all)
+		}
+		batches = append(batches, all[:n])
+		all = all[n:]
+	}
+	return batches
+}
+
+// BenchmarkMultiTenantIngest measures the full multi-tenant ingest hot path
+// — router → per-shard buffer pool → shard event loop → protocol →
+// accounting — at steady state on a warmed node, per the shard counts the
+// regression gate tracks. One op ingests and drains the whole pre-generated
+// event set.
+func BenchmarkMultiTenantIngest(b *testing.B) {
+	const (
+		tenants   = 8
+		streams   = 200
+		perTenant = 2000
+		batchSize = 512
+	)
+	specs := benchSpecs(tenants, streams)
+	batches := benchBatches(specs, perTenant, batchSize)
+	totalEvents := tenants * perTenant
+	for _, shards := range []int{1, 4, 8} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			node, err := runtime.NewNode(runtime.Config{Shards: shards, Seed: 42}, specs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := node.Start(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			defer node.Stop()
+			pass := func() {
+				for _, batch := range batches {
+					if err := node.Ingest(batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := node.Drain(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Warm until every pooled buffer has cycled through the router at
+			// its working size and the protocols' scratch has grown.
+			for i := 0; i < 4; i++ {
+				pass()
+			}
+			measure(b, fmt.Sprintf("multi-tenant-ingest/shards=%d", shards),
+				totalEvents, true, pass)
+		})
+	}
+}
+
+// BenchmarkWorkloadReplay measures trace replay end to end: iterate a
+// recorded trace (the cmd/tracegen schema) and deliver it into a
+// single-tenant cluster. The iterator side allocates a constant handful per
+// replay pass, so the gate tracks its throughput but not its allocs.
+func BenchmarkWorkloadReplay(b *testing.B) {
+	const (
+		n      = 1000
+		events = 20000
+	)
+	initial, moves := walk(n, events, 23)
+	evs := make([]workload.Event, len(moves))
+	for i, mv := range moves {
+		evs[i] = workload.Event{Time: float64(i + 1), Stream: mv.id, Value: mv.v}
+	}
+	rep, err := workload.NewReplay("bench", initial, evs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := server.NewCluster(rep.Initial())
+	c.SetProtocol(core.NewFTNRP(c, query.NewRange(400, 600), core.FTNRPConfig{
+		Tol:       core.FractionTolerance{EpsPlus: 0.3, EpsMinus: 0.3},
+		Selection: core.SelectBoundaryNearest,
+		Seed:      3,
+	}))
+	c.Initialize()
+	pass := func() {
+		it := rep.Events()
+		for {
+			ev, ok := it.Next()
+			if !ok {
+				break
+			}
+			c.Deliver(ev.Stream, ev.Value)
+		}
+	}
+	pass() // warm scratch
+	measure(b, "workload-replay", rep.Len(), false, pass)
+}

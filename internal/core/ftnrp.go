@@ -71,6 +71,15 @@ type FTNRP struct {
 	fn    intSet // streams currently holding false-negative filters
 	count int    // net insertions since the last baseline (Figure 7)
 
+	// Reusable scratch for the (re-)initialization fan-out, so protocol
+	// re-initializations triggered from the maintenance path allocate
+	// nothing once warm: the probe table, the inside/outside candidate
+	// partitions, the selection keys and the selection sorter.
+	valsBuf               []float64
+	insideBuf, outsideBuf []int
+	keyBuf                []float64
+	ks                    keyedSorter
+
 	// Reinits counts maintenance-phase re-initializations (for reports).
 	Reinits uint64
 }
@@ -105,7 +114,8 @@ func (p *FTNRP) HasAnswer(id stream.ID) bool { return p.ans.has(id) }
 
 // Initialize implements the Figure 7 Initialization phase.
 func (p *FTNRP) Initialize() {
-	vals := p.c.ProbeAll()
+	p.valsBuf = p.c.ProbeAllInto(p.valsBuf)
+	vals := p.valsBuf
 	p.c.AddServerOps(len(vals))
 	p.InitializeFromTable(vals)
 	for id := range vals {
@@ -121,9 +131,11 @@ func (p *FTNRP) Initialize() {
 // themselves via FilterFor; Initialize composes it with a ProbeAll and
 // per-stream installs.
 func (p *FTNRP) InitializeFromTable(vals []float64) {
-	p.ans, p.fp, p.fn = newIntSet(), newIntSet(), newIntSet()
+	p.ans.clear()
+	p.fp.clear()
+	p.fn.clear()
 	p.count = 0
-	var inside, outside []int
+	inside, outside := p.insideBuf[:0], p.outsideBuf[:0]
 	for id, v := range vals {
 		if p.rng.Contains(v) {
 			p.ans.add(id)
@@ -132,15 +144,26 @@ func (p *FTNRP) InitializeFromTable(vals []float64) {
 			outside = append(outside, id)
 		}
 	}
+	p.insideBuf, p.outsideBuf = inside, outside
 	nPlus := p.cfg.Tol.MaxFalsePositives(len(inside))
 	nMinus := p.cfg.Tol.MaxFalseNegatives(len(inside))
-	score := func(id int) float64 { return p.rng.BoundaryDist(vals[id]) }
-	for _, id := range p.cfg.Selection.pick(inside, score, nPlus, p.sel) {
+	for _, id := range p.pickSilent(inside, vals, nPlus) {
 		p.fp.add(id)
 	}
-	for _, id := range p.cfg.Selection.pick(outside, score, nMinus, p.sel) {
+	for _, id := range p.pickSilent(outside, vals, nMinus) {
 		p.fn.add(id)
 	}
+}
+
+// pickSilent selects up to n silent-filter holders from ids (reordering
+// them), scoring by distance to the query boundary. All buffers are
+// protocol-owned scratch, so a warmed call allocates nothing.
+func (p *FTNRP) pickSilent(ids []int, vals []float64, n int) []int {
+	p.keyBuf = p.keyBuf[:0]
+	for _, id := range ids {
+		p.keyBuf = append(p.keyBuf, p.rng.BoundaryDist(vals[id]))
+	}
+	return p.cfg.Selection.pickKeyed(&p.ks, ids, p.keyBuf, n, p.sel)
 }
 
 // FilterFor returns the constraint this protocol wants installed at stream

@@ -63,6 +63,14 @@ type FTRP struct {
 	d   float64
 	cur filter.Constraint
 
+	// Reusable scratch for the rebuild fan-out (ranking, probe table,
+	// selection keys), so window-triggered recomputations on the
+	// maintenance path allocate nothing once warm.
+	rk      ranker
+	valsBuf []float64
+	keyBuf  []float64
+	ks      keyedSorter
+
 	// Recomputes counts full bound recomputations; exported for reports.
 	Recomputes uint64
 }
@@ -148,7 +156,7 @@ func (p *FTRP) NMinus() int { return p.fn.len() }
 
 // Initialize probes everything and deploys R plus the silent filters.
 func (p *FTRP) Initialize() {
-	p.c.ProbeAll()
+	p.valsBuf = p.c.ProbeAllInto(p.valsBuf)
 	p.rebuild()
 }
 
@@ -156,8 +164,10 @@ func (p *FTRP) Initialize() {
 // answer to those k streams, and re-assigns silent filters with budgets
 // floor(k·ρ⁺) and floor(k·ρ⁻).
 func (p *FTRP) rebuild() {
-	sorted := rankTable(p.c, p.q)
-	p.ans, p.fp, p.fn = newIntSet(), newIntSet(), newIntSet()
+	sorted := p.rk.rank(p.c, p.q)
+	p.ans.clear()
+	p.fp.clear()
+	p.fn.clear()
 	p.count = 0
 	inside := sorted[:p.k]
 	outside := sorted[p.k:]
@@ -173,13 +183,13 @@ func (p *FTRP) rebuild() {
 	nMinus := p.nMinusBudget
 	// Boundary-nearest for a ball region: inside streams closest to the
 	// boundary have the largest distance from q; outside streams closest to
-	// the boundary have the smallest distance beyond it.
-	scoreIn := func(id int) float64 { return p.d - tableDist(p.c, p.q, id) }
-	scoreOut := func(id int) float64 { return tableDist(p.c, p.q, id) - p.d }
-	for _, id := range p.cfg.Selection.pick(inside, scoreIn, nPlus, p.sel) {
+	// the boundary have the smallest distance beyond it. The picks reorder
+	// sorted[:k] and sorted[k:] in place; the ranking is not consulted
+	// again below.
+	for _, id := range p.pickSilent(inside, nPlus, true) {
 		p.fp.add(id)
 	}
-	for _, id := range p.cfg.Selection.pick(outside, scoreOut, nMinus, p.sel) {
+	for _, id := range p.pickSilent(outside, nMinus, false) {
 		p.fn.add(id)
 	}
 
@@ -195,6 +205,22 @@ func (p *FTRP) rebuild() {
 		}
 	}
 	p.Recomputes++
+}
+
+// pickSilent selects up to n silent-filter holders from ids (reordering
+// them), scoring by distance to the ball boundary. All buffers are
+// protocol-owned scratch, so a warmed call allocates nothing.
+func (p *FTRP) pickSilent(ids []int, n int, insideRegion bool) []int {
+	p.keyBuf = p.keyBuf[:0]
+	for _, id := range ids {
+		d := tableDist(p.c, p.q, id)
+		if insideRegion {
+			p.keyBuf = append(p.keyBuf, p.d-d)
+		} else {
+			p.keyBuf = append(p.keyBuf, d-p.d)
+		}
+	}
+	return p.cfg.Selection.pickKeyed(&p.ks, ids, p.keyBuf, n, p.sel)
 }
 
 // HandleUpdate runs the FT-NRP maintenance machinery against the current R
@@ -253,7 +279,7 @@ func (p *FTRP) checkWindow() {
 	if n := p.ans.len(); n >= p.minA && n <= p.maxA {
 		return
 	}
-	p.c.ProbeAll()
+	p.valsBuf = p.c.ProbeAllInto(p.valsBuf)
 	p.rebuild()
 }
 

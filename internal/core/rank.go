@@ -7,26 +7,58 @@ import (
 	"adaptivefilters/internal/server"
 )
 
-// rankTable returns all stream ids sorted by (distance from q, id) ascending
-// over the server's value table — the "old ranking scores kept by the
-// server" the protocols consult. The pass is charged to the server
-// computation metric.
-func rankTable(c server.Host, q query.Center) []int {
+// ranker is reusable scratch for ranking streams by table distance. Each
+// rank-based protocol owns one, so the steady-state rebuild paths sort into
+// long-lived buffers: no table snapshot copy, no closure, no reflect-based
+// swapper — zero allocations once the buffers have grown to the stream
+// count.
+type ranker struct {
+	ids []int
+	ks  keyedSorter
+}
+
+// rank fills the scratch with all stream ids sorted by (distance from q,
+// id) ascending over the server's value table — the "old ranking scores
+// kept by the server" the protocols consult. The returned slice aliases the
+// scratch and is valid until the next ranker call. The pass is charged to
+// the server computation metric.
+func (r *ranker) rank(c server.Host, q query.Center) []int {
 	n := c.N()
-	ids := make([]int, n)
-	for i := range ids {
-		ids[i] = i
+	r.ids = r.ids[:0]
+	r.ks.keys = r.ks.keys[:0]
+	for i := 0; i < n; i++ {
+		v, _ := c.Table(i)
+		r.ids = append(r.ids, i)
+		r.ks.keys = append(r.ks.keys, q.Dist(v))
 	}
-	vals := c.TableValues()
-	sort.Slice(ids, func(a, b int) bool {
-		da, db := q.Dist(vals[ids[a]]), q.Dist(vals[ids[b]])
-		if da != db {
-			return da < db
-		}
-		return ids[a] < ids[b]
-	})
+	r.ks.ids = r.ids
+	sort.Sort(&r.ks)
+	r.ks.ids = nil
 	c.AddServerOps(n)
-	return ids
+	return r.ids
+}
+
+// sortIDs orders ids ascending by (table distance from q, id) in place,
+// reusing the ranker's key buffer.
+func (r *ranker) sortIDs(c server.Host, q query.Center, ids []int) {
+	r.ks.keys = r.ks.keys[:0]
+	for _, id := range ids {
+		r.ks.keys = append(r.ks.keys, tableDist(c, q, id))
+	}
+	r.ks.ids = ids
+	sort.Sort(&r.ks)
+	r.ks.ids = nil
+	c.AddServerOps(len(ids))
+}
+
+// rankTable is the allocating convenience form of ranker.rank, kept for
+// callers outside the per-event hot path (and their tests).
+func rankTable(c server.Host, q query.Center) []int {
+	var r ranker
+	ids := r.rank(c, q)
+	out := make([]int, len(ids))
+	copy(out, ids)
+	return out
 }
 
 // tableDist returns the distance of stream id's table value from q.
@@ -42,12 +74,6 @@ func midpoint(inner, outer float64) float64 { return (inner + outer) / 2 }
 
 // sortByTableDist orders ids ascending by (table distance from q, id).
 func sortByTableDist(c server.Host, q query.Center, ids []int) {
-	sort.Slice(ids, func(a, b int) bool {
-		da, db := tableDist(c, q, ids[a]), tableDist(c, q, ids[b])
-		if da != db {
-			return da < db
-		}
-		return ids[a] < ids[b]
-	})
-	c.AddServerOps(len(ids))
+	var r ranker
+	r.sortIDs(c, q, ids)
 }

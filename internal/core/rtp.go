@@ -27,6 +27,17 @@ type RTP struct {
 	d   float64
 	cur filter.Constraint
 
+	// Reusable scratch for the maintenance-phase repair paths (replacement
+	// ranking, expanding search, X refresh), so steady-state event handling
+	// allocates nothing once the buffers have grown to the stream count.
+	rk       ranker
+	valsBuf  []float64
+	idBuf    []int  // replacement candidates / probe fan-out
+	pendBuf  []int  // expanding search: candidates awaiting a reply
+	spareBuf []int  // expanding search: ping-pong partner of pendBuf
+	hitBuf   []int  // expanding search: conditional-probe hits, discovery order
+	isHit    []bool // expanding search: dense hit membership
+
 	// Deploys counts bound deployments; Reinits counts full
 	// re-initializations from the expanding-search fallback (reports/tests).
 	Deploys uint64
@@ -58,9 +69,16 @@ func (p *RTP) X() []int { return p.inX.sorted() }
 // Initialize implements the Figure 5 Initialization phase: probe everything,
 // seed A and X from the true ranking, deploy R.
 func (p *RTP) Initialize() {
-	p.c.ProbeAll()
-	sorted := rankTable(p.c, p.q)
-	p.inA, p.inX = newIntSet(), newIntSet()
+	p.valsBuf = p.c.ProbeAllInto(p.valsBuf)
+	p.rebuildFromRanking()
+}
+
+// rebuildFromRanking recomputes A and X from the current server table and
+// redeploys the bound (shared by Initialize and the Case 3 X refresh).
+func (p *RTP) rebuildFromRanking() {
+	sorted := p.rk.rank(p.c, p.q)
+	p.inA.clear()
+	p.inX.clear()
 	for i, id := range sorted {
 		if i < p.tol.K {
 			p.inA.add(id)
@@ -121,13 +139,14 @@ func (p *RTP) answerLeft(id stream.ID) {
 	// Step 3: replace from X−A when possible — pick the member with the
 	// highest rank (smallest table distance).
 	if p.inX.len() > p.inA.len() {
-		candidates := make([]int, 0, p.inX.len())
-		for _, x := range p.inX.sorted() {
-			if !p.inA.has(x) {
+		candidates := p.idBuf[:0]
+		for x, in := range p.inX.bits {
+			if in && !p.inA.has(x) {
 				candidates = append(candidates, x)
 			}
 		}
-		sortByTableDist(p.c, p.q, candidates)
+		p.idBuf = candidates
+		p.rk.sortIDs(p.c, p.q, candidates)
 		p.inA.add(candidates[0])
 		return
 	}
@@ -143,16 +162,22 @@ func (p *RTP) answerLeft(id stream.ID) {
 
 // expandSearch implements Figure 5 Case 2 step 4: grow a candidate region
 // R' through the stale ranking, conditionally probing candidates until at
-// least two respond, then rebuild A and X and redeploy the bound.
+// least two respond, then rebuild A and X and redeploy the bound. All
+// working storage is protocol scratch; the hit bitmap is cleaned before
+// every return.
 func (p *RTP) expandSearch() bool {
-	sorted := rankTable(p.c, p.q)
+	sorted := p.rk.rank(p.c, p.q)
 	e := p.tol.Eps()
-	hits := make(map[int]float64) // fresh values of conditional-probe hits
+	if n := p.c.N(); len(p.isHit) < n {
+		p.isHit = make([]bool, n)
+	}
+	hits := p.hitBuf[:0] // conditional-probe hits, discovery order
 	// pending holds every candidate covered by the current region that has
 	// not replied yet: the non-answer streams whose stale rank is within
 	// ε_k^r, plus one more stream per expansion step. Regions are nested, so
 	// previous hits remain hits and only misses need re-probing.
-	var pending []int
+	pending, spare := p.pendBuf[:0], p.spareBuf[:0]
+	found := false
 	for _, id := range sorted[:e] {
 		if !p.inA.has(id) {
 			pending = append(pending, id)
@@ -164,33 +189,32 @@ func (p *RTP) expandSearch() bool {
 		if !p.inA.has(sorted[j-1]) {
 			pending = append(pending, sorted[j-1])
 		}
-		var misses []int
+		spare = spare[:0]
 		for _, cand := range pending {
-			if _, dup := hits[cand]; dup {
+			if p.isHit[cand] {
 				continue
 			}
-			if v, ok := p.c.ProbeIf(cand, region); ok {
-				hits[cand] = v
+			if _, ok := p.c.ProbeIf(cand, region); ok {
+				// ProbeIf refreshed the table, so the hit's fresh value is
+				// read back through it below.
+				p.isHit[cand] = true
+				hits = append(hits, cand)
 			} else {
-				misses = append(misses, cand)
+				spare = append(spare, cand)
 			}
 		}
-		pending = misses
+		pending, spare = spare, pending
 		if len(hits) < 2 {
 			continue
 		}
 		// Found enough candidates: the closest joins A; X keeps up to r+1
-		// of the closest hits alongside A.
-		u := make([]int, 0, len(hits))
-		for idm := range hits {
-			u = append(u, idm)
-		}
-		sortByTableDist(p.c, p.q, u) // hits' table values are fresh
+		// of the closest hits alongside A. (sorted is dead past this point,
+		// so reusing the ranker's key buffer for the hit sort is safe.)
+		u := hits
+		p.rk.sortIDs(p.c, p.q, u) // hits' table values are fresh
 		p.inA.add(u[0])
-		p.inX = newIntSet()
-		for a := range p.inA {
-			p.inX.add(a)
-		}
+		p.inX.clear()
+		p.inX.addAll(&p.inA)
 		limit := p.tol.R + 1
 		if limit > len(u) {
 			limit = len(u)
@@ -213,14 +237,22 @@ func (p *RTP) expandSearch() bool {
 			outer = inner
 		}
 		p.install(midpoint(inner, outer))
-		return true
+		found = true
+		break
 	}
-	return false
+	for _, h := range hits {
+		p.isHit[h] = false
+	}
+	p.hitBuf, p.pendBuf, p.spareBuf = hits, pending, spare
+	return found
 }
 
 func (p *RTP) maxXDist() float64 {
 	max := math.Inf(-1)
-	for x := range p.inX {
+	for x, in := range p.inX.bits {
+		if !in {
+			continue
+		}
 		if d := tableDist(p.c, p.q, x); d > max {
 			max = d
 		}
@@ -236,22 +268,9 @@ func (p *RTP) entered(id stream.ID) {
 		return
 	}
 	// Step 7: X is full; probe its members for fresh values and rebuild.
-	for _, x := range p.inX.sorted() {
-		p.c.Probe(x)
-	}
-	sorted := rankTable(p.c, p.q)
-	p.inA, p.inX = newIntSet(), newIntSet()
-	for i, sid := range sorted {
-		if i < p.tol.K {
-			p.inA.add(sid)
-		}
-		if i < p.tol.Eps() {
-			p.inX.add(sid)
-		} else {
-			break
-		}
-	}
-	p.deployBound(sorted)
+	p.idBuf = p.inX.appendMembers(p.idBuf[:0])
+	p.c.ProbeBatch(p.idBuf)
+	p.rebuildFromRanking()
 }
 
 // Answer implements server.Protocol.

@@ -22,6 +22,12 @@ type ZTRP struct {
 	d   float64
 	cur filter.Constraint
 
+	// Reusable scratch for rebuilds, so the zero-tolerance repair paths
+	// allocate nothing once warm.
+	rk      ranker
+	valsBuf []float64
+	idBuf   []int
+
 	// Recomputes counts bound recomputations (reports/tests).
 	Recomputes uint64
 }
@@ -43,14 +49,14 @@ func (p *ZTRP) Bound() filter.Constraint { return p.cur }
 // Initialize probes everything, computes the k nearest and deploys R halfway
 // between the k-th and (k+1)-st distances.
 func (p *ZTRP) Initialize() {
-	p.c.ProbeAll()
+	p.valsBuf = p.c.ProbeAllInto(p.valsBuf)
 	p.rebuild()
 }
 
 // rebuild recomputes A and R from the current server table and redeploys.
 func (p *ZTRP) rebuild() {
-	sorted := rankTable(p.c, p.q)
-	p.ans = newIntSet()
+	sorted := p.rk.rank(p.c, p.q)
+	p.ans.clear()
 	for _, id := range sorted[:p.k] {
 		p.ans.add(id)
 	}
@@ -70,14 +76,13 @@ func (p *ZTRP) HandleUpdate(id stream.ID, v float64) {
 	case p.ans.has(id) && !inside:
 		// An answer left R: the new k-th neighbor may be anywhere outside,
 		// so the server must probe everything again.
-		p.c.ProbeAll()
+		p.valsBuf = p.c.ProbeAllInto(p.valsBuf)
 		p.rebuild()
 	case !p.ans.has(id) && inside:
 		// A stream entered R: R now holds k+1 streams. Refresh the members
 		// and shrink R around the true k nearest.
-		for _, a := range p.ans.sorted() {
-			p.c.Probe(a)
-		}
+		p.idBuf = p.ans.appendMembers(p.idBuf[:0])
+		p.c.ProbeBatch(p.idBuf)
 		p.rebuild()
 	default:
 		// Stale-side refresh (install handshake); nothing crossed.

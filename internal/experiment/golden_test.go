@@ -11,10 +11,16 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite the golden tables under testdata/")
 
+// goldenWorkers overrides the cell-engine pool size the golden tables are
+// regenerated with (0 = sequential). The committed bytes must be identical
+// at every setting; the CI determinism job runs the golden tests at 1 and 8
+// workers to pin that.
+var goldenWorkers = flag.Int("golden-workers", 0, "cell-engine workers for golden regeneration")
+
 // goldenOpts pins the exact configuration the committed tables were
 // generated with. Changing any of it invalidates testdata/ — regenerate
 // with `go test ./internal/experiment -run TestGolden -update`.
-func goldenOpts() Options { return Options{Scale: 0.02, Seed: 1} }
+func goldenOpts() Options { return Options{Scale: 0.02, Seed: 1, Workers: *goldenWorkers} }
 
 func checkGolden(t *testing.T, name string, tbl *metrics.Table) {
 	t.Helper()

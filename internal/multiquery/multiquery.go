@@ -253,6 +253,34 @@ func (v *queryView) ProbeAll() []float64 {
 	return v.TableValues()
 }
 
+// ProbeAllInto implements server.Host reusing dst for the table snapshot.
+func (v *queryView) ProbeAllInto(dst []float64) []float64 {
+	v.m.probeAll()
+	if cap(dst) < len(v.m.table) {
+		dst = make([]float64, len(v.m.table))
+	}
+	dst = dst[:len(v.m.table)]
+	copy(dst, v.m.table)
+	return dst
+}
+
+// ProbeBatch implements server.Host: 2·len(ids) messages on the shared
+// counter, one batched update per kind.
+func (v *queryView) ProbeBatch(ids []stream.ID) {
+	if len(ids) == 0 {
+		return
+	}
+	v.m.ctr.Add(comm.Probe, uint64(len(ids)))
+	v.m.ctr.Add(comm.ProbeReply, uint64(len(ids)))
+	for _, id := range ids {
+		v.m.table[id] = v.m.vals[id]
+		v.m.known[id] = true
+		for qi := range v.m.specs {
+			v.m.inside[id][qi] = v.m.cons[id][qi].Contains(v.m.vals[id])
+		}
+	}
+}
+
 // Install rewrites this query's entry in stream id's composite filter for
 // one install message. expectInside is ignored: the multiquery model has no
 // install handshake (the entry is recomputed against ground truth).

@@ -11,6 +11,12 @@
 // derive from the node seed via sim.DeriveSeed, per-tenant comm.Counters
 // merge into node totals, and shutdown is context-cancellable in the style
 // of experiment.RunCells.
+//
+// The ingest path is allocation-free in steady state: every shard owns a
+// fixed pool of event buffers that circulate router → queue → shard loop →
+// router (see DESIGN.md, "Hot path & benchmarking"). Ingest copies the
+// caller's events into pooled buffers, so callers may reuse their batch
+// slice immediately after Ingest returns.
 package runtime
 
 import (
@@ -102,6 +108,17 @@ type batch struct {
 	ack    chan<- struct{}
 }
 
+// shard is one event loop's channel pair. Event buffers circulate between
+// work and free: the router takes an empty buffer from free, fills it, and
+// sends it on work; the loop applies it and returns it to free. free holds
+// queue+2 buffers — enough for a full work queue plus one buffer in flight
+// on each side — so in steady state the router never allocates and never
+// finds free empty unless the work queue is genuinely full.
+type shard struct {
+	work chan batch
+	free chan []Event
+}
+
 // Node hosts tenants on sharded event loops. The ingest side (Start,
 // Ingest, Drain, Stop) must be driven from a single goroutine; the
 // concurrency lives in the shard loops behind it. Tenant state accessors
@@ -109,7 +126,11 @@ type batch struct {
 type Node struct {
 	cfg     Config
 	tenants []*tenant
-	shards  []chan batch
+	shards  []shard
+	// fill[s] is the pooled buffer Ingest is currently filling for shard s
+	// (nil when none); acks is the reusable Drain acknowledgement channel.
+	fill [][]Event
+	acks chan struct{}
 
 	ctx     context.Context
 	cancel  context.CancelFunc
@@ -147,9 +168,17 @@ func NewNode(cfg Config, specs []TenantSpec) (*Node, error) {
 			shard:   i % shards,
 		})
 	}
-	n.shards = make([]chan batch, shards)
+	n.shards = make([]shard, shards)
+	n.fill = make([][]Event, shards)
+	n.acks = make(chan struct{}, shards)
 	for s := range n.shards {
-		n.shards[s] = make(chan batch, cfg.queue())
+		n.shards[s].work = make(chan batch, cfg.queue())
+		// Pre-populate the buffer pool; the buffers grow to the observed
+		// batch sizes during warmup and are then recycled forever.
+		n.shards[s].free = make(chan []Event, cfg.queue()+2)
+		for b := 0; b < cfg.queue()+2; b++ {
+			n.shards[s].free <- nil
+		}
 	}
 	return n, nil
 }
@@ -189,8 +218,9 @@ func (n *Node) Start(ctx context.Context) error {
 }
 
 // loop is one shard's event loop: initialize owned tenants, then apply
-// batches in arrival order.
-func (n *Node) loop(ch <-chan batch, owned []*tenant) {
+// batches in arrival order, recycling each batch's buffer into the shard's
+// pool once applied.
+func (n *Node) loop(sh shard, owned []*tenant) {
 	defer n.wg.Done()
 	for _, t := range owned {
 		// Checked between tenants so cancellation interrupts t0 setup too —
@@ -205,7 +235,7 @@ func (n *Node) loop(ch <-chan batch, owned []*tenant) {
 		select {
 		case <-n.ctx.Done():
 			return
-		case b, ok := <-ch:
+		case b, ok := <-sh.work:
 			if !ok {
 				return
 			}
@@ -213,6 +243,14 @@ func (n *Node) loop(ch <-chan batch, owned []*tenant) {
 				t := n.tenants[ev.Tenant]
 				t.cluster.Deliver(ev.Stream, ev.Value)
 				t.events++
+			}
+			if b.events != nil {
+				select {
+				case sh.free <- b.events[:0]:
+				default:
+					// The pool is full (cannot happen with pooled buffers,
+					// but keeps foreign buffers from wedging the loop).
+				}
 			}
 			if b.ack != nil {
 				b.ack <- struct{}{}
@@ -226,7 +264,10 @@ func (n *Node) loop(ch <-chan batch, owned []*tenant) {
 // exactly one shard, so per-tenant order is exactly the arrival order no
 // matter how many shards the node runs. One Ingest costs at most one
 // channel send per shard — callers feeding high-rate streams should batch
-// accordingly.
+// accordingly. Events are copied into buffers from the per-shard pools
+// (allocation-free once warm), so the caller may reuse its slice
+// immediately; when a shard's queue and pool are exhausted Ingest blocks
+// until that shard frees a buffer.
 func (n *Node) Ingest(events []Event) error {
 	if !n.started || n.stopped {
 		return fmt.Errorf("runtime: node not running")
@@ -234,32 +275,54 @@ func (n *Node) Ingest(events []Event) error {
 	if err := n.ctx.Err(); err != nil {
 		return err
 	}
-	groups := make([][]Event, len(n.shards))
+	// Validate everything first so an error routes nothing: a malformed
+	// event would otherwise surface as an index panic inside a shard
+	// goroutine, where the caller cannot recover it.
 	for _, ev := range events {
 		if ev.Tenant < 0 || ev.Tenant >= len(n.tenants) {
 			return fmt.Errorf("runtime: event for unknown tenant %d", ev.Tenant)
 		}
-		t := n.tenants[ev.Tenant]
-		// Validated here, on the ingest side: an out-of-range id would only
-		// surface as an index panic inside a shard goroutine, where the
-		// caller cannot recover it.
-		if ev.Stream < 0 || ev.Stream >= t.cluster.N() {
+		if t := n.tenants[ev.Tenant]; ev.Stream < 0 || ev.Stream >= t.cluster.N() {
 			return fmt.Errorf("runtime: event for unknown stream %d of tenant %d (n=%d)",
 				ev.Stream, ev.Tenant, t.cluster.N())
 		}
-		groups[t.shard] = append(groups[t.shard], ev)
 	}
-	for s, g := range groups {
-		if len(g) == 0 {
+	for _, ev := range events {
+		s := n.tenants[ev.Tenant].shard
+		if n.fill[s] == nil {
+			buf, err := n.takeBuf(s)
+			if err != nil {
+				return err
+			}
+			n.fill[s] = buf
+		}
+		n.fill[s] = append(n.fill[s], ev)
+	}
+	for s := range n.shards {
+		if len(n.fill[s]) == 0 {
 			continue
 		}
 		select {
-		case n.shards[s] <- batch{events: g}:
+		case n.shards[s].work <- batch{events: n.fill[s]}:
+			n.fill[s] = nil
 		case <-n.ctx.Done():
 			return n.ctx.Err()
 		}
 	}
 	return nil
+}
+
+// takeBuf borrows an empty event buffer from shard s's pool, blocking until
+// the shard loop recycles one (i.e. only when the shard is a full queue
+// behind) or the node shuts down. Buffers start nil and are grown by the
+// router's appends, so the pool adapts to the caller's batch sizes.
+func (n *Node) takeBuf(s int) ([]Event, error) {
+	select {
+	case buf := <-n.shards[s].free:
+		return buf, nil
+	case <-n.ctx.Done():
+		return nil, n.ctx.Err()
+	}
 }
 
 // Drain blocks until every shard has applied all batches ingested so far
@@ -270,17 +333,22 @@ func (n *Node) Drain() error {
 	if !n.started || n.stopped {
 		return fmt.Errorf("runtime: node not running")
 	}
-	acks := make(chan struct{}, len(n.shards))
+	// Refuse after cancellation up front: a cancelled drain can leave
+	// unclaimed acknowledgements behind, and the reusable ack channel must
+	// never be read again once that has happened.
+	if err := n.ctx.Err(); err != nil {
+		return err
+	}
 	for s := range n.shards {
 		select {
-		case n.shards[s] <- batch{ack: acks}:
+		case n.shards[s].work <- batch{ack: n.acks}:
 		case <-n.ctx.Done():
 			return n.ctx.Err()
 		}
 	}
 	for range n.shards {
 		select {
-		case <-acks:
+		case <-n.acks:
 		case <-n.ctx.Done():
 			return n.ctx.Err()
 		}

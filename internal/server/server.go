@@ -39,6 +39,16 @@ type Host interface {
 	// ProbeAll probes every stream (2n messages) and returns the refreshed
 	// table.
 	ProbeAll() []float64
+	// ProbeAllInto is ProbeAll writing into dst when its capacity suffices
+	// (allocating only otherwise), so periodic re-initializations inside the
+	// ingest hot path can reuse one buffer. The message accounting is
+	// identical to ProbeAll.
+	ProbeAllInto(dst []float64) []float64
+	// ProbeBatch probes every listed stream (2·len(ids) messages, counted in
+	// one batched counter update) and refreshes the table; callers read the
+	// fresh values back through Table. It replaces per-stream Probe fan-out
+	// loops on the maintenance path.
+	ProbeBatch(ids []stream.ID)
 	// Install deploys a filter constraint to one stream (one Install
 	// message). expectInside is the side of the interval the server's table
 	// implies.
@@ -111,8 +121,12 @@ type Cluster struct {
 	table []float64
 	known []bool
 
-	ctr      comm.Counter
+	ctr comm.Counter
+	// pending is a reusable FIFO of updates awaiting protocol handling:
+	// receive appends at the tail, drain consumes via head and resets both
+	// once empty, so the steady-state delivery path never reallocates it.
 	pending  []pendingUpdate
+	head     int
 	draining bool
 	lossRng  *rand.Rand
 	// DroppedUpdates counts update messages lost to injected uplink loss.
@@ -197,18 +211,21 @@ func (c *Cluster) Deliver(id stream.ID, v float64) {
 
 // drain feeds queued updates to the protocol one at a time. Updates that
 // arrive while the protocol is handling one (e.g. mismatch reports caused by
-// installs) are processed after the current handler returns, in order.
+// installs) are appended behind head and processed after the current handler
+// returns, in order. The queue storage is reused across deliveries.
 func (c *Cluster) drain() {
 	if c.draining {
 		return
 	}
 	c.draining = true
 	defer func() { c.draining = false }()
-	for len(c.pending) > 0 {
-		u := c.pending[0]
-		c.pending = c.pending[1:]
+	for c.head < len(c.pending) {
+		u := c.pending[c.head]
+		c.head++
 		c.proto.HandleUpdate(u.id, u.v)
 	}
+	c.pending = c.pending[:0]
+	c.head = 0
 }
 
 // --- primitives available to protocols -------------------------------------
@@ -227,12 +244,36 @@ func (c *Cluster) Probe(id stream.ID) float64 {
 // ProbeAll probes every stream (2n messages) and returns a copy of the
 // refreshed table. This is the paper's "request all streams to send their
 // values" initialization step.
-func (c *Cluster) ProbeAll() []float64 {
-	out := make([]float64, c.N())
-	for i := range c.sources {
-		out[i] = c.Probe(i)
+func (c *Cluster) ProbeAll() []float64 { return c.ProbeAllInto(nil) }
+
+// ProbeAllInto is ProbeAll writing into dst when cap(dst) >= n; protocols
+// that re-initialize on the maintenance path pass a reusable buffer so the
+// fan-out allocates nothing. The per-stream accounting is identical.
+func (c *Cluster) ProbeAllInto(dst []float64) []float64 {
+	n := c.N()
+	if cap(dst) < n {
+		dst = make([]float64, n)
 	}
-	return out
+	dst = dst[:n]
+	for i := range c.sources {
+		dst[i] = c.Probe(i)
+	}
+	return dst
+}
+
+// ProbeBatch probes every listed stream, refreshing the table; the 2·len(ids)
+// messages land on the counter in one batched update per kind.
+func (c *Cluster) ProbeBatch(ids []stream.ID) {
+	if len(ids) == 0 {
+		return
+	}
+	c.ctr.Add(comm.Probe, uint64(len(ids)))
+	c.ctr.Add(comm.ProbeReply, uint64(len(ids)))
+	for _, id := range ids {
+		v := c.sources[id].Probe()
+		c.table[id] = v
+		c.known[id] = true
+	}
 }
 
 // ProbeIf asks stream id to reply only when its current value lies inside

@@ -69,7 +69,7 @@ func (ps *perStream) Next() (Event, bool) {
 		ps.h[0].ev = nxt
 		heap.Fix(&ps.h, 0)
 	} else {
-		heap.Pop(&ps.h)
+		ps.h.dropRoot()
 	}
 	return ev, true
 }
@@ -122,7 +122,7 @@ func (ti *TaggedIterator) Next() (ev TaggedEvent, ok bool) {
 		item.ev = nxt
 		heap.Fix(&ti.h, 0)
 	} else {
-		heap.Pop(&ti.h)
+		ti.h.dropRoot()
 	}
 	return out, true
 }
@@ -139,3 +139,17 @@ func (h mergeHeap) Less(i, j int) bool {
 func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeItem)) }
 func (h *mergeHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// dropRoot removes the root without the heap.Pop any-boxing round trip (an
+// allocation per retired source on the merge hot path): move the last leaf
+// to the root, shrink, and restore the heap property.
+func (h *mergeHeap) dropRoot() {
+	old := *h
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = mergeItem{}
+	*h = old[:n]
+	if n > 0 {
+		heap.Fix(h, 0)
+	}
+}
