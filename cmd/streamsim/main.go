@@ -38,33 +38,64 @@ const tenantWorkloadStream int64 = 0x7EA1
 
 func main() {
 	var (
-		wl      = flag.String("workload", "synthetic", "workload: synthetic | tcp | replay")
-		trace   = flag.String("trace", "", "CSV trace file for -workload replay (time,stream,value)")
-		proto   = flag.String("protocol", "ft-nrp", "protocol: no-filter | zt-nrp | ft-nrp | rtp | zt-rp | ft-rp | vb-knn")
-		n       = flag.Int("n", 1000, "number of streams")
-		events  = flag.Int("events", 50000, "approximate number of events")
-		sigma   = flag.Float64("sigma", 20, "synthetic random-walk step deviation")
-		seed    = flag.Int64("seed", 1, "determinism seed")
-		lo      = flag.Float64("lo", 400, "range query lower bound")
-		hi      = flag.Float64("hi", 600, "range query upper bound")
-		k       = flag.Int("k", 20, "rank requirement for k-NN/top-k protocols")
-		r       = flag.Int("r", 5, "rank slack for rtp")
-		qpoint  = flag.Float64("q", 500, "k-NN query point (use -top for q=+inf)")
-		top     = flag.Bool("top", false, "use the top-k (q=+inf) transform")
-		eps     = flag.Float64("eps", 0.2, "symmetric fraction tolerance ε⁺=ε⁻")
-		width   = flag.Float64("width", 100, "value tolerance ε_v for vb-knn")
-		epsP    = flag.Float64("eps-plus", -1, "explicit ε⁺ (overrides -eps)")
-		epsM    = flag.Float64("eps-minus", -1, "explicit ε⁻ (overrides -eps)")
-		sel     = flag.String("selection", "boundary", "silent filter selection: boundary | random")
-		check   = flag.Bool("check", false, "verify answers against the ground-truth oracle")
-		every   = flag.Int("check-every", 10, "oracle sampling period")
-		verbose = flag.Bool("v", false, "print the final answer set")
-		tenants = flag.Int("tenants", 1, "host this many independent (workload × query) tenants on one node")
-		shards  = flag.Int("shards", 1, "event-loop goroutines for -tenants mode (-1 = GOMAXPROCS)")
-		batch   = flag.Int("batch", 512, "ingest batch size for -tenants mode")
-		answers = flag.String("answers", "", "write a timing-free per-tenant answer/counter dump to this file (-tenants mode); byte-identical at any -shards, the CI determinism job diffs it")
+		wl        = flag.String("workload", "synthetic", "workload: synthetic | tcp | replay")
+		trace     = flag.String("trace", "", "CSV trace file for -workload replay (time,stream,value)")
+		proto     = flag.String("protocol", "ft-nrp", "protocol: no-filter | zt-nrp | ft-nrp | rtp | zt-rp | ft-rp | vb-knn")
+		n         = flag.Int("n", 1000, "number of streams")
+		events    = flag.Int("events", 50000, "approximate number of events")
+		sigma     = flag.Float64("sigma", 20, "synthetic random-walk step deviation")
+		seed      = flag.Int64("seed", 1, "determinism seed")
+		lo        = flag.Float64("lo", 400, "range query lower bound")
+		hi        = flag.Float64("hi", 600, "range query upper bound")
+		k         = flag.Int("k", 20, "rank requirement for k-NN/top-k protocols")
+		r         = flag.Int("r", 5, "rank slack for rtp")
+		qpoint    = flag.Float64("q", 500, "k-NN query point (use -top for q=+inf)")
+		top       = flag.Bool("top", false, "use the top-k (q=+inf) transform")
+		eps       = flag.Float64("eps", 0.2, "symmetric fraction tolerance ε⁺=ε⁻")
+		width     = flag.Float64("width", 100, "value tolerance ε_v for vb-knn")
+		epsP      = flag.Float64("eps-plus", -1, "explicit ε⁺ (overrides -eps)")
+		epsM      = flag.Float64("eps-minus", -1, "explicit ε⁻ (overrides -eps)")
+		sel       = flag.String("selection", "boundary", "silent filter selection: boundary | random")
+		check     = flag.Bool("check", false, "verify answers against the ground-truth oracle")
+		every     = flag.Int("check-every", 10, "oracle sampling period")
+		verbose   = flag.Bool("v", false, "print the final answer set")
+		tenants   = flag.Int("tenants", 1, "host this many independent (workload × query) tenants on one node")
+		shards    = flag.Int("shards", 1, "event-loop goroutines for -tenants mode (-1 = GOMAXPROCS)")
+		batch     = flag.Int("batch", 512, "ingest batch size for -tenants mode")
+		answers   = flag.String("answers", "", "write a timing-free per-tenant answer/counter dump to this file (-tenants mode); byte-identical at any -shards, the CI determinism job diffs it")
+		snapEvery = flag.Int("snapshot-every", 0, "take a barrier-consistent node snapshot about every N ingested events (-tenants mode; 0 = off)")
+		snapFile  = flag.String("snapshot-file", "streamsim.snap", "file the latest -snapshot-every snapshot is written to")
+		restore   = flag.String("restore", "", "resume from a node snapshot file instead of starting fresh (-tenants mode; pass the same workload/protocol flags as the snapshotting run)")
 	)
 	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "streamsim: "+format+"\n", args...)
+		fmt.Fprintln(os.Stderr, "run with -h for usage")
+		os.Exit(2)
+	}
+	// Validate flag combinations up front: a bad value must exit non-zero
+	// with a message, not panic in a protocol constructor or silently run a
+	// default. (The protocol-specific k/n checks mirror the constructors'
+	// own panics.)
+	switch {
+	case *tenants < 1:
+		fail("-tenants must be at least 1, got %d", *tenants)
+	case *shards == 0 || *shards < -1:
+		fail("-shards must be positive or -1 for GOMAXPROCS, got %d", *shards)
+	case *n < 1:
+		fail("-n must be at least 1, got %d", *n)
+	case *events < 0:
+		fail("-events must be non-negative, got %d", *events)
+	case *batch < 1:
+		fail("-batch must be positive, got %d", *batch)
+	case *every < 1:
+		fail("-check-every must be positive, got %d", *every)
+	case *snapEvery < 0:
+		fail("-snapshot-every must be non-negative, got %d", *snapEvery)
+	case (*snapEvery > 0 || *restore != "") && *tenants == 1:
+		fail("-snapshot-every and -restore need -tenants mode (pass -tenants > 1)")
+	}
 
 	mkWorkload := func(wseed int64) (workload.Workload, error) {
 		switch *wl {
@@ -98,6 +129,29 @@ func main() {
 		em = *epsM
 	}
 	tol := core.FractionTolerance{EpsPlus: ep, EpsMinus: em}
+	switch *proto {
+	case "ft-nrp", "ft-rp":
+		if err := tol.Validate(); err != nil {
+			fail("%v", err)
+		}
+	}
+	switch *proto {
+	case "rtp":
+		if *k < 1 || *r < 0 || *k+*r >= *n {
+			fail("rtp needs k >= 1, r >= 0 and k+r < n; got k=%d r=%d n=%d", *k, *r, *n)
+		}
+	case "zt-rp", "ft-rp":
+		if *k < 1 || *k >= *n {
+			fail("%s needs 1 <= k < n; got k=%d n=%d", *proto, *k, *n)
+		}
+	case "vb-knn":
+		if *k < 1 || *k > *n {
+			fail("vb-knn needs 1 <= k <= n; got k=%d n=%d", *k, *n)
+		}
+		if *width < 0 {
+			fail("vb-knn needs -width >= 0, got %g", *width)
+		}
+	}
 	selection := core.SelectBoundaryNearest
 	if strings.HasPrefix(*sel, "r") {
 		selection = core.SelectRandom
@@ -175,11 +229,12 @@ func main() {
 		if *check {
 			fmt.Fprintln(os.Stderr, "streamsim: -check is ignored in -tenants mode")
 		}
-		if *batch <= 0 {
-			fmt.Fprintf(os.Stderr, "streamsim: -batch must be positive, got %d\n", *batch)
-			os.Exit(2)
+		cfg := tenantsConfig{
+			tenants: *tenants, shards: *shards, batch: *batch, seed: *seed,
+			proto: *proto, verbose: *verbose, answers: *answers,
+			snapEvery: *snapEvery, snapFile: *snapFile, restore: *restore,
 		}
-		if err := runTenants(*tenants, *shards, *batch, *seed, *proto, mkWorkload, build, *verbose, *answers); err != nil {
+		if err := runTenants(cfg, mkWorkload, build); err != nil {
 			fmt.Fprintln(os.Stderr, "streamsim:", err)
 			os.Exit(2)
 		}
@@ -226,25 +281,44 @@ func main() {
 	}
 }
 
+// tenantsConfig bundles the -tenants mode flags.
+type tenantsConfig struct {
+	tenants, shards, batch int
+	seed                   int64
+	proto                  string
+	verbose                bool
+	answers                string
+	snapEvery              int
+	snapFile               string
+	restore                string
+}
+
 // runTenants hosts `tenants` independent copies of the configured
 // (workload × protocol) pair on one runtime.Node: tenant i's workload is
 // derived from the base seed and i, its protocol seed from the node seed
 // via the runtime's own derivation. Events from all tenants are merged into
 // one time-ordered ingress stream and ingested in batches, mimicking a
 // mixed multi-tenant uplink.
-func runTenants(tenants, shards, batchSize int, seed int64, protoName string,
+//
+// With snapEvery > 0 the node snapshots itself about every snapEvery
+// ingested events (at the next batch boundary), overwriting snapFile each
+// time. With restore set, the node resumes from that snapshot instead of
+// initializing, skips the merged events the snapshot already covers, and
+// continues — with the same flags, the final answers are byte-identical to
+// an uninterrupted run at any shard count.
+func runTenants(cfg tenantsConfig,
 	mkWorkload func(int64) (workload.Workload, error),
-	build func(c server.Host, seed int64) server.Protocol, verbose bool, answersPath string) error {
+	build func(c server.Host, seed int64) server.Protocol) error {
 
-	specs := make([]runtime.TenantSpec, tenants)
-	iters := make([]workload.Iterator, tenants)
-	for i := 0; i < tenants; i++ {
-		w, err := mkWorkload(sim.DeriveSeed(seed, tenantWorkloadStream, int64(i)))
+	specs := make([]runtime.TenantSpec, cfg.tenants)
+	iters := make([]workload.Iterator, cfg.tenants)
+	for i := 0; i < cfg.tenants; i++ {
+		w, err := mkWorkload(sim.DeriveSeed(cfg.seed, tenantWorkloadStream, int64(i)))
 		if err != nil {
 			return err
 		}
 		specs[i] = runtime.TenantSpec{
-			Name:        fmt.Sprintf("%s/%s-%d", protoName, w.Name(), i),
+			Name:        fmt.Sprintf("%s/%s-%d", cfg.proto, w.Name(), i),
 			Initial:     w.Initial(),
 			NewProtocol: build,
 		}
@@ -252,9 +326,28 @@ func runTenants(tenants, shards, batchSize int, seed int64, protoName string,
 	}
 	merge := workload.MergeIterators(iters)
 
-	node, err := runtime.NewNode(runtime.Config{Shards: shards, Seed: seed}, specs)
-	if err != nil {
-		return err
+	var node *runtime.Node
+	var skip uint64
+	if cfg.restore != "" {
+		data, err := os.ReadFile(cfg.restore)
+		if err != nil {
+			return err
+		}
+		node, err = runtime.RestoreNode(runtime.Config{Shards: cfg.shards, Seed: cfg.seed}, specs, data)
+		if err != nil {
+			return fmt.Errorf("restoring %s: %w", cfg.restore, err)
+		}
+		// The merged ingress order is deterministic, so the events already
+		// applied before the snapshot barrier are exactly its first
+		// TotalEvents() entries.
+		skip = node.TotalEvents()
+		fmt.Printf("restored:   %s (%d events already applied)\n", cfg.restore, skip)
+	} else {
+		var err error
+		node, err = runtime.NewNode(runtime.Config{Shards: cfg.shards, Seed: cfg.seed}, specs)
+		if err != nil {
+			return err
+		}
 	}
 	if err := node.Start(context.Background()); err != nil {
 		return err
@@ -268,7 +361,11 @@ func runTenants(tenants, shards, batchSize int, seed int64, protoName string,
 	}
 	start := time.Now()
 	var ingested uint64
-	buf := make([]runtime.Event, 0, batchSize)
+	nextSnap := uint64(0)
+	if cfg.snapEvery > 0 {
+		nextSnap = skip + uint64(cfg.snapEvery)
+	}
+	buf := make([]runtime.Event, 0, cfg.batch)
 	flush := func() error {
 		if len(buf) == 0 {
 			return nil
@@ -278,17 +375,34 @@ func runTenants(tenants, shards, batchSize int, seed int64, protoName string,
 		}
 		ingested += uint64(len(buf))
 		buf = buf[:0]
+		if nextSnap > 0 && skip+ingested >= nextSnap {
+			snap, err := node.Snapshot()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(cfg.snapFile, snap, 0o644); err != nil {
+				return err
+			}
+			for nextSnap <= skip+ingested {
+				nextSnap += uint64(cfg.snapEvery)
+			}
+		}
 		return nil
 	}
 	// The per-tenant streams merge on event time (ties by tenant index), so
 	// the ingress order is deterministic and globally time-sorted.
+	var seen uint64
 	for {
 		tev, ok := merge.Next()
 		if !ok {
 			break
 		}
+		seen++
+		if seen <= skip {
+			continue // already applied before the snapshot barrier
+		}
 		buf = append(buf, runtime.Event{Tenant: tev.Source, Stream: tev.Event.Stream, Value: tev.Event.Value})
-		if len(buf) == batchSize {
+		if len(buf) == cfg.batch {
 			if err := flush(); err != nil {
 				return err
 			}
@@ -303,13 +417,13 @@ func runTenants(tenants, shards, batchSize int, seed int64, protoName string,
 	elapsed := time.Since(start)
 	node.Stop()
 
-	fmt.Printf("tenants:    %d   shards: %d   batch: %d\n", tenants, node.Shards(), batchSize)
+	fmt.Printf("tenants:    %d   shards: %d   batch: %d\n", cfg.tenants, node.Shards(), cfg.batch)
 	fmt.Printf("ingested:   %d events in %v (%.0f events/sec)\n",
 		ingested, elapsed.Round(time.Millisecond), float64(ingested)/elapsed.Seconds())
 	var worst, total uint64
-	for i := 0; i < tenants; i++ {
+	for i := 0; i < cfg.tenants; i++ {
 		c := node.Counter(i)
-		if verbose || tenants <= 8 {
+		if cfg.verbose || cfg.tenants <= 8 {
 			fmt.Printf("  %-28s events=%-7d maint=%-7d answer=%d\n",
 				node.TenantName(i), node.Events(i), c.Maintenance(), len(node.Answer(i)))
 		}
@@ -321,9 +435,9 @@ func runTenants(tenants, shards, batchSize int, seed int64, protoName string,
 	totals := node.Totals()
 	fmt.Printf("node totals: init=%d maintenance=%d serverOps=%d (worst tenant maint=%d, mean=%.1f)\n",
 		totals.PhaseTotal(comm.Init), totals.Maintenance(), totals.ServerOps,
-		worst, float64(total)/float64(tenants))
-	if answersPath != "" {
-		if err := writeAnswers(answersPath, node); err != nil {
+		worst, float64(total)/float64(cfg.tenants))
+	if cfg.answers != "" {
+		if err := writeAnswers(cfg.answers, node); err != nil {
 			return err
 		}
 	}
@@ -337,6 +451,10 @@ func runTenants(tenants, shards, batchSize int, seed int64, protoName string,
 func writeAnswers(path string, node *runtime.Node) error {
 	var b strings.Builder
 	for i := 0; i < node.NumTenants(); i++ {
+		if !node.Alive(i) {
+			fmt.Fprintf(&b, "tenant %d removed\n", i)
+			continue
+		}
 		fmt.Fprintf(&b, "tenant %s events=%d counter={%v} answer=%v\n",
 			node.TenantName(i), node.Events(i), node.Counter(i), node.Answer(i))
 	}

@@ -12,6 +12,8 @@ package comm
 import (
 	"fmt"
 	"strings"
+
+	"adaptivefilters/internal/snapshot"
 )
 
 // Kind enumerates message types.
@@ -127,6 +129,53 @@ func (c *Counter) Merge(other *Counter) {
 		}
 	}
 	c.ServerOps += other.ServerOps
+}
+
+// ExportState appends the counter — phase, every bucket, server ops — to a
+// snapshot. The bucket dimensions are written explicitly so a snapshot from
+// a build with different message kinds is rejected rather than misread.
+func (c *Counter) ExportState(w *snapshot.Writer) {
+	w.Int64(int64(c.phase))
+	w.Int64(int64(numPhases))
+	w.Int64(int64(numKinds))
+	for p := Phase(0); p < numPhases; p++ {
+		for k := Kind(0); k < numKinds; k++ {
+			w.Uint64(c.counts[p][k])
+		}
+	}
+	w.Uint64(c.ServerOps)
+}
+
+// ImportState restores a counter written by ExportState, overwriting the
+// receiver. It validates the phase and bucket dimensions and never panics on
+// corrupted input.
+func (c *Counter) ImportState(r *snapshot.Reader) error {
+	phase := r.Int64()
+	np := r.Int64()
+	nk := r.Int64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if phase < 0 || phase >= int64(numPhases) {
+		return fmt.Errorf("comm: snapshot holds invalid phase %d", phase)
+	}
+	if np != int64(numPhases) || nk != int64(numKinds) {
+		return fmt.Errorf("comm: snapshot counter dimensions %dx%d, want %dx%d",
+			np, nk, int64(numPhases), int64(numKinds))
+	}
+	var restored Counter
+	restored.phase = Phase(phase)
+	for p := Phase(0); p < numPhases; p++ {
+		for k := Kind(0); k < numKinds; k++ {
+			restored.counts[p][k] = r.Uint64()
+		}
+	}
+	restored.ServerOps = r.Uint64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	*c = restored
+	return nil
 }
 
 // String renders a compact human-readable summary.

@@ -3,6 +3,8 @@ package comm
 import (
 	"strings"
 	"testing"
+
+	"adaptivefilters/internal/snapshot"
 )
 
 func TestCounterStartsInInitPhase(t *testing.T) {
@@ -101,5 +103,62 @@ func TestCounterString(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Fatalf("String() = %q, missing %q", s, want)
 		}
+	}
+}
+
+func TestCounterStateRoundTrip(t *testing.T) {
+	var c Counter
+	c.Add(Update, 3)
+	c.Add(Probe, 9)
+	c.SetPhase(Maintenance)
+	c.Add(Install, 4)
+	c.Add(ProbeReply, 1)
+	c.AddServerOps(123)
+
+	w := snapshot.NewWriter()
+	c.ExportState(w)
+
+	var got Counter
+	got.Add(Update, 999) // must be overwritten
+	r := snapshot.NewReader(w.Bytes())
+	if err := got.ImportState(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Fatalf("round-trip = %+v, want %+v", got, c)
+	}
+	if got.Phase() != Maintenance {
+		t.Fatalf("phase = %v, want Maintenance", got.Phase())
+	}
+}
+
+func TestCounterImportRejects(t *testing.T) {
+	var c Counter
+	c.Add(Update, 1)
+	w := snapshot.NewWriter()
+	c.ExportState(w)
+	data := w.Bytes()
+
+	for cut := 0; cut < len(data); cut += 8 {
+		var got Counter
+		if err := got.ImportState(snapshot.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Corrupt the phase discriminator.
+	bad := append([]byte(nil), data...)
+	bad[0] = 0xFF
+	var got Counter
+	if err := got.ImportState(snapshot.NewReader(bad)); err == nil {
+		t.Fatal("invalid phase accepted")
+	}
+	// Corrupt the kind dimension.
+	bad2 := append([]byte(nil), data...)
+	bad2[16] = 0x7F
+	if err := got.ImportState(snapshot.NewReader(bad2)); err == nil {
+		t.Fatal("mismatched dimensions accepted")
 	}
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 
 	"adaptivefilters/internal/filter"
 	"adaptivefilters/internal/query"
@@ -64,7 +63,7 @@ type FTNRP struct {
 	c   server.Host
 	rng query.Range
 	cfg FTNRPConfig
-	sel *rand.Rand
+	sel *sim.RNG
 
 	ans   intSet // A(t)
 	fp    intSet // streams currently holding false-positive filters
@@ -92,7 +91,7 @@ func NewFTNRP(c server.Host, rng query.Range, cfg FTNRPConfig) *FTNRP {
 	}
 	return &FTNRP{
 		c: c, rng: rng, cfg: cfg,
-		sel: sim.NewRNG(cfg.Seed).Split(ftnrpSelStream).Rand,
+		sel: sim.NewRNG(cfg.Seed).Split(ftnrpSelStream),
 		ans: newIntSet(), fp: newIntSet(), fn: newIntSet(),
 	}
 }
@@ -163,7 +162,7 @@ func (p *FTNRP) pickSilent(ids []int, vals []float64, n int) []int {
 	for _, id := range ids {
 		p.keyBuf = append(p.keyBuf, p.rng.BoundaryDist(vals[id]))
 	}
-	return p.cfg.Selection.pickKeyed(&p.ks, ids, p.keyBuf, n, p.sel)
+	return p.cfg.Selection.pickKeyed(&p.ks, ids, p.keyBuf, n, p.sel.Rand)
 }
 
 // FilterFor returns the constraint this protocol wants installed at stream

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"adaptivefilters/internal/filter"
 	"adaptivefilters/internal/query"
@@ -49,7 +48,7 @@ type FTRP struct {
 	q   query.Center
 	k   int
 	cfg FTRPConfig
-	sel *rand.Rand
+	sel *sim.RNG
 
 	rhoPlus, rhoMinus         float64
 	nPlusBudget, nMinusBudget int
@@ -86,7 +85,7 @@ func NewFTRP(c server.Host, q query.Center, k int, cfg FTRPConfig) *FTRP {
 	}
 	p := &FTRP{
 		c: c, q: q, k: k, cfg: cfg,
-		sel: sim.NewRNG(cfg.Seed).Split(ftrpSelStream).Rand,
+		sel: sim.NewRNG(cfg.Seed).Split(ftrpSelStream),
 		ans: newIntSet(), fp: newIntSet(), fn: newIntSet(),
 	}
 	p.rhoPlus, p.rhoMinus = cfg.Tol.DeriveRho(cfg.Lambda)
@@ -220,7 +219,7 @@ func (p *FTRP) pickSilent(ids []int, n int, insideRegion bool) []int {
 			p.keyBuf = append(p.keyBuf, d-p.d)
 		}
 	}
-	return p.cfg.Selection.pickKeyed(&p.ks, ids, p.keyBuf, n, p.sel)
+	return p.cfg.Selection.pickKeyed(&p.ks, ids, p.keyBuf, n, p.sel.Rand)
 }
 
 // HandleUpdate runs the FT-NRP maintenance machinery against the current R

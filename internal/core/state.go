@@ -1,0 +1,308 @@
+package core
+
+import (
+	"fmt"
+
+	"adaptivefilters/internal/filter"
+	"adaptivefilters/internal/rankindex"
+	"adaptivefilters/internal/server"
+	"adaptivefilters/internal/sim"
+	"adaptivefilters/internal/snapshot"
+)
+
+// This file implements server.StatefulProtocol for every protocol: the
+// dynamic state a constructor cannot recompute — answer/filter sets, the
+// deployed bound, Figure 7's count variable, report counters, and the
+// selection RNG's position — exported into a snapshot and imported into a
+// freshly constructed instance of the same configuration (see DESIGN.md
+// §6). Scratch buffers (ranker, probe tables, key buffers) are value-
+// independent and deliberately excluded: they regrow on first use.
+//
+// Import validates every decoded id against the host's stream count and
+// every discriminator against its known range, so corrupted snapshots
+// surface as errors, never as panics or unbounded allocations.
+
+var (
+	_ server.StatefulProtocol = (*FTNRP)(nil)
+	_ server.StatefulProtocol = (*FTRP)(nil)
+	_ server.StatefulProtocol = (*RTP)(nil)
+	_ server.StatefulProtocol = (*ZTRP)(nil)
+	_ server.StatefulProtocol = (*ZTNRP)(nil)
+	_ server.StatefulProtocol = (*NoFilterRange)(nil)
+	_ server.StatefulProtocol = (*NoFilterKNN)(nil)
+	_ server.StatefulProtocol = (*VBKNN)(nil)
+)
+
+// exportSet writes an intSet as its ascending member list.
+func exportSet(w *snapshot.Writer, s *intSet) {
+	w.Int(s.len())
+	for id, in := range s.bits {
+		if in {
+			w.Int(id)
+		}
+	}
+}
+
+// importSet rebuilds an intSet from its member list, requiring strictly
+// ascending ids below n — the canonical form exportSet writes — so every
+// valid state has exactly one encoding and corrupt ids are rejected before
+// they can grow the bitmap arbitrarily.
+func importSet(r *snapshot.Reader, s *intSet, n int) error {
+	cnt := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if cnt < 0 || cnt > n {
+		return fmt.Errorf("core: snapshot set of %d members, host has %d streams", cnt, n)
+	}
+	s.clear()
+	prev := -1
+	for i := 0; i < cnt; i++ {
+		id := r.Int()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if id <= prev || id >= n {
+			return fmt.Errorf("core: snapshot set member %d out of order or range (n=%d)", id, n)
+		}
+		s.add(id)
+		prev = id
+	}
+	return nil
+}
+
+// importCount decodes Figure 7's non-negative count variable.
+func importCount(r *snapshot.Reader) (int, error) {
+	c := r.Int()
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	if c < 0 {
+		return 0, fmt.Errorf("core: snapshot count %d negative", c)
+	}
+	return c, nil
+}
+
+// exportSel writes a selection RNG's position, failing the export when the
+// position has grown past the bound Skip can replay — minting a snapshot
+// that no restore could accept would be worse than refusing to snapshot.
+func exportSel(w *snapshot.Writer, sel *sim.RNG) {
+	pos := sel.Pos()
+	if pos > sim.MaxSkip {
+		w.Fail(fmt.Errorf("core: selection RNG position %d exceeds the restorable bound %d", pos, uint64(sim.MaxSkip)))
+	}
+	w.Uint64(pos)
+}
+
+// importSel fast-forwards a freshly constructed selection RNG to its
+// recorded position.
+func importSel(r *snapshot.Reader, sel *sim.RNG) error {
+	pos := r.Uint64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	return sel.Skip(pos)
+}
+
+// exportIndex writes a rankindex as (capacity, per-id presence and value).
+func exportIndex(w *snapshot.Writer, ix *rankindex.Index) {
+	n := ix.N()
+	w.Int(n)
+	for id := 0; id < n; id++ {
+		v, ok := ix.Value(id)
+		w.Bool(ok)
+		if ok {
+			w.Float64(v)
+		}
+	}
+}
+
+// importIndex rebuilds a rankindex written by exportIndex into a fresh,
+// empty index of the same capacity.
+func importIndex(r *snapshot.Reader, ix *rankindex.Index) error {
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != ix.N() {
+		return fmt.Errorf("core: snapshot index capacity %d, host has %d", n, ix.N())
+	}
+	for id := 0; id < n; id++ {
+		if r.Bool() {
+			ix.Set(id, r.Float64())
+		}
+		if err := r.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- FT-NRP --------------------------------------------------------------
+
+// ExportState implements server.StatefulProtocol.
+func (p *FTNRP) ExportState(w *snapshot.Writer) {
+	exportSet(w, &p.ans)
+	exportSet(w, &p.fp)
+	exportSet(w, &p.fn)
+	w.Int(p.count)
+	w.Uint64(p.Reinits)
+	exportSel(w, p.sel)
+}
+
+// ImportState implements server.StatefulProtocol.
+func (p *FTNRP) ImportState(r *snapshot.Reader) error {
+	n := p.c.N()
+	if err := importSet(r, &p.ans, n); err != nil {
+		return err
+	}
+	if err := importSet(r, &p.fp, n); err != nil {
+		return err
+	}
+	if err := importSet(r, &p.fn, n); err != nil {
+		return err
+	}
+	count, err := importCount(r)
+	if err != nil {
+		return err
+	}
+	p.count = count
+	p.Reinits = r.Uint64()
+	return importSel(r, p.sel)
+}
+
+// --- FT-RP ---------------------------------------------------------------
+
+// ExportState implements server.StatefulProtocol.
+func (p *FTRP) ExportState(w *snapshot.Writer) {
+	exportSet(w, &p.ans)
+	exportSet(w, &p.fp)
+	exportSet(w, &p.fn)
+	w.Int(p.count)
+	w.Float64(p.d)
+	p.cur.ExportState(w)
+	w.Uint64(p.Recomputes)
+	exportSel(w, p.sel)
+}
+
+// ImportState implements server.StatefulProtocol.
+func (p *FTRP) ImportState(r *snapshot.Reader) error {
+	n := p.c.N()
+	if err := importSet(r, &p.ans, n); err != nil {
+		return err
+	}
+	if err := importSet(r, &p.fp, n); err != nil {
+		return err
+	}
+	if err := importSet(r, &p.fn, n); err != nil {
+		return err
+	}
+	count, err := importCount(r)
+	if err != nil {
+		return err
+	}
+	p.count = count
+	p.d = r.Float64()
+	cur, err := filter.ImportConstraint(r)
+	if err != nil {
+		return err
+	}
+	p.cur = cur
+	p.Recomputes = r.Uint64()
+	return importSel(r, p.sel)
+}
+
+// --- RTP -----------------------------------------------------------------
+
+// ExportState implements server.StatefulProtocol.
+func (p *RTP) ExportState(w *snapshot.Writer) {
+	exportSet(w, &p.inA)
+	exportSet(w, &p.inX)
+	w.Float64(p.d)
+	p.cur.ExportState(w)
+	w.Uint64(p.Deploys)
+	w.Uint64(p.Reinits)
+}
+
+// ImportState implements server.StatefulProtocol.
+func (p *RTP) ImportState(r *snapshot.Reader) error {
+	n := p.c.N()
+	if err := importSet(r, &p.inA, n); err != nil {
+		return err
+	}
+	if err := importSet(r, &p.inX, n); err != nil {
+		return err
+	}
+	p.d = r.Float64()
+	cur, err := filter.ImportConstraint(r)
+	if err != nil {
+		return err
+	}
+	p.cur = cur
+	p.Deploys = r.Uint64()
+	p.Reinits = r.Uint64()
+	return r.Err()
+}
+
+// --- ZT-RP ---------------------------------------------------------------
+
+// ExportState implements server.StatefulProtocol.
+func (p *ZTRP) ExportState(w *snapshot.Writer) {
+	exportSet(w, &p.ans)
+	w.Float64(p.d)
+	p.cur.ExportState(w)
+	w.Uint64(p.Recomputes)
+}
+
+// ImportState implements server.StatefulProtocol.
+func (p *ZTRP) ImportState(r *snapshot.Reader) error {
+	if err := importSet(r, &p.ans, p.c.N()); err != nil {
+		return err
+	}
+	p.d = r.Float64()
+	cur, err := filter.ImportConstraint(r)
+	if err != nil {
+		return err
+	}
+	p.cur = cur
+	p.Recomputes = r.Uint64()
+	return r.Err()
+}
+
+// --- ZT-NRP --------------------------------------------------------------
+
+// ExportState implements server.StatefulProtocol.
+func (p *ZTNRP) ExportState(w *snapshot.Writer) { exportSet(w, &p.ans) }
+
+// ImportState implements server.StatefulProtocol.
+func (p *ZTNRP) ImportState(r *snapshot.Reader) error {
+	return importSet(r, &p.ans, p.c.N())
+}
+
+// --- no-filter baselines -------------------------------------------------
+
+// ExportState implements server.StatefulProtocol.
+func (p *NoFilterRange) ExportState(w *snapshot.Writer) { exportSet(w, &p.ans) }
+
+// ImportState implements server.StatefulProtocol.
+func (p *NoFilterRange) ImportState(r *snapshot.Reader) error {
+	return importSet(r, &p.ans, p.c.N())
+}
+
+// ExportState implements server.StatefulProtocol.
+func (p *NoFilterKNN) ExportState(w *snapshot.Writer) { exportIndex(w, p.ix) }
+
+// ImportState implements server.StatefulProtocol.
+func (p *NoFilterKNN) ImportState(r *snapshot.Reader) error {
+	return importIndex(r, p.ix)
+}
+
+// --- value-based baseline ------------------------------------------------
+
+// ExportState implements server.StatefulProtocol.
+func (p *VBKNN) ExportState(w *snapshot.Writer) { exportIndex(w, p.ix) }
+
+// ImportState implements server.StatefulProtocol.
+func (p *VBKNN) ImportState(r *snapshot.Reader) error {
+	return importIndex(r, p.ix)
+}

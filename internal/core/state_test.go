@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"adaptivefilters/internal/query"
+	"adaptivefilters/internal/server"
+	"adaptivefilters/internal/sim"
+	"adaptivefilters/internal/snapshot"
+)
+
+// stateProtocols enumerates every StatefulProtocol with a factory matching
+// the runtime's TenantSpec shape.
+func stateProtocols() map[string]func(h server.Host, seed int64) server.Protocol {
+	tol := FractionTolerance{EpsPlus: 0.3, EpsMinus: 0.3}
+	return map[string]func(h server.Host, seed int64) server.Protocol{
+		"ft-nrp": func(h server.Host, seed int64) server.Protocol {
+			return NewFTNRP(h, query.NewRange(300, 700), FTNRPConfig{
+				Tol: tol, Selection: SelectRandom, Seed: seed})
+		},
+		"ft-rp": func(h server.Host, seed int64) server.Protocol {
+			fc := DefaultFTRPConfig(tol)
+			fc.Selection = SelectRandom
+			fc.Seed = seed
+			return NewFTRP(h, query.At(500), 6, fc)
+		},
+		"rtp": func(h server.Host, seed int64) server.Protocol {
+			return NewRTP(h, query.At(500), RankTolerance{K: 5, R: 3})
+		},
+		"zt-rp": func(h server.Host, seed int64) server.Protocol {
+			return NewZTRP(h, query.At(500), 4)
+		},
+		"zt-nrp": func(h server.Host, seed int64) server.Protocol {
+			return NewZTNRP(h, query.NewRange(300, 700))
+		},
+		"no-filter-range": func(h server.Host, seed int64) server.Protocol {
+			return NewNoFilterRange(h, query.NewRange(300, 700))
+		},
+		"no-filter-knn": func(h server.Host, seed int64) server.Protocol {
+			return NewNoFilterKNN(h, query.KNN{Q: query.At(500), K: 4})
+		},
+		"vb-knn": func(h server.Host, seed int64) server.Protocol {
+			return NewVBKNN(h, query.KNN{Q: query.At(500), K: 4}, 80)
+		},
+	}
+}
+
+// stateWalk drives a deterministic random walk through a cluster.
+func stateWalk(cluster *server.Cluster, rng *sim.RNG, vals []float64, events int) {
+	for i := 0; i < events; i++ {
+		s := rng.Intn(len(vals))
+		vals[s] += rng.Normal(0, 40)
+		cluster.Deliver(s, vals[s])
+	}
+}
+
+// TestProtocolStateContinuation checks, for every protocol, that a fresh
+// instance restored from an exported state continues bit-identically to the
+// original: same answers, same counters, same further exports.
+func TestProtocolStateContinuation(t *testing.T) {
+	initial := make([]float64, 30)
+	seedRNG := sim.NewRNG(500)
+	for i := range initial {
+		initial[i] = seedRNG.Uniform(0, 1000)
+	}
+	for name, build := range stateProtocols() {
+		t.Run(name, func(t *testing.T) {
+			mk := func() (*server.Cluster, server.Protocol, []float64) {
+				vals := append([]float64(nil), initial...)
+				cluster := server.NewCluster(vals)
+				proto := build(cluster, 987)
+				cluster.SetProtocol(proto)
+				return cluster, proto, vals
+			}
+			origCluster, origProto, origVals := mk()
+			origCluster.Initialize()
+			stateWalk(origCluster, sim.NewRNG(77), origVals, 400)
+
+			w := snapshot.NewWriter()
+			origCluster.ExportState(w)
+			origProto.(server.StatefulProtocol).ExportState(w)
+			data := w.Bytes()
+
+			restCluster, restProto, restVals := mk()
+			r := snapshot.NewReader(data)
+			if err := restCluster.ImportState(r); err != nil {
+				t.Fatal(err)
+			}
+			if err := restProto.(server.StatefulProtocol).ImportState(r); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Done(); err != nil {
+				t.Fatal(err)
+			}
+			copy(restVals, origVals)
+			if !reflect.DeepEqual(restProto.Answer(), origProto.Answer()) {
+				t.Fatalf("restored answer %v, want %v", restProto.Answer(), origProto.Answer())
+			}
+
+			// Continue both with the same walk; they must stay identical.
+			cont := sim.NewRNG(88)
+			stateWalk(origCluster, cont, origVals, 400)
+			cont = sim.NewRNG(88)
+			stateWalk(restCluster, cont, restVals, 400)
+			if !reflect.DeepEqual(restProto.Answer(), origProto.Answer()) {
+				t.Fatalf("post-restore answers diverged: %v vs %v", restProto.Answer(), origProto.Answer())
+			}
+			if !reflect.DeepEqual(*restCluster.Counter(), *origCluster.Counter()) {
+				t.Fatalf("post-restore counters diverged:\n%+v\n%+v",
+					*restCluster.Counter(), *origCluster.Counter())
+			}
+			w1, w2 := snapshot.NewWriter(), snapshot.NewWriter()
+			origCluster.ExportState(w1)
+			origProto.(server.StatefulProtocol).ExportState(w1)
+			restCluster.ExportState(w2)
+			restProto.(server.StatefulProtocol).ExportState(w2)
+			if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+				t.Fatal("post-restore state encodings diverged")
+			}
+		})
+	}
+}
+
+// TestProtocolImportRejectsTruncation checks no protocol decode panics on
+// truncated input.
+func TestProtocolImportRejectsTruncation(t *testing.T) {
+	initial := make([]float64, 20)
+	for i := range initial {
+		initial[i] = float64(i * 50)
+	}
+	for name, build := range stateProtocols() {
+		t.Run(name, func(t *testing.T) {
+			cluster := server.NewCluster(initial)
+			proto := build(cluster, 3)
+			cluster.SetProtocol(proto)
+			cluster.Initialize()
+			w := snapshot.NewWriter()
+			proto.(server.StatefulProtocol).ExportState(w)
+			data := w.Bytes()
+			for cut := 0; cut < len(data); cut += 5 {
+				fresh := server.NewCluster(initial)
+				p := build(fresh, 3)
+				fresh.SetProtocol(p)
+				if err := p.(server.StatefulProtocol).ImportState(snapshot.NewReader(data[:cut])); err == nil && cut < len(data) {
+					// Some prefixes may decode cleanly only if they form a
+					// complete encoding; for these protocols the encoding is
+					// self-delimiting, so any strict prefix must fail.
+					t.Fatalf("truncation at %d accepted", cut)
+				}
+			}
+		})
+	}
+}
+
+// TestExportRejectsOverlongRNGPosition checks the export side of the
+// MaxSkip bound: a selection RNG that has consumed more steps than Skip
+// can replay must fail the export (an unrestorable snapshot is worse than
+// no snapshot), and stay exportable right at the bound.
+func TestExportRejectsOverlongRNGPosition(t *testing.T) {
+	cluster := server.NewCluster(make([]float64, 10))
+	p := NewFTNRP(cluster, query.NewRange(2, 8), FTNRPConfig{Selection: SelectRandom, Seed: 1})
+	cluster.SetProtocol(p)
+	if err := p.sel.Skip(sim.MaxSkip); err != nil {
+		t.Fatal(err)
+	}
+	w := snapshot.NewWriter()
+	p.ExportState(w)
+	if err := w.Err(); err != nil {
+		t.Fatalf("export at exactly the bound failed: %v", err)
+	}
+	p.sel.Int63() // one step past the bound
+	w2 := snapshot.NewWriter()
+	p.ExportState(w2)
+	if err := w2.Err(); err == nil {
+		t.Fatal("export past the replay bound succeeded; restore would reject this snapshot")
+	}
+}

@@ -1,0 +1,31 @@
+package filter
+
+import (
+	"fmt"
+
+	"adaptivefilters/internal/snapshot"
+)
+
+// ExportState appends the constraint to a snapshot: kind discriminator plus
+// both interval bounds (band center/half-width reuse the same two fields).
+func (c Constraint) ExportState(w *snapshot.Writer) {
+	w.Int64(int64(c.Kind))
+	w.Float64(c.Lo)
+	w.Float64(c.Hi)
+}
+
+// ImportConstraint decodes a constraint written by ExportState, rejecting
+// unknown kind discriminators so corrupted snapshots fail instead of
+// producing filters with undefined semantics.
+func ImportConstraint(r *snapshot.Reader) (Constraint, error) {
+	kind := r.Int64()
+	lo := r.Float64()
+	hi := r.Float64()
+	if err := r.Err(); err != nil {
+		return Constraint{}, err
+	}
+	if kind < int64(None) || kind > int64(Band) {
+		return Constraint{}, fmt.Errorf("filter: snapshot holds invalid constraint kind %d", kind)
+	}
+	return Constraint{Kind: Kind(kind), Lo: lo, Hi: hi}, nil
+}

@@ -74,7 +74,13 @@ func (t *Table) Fprint(w io.Writer) error {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			// Rows may carry more cells than the header declared; spill
+			// cells render at their natural width instead of panicking.
+			width := len(cell)
+			if i < len(widths) {
+				width = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s", width, cell)
 		}
 		return strings.TrimRight(b.String(), " ")
 	}

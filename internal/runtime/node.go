@@ -99,12 +99,23 @@ type tenant struct {
 	proto   server.Protocol
 	shard   int
 	events  uint64
+	// seedID is the label the tenant's protocol seed was derived with. It is
+	// assigned from a monotonic admission counter, never reused after an
+	// eviction, and recorded in snapshots — so a tenant's randomness depends
+	// only on (node seed, admission order), not on placement, shard count or
+	// the lifecycle of its neighbors.
+	seedID int64
+	// initialized marks tenants whose t0 phase already ran (or was restored
+	// from a snapshot); the shard loops skip Initialize for them.
+	initialized bool
 }
 
 // batch is one unit of shard work: events (all for this shard's tenants, in
-// arrival order) or a drain acknowledgement.
+// arrival order), a tenant admission (init runs on the owning shard's
+// loop), or a drain acknowledgement.
 type batch struct {
 	events []Event
+	init   *tenant
 	ack    chan<- struct{}
 }
 
@@ -120,13 +131,26 @@ type shard struct {
 }
 
 // Node hosts tenants on sharded event loops. The ingest side (Start,
-// Ingest, Drain, Stop) must be driven from a single goroutine; the
-// concurrency lives in the shard loops behind it. Tenant state accessors
-// (Answer, Counter, Totals, Events) are race-free after a Drain or Stop.
+// Ingest, Drain, Stop, and the lifecycle calls AddTenant, RemoveTenant and
+// Snapshot) must be driven from a single goroutine; the concurrency lives
+// in the shard loops behind it. Tenant state accessors (Answer, Counter,
+// Totals, Events) are race-free after a Drain or Stop.
 type Node struct {
-	cfg     Config
+	cfg Config
+	// tenants is indexed by tenant id. Slots are never reused: RemoveTenant
+	// nils its slot (so in-flight ids stay unambiguous) and AddTenant
+	// appends. The slice is only mutated by the ingest-side goroutine while
+	// every shard loop is quiescent behind a Drain barrier; the next channel
+	// send publishes the new header to the loops.
 	tenants []*tenant
-	shards  []shard
+	// nextSeedID is the monotonic admission counter seeding new tenants.
+	nextSeedID int64
+	// ingested counts every event accepted by Ingest over the node's whole
+	// life — including events for tenants that were later evicted — so a
+	// snapshot records exactly how far into the merged ingress stream the
+	// barrier sits (TotalEvents). Maintained on the ingest-side goroutine.
+	ingested uint64
+	shards   []shard
 	// fill[s] is the pooled buffer Ingest is currently filling for shard s
 	// (nil when none); acks is the reusable Drain acknowledgement channel.
 	fill [][]Event
@@ -148,49 +172,84 @@ func NewNode(cfg Config, specs []TenantSpec) (*Node, error) {
 	n := &Node{cfg: cfg}
 	shards := cfg.shards()
 	for i, spec := range specs {
-		if spec.NewProtocol == nil {
-			return nil, fmt.Errorf("runtime: tenant %d has no protocol factory", i)
+		t, err := n.buildTenant(spec, i, int64(i))
+		if err != nil {
+			return nil, err
 		}
-		if len(spec.Initial) == 0 {
-			return nil, fmt.Errorf("runtime: tenant %d has an empty stream partition", i)
-		}
-		name := spec.Name
-		if name == "" {
-			name = fmt.Sprintf("tenant-%d", i)
-		}
-		cluster := server.NewClusterWith(spec.Initial, spec.Server)
-		proto := spec.NewProtocol(cluster, sim.DeriveSeed(cfg.Seed, tenantSeedStream, int64(i)))
-		cluster.SetProtocol(proto)
-		n.tenants = append(n.tenants, &tenant{
-			name:    name,
-			cluster: cluster,
-			proto:   proto,
-			shard:   i % shards,
-		})
+		n.tenants = append(n.tenants, t)
 	}
+	n.nextSeedID = int64(len(specs))
+	n.initChannels(shards)
+	return n, nil
+}
+
+// buildTenant constructs one tenant for slot ti with the given seed label:
+// cluster, protocol (the factory runs on the caller's goroutine), shard
+// pinning.
+func (n *Node) buildTenant(spec TenantSpec, ti int, seedID int64) (*tenant, error) {
+	if spec.NewProtocol == nil {
+		return nil, fmt.Errorf("runtime: tenant %d has no protocol factory", ti)
+	}
+	if len(spec.Initial) == 0 {
+		return nil, fmt.Errorf("runtime: tenant %d has an empty stream partition", ti)
+	}
+	name := spec.Name
+	if name == "" {
+		name = fmt.Sprintf("tenant-%d", ti)
+	}
+	cluster := server.NewClusterWith(spec.Initial, spec.Server)
+	proto := spec.NewProtocol(cluster, sim.DeriveSeed(n.cfg.Seed, tenantSeedStream, seedID))
+	cluster.SetProtocol(proto)
+	return &tenant{
+		name:    name,
+		cluster: cluster,
+		proto:   proto,
+		shard:   ti % n.cfg.shards(),
+		seedID:  seedID,
+	}, nil
+}
+
+// initChannels sets up the shard channel pairs and buffer pools.
+func (n *Node) initChannels(shards int) {
 	n.shards = make([]shard, shards)
 	n.fill = make([][]Event, shards)
 	n.acks = make(chan struct{}, shards)
 	for s := range n.shards {
-		n.shards[s].work = make(chan batch, cfg.queue())
+		n.shards[s].work = make(chan batch, n.cfg.queue())
 		// Pre-populate the buffer pool; the buffers grow to the observed
 		// batch sizes during warmup and are then recycled forever.
-		n.shards[s].free = make(chan []Event, cfg.queue()+2)
-		for b := 0; b < cfg.queue()+2; b++ {
+		n.shards[s].free = make(chan []Event, n.cfg.queue()+2)
+		for b := 0; b < n.cfg.queue()+2; b++ {
 			n.shards[s].free <- nil
 		}
 	}
-	return n, nil
 }
 
-// NumTenants returns the tenant count.
+// NumTenants returns the tenant slot count, including evicted slots (slot
+// ids stay stable for the node's lifetime; see Alive).
 func (n *Node) NumTenants() int { return len(n.tenants) }
+
+// Alive reports whether tenant slot ti currently hosts a tenant.
+func (n *Node) Alive(ti int) bool {
+	return ti >= 0 && ti < len(n.tenants) && n.tenants[ti] != nil
+}
+
+// live returns tenant ti or panics with a precise message — state accessors
+// on an evicted slot are caller bugs, matching the out-of-range panics a
+// bad index already produced.
+func (n *Node) live(ti int) *tenant {
+	t := n.tenants[ti]
+	if t == nil {
+		panic(fmt.Sprintf("runtime: tenant %d was removed", ti))
+	}
+	return t
+}
 
 // Shards returns the event-loop count.
 func (n *Node) Shards() int { return len(n.shards) }
 
 // TenantName returns tenant ti's label.
-func (n *Node) TenantName(ti int) string { return n.tenants[ti].name }
+func (n *Node) TenantName(ti int) string { return n.live(ti).name }
 
 // Start launches the shard loops. Each loop first runs the initialization
 // phase of every tenant pinned to it (so t0 setup parallelizes across
@@ -207,12 +266,17 @@ func (n *Node) Start(ctx context.Context) error {
 	for s := range n.shards {
 		owned := make([]*tenant, 0, (len(n.tenants)+len(n.shards)-1)/len(n.shards))
 		for _, t := range n.tenants {
-			if t.shard == s {
+			if t != nil && t.shard == s && !t.initialized {
 				owned = append(owned, t)
 			}
 		}
 		n.wg.Add(1)
 		go n.loop(n.shards[s], owned)
+	}
+	for _, t := range n.tenants {
+		if t != nil {
+			t.initialized = true
+		}
 	}
 	return nil
 }
@@ -238,6 +302,12 @@ func (n *Node) loop(sh shard, owned []*tenant) {
 		case b, ok := <-sh.work:
 			if !ok {
 				return
+			}
+			if b.init != nil {
+				// A live admission: run the new tenant's t0 phase here, on
+				// its owning shard loop, exactly where NewNode tenants run
+				// theirs.
+				b.init.cluster.Initialize()
 			}
 			for _, ev := range b.events {
 				t := n.tenants[ev.Tenant]
@@ -282,7 +352,11 @@ func (n *Node) Ingest(events []Event) error {
 		if ev.Tenant < 0 || ev.Tenant >= len(n.tenants) {
 			return fmt.Errorf("runtime: event for unknown tenant %d", ev.Tenant)
 		}
-		if t := n.tenants[ev.Tenant]; ev.Stream < 0 || ev.Stream >= t.cluster.N() {
+		t := n.tenants[ev.Tenant]
+		if t == nil {
+			return fmt.Errorf("runtime: event for removed tenant %d", ev.Tenant)
+		}
+		if ev.Stream < 0 || ev.Stream >= t.cluster.N() {
 			return fmt.Errorf("runtime: event for unknown stream %d of tenant %d (n=%d)",
 				ev.Stream, ev.Tenant, t.cluster.N())
 		}
@@ -309,6 +383,7 @@ func (n *Node) Ingest(events []Event) error {
 			return n.ctx.Err()
 		}
 	}
+	n.ingested += uint64(len(events))
 	return nil
 }
 
@@ -372,20 +447,84 @@ func (n *Node) Stop() {
 
 // Answer returns tenant ti's current answer set. Only call quiesced (after
 // Drain or Stop).
-func (n *Node) Answer(ti int) []stream.ID { return n.tenants[ti].proto.Answer() }
+func (n *Node) Answer(ti int) []stream.ID { return n.live(ti).proto.Answer() }
 
 // Counter returns tenant ti's message counter. Only call quiesced.
-func (n *Node) Counter(ti int) *comm.Counter { return n.tenants[ti].cluster.Counter() }
+func (n *Node) Counter(ti int) *comm.Counter { return n.live(ti).cluster.Counter() }
 
 // Events returns how many events tenant ti has applied. Only call quiesced.
-func (n *Node) Events(ti int) uint64 { return n.tenants[ti].events }
+func (n *Node) Events(ti int) uint64 { return n.live(ti).events }
 
-// Totals merges every tenant's counter into one node-level counter. Only
-// call quiesced.
+// Totals merges every live tenant's counter into one node-level counter.
+// Only call quiesced. Counters of evicted tenants leave the totals with
+// them: an eviction hands the tenant's accounting to whoever evicted it.
 func (n *Node) Totals() comm.Counter {
 	var total comm.Counter
 	for _, t := range n.tenants {
-		total.Merge(t.cluster.Counter())
+		if t != nil {
+			total.Merge(t.cluster.Counter())
+		}
 	}
 	return total
+}
+
+// AddTenant admits a tenant onto the live node and returns its slot id. The
+// admission flows through the same machinery as events: a full drain
+// barrier quiesces the shard loops (publishing the grown tenant table to
+// them through the work channels — no locks touch the ingest hot path), the
+// protocol factory runs on the caller's goroutine, and the tenant's t0
+// initialization runs on its owning shard loop. The protocol seed derives
+// from the node seed and a monotonic admission counter, so a tenant's
+// randomness is independent of shard count and of when its neighbors come
+// and go. Like Ingest, AddTenant must be called from the single ingest-side
+// goroutine.
+func (n *Node) AddTenant(spec TenantSpec) (int, error) {
+	if !n.started || n.stopped {
+		return 0, fmt.Errorf("runtime: node not running")
+	}
+	if err := n.Drain(); err != nil {
+		return 0, err
+	}
+	ti := len(n.tenants)
+	t, err := n.buildTenant(spec, ti, n.nextSeedID)
+	if err != nil {
+		return 0, err
+	}
+	n.nextSeedID++
+	n.tenants = append(n.tenants, t)
+	select {
+	case n.shards[t.shard].work <- batch{init: t, ack: n.acks}:
+	case <-n.ctx.Done():
+		return 0, n.ctx.Err()
+	}
+	select {
+	case <-n.acks:
+	case <-n.ctx.Done():
+		return 0, n.ctx.Err()
+	}
+	t.initialized = true
+	return ti, nil
+}
+
+// RemoveTenant evicts tenant ti from the live node. A drain barrier first
+// applies every event ingested for it (so its final answer and counters are
+// exact), then the slot is cleared; subsequent events for the slot are
+// rejected by Ingest and its state accessors panic. Slot ids are never
+// reused. Like Ingest, RemoveTenant must be called from the single
+// ingest-side goroutine.
+func (n *Node) RemoveTenant(ti int) error {
+	if !n.started || n.stopped {
+		return fmt.Errorf("runtime: node not running")
+	}
+	if ti < 0 || ti >= len(n.tenants) {
+		return fmt.Errorf("runtime: no tenant %d", ti)
+	}
+	if n.tenants[ti] == nil {
+		return fmt.Errorf("runtime: tenant %d already removed", ti)
+	}
+	if err := n.Drain(); err != nil {
+		return err
+	}
+	n.tenants[ti] = nil
+	return nil
 }

@@ -1,0 +1,294 @@
+package runtime
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"adaptivefilters/internal/core"
+	"adaptivefilters/internal/query"
+	"adaptivefilters/internal/server"
+	"adaptivefilters/internal/sim"
+)
+
+// This file holds the randomized-schedule property test of ISSUE 4: a
+// seeded generator interleaves Ingest / Drain / AddTenant / RemoveTenant /
+// Snapshot operations, and the resulting trajectory — every tenant's
+// answers, counters, event counts, and the snapshot bytes themselves — must
+// be identical at shard counts 1, 4 and 8, and across a snapshot→restore
+// cut at every barrier the schedule produced. CI runs it under -race, so it
+// also exercises the barrier publication protocol the lifecycle relies on.
+
+type opKind int
+
+const (
+	opIngest opKind = iota
+	opDrain
+	opAdd
+	opRemove
+	opSnapshot
+)
+
+type schedOp struct {
+	kind   opKind
+	events []Event    // opIngest
+	spec   TenantSpec // opAdd
+	ti     int        // opRemove; for opAdd, the expected new slot
+}
+
+// propSpec builds the tenant spec for admission number adm, rotating
+// through the stateful protocols so every ExportState/ImportState pair is
+// exercised by the property.
+func propSpec(adm int, initial []float64) TenantSpec {
+	name := fmt.Sprintf("prop-%d", adm)
+	switch adm % 5 {
+	case 0:
+		return TenantSpec{Name: name, Initial: initial,
+			NewProtocol: func(h server.Host, seed int64) server.Protocol {
+				return core.NewFTNRP(h, query.NewRange(300, 700), core.FTNRPConfig{
+					Tol:       core.FractionTolerance{EpsPlus: 0.3, EpsMinus: 0.3},
+					Selection: core.SelectRandom, // RNG-position restore path
+					Seed:      seed,
+				})
+			}}
+	case 1:
+		return TenantSpec{Name: name, Initial: initial,
+			NewProtocol: func(h server.Host, seed int64) server.Protocol {
+				return core.NewRTP(h, query.At(500), core.RankTolerance{K: 4, R: 2})
+			}}
+	case 2:
+		return TenantSpec{Name: name, Initial: initial,
+			NewProtocol: func(h server.Host, seed int64) server.Protocol {
+				fc := core.DefaultFTRPConfig(core.FractionTolerance{EpsPlus: 0.25, EpsMinus: 0.25})
+				fc.Seed = seed
+				return core.NewFTRP(h, query.At(450), 5, fc)
+			}}
+	case 3:
+		return TenantSpec{Name: name, Initial: initial,
+			NewProtocol: func(h server.Host, seed int64) server.Protocol {
+				return core.NewZTRP(h, query.At(550), 3)
+			}}
+	default:
+		return TenantSpec{Name: name, Initial: initial,
+			NewProtocol: func(h server.Host, seed int64) server.Protocol {
+				return core.NewZTNRP(h, query.NewRange(250, 650))
+			}}
+	}
+}
+
+// genSchedule derives a deterministic operation schedule from seed. The
+// generator tracks slot liveness and per-stream walks so every generated
+// event is valid at its point in the schedule.
+func genSchedule(seed int64, nOps int) (initial []TenantSpec, added []TenantSpec, ops []schedOp) {
+	rng := sim.NewRNG(seed)
+	var walks [][]float64
+	var alive []bool
+	admissions := 0
+	newSlot := func() TenantSpec {
+		vals := make([]float64, 12+rng.Intn(6))
+		for i := range vals {
+			vals[i] = rng.Uniform(0, 1000)
+		}
+		spec := propSpec(admissions, vals)
+		admissions++
+		walks = append(walks, append([]float64(nil), vals...))
+		alive = append(alive, true)
+		return spec
+	}
+	for i := 0; i < 3; i++ {
+		initial = append(initial, newSlot())
+	}
+	aliveCount := func() int {
+		n := 0
+		for _, a := range alive {
+			if a {
+				n++
+			}
+		}
+		return n
+	}
+	randAlive := func() int {
+		for {
+			if ti := rng.Intn(len(alive)); alive[ti] {
+				return ti
+			}
+		}
+	}
+	for len(ops) < nOps {
+		switch draw := rng.Intn(10); {
+		case draw < 5:
+			m := 20 + rng.Intn(40)
+			evs := make([]Event, 0, m)
+			for j := 0; j < m; j++ {
+				ti := randAlive()
+				s := rng.Intn(len(walks[ti]))
+				walks[ti][s] += rng.Normal(0, 35)
+				evs = append(evs, Event{Tenant: ti, Stream: s, Value: walks[ti][s]})
+			}
+			ops = append(ops, schedOp{kind: opIngest, events: evs})
+		case draw == 5:
+			ops = append(ops, schedOp{kind: opDrain})
+		case draw == 6 && len(alive) < 8:
+			expect := len(alive)
+			spec := newSlot()
+			added = append(added, spec)
+			ops = append(ops, schedOp{kind: opAdd, spec: spec, ti: expect})
+		case draw == 7 && aliveCount() > 2:
+			ti := randAlive()
+			alive[ti] = false
+			ops = append(ops, schedOp{kind: opRemove, ti: ti})
+		default:
+			ops = append(ops, schedOp{kind: opSnapshot})
+		}
+	}
+	return initial, added, ops
+}
+
+// specsAt returns the per-slot spec list for the node state after
+// executing ops[:k]: the initial slots plus every admission in that prefix.
+func specsAt(initial, added []TenantSpec, ops []schedOp, k int) []TenantSpec {
+	specs := append([]TenantSpec(nil), initial...)
+	for _, o := range ops[:k] {
+		if o.kind == opAdd {
+			specs = append(specs, added[0])
+			added = added[1:]
+		}
+	}
+	return specs
+}
+
+// execOps drives ops[from:] on a running node, collecting the bytes of
+// every snapshot op. The node is left quiesced but running.
+func execOps(t *testing.T, node *Node, ops []schedOp, from int) [][]byte {
+	t.Helper()
+	var snaps [][]byte
+	for i, o := range ops[from:] {
+		var err error
+		switch o.kind {
+		case opIngest:
+			err = node.Ingest(o.events)
+		case opDrain:
+			err = node.Drain()
+		case opAdd:
+			var ti int
+			if ti, err = node.AddTenant(o.spec); err == nil && ti != o.ti {
+				t.Fatalf("op %d: AddTenant slot = %d, want %d", from+i, ti, o.ti)
+			}
+		case opRemove:
+			err = node.RemoveTenant(o.ti)
+		case opSnapshot:
+			var b []byte
+			if b, err = node.Snapshot(); err == nil {
+				snaps = append(snaps, b)
+			}
+		}
+		if err != nil {
+			t.Fatalf("op %d (kind %d): %v", from+i, o.kind, err)
+		}
+	}
+	if err := node.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	return snaps
+}
+
+// fingerprint renders the full observable per-tenant state of a quiesced
+// node.
+func fingerprint(node *Node) string {
+	var b strings.Builder
+	for ti := 0; ti < node.NumTenants(); ti++ {
+		if !node.Alive(ti) {
+			fmt.Fprintf(&b, "slot %d: removed\n", ti)
+			continue
+		}
+		fmt.Fprintf(&b, "slot %d: %s events=%d answer=%v counter=%+v\n",
+			ti, node.TenantName(ti), node.Events(ti), node.Answer(ti), *node.Counter(ti))
+	}
+	return b.String()
+}
+
+// TestScheduleProperty is the property described above, for a couple of
+// generator seeds.
+func TestScheduleProperty(t *testing.T) {
+	shardCounts := []int{1, 4, 8}
+	for _, seed := range []int64{11, 29} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			initial, added, ops := genSchedule(seed, 40)
+
+			// Reference trajectory per shard count: identical fingerprints
+			// and identical snapshot bytes everywhere.
+			var refFP string
+			var refSnaps [][]byte
+			for _, shards := range shardCounts {
+				node, err := NewNode(Config{Shards: shards, Seed: 42}, initial)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := node.Start(context.Background()); err != nil {
+					t.Fatal(err)
+				}
+				snaps := execOps(t, node, ops, 0)
+				fp := fingerprint(node)
+				node.Stop()
+				if refFP == "" {
+					refFP, refSnaps = fp, snaps
+					continue
+				}
+				if fp != refFP {
+					t.Fatalf("shards=%d fingerprint diverged:\n%s\nwant:\n%s", shards, fp, refFP)
+				}
+				if len(snaps) != len(refSnaps) {
+					t.Fatalf("shards=%d produced %d snapshots, want %d", shards, len(snaps), len(refSnaps))
+				}
+				for i := range snaps {
+					if !bytes.Equal(snaps[i], refSnaps[i]) {
+						t.Fatalf("shards=%d snapshot %d differs", shards, i)
+					}
+				}
+			}
+
+			// Cut at every barrier: restore snapshot s at a rotating shard
+			// count and replay the remaining schedule; the end state and
+			// every later snapshot must be bit-identical to the
+			// uninterrupted run's.
+			snapIdx := 0
+			for k, o := range ops {
+				if o.kind != opSnapshot {
+					continue
+				}
+				cutSnaps := refSnaps[snapIdx:]
+				shards := shardCounts[snapIdx%len(shardCounts)]
+				specs := specsAt(initial, added, ops, k)
+				rn, err := RestoreNode(Config{Shards: shards}, specs, refSnaps[snapIdx])
+				if err != nil {
+					t.Fatalf("cut %d: restore failed: %v", snapIdx, err)
+				}
+				if err := rn.Start(context.Background()); err != nil {
+					t.Fatal(err)
+				}
+				tail := execOps(t, rn, ops, k+1)
+				fp := fingerprint(rn)
+				rn.Stop()
+				if fp != refFP {
+					t.Fatalf("cut %d (shards=%d) fingerprint diverged:\n%s\nwant:\n%s",
+						snapIdx, shards, fp, refFP)
+				}
+				if len(tail) != len(cutSnaps)-1 {
+					t.Fatalf("cut %d: %d tail snapshots, want %d", snapIdx, len(tail), len(cutSnaps)-1)
+				}
+				for i := range tail {
+					if !bytes.Equal(tail[i], cutSnaps[i+1]) {
+						t.Fatalf("cut %d: tail snapshot %d differs from uninterrupted run", snapIdx, i)
+					}
+				}
+				snapIdx++
+			}
+			if snapIdx == 0 {
+				t.Fatal("schedule generated no snapshot barriers; adjust the generator")
+			}
+		})
+	}
+}

@@ -1,0 +1,183 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"adaptivefilters/internal/server"
+	"adaptivefilters/internal/snapshot"
+)
+
+// snapshotMagic and SnapshotVersion head every node snapshot. The version
+// covers the whole encoding transitively — tenant layout, cluster state,
+// protocol state — and is bumped on any incompatible change; RestoreNode
+// rejects versions it does not know (DESIGN.md §6).
+const (
+	snapshotMagic = "adaptivefilters/node-snapshot"
+	// SnapshotVersion is the current encoding version.
+	SnapshotVersion = 1
+)
+
+// Snapshot captures a barrier-consistent, versioned encoding of the node's
+// full tenant state: for every live slot, the server value table, message
+// counters, pending queue, every source's value/filter/side, the protocol's
+// dynamic state (including its selection-RNG position), and the event
+// count. It drains first, so the snapshot reflects exactly the events
+// ingested before the call — the barrier every shard loop has passed.
+//
+// The encoding carries no placement information: a snapshot is
+// byte-identical no matter how many shards the node runs, and RestoreNode
+// may restore it at any shard count. Every tenant's protocol must implement
+// server.StatefulProtocol (all of internal/core does).
+//
+// Like Ingest, Snapshot must be called from the single ingest-side
+// goroutine.
+func (n *Node) Snapshot() ([]byte, error) {
+	if !n.started || n.stopped {
+		return nil, fmt.Errorf("runtime: node not running")
+	}
+	if err := n.Drain(); err != nil {
+		return nil, err
+	}
+	w := snapshot.NewWriter()
+	w.String(snapshotMagic)
+	w.Uint64(SnapshotVersion)
+	w.Int64(n.cfg.Seed)
+	w.Int64(n.nextSeedID)
+	w.Uint64(n.ingested)
+	w.Int(len(n.tenants))
+	for ti, t := range n.tenants {
+		w.Bool(t != nil)
+		if t == nil {
+			continue
+		}
+		sp, ok := t.proto.(server.StatefulProtocol)
+		if !ok {
+			return nil, fmt.Errorf("runtime: tenant %d (%s) protocol %q does not support snapshots",
+				ti, t.name, t.proto.Name())
+		}
+		w.String(t.name)
+		w.Int64(t.seedID)
+		w.String(t.proto.Name())
+		w.Uint64(t.events)
+		t.cluster.ExportState(w)
+		sp.ExportState(w)
+	}
+	if err := w.Err(); err != nil {
+		return nil, err
+	}
+	// Trailing checksum: the structural validation in RestoreNode catches
+	// truncation and implausible values, but a flipped bit inside a float
+	// payload is a legal encoding of different state — only an integrity
+	// check can tell. Appended outside the Writer, which Bytes retires.
+	payload := w.Bytes()
+	var trailer [8]byte
+	binary.LittleEndian.PutUint64(trailer[:], uint64(crc32.Checksum(payload, crcTable)))
+	return append(payload, trailer[:]...), nil
+}
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on the
+// platforms the node serves from.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// RestoreNode rebuilds a node from a Snapshot. specs must describe the same
+// tenants as the snapshotting node, one per slot in slot order — including
+// slots that were already evicted (their specs are ignored) — with the same
+// Initial values, Server config and protocol configuration; for a node that
+// never saw lifecycle changes that is simply the spec list NewNode was
+// given. The snapshot's own seed overrides cfg.Seed, so protocol and
+// loss-injection randomness resume at their recorded positions no matter
+// what the caller passes.
+//
+// The restored node continues bit-identically: started (Start skips the t0
+// phase for restored tenants) and fed the events after the snapshot
+// barrier, its answers and counters match an uninterrupted run at any shard
+// count. Corrupted, truncated or mismatched snapshots return an error;
+// decoding never panics.
+func RestoreNode(cfg Config, specs []TenantSpec, data []byte) (*Node, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("runtime: not a node snapshot")
+	}
+	payload, trailer := data[:len(data)-8], data[len(data)-8:]
+	if got, want := binary.LittleEndian.Uint64(trailer), uint64(crc32.Checksum(payload, crcTable)); got != want {
+		return nil, fmt.Errorf("runtime: snapshot checksum mismatch (stored %x, computed %x)", got, want)
+	}
+	r := snapshot.NewReader(payload)
+	if magic := r.String(); r.Err() != nil || magic != snapshotMagic {
+		return nil, fmt.Errorf("runtime: not a node snapshot")
+	}
+	if v := r.Uint64(); r.Err() != nil || v != SnapshotVersion {
+		return nil, fmt.Errorf("runtime: unsupported snapshot version %d (have %d)", v, SnapshotVersion)
+	}
+	seed := r.Int64()
+	nextSeedID := r.Int64()
+	ingested := r.Uint64()
+	slots := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if slots != len(specs) {
+		return nil, fmt.Errorf("runtime: snapshot has %d tenant slots, got %d specs", slots, len(specs))
+	}
+	if slots <= 0 {
+		return nil, fmt.Errorf("runtime: snapshot has no tenant slots")
+	}
+	cfg.Seed = seed
+	n := &Node{cfg: cfg, nextSeedID: nextSeedID, ingested: ingested}
+	shards := cfg.shards()
+	for ti := 0; ti < slots; ti++ {
+		alive := r.Bool()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if !alive {
+			n.tenants = append(n.tenants, nil)
+			continue
+		}
+		name := r.String()
+		seedID := r.Int64()
+		protoName := r.String()
+		events := r.Uint64()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if seedID < 0 || seedID >= nextSeedID {
+			return nil, fmt.Errorf("runtime: tenant %d seed label %d outside [0,%d)", ti, seedID, nextSeedID)
+		}
+		t, err := n.buildTenant(specs[ti], ti, seedID)
+		if err != nil {
+			return nil, err
+		}
+		if got := t.proto.Name(); got != protoName {
+			return nil, fmt.Errorf("runtime: tenant %d spec builds protocol %q, snapshot holds %q",
+				ti, got, protoName)
+		}
+		sp, ok := t.proto.(server.StatefulProtocol)
+		if !ok {
+			return nil, fmt.Errorf("runtime: tenant %d protocol %q does not support snapshots", ti, protoName)
+		}
+		if err := t.cluster.ImportState(r); err != nil {
+			return nil, fmt.Errorf("runtime: tenant %d cluster: %w", ti, err)
+		}
+		if err := sp.ImportState(r); err != nil {
+			return nil, fmt.Errorf("runtime: tenant %d protocol: %w", ti, err)
+		}
+		t.name = name
+		t.events = events
+		t.initialized = true
+		n.tenants = append(n.tenants, t)
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	n.initChannels(shards)
+	return n, nil
+}
+
+// TotalEvents returns how many events the node has accepted over its whole
+// life — including events for since-evicted tenants, so after a restore it
+// is exactly the number of merged-stream events the driver should skip to
+// resume where the snapshot was taken, no matter what the tenant set did
+// in between. Only call from the ingest-side goroutine.
+func (n *Node) TotalEvents() uint64 { return n.ingested }

@@ -12,8 +12,6 @@ package server
 import (
 	"fmt"
 
-	"math/rand"
-
 	"adaptivefilters/internal/comm"
 	"adaptivefilters/internal/filter"
 	"adaptivefilters/internal/sim"
@@ -128,7 +126,7 @@ type Cluster struct {
 	pending  []pendingUpdate
 	head     int
 	draining bool
-	lossRng  *rand.Rand
+	lossRng  *sim.RNG
 	// DroppedUpdates counts update messages lost to injected uplink loss.
 	DroppedUpdates uint64
 }
@@ -147,7 +145,7 @@ func NewClusterWith(initial []float64, cfg Config) *Cluster {
 		known: make([]bool, len(initial)),
 	}
 	if cfg.DropUpdateProb > 0 {
-		c.lossRng = sim.NewRNG(sim.DeriveSeed(cfg.DropSeed, lossSeedStream)).Rand
+		c.lossRng = sim.NewRNG(sim.DeriveSeed(cfg.DropSeed, lossSeedStream))
 	}
 	c.sources = make([]*stream.Source, len(initial))
 	for i, v := range initial {

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"fmt"
+
+	"adaptivefilters/internal/sim"
+	"adaptivefilters/internal/snapshot"
+)
+
+// StatefulProtocol is a Protocol whose full dynamic state can be exported
+// into a snapshot and imported into a freshly constructed instance of the
+// same configuration. All of internal/core implements it; runtime.Node
+// requires it for Snapshot/RestoreNode.
+//
+// The contract mirrors the runtime's restore path: ImportState must be
+// called exactly once, on a protocol just built by its constructor (with
+// the same query, tolerance and seed as the exporting instance), before any
+// Initialize or HandleUpdate. Configuration is deliberately not part of the
+// encoding — it lives in the caller's TenantSpec — so a snapshot carries
+// only what the constructor cannot recompute.
+type StatefulProtocol interface {
+	Protocol
+	// ExportState appends the protocol's dynamic state to the snapshot.
+	ExportState(w *snapshot.Writer)
+	// ImportState restores state written by ExportState. It returns an
+	// error on corrupted or mismatched input and never panics.
+	ImportState(r *snapshot.Reader) error
+}
+
+// ExportState appends the cluster's full dynamic state to a snapshot: the
+// server value table, the message counter, loss-injection progress, any
+// queued-but-unhandled updates, and every source's value/constraint/side.
+// Export during an in-flight delivery cascade is a programming error; the
+// runtime only exports at a drain barrier, where the pending queue is empty
+// and no delivery is active.
+func (c *Cluster) ExportState(w *snapshot.Writer) {
+	if c.draining {
+		panic("server: ExportState during delivery")
+	}
+	w.Int(c.N())
+	w.Float64s(c.table)
+	w.Bools(c.known)
+	c.ctr.ExportState(w)
+	w.Uint64(c.DroppedUpdates)
+	if c.lossRng != nil {
+		pos := c.lossRng.Pos()
+		if pos > sim.MaxSkip {
+			w.Fail(fmt.Errorf("server: loss RNG position %d exceeds the restorable bound %d", pos, uint64(sim.MaxSkip)))
+		}
+		w.Uint64(pos)
+	} else {
+		w.Uint64(0)
+	}
+	pend := c.pending[c.head:]
+	w.Int(len(pend))
+	for _, u := range pend {
+		w.Int(u.id)
+		w.Float64(u.v)
+	}
+	for _, s := range c.sources {
+		s.ExportState(w)
+	}
+}
+
+// ImportState restores state written by ExportState into a freshly
+// constructed cluster with the same stream count and Config. The loss RNG
+// is fast-forwarded to its recorded position, so injected losses continue
+// exactly where the exporting run left off. It returns an error on
+// corrupted or mismatched input and never panics.
+func (c *Cluster) ImportState(r *snapshot.Reader) error {
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != c.N() {
+		return fmt.Errorf("server: snapshot has %d streams, cluster has %d", n, c.N())
+	}
+	table := r.Float64s()
+	known := r.Bools()
+	if err := c.ctr.ImportState(r); err != nil {
+		return err
+	}
+	dropped := r.Uint64()
+	lossPos := r.Uint64()
+	pendLen := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if len(table) != n || len(known) != n {
+		return fmt.Errorf("server: snapshot table sized %d/%d, want %d", len(table), len(known), n)
+	}
+	if lossPos > 0 && c.lossRng == nil {
+		return fmt.Errorf("server: snapshot has loss-RNG state but cluster has no loss injection")
+	}
+	if pendLen < 0 || pendLen > r.Remaining()/16 {
+		// Each entry is 16 encoded bytes; a length beyond the remaining
+		// input is corruption, caught before allocating for it.
+		return fmt.Errorf("server: snapshot pending queue length %d exceeds remaining input", pendLen)
+	}
+	pending := make([]pendingUpdate, 0, pendLen)
+	for i := 0; i < pendLen; i++ {
+		id := r.Int()
+		v := r.Float64()
+		if r.Err() == nil && (id < 0 || id >= n) {
+			return fmt.Errorf("server: snapshot pending update for unknown stream %d", id)
+		}
+		pending = append(pending, pendingUpdate{id: id, v: v})
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	// All scalars decoded; restore sources last so a failure midway leaves
+	// at worst a partially restored cluster that the caller discards.
+	copy(c.table, table)
+	copy(c.known, known)
+	c.DroppedUpdates = dropped
+	if c.lossRng != nil {
+		if err := c.lossRng.Skip(lossPos); err != nil {
+			return err
+		}
+	}
+	c.pending = pending
+	c.head = 0
+	for _, s := range c.sources {
+		if err := s.ImportState(r); err != nil {
+			return err
+		}
+	}
+	return r.Err()
+}

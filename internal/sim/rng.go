@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 )
@@ -8,13 +9,70 @@ import (
 // RNG bundles the random distributions the workload generators need on top
 // of a seeded math/rand source, so every component draws from an independent,
 // reproducible stream.
+//
+// Every RNG counts the source steps it has consumed (Pos). Because each
+// top-level draw advances the underlying source a deterministic number of
+// steps, a position fully identifies the RNG state for a given seed: Skip
+// fast-forwards a freshly seeded RNG to any recorded position, which is how
+// snapshot restore resumes protocol and loss-injection randomness exactly
+// where an interrupted run left off.
 type RNG struct {
 	*rand.Rand
+	src *countingSource
+}
+
+// MaxSkip bounds how far Skip will fast-forward (2^30 steps, well under a
+// second of replay). Positions recorded by real runs stay far below it;
+// snapshot decoders reject anything larger as corruption, so a flipped bit
+// in a stored position cannot turn a restore into an unbounded replay loop.
+const MaxSkip = 1 << 30
+
+// countingSource wraps a math/rand source and counts its steps. Both Int63
+// and Uint64 advance the wrapped generator exactly one step, so the count is
+// the exact number of state transitions regardless of which distribution
+// methods consumed them.
+type countingSource struct {
+	src rand.Source64
+	pos uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.pos++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.pos++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.pos = 0
 }
 
 // NewRNG returns a deterministic RNG for the given seed.
 func NewRNG(seed int64) *RNG {
-	return &RNG{Rand: rand.New(rand.NewSource(seed))}
+	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+	return &RNG{Rand: rand.New(src), src: src}
+}
+
+// Pos returns the number of source steps consumed so far. Together with the
+// construction path (seed, Split labels) it identifies the RNG state.
+func (r *RNG) Pos() uint64 { return r.src.pos }
+
+// Skip advances the RNG by n source steps without interpreting the draws,
+// restoring the state a freshly constructed RNG had after consuming n steps.
+// It returns an error (leaving the RNG unperturbed) when n exceeds MaxSkip,
+// so corrupted snapshot positions fail fast instead of replaying forever.
+func (r *RNG) Skip(n uint64) error {
+	if n > MaxSkip {
+		return fmt.Errorf("sim: rng skip %d exceeds limit %d", n, uint64(MaxSkip))
+	}
+	for i := uint64(0); i < n; i++ {
+		r.src.Uint64()
+	}
+	return nil
 }
 
 // Split derives an independent RNG from this one, labelled by id. Two Splits

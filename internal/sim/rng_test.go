@@ -164,3 +164,95 @@ func sampleMedian(_ *RNG, n int, draw func() float64) float64 {
 	sort.Float64s(vals)
 	return vals[n/2]
 }
+
+// TestPosCountsSourceSteps checks Pos advances with every kind of draw and
+// that two RNGs at equal positions (same seed) are in identical states.
+func TestPosCountsSourceSteps(t *testing.T) {
+	rng := NewRNG(99)
+	if rng.Pos() != 0 {
+		t.Fatalf("fresh Pos = %d", rng.Pos())
+	}
+	rng.Float64()
+	after1 := rng.Pos()
+	if after1 == 0 {
+		t.Fatal("Float64 did not advance Pos")
+	}
+	rng.Normal(0, 1)
+	rng.Exp(2)
+	rng.Intn(1000)
+	rng.Shuffle(50, func(i, j int) {})
+	if rng.Pos() <= after1 {
+		t.Fatalf("Pos did not advance: %d -> %d", after1, rng.Pos())
+	}
+}
+
+// TestSkipReproducesState is the replay property snapshot restore relies
+// on: a fresh RNG skipped to a recorded position continues with exactly the
+// draws the original produced after that position.
+func TestSkipReproducesState(t *testing.T) {
+	orig := NewRNG(1234)
+	for i := 0; i < 1000; i++ {
+		switch i % 4 {
+		case 0:
+			orig.Float64()
+		case 1:
+			orig.Normal(3, 2)
+		case 2:
+			orig.Intn(77)
+		default:
+			orig.Shuffle(13, func(i, j int) {})
+		}
+	}
+	pos := orig.Pos()
+
+	replay := NewRNG(1234)
+	if err := replay.Skip(pos); err != nil {
+		t.Fatal(err)
+	}
+	if replay.Pos() != pos {
+		t.Fatalf("Skip left Pos = %d, want %d", replay.Pos(), pos)
+	}
+	for i := 0; i < 100; i++ {
+		if a, b := orig.Float64(), replay.Float64(); a != b {
+			t.Fatalf("draw %d diverged after skip: %v vs %v", i, a, b)
+		}
+		if a, b := orig.Int63(), replay.Int63(); a != b {
+			t.Fatalf("int draw %d diverged after skip: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestSkipAppliesToSplitChildren checks the restore path protocols use:
+// reconstruct the Split child from the same labels, then skip.
+func TestSkipAppliesToSplitChildren(t *testing.T) {
+	child := NewRNG(7).Split(0x5DEE)
+	child.Shuffle(40, func(i, j int) {})
+	child.Shuffle(40, func(i, j int) {})
+	pos := child.Pos()
+
+	re := NewRNG(7).Split(0x5DEE)
+	if err := re.Skip(pos); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := child.Int63(), re.Int63(); a != b {
+		t.Fatalf("split child diverged after skip: %v vs %v", a, b)
+	}
+}
+
+// TestSkipBound checks the corruption guard: positions beyond MaxSkip are
+// rejected without perturbing the RNG.
+func TestSkipBound(t *testing.T) {
+	rng := NewRNG(3)
+	if err := rng.Skip(MaxSkip + 1); err == nil {
+		t.Fatal("oversized skip accepted")
+	}
+	if rng.Pos() != 0 {
+		t.Fatalf("failed Skip perturbed Pos to %d", rng.Pos())
+	}
+	if err := rng.Skip(10); err != nil {
+		t.Fatal(err)
+	}
+	if rng.Pos() != 10 {
+		t.Fatalf("Pos = %d, want 10", rng.Pos())
+	}
+}

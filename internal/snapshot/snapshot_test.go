@@ -1,0 +1,167 @@
+package snapshot
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRoundTrip writes one of everything and reads it back.
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.Uint64(0xDEADBEEF)
+	w.Int64(-42)
+	w.Int(123456)
+	w.Float64(math.Pi)
+	w.Float64(math.Inf(-1))
+	w.Bool(true)
+	w.Bool(false)
+	w.String("hello, 世界")
+	w.String("")
+	w.Float64s([]float64{1.5, -2.5, math.Inf(1)})
+	w.Bools([]bool{true, false, true})
+	w.Ints([]int{7, -9, 0})
+
+	r := NewReader(w.Bytes())
+	if got := r.Uint64(); got != 0xDEADBEEF {
+		t.Fatalf("Uint64 = %x", got)
+	}
+	if got := r.Int64(); got != -42 {
+		t.Fatalf("Int64 = %d", got)
+	}
+	if got := r.Int(); got != 123456 {
+		t.Fatalf("Int = %d", got)
+	}
+	if got := r.Float64(); got != math.Pi {
+		t.Fatalf("Float64 = %v", got)
+	}
+	if got := r.Float64(); !math.IsInf(got, -1) {
+		t.Fatalf("Float64 = %v, want -Inf", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool round-trip failed")
+	}
+	if got := r.String(); got != "hello, 世界" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Fatalf("String = %q, want empty", got)
+	}
+	fs := r.Float64s()
+	if len(fs) != 3 || fs[0] != 1.5 || fs[1] != -2.5 || !math.IsInf(fs[2], 1) {
+		t.Fatalf("Float64s = %v", fs)
+	}
+	bs := r.Bools()
+	if len(bs) != 3 || !bs[0] || bs[1] || !bs[2] {
+		t.Fatalf("Bools = %v", bs)
+	}
+	is := r.Ints()
+	if len(is) != 3 || is[0] != 7 || is[1] != -9 || is[2] != 0 {
+		t.Fatalf("Ints = %v", is)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNaNBitExact checks NaN payloads survive the codec bit-for-bit.
+func TestNaNBitExact(t *testing.T) {
+	quietNaN := math.Float64frombits(0x7FF8000000000001)
+	w := NewWriter()
+	w.Float64(quietNaN)
+	got := NewReader(w.Bytes()).Float64()
+	if math.Float64bits(got) != 0x7FF8000000000001 {
+		t.Fatalf("NaN bits = %x", math.Float64bits(got))
+	}
+}
+
+// TestStickyErrors checks the first failure is kept and later reads are
+// inert zero values.
+func TestStickyErrors(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	if got := r.Uint64(); got != 0 {
+		t.Fatalf("truncated Uint64 = %d, want 0", got)
+	}
+	first := r.Err()
+	if first == nil {
+		t.Fatal("no error after truncated read")
+	}
+	_ = r.String()
+	_ = r.Float64s()
+	_ = r.Bool()
+	if r.Err() != first {
+		t.Fatalf("error replaced: %v -> %v", first, r.Err())
+	}
+	if r.Done() != first {
+		t.Fatal("Done did not surface the first error")
+	}
+}
+
+// TestLengthBounds checks oversized lengths fail before allocating.
+func TestLengthBounds(t *testing.T) {
+	w := NewWriter()
+	w.Uint64(1 << 60) // an absurd element count with no elements behind it
+	for _, read := range map[string]func(*Reader){
+		"string":   func(r *Reader) { _ = r.String() },
+		"float64s": func(r *Reader) { r.Float64s() },
+		"bools":    func(r *Reader) { r.Bools() },
+		"ints":     func(r *Reader) { r.Ints() },
+	} {
+		r := NewReader(w.Bytes())
+		read(r)
+		if r.Err() == nil {
+			t.Fatal("oversized length accepted")
+		}
+	}
+}
+
+// TestTrailingBytes checks Done rejects unconsumed input.
+func TestTrailingBytes(t *testing.T) {
+	w := NewWriter()
+	w.Bool(true)
+	w.Bool(true)
+	r := NewReader(w.Bytes())
+	r.Bool()
+	if err := r.Done(); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+// TestInvalidBool checks bytes other than 0/1 are rejected.
+func TestInvalidBool(t *testing.T) {
+	r := NewReader([]byte{2})
+	r.Bool()
+	if r.Err() == nil {
+		t.Fatal("bool byte 2 accepted")
+	}
+}
+
+// FuzzReader drives arbitrary bytes through every primitive in a fixed
+// rotation: decoding must never panic, and whatever error appears must be
+// sticky.
+func FuzzReader(f *testing.F) {
+	w := NewWriter()
+	w.String("seed")
+	w.Float64s([]float64{1, 2, 3})
+	w.Uint64(7)
+	f.Add(w.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(data)
+		for r.Err() == nil && r.Remaining() > 0 {
+			r.Uint64()
+			r.Bool()
+			_ = r.String()
+			r.Float64s()
+			r.Ints()
+			r.Bools()
+		}
+		first := r.Err()
+		r.Uint64()
+		_ = r.String()
+		if first != nil && r.Err() != first {
+			t.Fatal("error not sticky")
+		}
+		_ = r.Done()
+	})
+}

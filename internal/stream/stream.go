@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"adaptivefilters/internal/filter"
+	"adaptivefilters/internal/snapshot"
 )
 
 // ID identifies a stream source. IDs are dense indices 0..n-1.
@@ -139,6 +140,39 @@ func (s *Source) Probe() float64 {
 func (s *Source) send() {
 	s.Reports++
 	s.report(s.id, s.val)
+}
+
+// ExportState appends the source's full dynamic state — value, installed
+// constraint, recorded side, update/report counters — to a snapshot.
+func (s *Source) ExportState(w *snapshot.Writer) {
+	w.Float64(s.val)
+	s.cons.ExportState(w)
+	w.Bool(s.inside)
+	w.Uint64(s.Updates)
+	w.Uint64(s.Reports)
+}
+
+// ImportState restores state written by ExportState, overwriting the
+// source's value, constraint, side and counters (id and uplink are kept).
+// It returns an error on corrupted input and never panics.
+func (s *Source) ImportState(r *snapshot.Reader) error {
+	val := r.Float64()
+	cons, err := filter.ImportConstraint(r)
+	if err != nil {
+		return err
+	}
+	inside := r.Bool()
+	updates := r.Uint64()
+	reports := r.Uint64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	s.val = val
+	s.cons = cons
+	s.inside = inside
+	s.Updates = updates
+	s.Reports = reports
+	return nil
 }
 
 // String renders the source state for debugging.

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"adaptivefilters/internal/filter"
+	"adaptivefilters/internal/snapshot"
 )
 
 type recorder struct {
@@ -202,5 +203,57 @@ func TestQuickReportIffMembershipChanges(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSourceStateRoundTrip(t *testing.T) {
+	var reports []float64
+	uplink := func(_ ID, v float64) { reports = append(reports, v) }
+	src := New(3, 100, uplink)
+	src.Install(filter.NewInterval(50, 150), true)
+	src.Set(120)
+	src.Set(200) // crossing: reports
+
+	w := snapshot.NewWriter()
+	src.ExportState(w)
+
+	restored := New(3, 0, uplink)
+	r := snapshot.NewReader(w.Bytes())
+	if err := restored.ImportState(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Value() != src.Value() || restored.Constraint() != src.Constraint() ||
+		restored.Inside() != src.Inside() || restored.Updates != src.Updates ||
+		restored.Reports != src.Reports {
+		t.Fatalf("round-trip mismatch: %v vs %v", restored, src)
+	}
+	// Continuation equivalence: the same next value triggers (or not) the
+	// same report on both.
+	a := src.Set(140)
+	b := restored.Set(140)
+	if a != b {
+		t.Fatalf("post-restore Set diverged: %v vs %v", a, b)
+	}
+}
+
+func TestSourceImportRejects(t *testing.T) {
+	src := New(0, 1, func(ID, float64) {})
+	w := snapshot.NewWriter()
+	src.ExportState(w)
+	data := w.Bytes()
+	for cut := 0; cut < len(data); cut += 7 {
+		got := New(0, 0, func(ID, float64) {})
+		if err := got.ImportState(snapshot.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	bad := append([]byte(nil), data...)
+	bad[8] = 0x66 // constraint kind discriminator
+	got := New(0, 0, func(ID, float64) {})
+	if err := got.ImportState(snapshot.NewReader(bad)); err == nil {
+		t.Fatal("invalid constraint kind accepted")
 	}
 }
