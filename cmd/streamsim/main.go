@@ -60,6 +60,7 @@ func main() {
 		every     = flag.Int("check-every", 10, "oracle sampling period")
 		verbose   = flag.Bool("v", false, "print the final answer set")
 		tenants   = flag.Int("tenants", 1, "host this many independent (workload × query) tenants on one node")
+		queries   = flag.Int("queries", 1, "standing queries per tenant: with -queries M > 1 each tenant is a composite multi-query tenant whose M queries (shifted copies of the configured query) share one value table, one counter and composite filters")
 		shards    = flag.Int("shards", 1, "event-loop goroutines for -tenants mode (-1 = GOMAXPROCS)")
 		batch     = flag.Int("batch", 512, "ingest batch size for -tenants mode")
 		answers   = flag.String("answers", "", "write a timing-free per-tenant answer/counter dump to this file (-tenants mode); byte-identical at any -shards, the CI determinism job diffs it")
@@ -78,9 +79,14 @@ func main() {
 	// with a message, not panic in a protocol constructor or silently run a
 	// default. (The protocol-specific k/n checks mirror the constructors'
 	// own panics.)
+	// tenantsMode hosts the configuration on a runtime.Node: more than one
+	// tenant, or at least one multi-query tenant.
+	tenantsMode := *tenants > 1 || *queries > 1
 	switch {
 	case *tenants < 1:
 		fail("-tenants must be at least 1, got %d", *tenants)
+	case *queries < 1:
+		fail("-queries must be at least 1, got %d", *queries)
 	case *shards == 0 || *shards < -1:
 		fail("-shards must be positive or -1 for GOMAXPROCS, got %d", *shards)
 	case *n < 1:
@@ -93,8 +99,8 @@ func main() {
 		fail("-check-every must be positive, got %d", *every)
 	case *snapEvery < 0:
 		fail("-snapshot-every must be non-negative, got %d", *snapEvery)
-	case (*snapEvery > 0 || *restore != "") && *tenants == 1:
-		fail("-snapshot-every and -restore need -tenants mode (pass -tenants > 1)")
+	case (*snapEvery > 0 || *restore != "") && !tenantsMode:
+		fail("-snapshot-every and -restore need -tenants mode (pass -tenants > 1 or -queries > 1)")
 	}
 
 	mkWorkload := func(wseed int64) (workload.Workload, error) {
@@ -162,58 +168,67 @@ func main() {
 		center = query.Top()
 	}
 
+	// mk builds the configured protocol's factory for one concrete query
+	// (range or center); -queries derives shifted variants of the base query
+	// through it, so every protocol works on the multi-query plane.
 	var spec *experiment.CheckSpec
-	var build func(c server.Host, seed int64) server.Protocol
+	var mk func(rng query.Range, center query.Center) func(c server.Host, seed int64) server.Protocol
 	switch *proto {
 	case "no-filter":
-		build = func(c server.Host, _ int64) server.Protocol {
-			return core.NewNoFilterRange(c, rng)
+		mk = func(rng query.Range, _ query.Center) func(server.Host, int64) server.Protocol {
+			return func(c server.Host, _ int64) server.Protocol { return core.NewNoFilterRange(c, rng) }
 		}
 		if *check {
 			spec = experiment.CheckFractionRange(rng, core.FractionTolerance{}, *every)
 		}
 	case "zt-nrp":
-		build = func(c server.Host, _ int64) server.Protocol {
-			return core.NewZTNRP(c, rng)
+		mk = func(rng query.Range, _ query.Center) func(server.Host, int64) server.Protocol {
+			return func(c server.Host, _ int64) server.Protocol { return core.NewZTNRP(c, rng) }
 		}
 		if *check {
 			spec = experiment.CheckFractionRange(rng, core.FractionTolerance{}, *every)
 		}
 	case "ft-nrp":
-		build = func(c server.Host, seed int64) server.Protocol {
-			return core.NewFTNRP(c, rng, core.FTNRPConfig{Tol: tol, Selection: selection, Seed: seed})
+		mk = func(rng query.Range, _ query.Center) func(server.Host, int64) server.Protocol {
+			return func(c server.Host, seed int64) server.Protocol {
+				return core.NewFTNRP(c, rng, core.FTNRPConfig{Tol: tol, Selection: selection, Seed: seed})
+			}
 		}
 		if *check {
 			spec = experiment.CheckFractionRange(rng, tol, *every)
 		}
 	case "rtp":
 		rt := core.RankTolerance{K: *k, R: *r}
-		build = func(c server.Host, _ int64) server.Protocol {
-			return core.NewRTP(c, center, rt)
+		mk = func(_ query.Range, center query.Center) func(server.Host, int64) server.Protocol {
+			return func(c server.Host, _ int64) server.Protocol { return core.NewRTP(c, center, rt) }
 		}
 		if *check {
 			spec = experiment.CheckRank(center, rt, *every)
 		}
 	case "zt-rp":
-		build = func(c server.Host, _ int64) server.Protocol {
-			return core.NewZTRP(c, center, *k)
+		mk = func(_ query.Range, center query.Center) func(server.Host, int64) server.Protocol {
+			return func(c server.Host, _ int64) server.Protocol { return core.NewZTRP(c, center, *k) }
 		}
 		if *check {
 			spec = experiment.CheckRank(center, core.RankTolerance{K: *k}, *every)
 		}
 	case "ft-rp":
-		build = func(c server.Host, seed int64) server.Protocol {
-			fc := core.DefaultFTRPConfig(tol)
-			fc.Selection = selection
-			fc.Seed = seed
-			return core.NewFTRP(c, center, *k, fc)
+		mk = func(_ query.Range, center query.Center) func(server.Host, int64) server.Protocol {
+			return func(c server.Host, seed int64) server.Protocol {
+				fc := core.DefaultFTRPConfig(tol)
+				fc.Selection = selection
+				fc.Seed = seed
+				return core.NewFTRP(c, center, *k, fc)
+			}
 		}
 		if *check {
 			spec = experiment.CheckFractionKNN(query.KNN{Q: center, K: *k}, tol, *every)
 		}
 	case "vb-knn":
-		build = func(c server.Host, _ int64) server.Protocol {
-			return core.NewVBKNN(c, query.KNN{Q: center, K: *k}, *width)
+		mk = func(_ query.Range, center query.Center) func(server.Host, int64) server.Protocol {
+			return func(c server.Host, _ int64) server.Protocol {
+				return core.NewVBKNN(c, query.KNN{Q: center, K: *k}, *width)
+			}
 		}
 		if *check {
 			// The value-based baseline offers no rank guarantee; checking it
@@ -224,17 +239,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "streamsim: unknown protocol %q\n", *proto)
 		os.Exit(2)
 	}
+	build := mk(rng, center)
+	// buildQuery derives query j's factory: range windows shift by a quarter
+	// span per query (staying overlapped, where composite sharing matters),
+	// k-NN centers by an eighth span of the range flags. Query 0 is exactly
+	// the base query.
+	buildQuery := func(j int) func(c server.Host, seed int64) server.Protocol {
+		span := *hi - *lo
+		shift := float64(j) * span / 4
+		qrng := query.NewRange(*lo+shift, *hi+shift)
+		qcenter := query.At(*qpoint + float64(j)*span/8)
+		if *top {
+			qcenter = query.Top()
+		}
+		return mk(qrng, qcenter)
+	}
 
-	if *tenants > 1 {
+	if tenantsMode {
 		if *check {
 			fmt.Fprintln(os.Stderr, "streamsim: -check is ignored in -tenants mode")
 		}
 		cfg := tenantsConfig{
-			tenants: *tenants, shards: *shards, batch: *batch, seed: *seed,
+			tenants: *tenants, queries: *queries, shards: *shards, batch: *batch, seed: *seed,
 			proto: *proto, verbose: *verbose, answers: *answers,
 			snapEvery: *snapEvery, snapFile: *snapFile, restore: *restore,
 		}
-		if err := runTenants(cfg, mkWorkload, build); err != nil {
+		if err := runTenants(cfg, mkWorkload, build, buildQuery); err != nil {
 			fmt.Fprintln(os.Stderr, "streamsim:", err)
 			os.Exit(2)
 		}
@@ -283,14 +313,14 @@ func main() {
 
 // tenantsConfig bundles the -tenants mode flags.
 type tenantsConfig struct {
-	tenants, shards, batch int
-	seed                   int64
-	proto                  string
-	verbose                bool
-	answers                string
-	snapEvery              int
-	snapFile               string
-	restore                string
+	tenants, queries, shards, batch int
+	seed                            int64
+	proto                           string
+	verbose                         bool
+	answers                         string
+	snapEvery                       int
+	snapFile                        string
+	restore                         string
 }
 
 // runTenants hosts `tenants` independent copies of the configured
@@ -298,7 +328,10 @@ type tenantsConfig struct {
 // derived from the base seed and i, its protocol seed from the node seed
 // via the runtime's own derivation. Events from all tenants are merged into
 // one time-ordered ingress stream and ingested in batches, mimicking a
-// mixed multi-tenant uplink.
+// mixed multi-tenant uplink. With queries > 1 each tenant instead hosts
+// that many standing queries — shifted variants of the configured query,
+// built by buildQuery — on one composite fabric, so one update message
+// covers every query it affects.
 //
 // With snapEvery > 0 the node snapshots itself about every snapEvery
 // ingested events (at the next batch boundary), overwriting snapFile each
@@ -308,7 +341,8 @@ type tenantsConfig struct {
 // an uninterrupted run at any shard count.
 func runTenants(cfg tenantsConfig,
 	mkWorkload func(int64) (workload.Workload, error),
-	build func(c server.Host, seed int64) server.Protocol) error {
+	build func(c server.Host, seed int64) server.Protocol,
+	buildQuery func(j int) func(c server.Host, seed int64) server.Protocol) error {
 
 	specs := make([]runtime.TenantSpec, cfg.tenants)
 	iters := make([]workload.Iterator, cfg.tenants)
@@ -318,9 +352,20 @@ func runTenants(cfg tenantsConfig,
 			return err
 		}
 		specs[i] = runtime.TenantSpec{
-			Name:        fmt.Sprintf("%s/%s-%d", cfg.proto, w.Name(), i),
-			Initial:     w.Initial(),
-			NewProtocol: build,
+			Name:    fmt.Sprintf("%s/%s-%d", cfg.proto, w.Name(), i),
+			Initial: w.Initial(),
+		}
+		if cfg.queries > 1 {
+			qs := make([]runtime.QuerySpec, cfg.queries)
+			for j := 0; j < cfg.queries; j++ {
+				qs[j] = runtime.QuerySpec{
+					Name:        fmt.Sprintf("q%d", j),
+					NewProtocol: buildQuery(j),
+				}
+			}
+			specs[i].Queries = qs
+		} else {
+			specs[i].NewProtocol = build
 		}
 		iters[i] = w.Events()
 	}
@@ -417,15 +462,16 @@ func runTenants(cfg tenantsConfig,
 	elapsed := time.Since(start)
 	node.Stop()
 
-	fmt.Printf("tenants:    %d   shards: %d   batch: %d\n", cfg.tenants, node.Shards(), cfg.batch)
+	fmt.Printf("tenants:    %d   queries/tenant: %d   shards: %d   batch: %d\n",
+		cfg.tenants, cfg.queries, node.Shards(), cfg.batch)
 	fmt.Printf("ingested:   %d events in %v (%.0f events/sec)\n",
 		ingested, elapsed.Round(time.Millisecond), float64(ingested)/elapsed.Seconds())
 	var worst, total uint64
 	for i := 0; i < cfg.tenants; i++ {
 		c := node.Counter(i)
 		if cfg.verbose || cfg.tenants <= 8 {
-			fmt.Printf("  %-28s events=%-7d maint=%-7d answer=%d\n",
-				node.TenantName(i), node.Events(i), c.Maintenance(), len(node.Answer(i)))
+			fmt.Printf("  %-28s events=%-7d maint=%-7d answers=%s\n",
+				node.TenantName(i), node.Events(i), c.Maintenance(), answerSizes(node, i))
 		}
 		if m := c.Maintenance(); m > worst {
 			worst = m
@@ -444,15 +490,48 @@ func runTenants(cfg tenantsConfig,
 	return nil
 }
 
-// writeAnswers dumps every tenant's final answer set and message counter
-// plus the node totals, with nothing time- or shard-dependent: the same
-// (seed, tenants, workload) must produce byte-identical dumps at any shard
-// count. CI's determinism job runs -shards 1 and -shards 4 and diffs.
+// answerSizes renders a tenant's answer-set size — per query slot for a
+// multi-query tenant.
+func answerSizes(node *runtime.Node, ti int) string {
+	if !node.MultiQuery(ti) {
+		return fmt.Sprintf("%d", len(node.Answer(ti)))
+	}
+	var b strings.Builder
+	for qi := 0; qi < node.NumQueries(ti); qi++ {
+		if qi > 0 {
+			b.WriteString("/")
+		}
+		if !node.QueryAlive(ti, qi) {
+			b.WriteString("-")
+			continue
+		}
+		fmt.Fprintf(&b, "%d", len(node.QueryAnswer(ti, qi)))
+	}
+	return b.String()
+}
+
+// writeAnswers dumps every tenant's final answer set (every query's, for
+// multi-query tenants) and message counter plus the node totals, with
+// nothing time- or shard-dependent: the same (seed, tenants, queries,
+// workload) must produce byte-identical dumps at any shard count. CI's
+// determinism job runs -shards 1 and -shards 4 and diffs.
 func writeAnswers(path string, node *runtime.Node) error {
 	var b strings.Builder
 	for i := 0; i < node.NumTenants(); i++ {
 		if !node.Alive(i) {
 			fmt.Fprintf(&b, "tenant %d removed\n", i)
+			continue
+		}
+		if node.MultiQuery(i) {
+			fmt.Fprintf(&b, "tenant %s events=%d counter={%v}\n",
+				node.TenantName(i), node.Events(i), node.Counter(i))
+			for qi := 0; qi < node.NumQueries(i); qi++ {
+				if !node.QueryAlive(i, qi) {
+					fmt.Fprintf(&b, "  query %d removed\n", qi)
+					continue
+				}
+				fmt.Fprintf(&b, "  query %s answer=%v\n", node.QueryName(i, qi), node.QueryAnswer(i, qi))
+			}
 			continue
 		}
 		fmt.Fprintf(&b, "tenant %s events=%d counter={%v} answer=%v\n",

@@ -35,6 +35,14 @@ type Result struct {
 	// path, where the regression gate rejects any allocs/op increase (the
 	// zero-allocation invariant), not just throughput loss.
 	IngestPath bool `json:"ingest_path"`
+	// MaintMessages records the benchmark workload's deterministic
+	// maintenance-message count (the paper's headline metric), measured on a
+	// fresh run of the benchmark's fixed event sequence. Zero means the
+	// benchmark does not track messages. Unlike throughput it is noise-free
+	// and machine-independent, so the gate rejects any increase outright —
+	// a regression here means the filtering or sharing logic itself changed
+	// (refresh the baseline only for deliberate accounting changes).
+	MaintMessages uint64 `json:"maint_messages,omitempty"`
 }
 
 // Suite is one benchmark run's emitted document.
@@ -100,7 +108,10 @@ type GateConfig struct {
 //     until it is refreshed from numbers measured where the gate runs);
 //   - on ingest-path results, allocs/op must not exceed the baseline at
 //     all — the zero-allocation invariant is exact, machine-independent,
-//     and enforced unconditionally.
+//     and enforced unconditionally;
+//   - on results recording maintenance messages, the count must not exceed
+//     the baseline at all — message counts are deterministic, so growth is
+//     a behavioral regression of the filtering/sharing logic, not noise.
 //
 // Results present only in current are ignored, so new benchmarks can land
 // before the baseline is refreshed.
@@ -131,6 +142,11 @@ func Compare(baseline, current *Suite, cfg GateConfig) []string {
 			violations = append(violations, fmt.Sprintf(
 				"%s: ingest-path allocs/op grew: %.2f vs baseline %.2f",
 				base.Name, cur.AllocsPerOp, base.AllocsPerOp))
+		}
+		if base.MaintMessages > 0 && cur.MaintMessages > base.MaintMessages {
+			violations = append(violations, fmt.Sprintf(
+				"%s: maintenance messages grew: %d vs baseline %d",
+				base.Name, cur.MaintMessages, base.MaintMessages))
 		}
 	}
 	return violations

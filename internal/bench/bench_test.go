@@ -120,3 +120,29 @@ func TestSuiteAddReplacesByName(t *testing.T) {
 		t.Fatalf("Add did not replace: %+v", s.Results)
 	}
 }
+
+// TestCompareFailsOnMessageGrowth pins the multi-query sharing guard:
+// maintenance-message counts are deterministic, so any growth over the
+// baseline trips the gate — shrinkage and untracked results do not.
+func TestCompareFailsOnMessageGrowth(t *testing.T) {
+	base := mkSuite(
+		Result{Name: "mq/composite", EventsPerSec: 1e6, MaintMessages: 5000},
+		Result{Name: "mq/independent", EventsPerSec: 1e6, MaintMessages: 9000},
+		Result{Name: "untracked", EventsPerSec: 1e6},
+	)
+	cur := mkSuite(
+		Result{Name: "mq/composite", EventsPerSec: 1e6, MaintMessages: 5001},
+		Result{Name: "mq/independent", EventsPerSec: 1e6, MaintMessages: 8000},
+		Result{Name: "untracked", EventsPerSec: 1e6, MaintMessages: 123},
+	)
+	v := Compare(base, cur, GateConfig{MaxThroughputRegress: 0.15})
+	if len(v) != 1 || !strings.Contains(v[0], "maintenance messages grew") {
+		t.Fatalf("message growth not flagged exactly once: %v", v)
+	}
+	// Message growth is machine-independent: enforced across hardware too.
+	cur.GoMaxProcs = 1
+	v = Compare(base, cur, GateConfig{MaxThroughputRegress: 0.15})
+	if len(v) != 1 || !strings.Contains(v[0], "maintenance messages grew") {
+		t.Fatalf("cross-hardware message growth not flagged: %v", v)
+	}
+}

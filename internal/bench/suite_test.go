@@ -256,3 +256,166 @@ func BenchmarkWorkloadReplay(b *testing.B) {
 	pass() // warm scratch
 	measure(b, "workload-replay", rep.Len(), false, pass)
 }
+
+// mqQueries builds m overlapping FT-NRP range queries spread over the
+// synthetic walk's [0,1000] band, so composite entries genuinely share
+// crossings.
+func mqQueries(m int) []runtime.QuerySpec {
+	qs := make([]runtime.QuerySpec, m)
+	for j := 0; j < m; j++ {
+		lo := 150 + float64((j*43)%500)
+		qs[j] = runtime.QuerySpec{
+			Name: fmt.Sprintf("q%d", j),
+			NewProtocol: func(h server.Host, seed int64) server.Protocol {
+				return core.NewFTNRP(h, query.NewRange(lo, lo+300), core.FTNRPConfig{
+					Tol:       core.FractionTolerance{EpsPlus: 0.2, EpsMinus: 0.2},
+					Selection: core.SelectBoundaryNearest,
+					Seed:      seed,
+				})
+			},
+		}
+	}
+	return qs
+}
+
+// setMessages attaches a deterministic maintenance-message count to an
+// already-measured suite entry (the gate rejects any later growth).
+func setMessages(name string, msgs uint64) {
+	for i := range suite.Results {
+		if suite.Results[i].Name == name {
+			suite.Results[i].MaintMessages = msgs
+			return
+		}
+	}
+}
+
+// runNodeOnce drives a fresh node over batches once and returns its total
+// maintenance messages — the deterministic accounting figure the suite
+// records next to the throughput numbers.
+func runNodeOnce(b *testing.B, specs []runtime.TenantSpec, batches [][]runtime.Event) uint64 {
+	b.Helper()
+	node, err := runtime.NewNode(runtime.Config{Shards: 2, Seed: 42}, specs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := node.Start(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	defer node.Stop()
+	for _, batch := range batches {
+		if err := node.Ingest(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := node.Drain(); err != nil {
+		b.Fatal(err)
+	}
+	totals := node.Totals()
+	return totals.Maintenance()
+}
+
+// BenchmarkMultiQuerySharing measures the multi-query composite plane
+// against the same queries deployed as independent single-query tenants, at
+// M = 1, 4 and 16 standing queries: events/sec and allocs/op on the warmed
+// ingest path (both must stay 0 allocs/op), plus the deterministic
+// maintenance-message counts of one fresh pass — where composite sharing
+// must send strictly fewer messages than the independent deployment for
+// every M > 1. All four figures land in BENCH_suite.json under the gate.
+func BenchmarkMultiQuerySharing(b *testing.B) {
+	const (
+		streams   = 300
+		steps     = 10000
+		batchSize = 512
+	)
+	initial, moves := walk(streams, steps, 29)
+	for _, m := range []int{1, 4, 16} {
+		m := m
+		qs := mqQueries(m)
+
+		// Composite deployment: one tenant, m queries, one event per move.
+		compSpecs := []runtime.TenantSpec{{Name: "mq", Initial: initial, Queries: qs}}
+		var compBatches [][]runtime.Event
+		for start := 0; start < len(moves); start += batchSize {
+			end := start + batchSize
+			if end > len(moves) {
+				end = len(moves)
+			}
+			batch := make([]runtime.Event, 0, batchSize)
+			for _, mv := range moves[start:end] {
+				batch = append(batch, runtime.Event{Tenant: 0, Stream: mv.id, Value: mv.v})
+			}
+			compBatches = append(compBatches, batch)
+		}
+
+		// Independent deployment: m single-query tenants over copies of the
+		// partition, every move fanned out to all of them.
+		indSpecs := make([]runtime.TenantSpec, m)
+		for j := 0; j < m; j++ {
+			indSpecs[j] = runtime.TenantSpec{
+				Name: qs[j].Name, Initial: initial, NewProtocol: qs[j].NewProtocol,
+			}
+		}
+		var indBatches [][]runtime.Event
+		batch := make([]runtime.Event, 0, batchSize)
+		for _, mv := range moves {
+			for j := 0; j < m; j++ {
+				batch = append(batch, runtime.Event{Tenant: j, Stream: mv.id, Value: mv.v})
+				if len(batch) == batchSize {
+					indBatches = append(indBatches, batch)
+					batch = make([]runtime.Event, 0, batchSize)
+				}
+			}
+		}
+		if len(batch) > 0 {
+			indBatches = append(indBatches, batch)
+		}
+
+		compMsgs := runNodeOnce(b, compSpecs, compBatches)
+		indMsgs := runNodeOnce(b, indSpecs, indBatches)
+		if m > 1 && compMsgs >= indMsgs {
+			b.Fatalf("m=%d: composite sent %d maintenance messages, independent %d; sharing must win",
+				m, compMsgs, indMsgs)
+		}
+
+		for _, side := range []struct {
+			kind    string
+			specs   []runtime.TenantSpec
+			batches [][]runtime.Event
+			events  int
+			msgs    uint64
+		}{
+			{"composite", compSpecs, compBatches, steps, compMsgs},
+			{"independent", indSpecs, indBatches, steps * m, indMsgs},
+		} {
+			side := side
+			b.Run(fmt.Sprintf("%s/m=%d", side.kind, m), func(b *testing.B) {
+				node, err := runtime.NewNode(runtime.Config{Shards: 2, Seed: 42}, side.specs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := node.Start(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				defer node.Stop()
+				pass := func() {
+					for _, batch := range side.batches {
+						if err := node.Ingest(batch); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if err := node.Drain(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				// Warm until every pooled buffer has cycled at its working
+				// size and all protocol scratch has grown.
+				for i := 0; i < 4; i++ {
+					pass()
+				}
+				name := fmt.Sprintf("multi-query-sharing/%s/m=%d", side.kind, m)
+				measure(b, name, side.events, true, pass)
+				setMessages(name, side.msgs)
+			})
+		}
+	}
+}

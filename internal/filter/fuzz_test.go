@@ -1,6 +1,7 @@
 package filter_test
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
@@ -140,6 +141,55 @@ func FuzzConstraintCodec(f *testing.F) {
 		c2, err := filter.ImportConstraint(snapshot.NewReader(w2.Bytes()))
 		if err != nil || c2 != c {
 			t.Fatalf("second round-trip %+v -> %+v (%v)", c, c2, err)
+		}
+	})
+}
+
+// FuzzConstraintVectorCodec pins the composite constraint-vector codec the
+// query plane snapshots per-stream filter entries with: decoding arbitrary
+// bytes must either fail with an error (never a panic, never an unbounded
+// allocation) or yield a vector whose canonical re-encoding is exactly the
+// consumed input prefix — i.e. every accepted input is the one encoding of
+// its decoded state.
+func FuzzConstraintVectorCodec(f *testing.F) {
+	seed := func(cs ...filter.Constraint) []byte {
+		w := snapshot.NewWriter()
+		filter.ExportConstraints(w, cs)
+		return w.Bytes()
+	}
+	f.Add(seed())
+	f.Add(seed(filter.NewInterval(100, 300), filter.WideOpen(), filter.Shut()))
+	f.Add(seed(filter.NoFilter(), filter.NewBand(500, 25)))
+	f.Add(seed(filter.NewInterval(math.Inf(-1), math.Inf(-1))))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}) // huge length
+	f.Add(seed(filter.NewInterval(1, 2))[:10])                    // truncated entry
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := snapshot.NewReader(data)
+		cs, err := filter.ImportConstraints(r)
+		if err != nil {
+			return // rejected cleanly: exactly the contract
+		}
+		consumed := len(data) - r.Remaining()
+		w := snapshot.NewWriter()
+		filter.ExportConstraints(w, cs)
+		if !bytes.Equal(w.Bytes(), data[:consumed]) {
+			t.Fatalf("decoded vector %v re-encodes to %x, consumed input was %x",
+				cs, w.Bytes(), data[:consumed])
+		}
+		// A second decode of the canonical bytes must agree exactly.
+		cs2, err := filter.ImportConstraints(snapshot.NewReader(w.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical bytes failed to decode: %v", err)
+		}
+		if len(cs2) != len(cs) {
+			t.Fatalf("second decode has %d entries, want %d", len(cs2), len(cs))
+		}
+		for i := range cs {
+			if cs[i].Kind != cs2[i].Kind ||
+				math.Float64bits(cs[i].Lo) != math.Float64bits(cs2[i].Lo) ||
+				math.Float64bits(cs[i].Hi) != math.Float64bits(cs2[i].Hi) {
+				t.Fatalf("entry %d round-trip %+v -> %+v", i, cs[i], cs2[i])
+			}
 		}
 	})
 }

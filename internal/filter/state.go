@@ -29,3 +29,38 @@ func ImportConstraint(r *snapshot.Reader) (Constraint, error) {
 	}
 	return Constraint{Kind: Kind(kind), Lo: lo, Hi: hi}, nil
 }
+
+// ExportConstraints appends a composite constraint vector — one stream's
+// per-query filter entries — as a length-prefixed sequence of constraints.
+// The encoding is canonical: the same vector always produces the same
+// bytes, so composite snapshots can be byte-diffed across shard counts.
+func ExportConstraints(w *snapshot.Writer, cs []Constraint) {
+	w.Int(len(cs))
+	for _, c := range cs {
+		c.ExportState(w)
+	}
+}
+
+// ImportConstraints decodes a vector written by ExportConstraints. The
+// length is validated against the bytes actually remaining before any
+// allocation (each entry is 24 encoded bytes) and every entry's kind
+// against its known range, so corrupted input returns an error — never a
+// panic or an unbounded allocation.
+func ImportConstraints(r *snapshot.Reader) ([]Constraint, error) {
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 || n > r.Remaining()/24 {
+		return nil, fmt.Errorf("filter: constraint vector length %d exceeds remaining input", n)
+	}
+	out := make([]Constraint, 0, n)
+	for i := 0; i < n; i++ {
+		c, err := ImportConstraint(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

@@ -2,17 +2,13 @@
 // supporting multiple standing queries over the same stream population with
 // shared composite filters.
 //
-// Each stream holds one filter constraint *per query*. A value change is
-// reported iff it crosses the boundary of at least one non-silent
-// per-query constraint — and the report is a single update message no
-// matter how many queries it affects, which is where the sharing wins over
-// running one independent cluster per query. Per-query protocol state is
-// not re-implemented here: every query is an ordinary core.FTNRP instance
-// programming against a server.Host view whose probes refresh the shared
-// value table and whose installs update that query's entry in the
-// composite filter. Only the composite fabric — the per-stream constraint
-// vectors, the shared table and the single message counter — lives in the
-// Manager.
+// The composite fabric itself — per-stream constraint vectors, the shared
+// value table, the single message counter, and the per-query Host views the
+// protocols program against — lives in server.Composite, where the sharded
+// runtime hosts it too (runtime.TenantSpec.Queries). Manager is the thin
+// single-population compatibility façade over that fabric: it fixes the
+// protocol choice to FT-NRP range queries, derives per-query seeds from one
+// base seed, and keeps the original synchronous Deliver-driven surface.
 package multiquery
 
 import (
@@ -20,11 +16,9 @@ import (
 
 	"adaptivefilters/internal/comm"
 	"adaptivefilters/internal/core"
-	"adaptivefilters/internal/filter"
 	"adaptivefilters/internal/query"
 	"adaptivefilters/internal/server"
 	"adaptivefilters/internal/sim"
-	"adaptivefilters/internal/stream"
 )
 
 // querySeedStream labels the per-query seed derivation from the manager's
@@ -40,18 +34,7 @@ type QuerySpec struct {
 
 // Manager hosts M range queries over n shared streams.
 type Manager struct {
-	specs []QuerySpec
-
-	vals  []float64 // ground truth (driven by Deliver)
-	table []float64 // server view
-	known []bool
-
-	// cons[s][q] is stream s's constraint for query q.
-	cons   [][]filter.Constraint
-	inside [][]bool
-
-	subs []*core.FTNRP
-	ctr  comm.Counter
+	comp *server.Composite
 }
 
 // NewManager creates the manager over the initial stream values. Each
@@ -66,246 +49,47 @@ func NewManager(initial []float64, specs []QuerySpec, seed int64) (*Manager, err
 			return nil, fmt.Errorf("multiquery: query %d: %w", i, err)
 		}
 	}
-	m := &Manager{
-		specs: specs,
-		vals:  append([]float64(nil), initial...),
-		table: make([]float64, len(initial)),
-		known: make([]bool, len(initial)),
-	}
-	m.cons = make([][]filter.Constraint, len(initial))
-	m.inside = make([][]bool, len(initial))
-	for s := range m.cons {
-		m.cons[s] = make([]filter.Constraint, len(specs))
-		m.inside[s] = make([]bool, len(specs))
-	}
+	m := &Manager{comp: server.NewComposite(initial)}
 	for qi, spec := range specs {
+		spec := spec
 		// ReinitNever: re-initialization would cost a per-query ProbeAll,
 		// defeating the shared-probe economics; depleted queries degrade to
 		// ZT-NRP exactly as the single-query protocol would.
-		m.subs = append(m.subs, core.NewFTNRP(&queryView{m: m, qi: qi}, spec.Range, core.FTNRPConfig{
-			Tol:       spec.Tol,
-			Selection: core.SelectBoundaryNearest,
-			Seed:      sim.DeriveSeed(seed, querySeedStream, int64(qi)),
-			Reinit:    core.ReinitNever,
-		}))
+		m.comp.AddQuery(fmt.Sprintf("q%d", qi), int64(qi), func(h server.Host) server.Protocol {
+			return core.NewFTNRP(h, spec.Range, core.FTNRPConfig{
+				Tol:       spec.Tol,
+				Selection: core.SelectBoundaryNearest,
+				Seed:      sim.DeriveSeed(seed, querySeedStream, int64(qi)),
+				Reinit:    core.ReinitNever,
+			})
+		})
 	}
 	return m, nil
 }
 
 // N returns the stream count.
-func (m *Manager) N() int { return len(m.vals) }
+func (m *Manager) N() int { return m.comp.N() }
 
 // M returns the query count.
-func (m *Manager) M() int { return len(m.specs) }
+func (m *Manager) M() int { return m.comp.QuerySlots() }
 
 // Counter exposes message accounting.
-func (m *Manager) Counter() *comm.Counter { return &m.ctr }
+func (m *Manager) Counter() *comm.Counter { return m.comp.Counter() }
 
 // Answer returns query qi's current answer set, sorted.
-func (m *Manager) Answer(qi int) []int { return m.subs[qi].Answer() }
+func (m *Manager) Answer(qi int) []int { return m.comp.Answer(qi) }
 
 // SilentStreams returns the number of streams whose every per-query
 // constraint is silent — fully shut-down sensors.
-func (m *Manager) SilentStreams() int {
-	n := 0
-	for s := range m.cons {
-		all := true
-		for _, c := range m.cons[s] {
-			if !c.Silent() {
-				all = false
-				break
-			}
-		}
-		if all {
-			n++
-		}
-	}
-	return n
-}
+func (m *Manager) SilentStreams() int { return m.comp.SilentStreams() }
 
 // Initialize probes every stream once (2n messages) on behalf of all
 // queries, computes each query's answer and silent assignments from that
 // shared snapshot, and installs the composite filters (n install messages —
 // one message carries all per-query entries).
-func (m *Manager) Initialize() {
-	m.ctr.SetPhase(comm.Init)
-	m.probeAll()
-	for _, sub := range m.subs {
-		sub.InitializeFromTable(m.table)
-	}
-	m.installComposite()
-	m.ctr.SetPhase(comm.Maintenance)
-}
-
-func (m *Manager) probeAll() {
-	for s := range m.vals {
-		m.probe(s)
-	}
-}
-
-// probe refreshes the shared table from ground truth (one Probe plus one
-// ProbeReply message) and re-records the stream's side of every per-query
-// constraint.
-func (m *Manager) probe(s int) float64 {
-	m.ctr.Add(comm.Probe, 1)
-	m.ctr.Add(comm.ProbeReply, 1)
-	m.table[s] = m.vals[s]
-	m.known[s] = true
-	for qi := range m.specs {
-		m.inside[s][qi] = m.cons[s][qi].Contains(m.vals[s])
-	}
-	return m.vals[s]
-}
-
-// installComposite pushes every stream's per-query constraint vector in one
-// install message per stream, asking each query's protocol which filter it
-// wants deployed.
-func (m *Manager) installComposite() {
-	m.ctr.Add(comm.Install, uint64(m.N()))
-	for s := range m.cons {
-		for qi, sub := range m.subs {
-			c, _ := sub.FilterFor(s, m.table[s])
-			m.setConstraint(s, qi, c)
-		}
-	}
-}
-
-// setConstraint updates one entry of the composite filter and re-records
-// the stream's side of it against ground truth. The multiquery model has no
-// install handshake: entries are rewritten only right after a probe of the
-// same stream, when table and true value agree (see DESIGN.md §3).
-func (m *Manager) setConstraint(s, qi int, c filter.Constraint) {
-	m.cons[s][qi] = c
-	m.inside[s][qi] = c.Contains(m.vals[s])
-}
+func (m *Manager) Initialize() { m.comp.Initialize() }
 
 // Deliver applies a true value change; the stream reports iff any
 // non-silent per-query constraint boundary was crossed (one update message
 // total), and every query's maintenance then runs against the new value.
-func (m *Manager) Deliver(s int, v float64) {
-	m.vals[s] = v
-	crossed := false
-	for qi := range m.specs {
-		c := m.cons[s][qi]
-		if c.Silent() {
-			continue
-		}
-		now := c.Contains(v)
-		if now != m.inside[s][qi] {
-			m.inside[s][qi] = now
-			crossed = true
-		}
-	}
-	if !crossed {
-		return
-	}
-	m.ctr.Add(comm.Update, 1)
-	m.table[s] = v
-	m.known[s] = true
-	for qi, sub := range m.subs {
-		// Silent entries never generate reports, but the report may have
-		// been caused by another query's constraint; only run a query's
-		// maintenance when its own constraint is live (the paper's
-		// per-filter semantics). The skipped query still pays the lookup.
-		if m.cons[s][qi].Silent() {
-			m.ctr.AddServerOps(1)
-			continue
-		}
-		sub.HandleUpdate(s, v)
-	}
-}
-
-// queryView adapts one query's slot in the composite filter fabric to the
-// server.Host interface core.FTNRP programs against: probes refresh the
-// shared table (and cost the usual two messages on the shared counter),
-// installs rewrite this query's constraint entry (one install message), and
-// server-side work lands on the shared computation metric.
-type queryView struct {
-	m  *Manager
-	qi int
-}
-
-var _ server.Host = (*queryView)(nil)
-
-// N implements server.Host.
-func (v *queryView) N() int { return v.m.N() }
-
-// Probe implements server.Host over the shared table.
-func (v *queryView) Probe(id stream.ID) float64 { return v.m.probe(id) }
-
-// ProbeIf implements server.Host; FT-NRP never conditionally probes, but
-// the view stays a complete host. The probe is always counted, the reply
-// only on a hit, matching server.Cluster.ProbeIf.
-func (v *queryView) ProbeIf(id stream.ID, cons filter.Constraint) (float64, bool) {
-	v.m.ctr.Add(comm.Probe, 1)
-	if !cons.Contains(v.m.vals[id]) {
-		return 0, false
-	}
-	v.m.ctr.Add(comm.ProbeReply, 1)
-	v.m.table[id] = v.m.vals[id]
-	v.m.known[id] = true
-	return v.m.vals[id], true
-}
-
-// ProbeAll implements server.Host (2n messages on the shared counter).
-func (v *queryView) ProbeAll() []float64 {
-	v.m.probeAll()
-	return v.TableValues()
-}
-
-// ProbeAllInto implements server.Host reusing dst for the table snapshot.
-func (v *queryView) ProbeAllInto(dst []float64) []float64 {
-	v.m.probeAll()
-	if cap(dst) < len(v.m.table) {
-		dst = make([]float64, len(v.m.table))
-	}
-	dst = dst[:len(v.m.table)]
-	copy(dst, v.m.table)
-	return dst
-}
-
-// ProbeBatch implements server.Host: 2·len(ids) messages on the shared
-// counter, one batched update per kind.
-func (v *queryView) ProbeBatch(ids []stream.ID) {
-	if len(ids) == 0 {
-		return
-	}
-	v.m.ctr.Add(comm.Probe, uint64(len(ids)))
-	v.m.ctr.Add(comm.ProbeReply, uint64(len(ids)))
-	for _, id := range ids {
-		v.m.table[id] = v.m.vals[id]
-		v.m.known[id] = true
-		for qi := range v.m.specs {
-			v.m.inside[id][qi] = v.m.cons[id][qi].Contains(v.m.vals[id])
-		}
-	}
-}
-
-// Install rewrites this query's entry in stream id's composite filter for
-// one install message. expectInside is ignored: the multiquery model has no
-// install handshake (the entry is recomputed against ground truth).
-func (v *queryView) Install(id stream.ID, cons filter.Constraint, _ bool) {
-	v.m.ctr.Add(comm.Install, 1)
-	v.m.setConstraint(id, v.qi, cons)
-}
-
-// InstallAll rewrites this query's entry at every stream (n installs).
-func (v *queryView) InstallAll(cons filter.Constraint) {
-	v.m.ctr.Add(comm.Install, uint64(v.m.N()))
-	for s := range v.m.cons {
-		v.m.setConstraint(s, v.qi, cons)
-	}
-}
-
-// Table implements server.Host.
-func (v *queryView) Table(id stream.ID) (float64, bool) { return v.m.table[id], v.m.known[id] }
-
-// TableValues implements server.Host.
-func (v *queryView) TableValues() []float64 {
-	out := make([]float64, len(v.m.table))
-	copy(out, v.m.table)
-	return out
-}
-
-// AddServerOps implements server.Host on the shared computation metric.
-func (v *queryView) AddServerOps(n int) { v.m.ctr.AddServerOps(uint64(n)) }
+func (m *Manager) Deliver(s int, v float64) { m.comp.Deliver(s, v) }

@@ -1,13 +1,18 @@
 package multiquery
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"adaptivefilters/internal/core"
 	"adaptivefilters/internal/oracle"
 	"adaptivefilters/internal/query"
+	"adaptivefilters/internal/runtime"
 	"adaptivefilters/internal/server"
+	"adaptivefilters/internal/sim"
 )
 
 func specs() []QuerySpec {
@@ -190,5 +195,84 @@ func TestAnswersMatchIndependentProtocolSemantics(t *testing.T) {
 				t.Fatalf("step %d query %d: %v", step, qi, err)
 			}
 		}
+	}
+}
+
+// TestFacadeMatchesRuntimeQueryPlane pins that the Manager façade and a
+// multi-query tenant on the sharded runtime are the same plane: built over
+// the same fabric with identical per-query seeds and fed identical events,
+// their per-query answers and shared counters must be bit-identical — at
+// several shard counts.
+func TestFacadeMatchesRuntimeQueryPlane(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	n := 70
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.Float64() * 1000
+	}
+	steps := 4000
+	moves := make([][2]float64, steps)
+	cur := append([]float64(nil), vals...)
+	for s := range moves {
+		id := rng.Intn(n)
+		cur[id] += rng.NormFloat64() * 55
+		moves[s] = [2]float64{float64(id), cur[id]}
+	}
+
+	m, err := NewManager(vals, specs(), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Initialize()
+	for _, mv := range moves {
+		m.Deliver(int(mv[0]), mv[1])
+	}
+
+	// The runtime tenant reproduces the Manager's protocols exactly: the
+	// factories close over the façade's own seed derivation, ignoring the
+	// runtime-provided seed.
+	qs := make([]runtime.QuerySpec, len(specs()))
+	for qi, spec := range specs() {
+		qi, spec := qi, spec
+		qs[qi] = runtime.QuerySpec{
+			Name: fmt.Sprintf("q%d", qi),
+			NewProtocol: func(h server.Host, _ int64) server.Protocol {
+				return core.NewFTNRP(h, spec.Range, core.FTNRPConfig{
+					Tol:       spec.Tol,
+					Selection: core.SelectBoundaryNearest,
+					Seed:      sim.DeriveSeed(9, querySeedStream, int64(qi)),
+					Reinit:    core.ReinitNever,
+				})
+			},
+		}
+	}
+	for _, shards := range []int{1, 3} {
+		node, err := runtime.NewNode(runtime.Config{Shards: shards, Seed: 42},
+			[]runtime.TenantSpec{{Name: "mq", Initial: vals, Queries: qs}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Start(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		evs := make([]runtime.Event, len(moves))
+		for i, mv := range moves {
+			evs[i] = runtime.Event{Tenant: 0, Stream: int(mv[0]), Value: mv[1]}
+		}
+		if err := node.Ingest(evs); err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		for qi := range specs() {
+			if got, want := node.QueryAnswer(0, qi), m.Answer(qi); !reflect.DeepEqual(got, want) {
+				t.Errorf("shards=%d query %d answer = %v, façade says %v", shards, qi, got, want)
+			}
+		}
+		if got, want := *node.Counter(0), *m.Counter(); !reflect.DeepEqual(got, want) {
+			t.Errorf("shards=%d counter = %+v, façade says %+v", shards, got, want)
+		}
+		node.Stop()
 	}
 }

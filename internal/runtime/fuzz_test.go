@@ -8,10 +8,12 @@ import (
 )
 
 // fuzzSpecs is the fixed tenant configuration every fuzz input is decoded
-// against: small, heterogeneous (FT-NRP with random selection and RTP), so
-// cluster state, protocol state and RNG positions all appear in the
-// encoding.
-func fuzzSpecs() []TenantSpec { return testSpecs(3, 10) }
+// against: small, heterogeneous (FT-NRP with random selection, RTP, and a
+// multi-query composite tenant), so cluster state, composite fabric state,
+// protocol state and RNG positions all appear in the encoding.
+func fuzzSpecs() []TenantSpec {
+	return append(testSpecs(2, 10), qpSpec("fz-mq", 3, 10, 5))
+}
 
 // validFuzzSnapshot produces a pristine snapshot of a short run, used both
 // as the seed input and as the baseline the fuzzer mutates.
@@ -69,7 +71,15 @@ func FuzzRestoreNode(f *testing.F) {
 			if !node.Alive(ti) {
 				continue
 			}
-			_ = node.Answer(ti)
+			if node.MultiQuery(ti) {
+				for qi := 0; qi < node.NumQueries(ti); qi++ {
+					if node.QueryAlive(ti, qi) {
+						_ = node.QueryAnswer(ti, qi)
+					}
+				}
+			} else {
+				_ = node.Answer(ti)
+			}
 			_ = node.Counter(ti)
 			if err := node.Ingest([]Event{{Tenant: ti, Stream: 0, Value: 500}}); err != nil {
 				t.Fatalf("restored node refused an event for live tenant %d: %v", ti, err)

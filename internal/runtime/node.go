@@ -37,6 +37,15 @@ import (
 // shard placement or scheduling.
 const tenantSeedStream int64 = 0x7E4A
 
+// querySeedStream labels per-query seed derivation inside a multi-query
+// tenant: query q of tenant t draws
+// DeriveSeed(nodeSeed, tenantSeedStream, tenantSeedID, querySeedStream,
+// querySeedID), where querySeedID is a monotonic per-tenant admission
+// counter — so a query's randomness depends only on (node seed, tenant
+// admission order, query admission order), never on placement, shard count
+// or which sibling queries came and went before it.
+const querySeedStream int64 = 0x3D91
+
 // Event is one value change bound for one tenant's stream partition.
 type Event struct {
 	Tenant int
@@ -44,20 +53,44 @@ type Event struct {
 	Value  float64
 }
 
+// QuerySpec describes one standing query of a multi-query tenant: a label
+// and the protocol factory serving it. Any server.StatefulProtocol-capable
+// protocol works — the factory decides range/tolerance/protocol exactly as
+// TenantSpec.NewProtocol does for single-query tenants.
+type QuerySpec struct {
+	// Name labels the query in reports (defaults to "query-<slot>").
+	Name string
+	// NewProtocol builds the query's protocol over its composite Host view.
+	// The seed derives from the node seed, the tenant's admission label and
+	// the query's admission label, and must be the factory's only randomness
+	// source.
+	NewProtocol func(h server.Host, seed int64) server.Protocol
+}
+
 // TenantSpec describes one tenant: its stream partition's initial values
-// and the protocol serving its query. The factory has the same shape as
+// and the protocol(s) serving its standing queries.
+//
+// A single-query tenant sets NewProtocol (the same shape as
 // experiment.Config.NewProtocol, so a protocol wired for the single-tenant
-// runner drops into a Node unchanged.
+// runner drops into a Node unchanged) and is served by a private
+// server.Cluster. A multi-query tenant sets Queries instead and is served
+// by a server.Composite: all its queries share one value table, one message
+// counter and per-stream composite filters, so one update message covers
+// every query it affects. The two forms are mutually exclusive.
 type TenantSpec struct {
 	// Name labels the tenant in reports (defaults to "tenant-<i>").
 	Name string
 	// Initial seeds the tenant's private stream partition.
 	Initial []float64
-	// NewProtocol builds the tenant's protocol over its host. The seed is
-	// derived from the node seed and the tenant index and must be the
-	// factory's only randomness source.
+	// NewProtocol builds a single-query tenant's protocol over its host. The
+	// seed is derived from the node seed and the tenant index and must be
+	// the factory's only randomness source.
 	NewProtocol func(h server.Host, seed int64) server.Protocol
-	// Server tunes the tenant's message accounting and fault injection.
+	// Queries, when non-empty, makes this a multi-query composite tenant.
+	Queries []QuerySpec
+	// Server tunes the tenant's message accounting and fault injection
+	// (single-query tenants only; the composite fabric models neither
+	// uplink loss nor broadcast installs).
 	Server server.Config
 }
 
@@ -91,12 +124,14 @@ func (c Config) queue() int {
 	return 64
 }
 
-// tenant is one hosted query instance, owned by exactly one shard after
-// Start.
+// tenant is one hosted serving instance, owned by exactly one shard after
+// Start: either a single-query server.Cluster or a multi-query
+// server.Composite (exactly one of cluster/comp is non-nil).
 type tenant struct {
 	name    string
-	cluster *server.Cluster
-	proto   server.Protocol
+	cluster *server.Cluster   // single-query tenants
+	proto   server.Protocol   // single-query tenants
+	comp    *server.Composite // multi-query tenants
 	shard   int
 	events  uint64
 	// seedID is the label the tenant's protocol seed was derived with. It is
@@ -105,17 +140,58 @@ type tenant struct {
 	// only on (node seed, admission order), not on placement, shard count or
 	// the lifecycle of its neighbors.
 	seedID int64
+	// nextQuerySeed is the composite tenant's monotonic query-admission
+	// counter, the per-query analogue of the node's nextSeedID: query seed
+	// labels are never reused after a RemoveQuery, and the counter rides in
+	// snapshots so admissions after a restore continue the sequence.
+	nextQuerySeed int64
 	// initialized marks tenants whose t0 phase already ran (or was restored
 	// from a snapshot); the shard loops skip Initialize for them.
 	initialized bool
 }
 
+// initialize runs the tenant's t0 phase on whichever backend serves it.
+func (t *tenant) initialize() {
+	if t.comp != nil {
+		t.comp.Initialize()
+		return
+	}
+	t.cluster.Initialize()
+}
+
+// deliver applies one event on the serving backend (the shard-loop hot
+// path; both branches are allocation-free in steady state).
+func (t *tenant) deliver(s stream.ID, v float64) {
+	if t.comp != nil {
+		t.comp.Deliver(s, v)
+		return
+	}
+	t.cluster.Deliver(s, v)
+}
+
+// n returns the tenant's stream-partition size.
+func (t *tenant) n() int {
+	if t.comp != nil {
+		return t.comp.N()
+	}
+	return t.cluster.N()
+}
+
+// counter returns the tenant's message counter (shared across all queries
+// of a composite tenant).
+func (t *tenant) counter() *comm.Counter {
+	if t.comp != nil {
+		return t.comp.Counter()
+	}
+	return t.cluster.Counter()
+}
+
 // batch is one unit of shard work: events (all for this shard's tenants, in
-// arrival order), a tenant admission (init runs on the owning shard's
-// loop), or a drain acknowledgement.
+// arrival order), a lifecycle initialization (a tenant or query admission's
+// t0, run on the owning shard's loop), or a drain acknowledgement.
 type batch struct {
 	events []Event
-	init   *tenant
+	init   func()
 	ack    chan<- struct{}
 }
 
@@ -172,7 +248,7 @@ func NewNode(cfg Config, specs []TenantSpec) (*Node, error) {
 	n := &Node{cfg: cfg}
 	shards := cfg.shards()
 	for i, spec := range specs {
-		t, err := n.buildTenant(spec, i, int64(i))
+		t, err := n.buildTenant(spec, i, int64(i), true)
 		if err != nil {
 			return nil, err
 		}
@@ -184,12 +260,11 @@ func NewNode(cfg Config, specs []TenantSpec) (*Node, error) {
 }
 
 // buildTenant constructs one tenant for slot ti with the given seed label:
-// cluster, protocol (the factory runs on the caller's goroutine), shard
-// pinning.
-func (n *Node) buildTenant(spec TenantSpec, ti int, seedID int64) (*tenant, error) {
-	if spec.NewProtocol == nil {
-		return nil, fmt.Errorf("runtime: tenant %d has no protocol factory", ti)
-	}
+// serving backend, protocol(s) (the factories run on the caller's
+// goroutine), shard pinning. For a multi-query spec, withQueries controls
+// whether the spec's queries are built too (NewNode/AddTenant) or left for
+// the snapshot decoder to rebuild slot by slot (RestoreNode).
+func (n *Node) buildTenant(spec TenantSpec, ti int, seedID int64, withQueries bool) (*tenant, error) {
 	if len(spec.Initial) == 0 {
 		return nil, fmt.Errorf("runtime: tenant %d has an empty stream partition", ti)
 	}
@@ -197,16 +272,61 @@ func (n *Node) buildTenant(spec TenantSpec, ti int, seedID int64) (*tenant, erro
 	if name == "" {
 		name = fmt.Sprintf("tenant-%d", ti)
 	}
+	t := &tenant{
+		name:   name,
+		shard:  ti % n.cfg.shards(),
+		seedID: seedID,
+	}
+	if len(spec.Queries) > 0 {
+		if spec.NewProtocol != nil {
+			return nil, fmt.Errorf("runtime: tenant %d sets both NewProtocol and Queries", ti)
+		}
+		if spec.Server != (server.Config{}) {
+			return nil, fmt.Errorf("runtime: tenant %d: Server config is not supported on multi-query tenants", ti)
+		}
+		for qi, qs := range spec.Queries {
+			if qs.NewProtocol == nil {
+				return nil, fmt.Errorf("runtime: tenant %d query %d has no protocol factory", ti, qi)
+			}
+		}
+		t.comp = server.NewComposite(spec.Initial)
+		if withQueries {
+			for qi, qs := range spec.Queries {
+				n.addQuerySlot(t, qs, int64(qi))
+			}
+			t.nextQuerySeed = int64(len(spec.Queries))
+		}
+		return t, nil
+	}
+	if spec.NewProtocol == nil {
+		return nil, fmt.Errorf("runtime: tenant %d has no protocol factory", ti)
+	}
 	cluster := server.NewClusterWith(spec.Initial, spec.Server)
 	proto := spec.NewProtocol(cluster, sim.DeriveSeed(n.cfg.Seed, tenantSeedStream, seedID))
 	cluster.SetProtocol(proto)
-	return &tenant{
-		name:    name,
-		cluster: cluster,
-		proto:   proto,
-		shard:   ti % n.cfg.shards(),
-		seedID:  seedID,
-	}, nil
+	t.cluster = cluster
+	t.proto = proto
+	return t, nil
+}
+
+// querySeed derives query qid of tenant t's protocol seed from the node
+// seed and both admission labels.
+func (n *Node) querySeed(t *tenant, qid int64) int64 {
+	return sim.DeriveSeed(n.cfg.Seed, tenantSeedStream, t.seedID, querySeedStream, qid)
+}
+
+// addQuerySlot appends one query slot to a composite tenant, running the
+// protocol factory (on the caller's goroutine) with the slot's derived
+// seed. The slot is not initialized.
+func (n *Node) addQuerySlot(t *tenant, qs QuerySpec, qid int64) int {
+	name := qs.Name
+	if name == "" {
+		name = fmt.Sprintf("query-%d", t.comp.QuerySlots())
+	}
+	seed := n.querySeed(t, qid)
+	return t.comp.AddQuery(name, qid, func(h server.Host) server.Protocol {
+		return qs.NewProtocol(h, seed)
+	})
 }
 
 // initChannels sets up the shard channel pairs and buffer pools.
@@ -293,7 +413,7 @@ func (n *Node) loop(sh shard, owned []*tenant) {
 		if n.ctx.Err() != nil {
 			return
 		}
-		t.cluster.Initialize()
+		t.initialize()
 	}
 	for {
 		select {
@@ -304,14 +424,14 @@ func (n *Node) loop(sh shard, owned []*tenant) {
 				return
 			}
 			if b.init != nil {
-				// A live admission: run the new tenant's t0 phase here, on
-				// its owning shard loop, exactly where NewNode tenants run
+				// A live admission (tenant or query): run its t0 phase here,
+				// on the owning shard loop, exactly where NewNode tenants run
 				// theirs.
-				b.init.cluster.Initialize()
+				b.init()
 			}
 			for _, ev := range b.events {
 				t := n.tenants[ev.Tenant]
-				t.cluster.Deliver(ev.Stream, ev.Value)
+				t.deliver(ev.Stream, ev.Value)
 				t.events++
 			}
 			if b.events != nil {
@@ -356,9 +476,9 @@ func (n *Node) Ingest(events []Event) error {
 		if t == nil {
 			return fmt.Errorf("runtime: event for removed tenant %d", ev.Tenant)
 		}
-		if ev.Stream < 0 || ev.Stream >= t.cluster.N() {
+		if ev.Stream < 0 || ev.Stream >= t.n() {
 			return fmt.Errorf("runtime: event for unknown stream %d of tenant %d (n=%d)",
-				ev.Stream, ev.Tenant, t.cluster.N())
+				ev.Stream, ev.Tenant, t.n())
 		}
 	}
 	for _, ev := range events {
@@ -445,12 +565,46 @@ func (n *Node) Stop() {
 	n.wg.Wait()
 }
 
-// Answer returns tenant ti's current answer set. Only call quiesced (after
-// Drain or Stop).
-func (n *Node) Answer(ti int) []stream.ID { return n.live(ti).proto.Answer() }
+// Answer returns a single-query tenant ti's current answer set. Only call
+// quiesced (after Drain or Stop). For multi-query tenants use QueryAnswer.
+func (n *Node) Answer(ti int) []stream.ID {
+	t := n.live(ti)
+	if t.comp != nil {
+		panic(fmt.Sprintf("runtime: tenant %d hosts %d queries; use QueryAnswer", ti, t.comp.QuerySlots()))
+	}
+	return t.proto.Answer()
+}
 
-// Counter returns tenant ti's message counter. Only call quiesced.
-func (n *Node) Counter(ti int) *comm.Counter { return n.live(ti).cluster.Counter() }
+// Counter returns tenant ti's message counter — for a multi-query tenant,
+// the single counter its whole composite fabric shares. Only call quiesced.
+func (n *Node) Counter(ti int) *comm.Counter { return n.live(ti).counter() }
+
+// MultiQuery reports whether tenant ti is served by a composite fabric.
+func (n *Node) MultiQuery(ti int) bool { return n.live(ti).comp != nil }
+
+// comp returns tenant ti's composite fabric or panics — query-plane calls
+// on a single-query tenant are caller bugs, matching live's semantics.
+func (n *Node) comp(ti int) *server.Composite {
+	t := n.live(ti)
+	if t.comp == nil {
+		panic(fmt.Sprintf("runtime: tenant %d is single-query; build it with Queries", ti))
+	}
+	return t.comp
+}
+
+// NumQueries returns tenant ti's query slot count, including removed slots
+// (slot ids stay stable for the tenant's lifetime; see QueryAlive).
+func (n *Node) NumQueries(ti int) int { return n.comp(ti).QuerySlots() }
+
+// QueryAlive reports whether query slot qi of tenant ti hosts a query.
+func (n *Node) QueryAlive(ti, qi int) bool { return n.comp(ti).QueryAlive(qi) }
+
+// QueryName returns query qi of tenant ti's label.
+func (n *Node) QueryName(ti, qi int) string { return n.comp(ti).QueryName(qi) }
+
+// QueryAnswer returns query qi of tenant ti's current answer set. Only call
+// quiesced.
+func (n *Node) QueryAnswer(ti, qi int) []stream.ID { return n.comp(ti).Answer(qi) }
 
 // Events returns how many events tenant ti has applied. Only call quiesced.
 func (n *Node) Events(ti int) uint64 { return n.live(ti).events }
@@ -462,7 +616,7 @@ func (n *Node) Totals() comm.Counter {
 	var total comm.Counter
 	for _, t := range n.tenants {
 		if t != nil {
-			total.Merge(t.cluster.Counter())
+			total.Merge(t.counter())
 		}
 	}
 	return total
@@ -486,24 +640,101 @@ func (n *Node) AddTenant(spec TenantSpec) (int, error) {
 		return 0, err
 	}
 	ti := len(n.tenants)
-	t, err := n.buildTenant(spec, ti, n.nextSeedID)
+	t, err := n.buildTenant(spec, ti, n.nextSeedID, true)
 	if err != nil {
 		return 0, err
 	}
 	n.nextSeedID++
 	n.tenants = append(n.tenants, t)
+	if err := n.runOnShard(t.shard, t.initialize); err != nil {
+		return 0, err
+	}
+	t.initialized = true
+	return ti, nil
+}
+
+// runOnShard executes fn on shard s's event loop and waits for its
+// acknowledgement — the lifecycle path a t0 initialization takes to run
+// exactly where the tenant's events will be applied.
+func (n *Node) runOnShard(s int, fn func()) error {
 	select {
-	case n.shards[t.shard].work <- batch{init: t, ack: n.acks}:
+	case n.shards[s].work <- batch{init: fn, ack: n.acks}:
 	case <-n.ctx.Done():
-		return 0, n.ctx.Err()
+		return n.ctx.Err()
 	}
 	select {
 	case <-n.acks:
 	case <-n.ctx.Done():
-		return 0, n.ctx.Err()
+		return n.ctx.Err()
 	}
-	t.initialized = true
-	return ti, nil
+	return nil
+}
+
+// AddQuery admits a standing query onto live multi-query tenant ti and
+// returns its query slot. Like AddTenant, the admission flows through the
+// runtime's own machinery: a full drain barrier quiesces the shard loops,
+// the protocol factory runs on the caller's goroutine, and the query's t0
+// initialization — its probe fan-out and the installation of its composite
+// filter entries, charged to the tenant's Init bucket — runs on the owning
+// shard loop. The protocol seed derives from the node seed, the tenant's
+// admission label and a per-tenant monotonic query-admission counter, so a
+// query's randomness is independent of shard count and of when its sibling
+// queries come and go. Must be called from the single ingest-side
+// goroutine.
+func (n *Node) AddQuery(ti int, spec QuerySpec) (int, error) {
+	if !n.started || n.stopped {
+		return 0, fmt.Errorf("runtime: node not running")
+	}
+	if ti < 0 || ti >= len(n.tenants) {
+		return 0, fmt.Errorf("runtime: no tenant %d", ti)
+	}
+	t := n.tenants[ti]
+	if t == nil {
+		return 0, fmt.Errorf("runtime: tenant %d was removed", ti)
+	}
+	if t.comp == nil {
+		return 0, fmt.Errorf("runtime: tenant %d is single-query; build it with Queries", ti)
+	}
+	if spec.NewProtocol == nil {
+		return 0, fmt.Errorf("runtime: query has no protocol factory")
+	}
+	if err := n.Drain(); err != nil {
+		return 0, err
+	}
+	qid := t.nextQuerySeed
+	qi := n.addQuerySlot(t, spec, qid)
+	t.nextQuerySeed = qid + 1
+	comp := t.comp
+	if err := n.runOnShard(t.shard, func() { comp.InitializeQuery(qi) }); err != nil {
+		return 0, err
+	}
+	return qi, nil
+}
+
+// RemoveQuery evicts query slot qi from live multi-query tenant ti. A drain
+// barrier first applies every event ingested so far (so sibling answers and
+// the shared counter are exact), then the slot is cleared on the quiescent
+// fabric: its filter entries become inert, its state accessors panic, and
+// slot ids are never reused. Must be called from the single ingest-side
+// goroutine.
+func (n *Node) RemoveQuery(ti, qi int) error {
+	if !n.started || n.stopped {
+		return fmt.Errorf("runtime: node not running")
+	}
+	if ti < 0 || ti >= len(n.tenants) {
+		return fmt.Errorf("runtime: no tenant %d", ti)
+	}
+	t := n.tenants[ti]
+	if t == nil {
+		return fmt.Errorf("runtime: tenant %d was removed", ti)
+	}
+	if t.comp == nil {
+		return fmt.Errorf("runtime: tenant %d is single-query; build it with Queries", ti)
+	}
+	if err := n.Drain(); err != nil {
+		return err
+	}
+	return t.comp.RemoveQuery(qi)
 }
 
 // RemoveTenant evicts tenant ti from the live node. A drain barrier first

@@ -13,13 +13,15 @@ import (
 	"adaptivefilters/internal/sim"
 )
 
-// This file holds the randomized-schedule property test of ISSUE 4: a
-// seeded generator interleaves Ingest / Drain / AddTenant / RemoveTenant /
-// Snapshot operations, and the resulting trajectory — every tenant's
-// answers, counters, event counts, and the snapshot bytes themselves — must
-// be identical at shard counts 1, 4 and 8, and across a snapshot→restore
-// cut at every barrier the schedule produced. CI runs it under -race, so it
-// also exercises the barrier publication protocol the lifecycle relies on.
+// This file holds the randomized-schedule property test of ISSUEs 4 and 5:
+// a seeded generator interleaves Ingest / Drain / AddTenant / RemoveTenant
+// / AddQuery / RemoveQuery / Snapshot operations over a mixed population of
+// single-query and multi-query tenants, and the resulting trajectory —
+// every tenant's answers (per query slot for composite tenants), counters,
+// event counts, and the snapshot bytes themselves — must be identical at
+// shard counts 1, 4 and 8, and across a snapshot→restore cut at every
+// barrier the schedule produced. CI runs it under -race, so it also
+// exercises the barrier publication protocol the lifecycle relies on.
 
 type opKind int
 
@@ -29,21 +31,53 @@ const (
 	opAdd
 	opRemove
 	opSnapshot
+	opAddQuery
+	opRemoveQuery
 )
 
 type schedOp struct {
 	kind   opKind
 	events []Event    // opIngest
 	spec   TenantSpec // opAdd
-	ti     int        // opRemove; for opAdd, the expected new slot
+	qspec  QuerySpec  // opAddQuery
+	ti     int        // opRemove/opAddQuery/opRemoveQuery; for opAdd, the expected new slot
+	qi     int        // opRemoveQuery; for opAddQuery, the expected new query slot
+}
+
+// propQuerySpec builds one standing-query spec for a composite tenant,
+// rotating through protocols so the composite snapshot path sees
+// heterogeneous per-query state (including RNG positions).
+func propQuerySpec(j int) QuerySpec {
+	name := fmt.Sprintf("pq-%d", j)
+	switch j % 3 {
+	case 0:
+		return QuerySpec{Name: name,
+			NewProtocol: func(h server.Host, seed int64) server.Protocol {
+				return core.NewFTNRP(h, query.NewRange(200+40*float64(j%4), 650), core.FTNRPConfig{
+					Tol:       core.FractionTolerance{EpsPlus: 0.3, EpsMinus: 0.3},
+					Selection: core.SelectRandom, // RNG-position restore path
+					Seed:      seed,
+				})
+			}}
+	case 1:
+		return QuerySpec{Name: name,
+			NewProtocol: func(h server.Host, seed int64) server.Protocol {
+				return core.NewRTP(h, query.At(480), core.RankTolerance{K: 4, R: 2})
+			}}
+	default:
+		return QuerySpec{Name: name,
+			NewProtocol: func(h server.Host, seed int64) server.Protocol {
+				return core.NewZTNRP(h, query.NewRange(350, 800))
+			}}
+	}
 }
 
 // propSpec builds the tenant spec for admission number adm, rotating
-// through the stateful protocols so every ExportState/ImportState pair is
-// exercised by the property.
+// through the stateful protocols — and a multi-query composite tenant — so
+// every ExportState/ImportState pair is exercised by the property.
 func propSpec(adm int, initial []float64) TenantSpec {
 	name := fmt.Sprintf("prop-%d", adm)
-	switch adm % 5 {
+	switch adm % 6 {
 	case 0:
 		return TenantSpec{Name: name, Initial: initial,
 			NewProtocol: func(h server.Host, seed int64) server.Protocol {
@@ -59,13 +93,18 @@ func propSpec(adm int, initial []float64) TenantSpec {
 				return core.NewRTP(h, query.At(500), core.RankTolerance{K: 4, R: 2})
 			}}
 	case 2:
+		// A multi-query composite tenant: its query plane takes part in the
+		// schedule via opAddQuery/opRemoveQuery.
+		return TenantSpec{Name: name, Initial: initial,
+			Queries: []QuerySpec{propQuerySpec(0), propQuerySpec(1)}}
+	case 3:
 		return TenantSpec{Name: name, Initial: initial,
 			NewProtocol: func(h server.Host, seed int64) server.Protocol {
 				fc := core.DefaultFTRPConfig(core.FractionTolerance{EpsPlus: 0.25, EpsMinus: 0.25})
 				fc.Seed = seed
 				return core.NewFTRP(h, query.At(450), 5, fc)
 			}}
-	case 3:
+	case 4:
 		return TenantSpec{Name: name, Initial: initial,
 			NewProtocol: func(h server.Host, seed int64) server.Protocol {
 				return core.NewZTRP(h, query.At(550), 3)
@@ -79,12 +118,15 @@ func propSpec(adm int, initial []float64) TenantSpec {
 }
 
 // genSchedule derives a deterministic operation schedule from seed. The
-// generator tracks slot liveness and per-stream walks so every generated
-// event is valid at its point in the schedule.
+// generator tracks slot liveness — tenants and, for composite tenants,
+// query slots — and per-stream walks so every generated operation is valid
+// at its point in the schedule.
 func genSchedule(seed int64, nOps int) (initial []TenantSpec, added []TenantSpec, ops []schedOp) {
 	rng := sim.NewRNG(seed)
 	var walks [][]float64
 	var alive []bool
+	var qalive [][]bool // per tenant, nil for single-query tenants
+	var qadmissions []int
 	admissions := 0
 	newSlot := func() TenantSpec {
 		vals := make([]float64, 12+rng.Intn(6))
@@ -95,6 +137,17 @@ func genSchedule(seed int64, nOps int) (initial []TenantSpec, added []TenantSpec
 		admissions++
 		walks = append(walks, append([]float64(nil), vals...))
 		alive = append(alive, true)
+		if len(spec.Queries) > 0 {
+			qs := make([]bool, len(spec.Queries))
+			for i := range qs {
+				qs[i] = true
+			}
+			qalive = append(qalive, qs)
+			qadmissions = append(qadmissions, len(spec.Queries))
+		} else {
+			qalive = append(qalive, nil)
+			qadmissions = append(qadmissions, 0)
+		}
 		return spec
 	}
 	for i := 0; i < 3; i++ {
@@ -116,8 +169,28 @@ func genSchedule(seed int64, nOps int) (initial []TenantSpec, added []TenantSpec
 			}
 		}
 	}
+	// composites returns the live composite tenants satisfying keep, where
+	// keep is handed the tenant's live query count.
+	composites := func(keep func(liveQ, slots int) bool) []int {
+		var out []int
+		for ti := range alive {
+			if !alive[ti] || qalive[ti] == nil {
+				continue
+			}
+			liveQ := 0
+			for _, a := range qalive[ti] {
+				if a {
+					liveQ++
+				}
+			}
+			if keep(liveQ, len(qalive[ti])) {
+				out = append(out, ti)
+			}
+		}
+		return out
+	}
 	for len(ops) < nOps {
-		switch draw := rng.Intn(10); {
+		switch draw := rng.Intn(12); {
 		case draw < 5:
 			m := 20 + rng.Intn(40)
 			evs := make([]Event, 0, m)
@@ -137,8 +210,41 @@ func genSchedule(seed int64, nOps int) (initial []TenantSpec, added []TenantSpec
 			ops = append(ops, schedOp{kind: opAdd, spec: spec, ti: expect})
 		case draw == 7 && aliveCount() > 2:
 			ti := randAlive()
+			if qalive[ti] != nil && len(composites(func(int, int) bool { return true })) == 1 {
+				// Keep the last composite tenant alive so the schedule's
+				// query-plane operations stay reachable.
+				ops = append(ops, schedOp{kind: opDrain})
+				continue
+			}
 			alive[ti] = false
 			ops = append(ops, schedOp{kind: opRemove, ti: ti})
+		case draw == 8:
+			cand := composites(func(_, slots int) bool { return slots < 6 })
+			if len(cand) == 0 {
+				ops = append(ops, schedOp{kind: opSnapshot})
+				continue
+			}
+			ti := cand[rng.Intn(len(cand))]
+			qspec := propQuerySpec(qadmissions[ti])
+			qadmissions[ti]++
+			expect := len(qalive[ti])
+			qalive[ti] = append(qalive[ti], true)
+			ops = append(ops, schedOp{kind: opAddQuery, ti: ti, qspec: qspec, qi: expect})
+		case draw == 9:
+			cand := composites(func(liveQ, _ int) bool { return liveQ > 1 })
+			if len(cand) == 0 {
+				ops = append(ops, schedOp{kind: opSnapshot})
+				continue
+			}
+			ti := cand[rng.Intn(len(cand))]
+			var qi int
+			for {
+				if qi = rng.Intn(len(qalive[ti])); qalive[ti][qi] {
+					break
+				}
+			}
+			qalive[ti][qi] = false
+			ops = append(ops, schedOp{kind: opRemoveQuery, ti: ti, qi: qi})
 		default:
 			ops = append(ops, schedOp{kind: opSnapshot})
 		}
@@ -147,13 +253,24 @@ func genSchedule(seed int64, nOps int) (initial []TenantSpec, added []TenantSpec
 }
 
 // specsAt returns the per-slot spec list for the node state after
-// executing ops[:k]: the initial slots plus every admission in that prefix.
+// executing ops[:k]: the initial slots plus every tenant admission in that
+// prefix, with each composite tenant's Queries grown by every query
+// admission it saw (RestoreNode needs one QuerySpec per slot ever
+// admitted). Queries slices are copied so appends never alias the inputs.
 func specsAt(initial, added []TenantSpec, ops []schedOp, k int) []TenantSpec {
 	specs := append([]TenantSpec(nil), initial...)
+	for i := range specs {
+		specs[i].Queries = append([]QuerySpec(nil), specs[i].Queries...)
+	}
 	for _, o := range ops[:k] {
-		if o.kind == opAdd {
-			specs = append(specs, added[0])
+		switch o.kind {
+		case opAdd:
+			sp := added[0]
 			added = added[1:]
+			sp.Queries = append([]QuerySpec(nil), sp.Queries...)
+			specs = append(specs, sp)
+		case opAddQuery:
+			specs[o.ti].Queries = append(specs[o.ti].Queries, o.qspec)
 		}
 	}
 	return specs
@@ -178,6 +295,13 @@ func execOps(t *testing.T, node *Node, ops []schedOp, from int) [][]byte {
 			}
 		case opRemove:
 			err = node.RemoveTenant(o.ti)
+		case opAddQuery:
+			var qi int
+			if qi, err = node.AddQuery(o.ti, o.qspec); err == nil && qi != o.qi {
+				t.Fatalf("op %d: AddQuery slot = %d, want %d", from+i, qi, o.qi)
+			}
+		case opRemoveQuery:
+			err = node.RemoveQuery(o.ti, o.qi)
 		case opSnapshot:
 			var b []byte
 			if b, err = node.Snapshot(); err == nil {
@@ -195,12 +319,24 @@ func execOps(t *testing.T, node *Node, ops []schedOp, from int) [][]byte {
 }
 
 // fingerprint renders the full observable per-tenant state of a quiesced
-// node.
+// node — for multi-query tenants, every query slot's answer.
 func fingerprint(node *Node) string {
 	var b strings.Builder
 	for ti := 0; ti < node.NumTenants(); ti++ {
 		if !node.Alive(ti) {
 			fmt.Fprintf(&b, "slot %d: removed\n", ti)
+			continue
+		}
+		if node.MultiQuery(ti) {
+			fmt.Fprintf(&b, "slot %d: %s events=%d counter=%+v\n",
+				ti, node.TenantName(ti), node.Events(ti), *node.Counter(ti))
+			for qi := 0; qi < node.NumQueries(ti); qi++ {
+				if !node.QueryAlive(ti, qi) {
+					fmt.Fprintf(&b, "  query %d: removed\n", qi)
+					continue
+				}
+				fmt.Fprintf(&b, "  query %d: %s answer=%v\n", qi, node.QueryName(ti, qi), node.QueryAnswer(ti, qi))
+			}
 			continue
 		}
 		fmt.Fprintf(&b, "slot %d: %s events=%d answer=%v counter=%+v\n",
@@ -217,6 +353,13 @@ func TestScheduleProperty(t *testing.T) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			initial, added, ops := genSchedule(seed, 40)
+			kinds := make(map[opKind]int)
+			for _, o := range ops {
+				kinds[o.kind]++
+			}
+			if kinds[opAddQuery] == 0 || kinds[opRemoveQuery] == 0 {
+				t.Fatalf("schedule exercises no query lifecycle (kinds %v); adjust the generator", kinds)
+			}
 
 			// Reference trajectory per shard count: identical fingerprints
 			// and identical snapshot bytes everywhere.

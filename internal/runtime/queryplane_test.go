@@ -1,0 +1,641 @@
+package runtime
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"reflect"
+	"testing"
+
+	"adaptivefilters/internal/comm"
+	"adaptivefilters/internal/core"
+	"adaptivefilters/internal/query"
+	"adaptivefilters/internal/server"
+	"adaptivefilters/internal/sim"
+	"adaptivefilters/internal/snapshot"
+)
+
+// qpQueries is the standing-query mix the query-plane tests host on one
+// composite tenant: overlapping range windows plus one rank query, so the
+// composite fabric carries heterogeneous protocols.
+func qpQueries(m int) []QuerySpec {
+	specs := make([]QuerySpec, m)
+	for j := 0; j < m; j++ {
+		j := j
+		if j%4 == 3 {
+			specs[j] = QuerySpec{
+				Name: fmt.Sprintf("rank-%d", j),
+				NewProtocol: func(h server.Host, seed int64) server.Protocol {
+					return core.NewRTP(h, query.At(500), core.RankTolerance{K: 4, R: 2})
+				},
+			}
+			continue
+		}
+		lo := 100 + 150*float64(j)
+		specs[j] = QuerySpec{
+			Name: fmt.Sprintf("range-%d", j),
+			NewProtocol: func(h server.Host, seed int64) server.Protocol {
+				return core.NewFTNRP(h, query.NewRange(lo, lo+400), core.FTNRPConfig{
+					Tol:       core.FractionTolerance{EpsPlus: 0.25, EpsMinus: 0.25},
+					Selection: core.SelectRandom, // exercises the per-query seed path
+					Seed:      seed,
+				})
+			},
+		}
+	}
+	return specs
+}
+
+// qpSpec builds one multi-query tenant over `streams` streams with m
+// standing queries.
+func qpSpec(name string, m, streams int, walkSeed int64) TenantSpec {
+	rng := sim.NewRNG(walkSeed)
+	initial := make([]float64, streams)
+	for i := range initial {
+		initial[i] = rng.Uniform(0, 1000)
+	}
+	return TenantSpec{Name: name, Initial: initial, Queries: qpQueries(m)}
+}
+
+// qpMoves pre-generates a random walk over one tenant's partition.
+func qpMoves(initial []float64, steps int, seed int64) []Event {
+	rng := sim.NewRNG(seed)
+	walk := append([]float64(nil), initial...)
+	moves := make([]Event, steps)
+	for i := range moves {
+		s := rng.Intn(len(walk))
+		walk[s] += rng.Normal(0, 45)
+		moves[i] = Event{Tenant: 0, Stream: s, Value: walk[s]}
+	}
+	return moves
+}
+
+// qpFingerprint renders the observable query-plane state of one composite
+// tenant on a quiesced node.
+func qpFingerprint(node *Node, ti int) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "tenant %s events=%d counter={%v}\n", node.TenantName(ti), node.Events(ti), node.Counter(ti))
+	for qi := 0; qi < node.NumQueries(ti); qi++ {
+		if !node.QueryAlive(ti, qi) {
+			fmt.Fprintf(&b, "  query %d removed\n", qi)
+			continue
+		}
+		fmt.Fprintf(&b, "  query %s answer=%v\n", node.QueryName(ti, qi), node.QueryAnswer(ti, qi))
+	}
+	return b.String()
+}
+
+// TestMultiQueryMatchesSynchronousComposite is the routing acceptance
+// check: a multi-query tenant on the sharded runtime must produce, for
+// every query, the same answers and the same shared counter as the same
+// composite fabric driven synchronously — at any shard count.
+func TestMultiQueryMatchesSynchronousComposite(t *testing.T) {
+	const m, streams, steps = 5, 60, 3000
+	spec := qpSpec("mq", m, streams, 7)
+	moves := qpMoves(spec.Initial, steps, 8)
+
+	// Synchronous reference over the identical fabric. The protocol seeds
+	// must match the node's derivation: tenant 0's label is 0, query j's
+	// label is j.
+	ref := server.NewComposite(spec.Initial)
+	for j, qs := range spec.Queries {
+		qs := qs
+		seed := sim.DeriveSeed(42, tenantSeedStream, 0, querySeedStream, int64(j))
+		ref.AddQuery(qs.Name, int64(j), func(h server.Host) server.Protocol {
+			return qs.NewProtocol(h, seed)
+		})
+	}
+	ref.Initialize()
+	for _, mv := range moves {
+		ref.Deliver(mv.Stream, mv.Value)
+	}
+
+	for _, shards := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			node, err := NewNode(Config{Shards: shards, Seed: 42}, []TenantSpec{spec})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := node.Start(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			defer node.Stop()
+			for i := 0; i < len(moves); i += 97 {
+				end := i + 97
+				if end > len(moves) {
+					end = len(moves)
+				}
+				if err := node.Ingest(moves[i:end]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := node.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			if !node.MultiQuery(0) {
+				t.Fatal("tenant 0 not multi-query")
+			}
+			for qi := 0; qi < m; qi++ {
+				if got, want := node.QueryAnswer(0, qi), ref.Answer(qi); !reflect.DeepEqual(got, want) {
+					t.Errorf("query %d answer = %v, want %v", qi, got, want)
+				}
+			}
+			if got, want := *node.Counter(0), *ref.Counter(); !reflect.DeepEqual(got, want) {
+				t.Errorf("counter = %+v, want %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestCompositeSharingBeatsIndependentTenants pins the acceptance
+// criterion carried over from the multiquery package: a composite tenant
+// serving M queries must cost strictly fewer maintenance messages than M
+// independent single-query tenants watching the same partition.
+func TestCompositeSharingBeatsIndependentTenants(t *testing.T) {
+	const m, streams, steps = 4, 80, 6000
+	spec := qpSpec("shared", m, streams, 11)
+	moves := qpMoves(spec.Initial, steps, 12)
+
+	shared, err := NewNode(Config{Shards: 2, Seed: 42}, []TenantSpec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shared.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer shared.Stop()
+	if err := shared.Ingest(moves); err != nil {
+		t.Fatal(err)
+	}
+	if err := shared.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	sharedMaint := shared.Counter(0).Maintenance()
+
+	// M single-query tenants, each a full copy of the partition fed the
+	// same walk: the independent-clusters deployment of the same workload.
+	indSpecs := make([]TenantSpec, m)
+	for j := 0; j < m; j++ {
+		qs := spec.Queries[j]
+		indSpecs[j] = TenantSpec{
+			Name:        qs.Name,
+			Initial:     spec.Initial,
+			NewProtocol: qs.NewProtocol,
+		}
+	}
+	ind, err := NewNode(Config{Shards: 2, Seed: 42}, indSpecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ind.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer ind.Stop()
+	fanout := make([]Event, 0, m)
+	for _, mv := range moves {
+		fanout = fanout[:0]
+		for j := 0; j < m; j++ {
+			fanout = append(fanout, Event{Tenant: j, Stream: mv.Stream, Value: mv.Value})
+		}
+		if err := ind.Ingest(fanout); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ind.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	var indMaint uint64
+	for j := 0; j < m; j++ {
+		indMaint += ind.Counter(j).Maintenance()
+	}
+	if sharedMaint >= indMaint {
+		t.Fatalf("composite = %d maintenance messages, independent = %d; sharing must win",
+			sharedMaint, indMaint)
+	}
+	t.Logf("composite %d vs independent %d maintenance messages (%.1f%%)",
+		sharedMaint, indMaint, 100*float64(sharedMaint)/float64(indMaint))
+}
+
+// TestQueryLifecycle drives AddQuery/RemoveQuery on a live node at several
+// shard counts: trajectories must be identical everywhere, removed slots
+// must become inert and never be reused, and admissions after a restore
+// must continue the per-tenant seed-label sequence.
+func TestQueryLifecycle(t *testing.T) {
+	const streams = 40
+	spec := qpSpec("lc", 2, streams, 21)
+	p1 := qpMoves(spec.Initial, 800, 22)
+	p2 := qpMoves(spec.Initial, 600, 23)
+	p3 := qpMoves(spec.Initial, 500, 24)
+	extra := qpQueries(4)[2:] // two more query specs, admitted live
+
+	run := func(node *Node) string {
+		t.Helper()
+		if err := node.Ingest(p1); err != nil {
+			t.Fatal(err)
+		}
+		if qi, err := node.AddQuery(0, extra[0]); err != nil || qi != 2 {
+			t.Fatalf("AddQuery = %d, %v; want 2, nil", qi, err)
+		}
+		if err := node.Ingest(p2); err != nil {
+			t.Fatal(err)
+		}
+		if err := node.RemoveQuery(0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if qi, err := node.AddQuery(0, extra[1]); err != nil || qi != 3 {
+			t.Fatalf("AddQuery after removal = %d, %v; want 3, nil", qi, err)
+		}
+		if err := node.Ingest(p3); err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		return qpFingerprint(node, 0)
+	}
+
+	var refFP string
+	for _, shards := range []int{1, 4, 8} {
+		node, err := NewNode(Config{Shards: shards, Seed: 42}, []TenantSpec{spec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Start(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		fp := run(node)
+		node.Stop()
+		if refFP == "" {
+			refFP = fp
+		} else if fp != refFP {
+			t.Fatalf("shards=%d lifecycle fingerprint diverged:\n%s\nwant:\n%s", shards, fp, refFP)
+		}
+	}
+
+	// Error paths and slot isolation.
+	node, err := NewNode(Config{Shards: 2, Seed: 42}, []TenantSpec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+	if err := node.RemoveQuery(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.RemoveQuery(0, 1); err == nil {
+		t.Fatal("double RemoveQuery succeeded")
+	}
+	if err := node.RemoveQuery(0, 99); err == nil {
+		t.Fatal("RemoveQuery of unknown slot succeeded")
+	}
+	if _, err := node.AddQuery(0, QuerySpec{}); err == nil {
+		t.Fatal("AddQuery with nil factory succeeded")
+	}
+	if _, err := node.AddQuery(99, extra[0]); err == nil {
+		t.Fatal("AddQuery on unknown tenant succeeded")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("QueryAnswer on removed slot did not panic")
+			}
+		}()
+		node.QueryAnswer(0, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Answer on a multi-query tenant did not panic")
+			}
+		}()
+		node.Answer(0)
+	}()
+
+	// Single-query tenants reject query-plane lifecycle calls.
+	single := testSpecs(1, 10)
+	sn, err := NewNode(Config{Shards: 1, Seed: 3}, single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sn.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer sn.Stop()
+	if _, err := sn.AddQuery(0, extra[0]); err == nil {
+		t.Fatal("AddQuery on a single-query tenant succeeded")
+	}
+	if err := sn.RemoveQuery(0, 0); err == nil {
+		t.Fatal("RemoveQuery on a single-query tenant succeeded")
+	}
+}
+
+// TestMultiQuerySnapshotRestore cuts a mixed node (single + composite
+// tenants, a removed query slot) at a barrier and restores at different
+// shard counts: the continuation and the final snapshot bytes must be
+// identical to the uninterrupted run's, and a query admitted after the
+// restore must get the same seed label — hence the same trajectory — as
+// one admitted at that point of the uninterrupted run.
+func TestMultiQuerySnapshotRestore(t *testing.T) {
+	mq := qpSpec("mq", 4, 35, 31)
+	single := testSpecs(2, 20)
+	specs := []TenantSpec{mq, single[0], single[1]}
+	mqMoves := qpMoves(mq.Initial, 900, 32)
+	sBatches := testEvents(single, 150, 41)
+	extra := qpQueries(5)[4:5]
+
+	mixFeed := func(node *Node, mvs []Event, bs [][]Event) {
+		t.Helper()
+		for i := 0; i < len(mvs); i += 90 {
+			end := i + 90
+			if end > len(mvs) {
+				end = len(mvs)
+			}
+			if err := node.Ingest(mvs[i:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, b := range bs {
+			shifted := make([]Event, len(b))
+			for i, ev := range b {
+				shifted[i] = Event{Tenant: ev.Tenant + 1, Stream: ev.Stream, Value: ev.Value}
+			}
+			if err := node.Ingest(shifted); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	tail := func(node *Node) (string, []byte) {
+		t.Helper()
+		if qi, err := node.AddQuery(0, extra[0]); err != nil || qi != 4 {
+			t.Fatalf("AddQuery = %d, %v; want 4, nil", qi, err)
+		}
+		mixFeed(node, mqMoves[450:], sBatches[len(sBatches)/2:])
+		if err := node.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := node.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := qpFingerprint(node, 0) + fingerprint(node)
+		return fp, snap
+	}
+
+	node, err := NewNode(Config{Shards: 2, Seed: 42}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mixFeed(node, mqMoves[:450], sBatches[:len(sBatches)/2])
+	if err := node.RemoveQuery(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	cut, err := node.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refFP, refSnap := tail(node)
+	node.Stop()
+
+	// The spec list for restore must cover every query slot ever admitted,
+	// including the post-cut admission's slot.
+	restoreSpecs := []TenantSpec{mq, single[0], single[1]}
+	restoreSpecs[0].Queries = append(append([]QuerySpec(nil), mq.Queries...), extra[0])
+	for _, shards := range []int{1, 5} {
+		t.Run(fmt.Sprintf("restore-shards=%d", shards), func(t *testing.T) {
+			rn, err := RestoreNode(Config{Shards: shards}, restoreSpecs, cut)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rn.Start(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			fp, snap := tail(rn)
+			rn.Stop()
+			if fp != refFP {
+				t.Errorf("restored fingerprint diverged:\n%s\nwant:\n%s", fp, refFP)
+			}
+			if !bytes.Equal(snap, refSnap) {
+				t.Error("final snapshot after restore differs from uninterrupted run's")
+			}
+		})
+	}
+
+	// Mismatched restore specs must error, never panic.
+	if _, err := RestoreNode(Config{}, specs, cut); err != nil {
+		t.Fatalf("restoring with the original specs failed: %v", err)
+	}
+	wrongKind := []TenantSpec{single[0], single[0], single[1]}
+	if _, err := RestoreNode(Config{}, wrongKind, cut); err == nil {
+		t.Error("snapshot accepted with a single-query spec for a composite slot")
+	}
+	fewQueries := []TenantSpec{mq, single[0], single[1]}
+	fewQueries[0].Queries = mq.Queries[:1]
+	if _, err := RestoreNode(Config{}, fewQueries, cut); err == nil {
+		t.Error("snapshot accepted with too few query specs")
+	}
+	for i := 0; i < len(cut) && i < 256; i += 7 {
+		mut := append([]byte(nil), cut...)
+		mut[i] ^= 0xA5
+		_, _ = RestoreNode(Config{}, specs, mut) // must not panic
+	}
+}
+
+// TestRestoreDecodesVersion1 pins backward compatibility: a version-1
+// snapshot — the pre-query-plane encoding, reconstructed here byte for
+// byte — must restore onto the current runtime and continue bit-identically
+// with an uninterrupted current-version run.
+func TestRestoreDecodesVersion1(t *testing.T) {
+	specs := testSpecs(3, 15)
+	batches := testEvents(specs, 120, 37)
+	cut := len(batches) / 2
+
+	// Reference: the uninterrupted run on the current runtime.
+	ref := runNode(t, 2, specs, batches)
+
+	// Reconstruct the v1 encoding of the node state at the cut barrier by
+	// replaying the prefix into private clusters (bit-identical to the
+	// node's own tenants) and writing the version-1 layout around their
+	// exported state.
+	w := snapshot.NewWriter()
+	w.String(snapshotMagic)
+	w.Uint64(1)
+	w.Int64(42)                // node seed
+	w.Int64(int64(len(specs))) // nextSeedID
+	var ingested uint64
+	for _, b := range batches[:cut] {
+		ingested += uint64(len(b))
+	}
+	w.Uint64(ingested)
+	w.Int(len(specs))
+	for i, spec := range specs {
+		cluster := server.NewClusterWith(spec.Initial, spec.Server)
+		proto := spec.NewProtocol(cluster, sim.DeriveSeed(42, tenantSeedStream, int64(i)))
+		cluster.SetProtocol(proto)
+		cluster.Initialize()
+		var events uint64
+		for _, b := range batches[:cut] {
+			for _, ev := range b {
+				if ev.Tenant == i {
+					cluster.Deliver(ev.Stream, ev.Value)
+					events++
+				}
+			}
+		}
+		w.Bool(true)
+		w.String(spec.Name)
+		w.Int64(int64(i))
+		w.String(proto.Name())
+		w.Uint64(events)
+		cluster.ExportState(w)
+		proto.(server.StatefulProtocol).ExportState(w)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	payload := w.Bytes()
+	var trailer [8]byte
+	binary.LittleEndian.PutUint64(trailer[:], uint64(crc32.Checksum(payload, crcTable)))
+	v1 := append(payload, trailer[:]...)
+
+	rn, err := RestoreNode(Config{Shards: 4}, specs, v1)
+	if err != nil {
+		t.Fatalf("version-1 snapshot rejected: %v", err)
+	}
+	if got := rn.TotalEvents(); got != ingested {
+		t.Fatalf("TotalEvents = %d, want %d", got, ingested)
+	}
+	if err := rn.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, rn, batches[cut:])
+	if err := rn.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	rn.Stop()
+	compareLive(t, rn, ref)
+}
+
+// TestCompositeIngestStaysAllocationFree extends the zero-allocation
+// invariant to the composite delivery path: once warm, routing events
+// through a multi-query tenant's fabric on the shard loops must not touch
+// the allocator.
+func TestCompositeIngestStaysAllocationFree(t *testing.T) {
+	spec := qpSpec("alloc", 4, 50, 51)
+	moves := qpMoves(spec.Initial, 2000, 52)
+	// A small queue keeps the buffer pool coverable by the warmup passes
+	// (every pooled buffer must have grown to the batch size once).
+	node, err := NewNode(Config{Shards: 2, Seed: 42, Queue: 4}, []TenantSpec{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+	pass := func() {
+		for i := 0; i < len(moves); i += 250 {
+			end := i + 250
+			if end > len(moves) {
+				end = len(moves)
+			}
+			if err := node.Ingest(moves[i:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := node.Drain(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		pass() // warm pools and protocol scratch
+	}
+	allocs := testing.AllocsPerRun(3, pass)
+	if allocs > 0 {
+		t.Errorf("composite ingest allocated %.1f objects per pass, want 0", allocs)
+	}
+}
+
+// TestMultiQueryValidation covers the spec error paths of the query plane.
+func TestMultiQueryValidation(t *testing.T) {
+	good := qpQueries(1)
+	cases := map[string]TenantSpec{
+		"both kinds": {
+			Initial:     []float64{1, 2},
+			NewProtocol: testSpecs(1, 2)[0].NewProtocol,
+			Queries:     good,
+		},
+		"nil query factory": {
+			Initial: []float64{1, 2},
+			Queries: []QuerySpec{{Name: "broken"}},
+		},
+		"server config on composite": {
+			Initial: []float64{1, 2},
+			Queries: good,
+			Server:  server.Config{DropUpdateProb: 0.1},
+		},
+	}
+	for name, spec := range cases {
+		if _, err := NewNode(Config{}, []TenantSpec{spec}); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	node, err := NewNode(Config{}, []TenantSpec{qpSpec("ok", 2, 10, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node.NumQueries(0) != 2 {
+		t.Fatalf("NumQueries = %d, want 2", node.NumQueries(0))
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NumQueries on a single-query tenant did not panic")
+			}
+		}()
+		sn, err := NewNode(Config{}, testSpecs(1, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sn.NumQueries(0)
+	}()
+}
+
+// TestCounterSharedAcrossQueries checks node-level accounting: a composite
+// tenant contributes exactly one counter to Totals, shared by its queries,
+// and phase totals stay consistent under lifecycle operations.
+func TestCounterSharedAcrossQueries(t *testing.T) {
+	spec := qpSpec("ctr", 3, 25, 61)
+	node, err := NewNode(Config{Shards: 2, Seed: 42}, []TenantSpec{spec, testSpecs(1, 15)[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+	if err := node.Ingest(qpMoves(spec.Initial, 300, 62)); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	total := node.Totals()
+	var want comm.Counter
+	want.Merge(node.Counter(0))
+	want.Merge(node.Counter(1))
+	if !reflect.DeepEqual(total, want) {
+		t.Fatalf("Totals = %+v, want %+v", total, want)
+	}
+	// t0 of M queries over n streams costs 2n+n shared messages.
+	n := uint64(len(spec.Initial))
+	if got := node.Counter(0).PhaseTotal(comm.Init); got != 3*n {
+		t.Fatalf("composite init total = %d, want %d", got, 3*n)
+	}
+}

@@ -15,20 +15,26 @@ import (
 // rejects versions it does not know (DESIGN.md §6).
 const (
 	snapshotMagic = "adaptivefilters/node-snapshot"
-	// SnapshotVersion is the current encoding version.
-	SnapshotVersion = 1
+	// SnapshotVersion is the current encoding version. Version 2 added
+	// multi-query composite tenants (a per-tenant kind discriminator plus
+	// the composite fabric's state); version 1 snapshots — single-query
+	// tenants only — still decode (DESIGN.md §7.4).
+	SnapshotVersion = 2
 )
 
 // Snapshot captures a barrier-consistent, versioned encoding of the node's
 // full tenant state: for every live slot, the server value table, message
 // counters, pending queue, every source's value/filter/side, the protocol's
 // dynamic state (including its selection-RNG position), and the event
-// count. It drains first, so the snapshot reflects exactly the events
-// ingested before the call — the barrier every shard loop has passed.
+// count; for multi-query tenants, the whole composite fabric (ground
+// truth, shared table, per-stream constraint vectors and sides, the shared
+// counter, and every query slot's protocol state and seed label). It
+// drains first, so the snapshot reflects exactly the events ingested
+// before the call — the barrier every shard loop has passed.
 //
 // The encoding carries no placement information: a snapshot is
 // byte-identical no matter how many shards the node runs, and RestoreNode
-// may restore it at any shard count. Every tenant's protocol must implement
+// may restore it at any shard count. Every hosted protocol must implement
 // server.StatefulProtocol (all of internal/core does).
 //
 // Like Ingest, Snapshot must be called from the single ingest-side
@@ -52,13 +58,22 @@ func (n *Node) Snapshot() ([]byte, error) {
 		if t == nil {
 			continue
 		}
+		w.Bool(t.comp != nil)
+		w.String(t.name)
+		w.Int64(t.seedID)
+		if t.comp != nil {
+			w.Uint64(t.events)
+			w.Int64(t.nextQuerySeed)
+			t.comp.ExportState(w)
+			continue
+		}
+		// Single-query records keep the version-1 field order after the kind
+		// flag, so the v1 decode path below shares this layout.
 		sp, ok := t.proto.(server.StatefulProtocol)
 		if !ok {
 			return nil, fmt.Errorf("runtime: tenant %d (%s) protocol %q does not support snapshots",
 				ti, t.name, t.proto.Name())
 		}
-		w.String(t.name)
-		w.Int64(t.seedID)
 		w.String(t.proto.Name())
 		w.Uint64(t.events)
 		t.cluster.ExportState(w)
@@ -84,16 +99,18 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // RestoreNode rebuilds a node from a Snapshot. specs must describe the same
 // tenants as the snapshotting node, one per slot in slot order — including
 // slots that were already evicted (their specs are ignored) — with the same
-// Initial values, Server config and protocol configuration; for a node that
-// never saw lifecycle changes that is simply the spec list NewNode was
-// given. The snapshot's own seed overrides cfg.Seed, so protocol and
-// loss-injection randomness resume at their recorded positions no matter
-// what the caller passes.
+// Initial values, Server config and protocol configuration; a multi-query
+// tenant's spec must list one QuerySpec per query slot the tenant ever
+// admitted, in admission order (for a node that never saw lifecycle changes
+// that is simply the spec list NewNode was given). The snapshot's own seed
+// overrides cfg.Seed, so protocol and loss-injection randomness resume at
+// their recorded positions no matter what the caller passes.
 //
 // The restored node continues bit-identically: started (Start skips the t0
 // phase for restored tenants) and fed the events after the snapshot
 // barrier, its answers and counters match an uninterrupted run at any shard
-// count. Corrupted, truncated or mismatched snapshots return an error;
+// count. Both encoding version 2 and the pre-query-plane version 1 are
+// accepted. Corrupted, truncated or mismatched snapshots return an error;
 // decoding never panics.
 func RestoreNode(cfg Config, specs []TenantSpec, data []byte) (*Node, error) {
 	if len(data) < 8 {
@@ -107,8 +124,9 @@ func RestoreNode(cfg Config, specs []TenantSpec, data []byte) (*Node, error) {
 	if magic := r.String(); r.Err() != nil || magic != snapshotMagic {
 		return nil, fmt.Errorf("runtime: not a node snapshot")
 	}
-	if v := r.Uint64(); r.Err() != nil || v != SnapshotVersion {
-		return nil, fmt.Errorf("runtime: unsupported snapshot version %d (have %d)", v, SnapshotVersion)
+	version := r.Uint64()
+	if r.Err() != nil || version < 1 || version > SnapshotVersion {
+		return nil, fmt.Errorf("runtime: unsupported snapshot version %d (have %d)", version, SnapshotVersion)
 	}
 	seed := r.Int64()
 	nextSeedID := r.Int64()
@@ -135,33 +153,37 @@ func RestoreNode(cfg Config, specs []TenantSpec, data []byte) (*Node, error) {
 			n.tenants = append(n.tenants, nil)
 			continue
 		}
+		// Version 1 predates the query plane: every record is single-query
+		// and carries no kind discriminator.
+		multi := false
+		if version >= 2 {
+			multi = r.Bool()
+		}
 		name := r.String()
 		seedID := r.Int64()
-		protoName := r.String()
-		events := r.Uint64()
 		if err := r.Err(); err != nil {
 			return nil, err
 		}
 		if seedID < 0 || seedID >= nextSeedID {
 			return nil, fmt.Errorf("runtime: tenant %d seed label %d outside [0,%d)", ti, seedID, nextSeedID)
 		}
-		t, err := n.buildTenant(specs[ti], ti, seedID)
+		t, err := n.buildTenant(specs[ti], ti, seedID, false)
 		if err != nil {
 			return nil, err
 		}
-		if got := t.proto.Name(); got != protoName {
-			return nil, fmt.Errorf("runtime: tenant %d spec builds protocol %q, snapshot holds %q",
-				ti, got, protoName)
+		if multi != (t.comp != nil) {
+			return nil, fmt.Errorf("runtime: tenant %d snapshot kind (multi=%v) does not match its spec", ti, multi)
 		}
-		sp, ok := t.proto.(server.StatefulProtocol)
-		if !ok {
-			return nil, fmt.Errorf("runtime: tenant %d protocol %q does not support snapshots", ti, protoName)
-		}
-		if err := t.cluster.ImportState(r); err != nil {
-			return nil, fmt.Errorf("runtime: tenant %d cluster: %w", ti, err)
-		}
-		if err := sp.ImportState(r); err != nil {
-			return nil, fmt.Errorf("runtime: tenant %d protocol: %w", ti, err)
+		var events uint64
+		if multi {
+			events = r.Uint64()
+			if err := n.restoreComposite(r, t, specs[ti]); err != nil {
+				return nil, fmt.Errorf("runtime: tenant %d: %w", ti, err)
+			}
+		} else {
+			if events, err = restoreSingle(r, t); err != nil {
+				return nil, fmt.Errorf("runtime: tenant %d: %w", ti, err)
+			}
 		}
 		t.name = name
 		t.events = events
@@ -173,6 +195,52 @@ func RestoreNode(cfg Config, specs []TenantSpec, data []byte) (*Node, error) {
 	}
 	n.initChannels(shards)
 	return n, nil
+}
+
+// restoreSingle decodes a single-query tenant record — protocol name, event
+// count, cluster state, protocol state, in the version-1 field order — into
+// the freshly built tenant, returning the event count.
+func restoreSingle(r *snapshot.Reader, t *tenant) (uint64, error) {
+	protoName := r.String()
+	events := r.Uint64()
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	if got := t.proto.Name(); got != protoName {
+		return 0, fmt.Errorf("spec builds protocol %q, snapshot holds %q", got, protoName)
+	}
+	sp, ok := t.proto.(server.StatefulProtocol)
+	if !ok {
+		return 0, fmt.Errorf("protocol %q does not support snapshots", protoName)
+	}
+	if err := t.cluster.ImportState(r); err != nil {
+		return 0, fmt.Errorf("cluster: %w", err)
+	}
+	return events, sp.ImportState(r)
+}
+
+// restoreComposite decodes a multi-query tenant record: the query-admission
+// counter, then the whole composite fabric, rebuilding each live query slot
+// from the spec's QuerySpec at that slot with its recorded seed label.
+func (n *Node) restoreComposite(r *snapshot.Reader, t *tenant, spec TenantSpec) error {
+	nextQuerySeed := r.Int64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if nextQuerySeed < 0 {
+		return fmt.Errorf("query admission counter %d negative", nextQuerySeed)
+	}
+	t.nextQuerySeed = nextQuerySeed
+	return t.comp.ImportState(r,
+		func(slot int, name string, seedID int64, h server.Host) (server.Protocol, error) {
+			if slot >= len(spec.Queries) {
+				return nil, fmt.Errorf("snapshot holds query slot %d, spec lists %d queries", slot, len(spec.Queries))
+			}
+			if seedID < 0 || seedID >= nextQuerySeed {
+				return nil, fmt.Errorf("query %d seed label %d outside [0,%d)", slot, seedID, nextQuerySeed)
+			}
+			return spec.Queries[slot].NewProtocol(h, n.querySeed(t, seedID)), nil
+		})
 }
 
 // TotalEvents returns how many events the node has accepted over its whole

@@ -1,0 +1,37 @@
+package server
+
+import "adaptivefilters/internal/comm"
+
+// This file is the single home of the counter-charging rules every Host
+// implementation applies. Cluster and Composite both route their message
+// accounting through these helpers, so "what does a probe cost" is defined
+// exactly once — a Host that re-implemented the rules could silently drift
+// from the paper's accounting model (§2 of DESIGN.md).
+
+// chargeProbes charges n completed probe round-trips: n Probe requests plus
+// n ProbeReply messages. Batched fan-outs pass their full count so the
+// counter is touched once per kind, not once per stream.
+func chargeProbes(ctr *comm.Counter, n uint64) {
+	if n == 0 {
+		return
+	}
+	ctr.Add(comm.Probe, n)
+	ctr.Add(comm.ProbeReply, n)
+}
+
+// chargeProbeRequest charges the request half of a conditional probe. The
+// request is always paid — the server cannot know in advance whether the
+// predicate holds at the stream.
+func chargeProbeRequest(ctr *comm.Counter) { ctr.Add(comm.Probe, 1) }
+
+// chargeProbeReply charges the reply half of a conditional probe, paid only
+// when the stream's value satisfied the predicate.
+func chargeProbeReply(ctr *comm.Counter) { ctr.Add(comm.ProbeReply, 1) }
+
+// chargeInstalls charges n filter-installation messages.
+func chargeInstalls(ctr *comm.Counter, n uint64) {
+	if n == 0 {
+		return
+	}
+	ctr.Add(comm.Install, n)
+}

@@ -231,8 +231,7 @@ func (c *Cluster) drain() {
 // Probe requests the current value of stream id (one Probe plus one
 // ProbeReply message) and refreshes the server table.
 func (c *Cluster) Probe(id stream.ID) float64 {
-	c.ctr.Add(comm.Probe, 1)
-	c.ctr.Add(comm.ProbeReply, 1)
+	chargeProbes(&c.ctr, 1)
 	v := c.sources[id].Probe()
 	c.table[id] = v
 	c.known[id] = true
@@ -265,8 +264,7 @@ func (c *Cluster) ProbeBatch(ids []stream.ID) {
 	if len(ids) == 0 {
 		return
 	}
-	c.ctr.Add(comm.Probe, uint64(len(ids)))
-	c.ctr.Add(comm.ProbeReply, uint64(len(ids)))
+	chargeProbes(&c.ctr, uint64(len(ids)))
 	for _, id := range ids {
 		v := c.sources[id].Probe()
 		c.table[id] = v
@@ -279,12 +277,12 @@ func (c *Cluster) ProbeBatch(ids []stream.ID) {
 // within the expanded region"). The probe message is always counted; the
 // reply — and the table refresh — happen only on a hit.
 func (c *Cluster) ProbeIf(id stream.ID, cons filter.Constraint) (float64, bool) {
-	c.ctr.Add(comm.Probe, 1)
+	chargeProbeRequest(&c.ctr)
 	v := c.sources[id].Probe() // the source evaluates the predicate locally
 	if !cons.Contains(v) {
 		return 0, false
 	}
-	c.ctr.Add(comm.ProbeReply, 1)
+	chargeProbeReply(&c.ctr)
 	c.table[id] = v
 	c.known[id] = true
 	return v, true
@@ -294,7 +292,7 @@ func (c *Cluster) ProbeIf(id stream.ID, cons filter.Constraint) (float64, bool) 
 // expectInside is the side of the interval the server's table implies; on
 // mismatch the source reports immediately (counted as an update and queued).
 func (c *Cluster) Install(id stream.ID, cons filter.Constraint, expectInside bool) {
-	c.ctr.Add(comm.Install, 1)
+	chargeInstalls(&c.ctr, 1)
 	c.sources[id].Install(cons, expectInside)
 	c.drain() // no-op when already inside a delivery cycle
 }
@@ -304,9 +302,9 @@ func (c *Cluster) Install(id stream.ID, cons filter.Constraint, expectInside boo
 // (or 1 when BroadcastInstall is set).
 func (c *Cluster) InstallAll(cons filter.Constraint) {
 	if c.cfg.BroadcastInstall {
-		c.ctr.Add(comm.Install, 1)
+		chargeInstalls(&c.ctr, 1)
 	} else {
-		c.ctr.Add(comm.Install, uint64(c.N()))
+		chargeInstalls(&c.ctr, uint64(c.N()))
 	}
 	for i, s := range c.sources {
 		s.Install(cons, cons.Contains(c.table[i]))
