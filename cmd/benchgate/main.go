@@ -1,11 +1,19 @@
 // Command benchgate is the CI benchmark regression gate: it compares a
 // fresh BENCH_*.json suite against the committed baseline and exits
-// non-zero when throughput regressed beyond the tolerance or when any
-// ingest-path benchmark's allocs/op grew (the zero-allocation invariant).
+// non-zero when throughput regressed beyond the tolerance, when any
+// ingest-path benchmark's allocs/op grew (the zero-allocation invariant),
+// when a deterministic maintenance-message count grew, or when the
+// multi-query scaling points stopped being near-flat.
 //
 // Usage:
 //
-//	benchgate -baseline BENCH_baseline.json -current BENCH_suite.json [-max-regress 0.15]
+//	benchgate -baseline BENCH_baseline.json -current BENCH_suite.json [-max-regress 0.15] [-flat-factor 10]
+//
+// The near-flat rule is intra-run and machine-independent: within the
+// current suite, the per-event cost of the M=64 and M=256 composite points
+// must stay within -flat-factor of the M=1 point. A regression back to
+// scanning every standing query per event scales per-event cost with M and
+// cannot pass, no matter how fast the machine is.
 //
 // To refresh the baseline after an intentional performance change, run the
 // suite locally (or download the BENCH_suite artifact from a green main
@@ -26,6 +34,8 @@ func main() {
 		baselinePath = flag.String("baseline", "BENCH_baseline.json", "committed baseline suite")
 		currentPath  = flag.String("current", "BENCH_suite.json", "freshly measured suite")
 		maxRegress   = flag.Float64("max-regress", 0.15, "tolerated fractional events/sec drop")
+		flatFactor   = flag.Float64("flat-factor", 10,
+			"per-event cost bound on the wide-M multi-query points, as a factor of m=1")
 	)
 	flag.Parse()
 
@@ -47,8 +57,13 @@ func main() {
 				"environment's artifact (allocs/op rules still enforced)\n",
 			baseline.GoMaxProcs, current.GoMaxProcs)
 	}
+	const mqRef = "multi-query-sharing/composite/m=1"
 	violations := bench.Compare(baseline, current, bench.GateConfig{
 		MaxThroughputRegress: *maxRegress,
+		FlatRules: []bench.FlatRule{
+			{Ref: mqRef, Scaled: "multi-query-sharing/composite/m=64", MaxFactor: *flatFactor},
+			{Ref: mqRef, Scaled: "multi-query-sharing/composite/m=256", MaxFactor: *flatFactor},
+		},
 	})
 	if len(violations) > 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: %d violation(s) against %s:\n", len(violations), *baselinePath)
@@ -57,6 +72,6 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: %d benchmark(s) within %.0f%% of %s, ingest path allocation-clean\n",
+	fmt.Printf("benchgate: %d benchmark(s) within %.0f%% of %s, ingest path allocation-clean, wide-M near-flat\n",
 		len(baseline.Results), *maxRegress*100, *baselinePath)
 }

@@ -89,11 +89,31 @@ func LoadFile(path string) (*Suite, error) {
 	return &s, nil
 }
 
+// FlatRule pins near-flat scaling within one suite run: the Scaled
+// benchmark's per-event cost (ns_per_op / events_per_op) must stay within
+// MaxFactor of the Ref benchmark's. Both figures come from the same run on
+// the same machine, so — like the alloc and message rules — the check is
+// machine-independent and stays enforced even when a GOMAXPROCS mismatch
+// downgrades the absolute-throughput rule to advisory. A rule whose Ref and
+// Scaled are both absent from the current suite is skipped (the run tracks a
+// different benchmark family); one present without the other is a violation.
+type FlatRule struct {
+	// Ref names the scaling reference point (e.g. the m=1 composite run).
+	Ref string
+	// Scaled names the point that must stay near the reference (e.g. m=256).
+	Scaled string
+	// MaxFactor bounds Scaled's per-event cost at MaxFactor × Ref's.
+	MaxFactor float64
+}
+
 // GateConfig tunes Compare.
 type GateConfig struct {
 	// MaxThroughputRegress is the tolerated fractional events/sec drop
 	// (0.15 = a current run may be up to 15% slower than the baseline).
 	MaxThroughputRegress float64
+	// FlatRules are intra-run scaling bounds checked against the current
+	// suite only; the baseline plays no part in them.
+	FlatRules []FlatRule
 }
 
 // Compare checks current against baseline and returns one human-readable
@@ -111,7 +131,13 @@ type GateConfig struct {
 //     and enforced unconditionally;
 //   - on results recording maintenance messages, the count must not exceed
 //     the baseline at all — message counts are deterministic, so growth is
-//     a behavioral regression of the filtering/sharing logic, not noise.
+//     a behavioral regression of the filtering/sharing logic, not noise;
+//   - every FlatRule must hold within the current run: scaling up the
+//     workload dimension the rule tracks must not inflate per-event cost
+//     beyond the rule's factor of its reference point. This is the guard
+//     for the sub-linear multi-query evaluation path — a return to linear
+//     scanning blows the factor out regardless of the hardware the gate
+//     happens to run on.
 //
 // Results present only in current are ignored, so new benchmarks can land
 // before the baseline is refreshed.
@@ -147,6 +173,34 @@ func Compare(baseline, current *Suite, cfg GateConfig) []string {
 			violations = append(violations, fmt.Sprintf(
 				"%s: maintenance messages grew: %d vs baseline %d",
 				base.Name, cur.MaintMessages, base.MaintMessages))
+		}
+	}
+	for _, rule := range cfg.FlatRules {
+		ref, refOK := byName[rule.Ref]
+		scaled, scaledOK := byName[rule.Scaled]
+		if !refOK && !scaledOK {
+			continue // this run tracks a different benchmark family
+		}
+		if !refOK || !scaledOK {
+			missing := rule.Ref
+			if !scaledOK {
+				missing = rule.Scaled
+			}
+			violations = append(violations, fmt.Sprintf(
+				"flat rule %s vs %s: %s missing from current run", rule.Scaled, rule.Ref, missing))
+			continue
+		}
+		if ref.EventsPerOp <= 0 || scaled.EventsPerOp <= 0 {
+			violations = append(violations, fmt.Sprintf(
+				"flat rule %s vs %s: results do not record events/op", rule.Scaled, rule.Ref))
+			continue
+		}
+		perRef := ref.NsPerOp / float64(ref.EventsPerOp)
+		perScaled := scaled.NsPerOp / float64(scaled.EventsPerOp)
+		if perScaled > perRef*rule.MaxFactor {
+			violations = append(violations, fmt.Sprintf(
+				"%s: per-event cost not near-flat: %.1f ns/event vs %.1f at %s — factor %.1fx exceeds %.1fx",
+				rule.Scaled, perScaled, perRef, rule.Ref, perScaled/perRef, rule.MaxFactor))
 		}
 	}
 	return violations

@@ -121,6 +121,79 @@ func TestSuiteAddReplacesByName(t *testing.T) {
 	}
 }
 
+// TestCompareFlatRuleTripsOnLinearScan pins the query-index scaling guard:
+// the m=256 composite point must stay within a fixed factor of m=1 in
+// per-event cost. A near-flat run passes; an injected linear-scan
+// regression — per-event cost growing with the query count — trips the
+// rule, and it keeps tripping when a hardware mismatch has downgraded the
+// absolute-throughput rule (the factor is intra-run, so machine-free).
+func TestCompareFlatRuleTripsOnLinearScan(t *testing.T) {
+	cfg := GateConfig{
+		MaxThroughputRegress: 0.15,
+		FlatRules: []FlatRule{
+			{Ref: "mq/composite/m=1", Scaled: "mq/composite/m=256", MaxFactor: 8},
+		},
+	}
+	base := mkSuite(
+		Result{Name: "mq/composite/m=1", EventsPerOp: 10000, NsPerOp: 2e5, EventsPerSec: 5e7},
+		Result{Name: "mq/composite/m=256", EventsPerOp: 10000, NsPerOp: 8e5, EventsPerSec: 1.25e7},
+	)
+	flat := mkSuite(
+		Result{Name: "mq/composite/m=1", EventsPerOp: 10000, NsPerOp: 2e5, EventsPerSec: 5e7},
+		Result{Name: "mq/composite/m=256", EventsPerOp: 10000, NsPerOp: 9e5, EventsPerSec: 1.1e7},
+	)
+	if v := Compare(base, flat, cfg); len(v) != 0 {
+		t.Fatalf("near-flat run flagged: %v", v)
+	}
+	// Linear scan: 256 queries cost ~256x the per-event work of one.
+	linear := mkSuite(
+		Result{Name: "mq/composite/m=1", EventsPerOp: 10000, NsPerOp: 2e5, EventsPerSec: 5e7},
+		Result{Name: "mq/composite/m=256", EventsPerOp: 10000, NsPerOp: 256 * 2e5, EventsPerSec: 2e5},
+	)
+	v := Compare(base, linear, cfg)
+	found := false
+	for _, s := range v {
+		if strings.Contains(s, "not near-flat") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("linear-scan regression not flagged by flat rule: %v", v)
+	}
+	// Machine-independence: the flat rule holds across a GOMAXPROCS
+	// mismatch that silences the absolute-throughput comparison.
+	linear.GoMaxProcs = 1
+	v = Compare(base, linear, cfg)
+	if len(v) != 1 || !strings.Contains(v[0], "not near-flat") {
+		t.Fatalf("cross-hardware linear scan not flagged exactly once: %v", v)
+	}
+}
+
+// TestCompareFlatRuleMissingResults pins the rule's edge handling: a family
+// the current run does not track is skipped entirely, but tracking one side
+// without the other (or without events/op) is a violation, never a silent
+// pass.
+func TestCompareFlatRuleMissingResults(t *testing.T) {
+	cfg := GateConfig{FlatRules: []FlatRule{
+		{Ref: "mq/m=1", Scaled: "mq/m=256", MaxFactor: 8},
+	}}
+	base := mkSuite()
+	if v := Compare(base, mkSuite(Result{Name: "other"}), cfg); len(v) != 0 {
+		t.Fatalf("untracked family tripped the flat rule: %v", v)
+	}
+	v := Compare(base, mkSuite(Result{Name: "mq/m=1", EventsPerOp: 100, NsPerOp: 1}), cfg)
+	if len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Fatalf("half-tracked family not flagged: %v", v)
+	}
+	v = Compare(base, mkSuite(
+		Result{Name: "mq/m=1", NsPerOp: 1},
+		Result{Name: "mq/m=256", NsPerOp: 1},
+	), cfg)
+	if len(v) != 1 || !strings.Contains(v[0], "events/op") {
+		t.Fatalf("events/op-free results not flagged: %v", v)
+	}
+}
+
 // TestCompareFailsOnMessageGrowth pins the multi-query sharing guard:
 // maintenance-message counts are deterministic, so any growth over the
 // baseline trips the gate — shrinkage and untracked results do not.

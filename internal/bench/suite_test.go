@@ -278,6 +278,33 @@ func mqQueries(m int) []runtime.QuerySpec {
 	return qs
 }
 
+// mqWideQueries builds the wide-M population for the index scaling points:
+// the same active core as mqQueries(mqActiveCore), plus m-mqActiveCore
+// standing queries whose ranges sit beyond the walk's reach, so they
+// install filters but almost never cross. This is the index's target
+// workload — per-event cost must track the active set, not the standing
+// count, which only holds when dormant constraints cost nothing per event.
+func mqWideQueries(m int) []runtime.QuerySpec {
+	qs := mqQueries(mqActiveCore)
+	for j := mqActiveCore; j < m; j++ {
+		lo := 1500 + float64(j*7)
+		qs = append(qs, runtime.QuerySpec{
+			Name: fmt.Sprintf("q%d", j),
+			NewProtocol: func(h server.Host, seed int64) server.Protocol {
+				return core.NewFTNRP(h, query.NewRange(lo, lo+200), core.FTNRPConfig{
+					Tol:       core.FractionTolerance{EpsPlus: 0.2, EpsMinus: 0.2},
+					Selection: core.SelectBoundaryNearest,
+					Seed:      seed,
+				})
+			},
+		})
+	}
+	return qs
+}
+
+// mqActiveCore is the active-query count inside the wide-M populations.
+const mqActiveCore = 2
+
 // setMessages attaches a deterministic maintenance-message count to an
 // already-measured suite entry (the gate rejects any later growth).
 func setMessages(name string, msgs uint64) {
@@ -314,13 +341,49 @@ func runNodeOnce(b *testing.B, specs []runtime.TenantSpec, batches [][]runtime.E
 	return totals.Maintenance()
 }
 
+// runSharingSide times one deployment side of the sharing benchmark on a
+// warmed node and files its throughput, alloc and message figures.
+func runSharingSide(b *testing.B, name string, specs []runtime.TenantSpec,
+	batches [][]runtime.Event, events int, msgs uint64) {
+	b.Helper()
+	node, err := runtime.NewNode(runtime.Config{Shards: 2, Seed: 42}, specs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := node.Start(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	defer node.Stop()
+	pass := func() {
+		for _, batch := range batches {
+			if err := node.Ingest(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := node.Drain(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Warm until every pooled buffer has cycled at its working size and all
+	// protocol scratch has grown.
+	for i := 0; i < 4; i++ {
+		pass()
+	}
+	measure(b, name, events, true, pass)
+	setMessages(name, msgs)
+}
+
 // BenchmarkMultiQuerySharing measures the multi-query composite plane
 // against the same queries deployed as independent single-query tenants, at
 // M = 1, 4 and 16 standing queries: events/sec and allocs/op on the warmed
 // ingest path (both must stay 0 allocs/op), plus the deterministic
 // maintenance-message counts of one fresh pass — where composite sharing
 // must send strictly fewer messages than the independent deployment for
-// every M > 1. All four figures land in BENCH_suite.json under the gate.
+// every M > 1. Two composite-only points at M = 64 and 256 then stress the
+// per-stream query index: cmd/benchgate's near-flat rule bounds their
+// per-event cost at a fixed factor of M = 1, which a return to linear
+// constraint scanning cannot satisfy. All figures land in BENCH_suite.json
+// under the gate.
 func BenchmarkMultiQuerySharing(b *testing.B) {
 	const (
 		streams   = 300
@@ -328,24 +391,26 @@ func BenchmarkMultiQuerySharing(b *testing.B) {
 		batchSize = 512
 	)
 	initial, moves := walk(streams, steps, 29)
+
+	// Composite deployment batches: one tenant, one event per move,
+	// regardless of how many queries ride on it.
+	var compBatches [][]runtime.Event
+	for start := 0; start < len(moves); start += batchSize {
+		end := start + batchSize
+		if end > len(moves) {
+			end = len(moves)
+		}
+		batch := make([]runtime.Event, 0, batchSize)
+		for _, mv := range moves[start:end] {
+			batch = append(batch, runtime.Event{Tenant: 0, Stream: mv.id, Value: mv.v})
+		}
+		compBatches = append(compBatches, batch)
+	}
+
 	for _, m := range []int{1, 4, 16} {
 		m := m
 		qs := mqQueries(m)
-
-		// Composite deployment: one tenant, m queries, one event per move.
 		compSpecs := []runtime.TenantSpec{{Name: "mq", Initial: initial, Queries: qs}}
-		var compBatches [][]runtime.Event
-		for start := 0; start < len(moves); start += batchSize {
-			end := start + batchSize
-			if end > len(moves) {
-				end = len(moves)
-			}
-			batch := make([]runtime.Event, 0, batchSize)
-			for _, mv := range moves[start:end] {
-				batch = append(batch, runtime.Event{Tenant: 0, Stream: mv.id, Value: mv.v})
-			}
-			compBatches = append(compBatches, batch)
-		}
 
 		// Independent deployment: m single-query tenants over copies of the
 		// partition, every move fanned out to all of them.
@@ -389,33 +454,27 @@ func BenchmarkMultiQuerySharing(b *testing.B) {
 		} {
 			side := side
 			b.Run(fmt.Sprintf("%s/m=%d", side.kind, m), func(b *testing.B) {
-				node, err := runtime.NewNode(runtime.Config{Shards: 2, Seed: 42}, side.specs)
-				if err != nil {
-					b.Fatal(err)
-				}
-				if err := node.Start(context.Background()); err != nil {
-					b.Fatal(err)
-				}
-				defer node.Stop()
-				pass := func() {
-					for _, batch := range side.batches {
-						if err := node.Ingest(batch); err != nil {
-							b.Fatal(err)
-						}
-					}
-					if err := node.Drain(); err != nil {
-						b.Fatal(err)
-					}
-				}
-				// Warm until every pooled buffer has cycled at its working
-				// size and all protocol scratch has grown.
-				for i := 0; i < 4; i++ {
-					pass()
-				}
-				name := fmt.Sprintf("multi-query-sharing/%s/m=%d", side.kind, m)
-				measure(b, name, side.events, true, pass)
-				setMessages(name, side.msgs)
+				runSharingSide(b, fmt.Sprintf("multi-query-sharing/%s/m=%d", side.kind, m),
+					side.specs, side.batches, side.events, side.msgs)
 			})
 		}
+	}
+
+	// Wide-M scaling points, composite side only: an independent deployment
+	// at M = 256 would ingest 2.56M events per pass and measure the fan-out,
+	// not the index. The population is a fixed active core plus dormant
+	// standing queries (mqWideQueries), so per-event cost measures what the
+	// query index sells: untouched standing queries are free. The near-flat
+	// gate rule reads these two rows against m=1 — a return to linear
+	// constraint scanning pays for all m queries on every event and blows
+	// the factor out.
+	for _, m := range []int{64, 256} {
+		m := m
+		compSpecs := []runtime.TenantSpec{{Name: "mq", Initial: initial, Queries: mqWideQueries(m)}}
+		msgs := runNodeOnce(b, compSpecs, compBatches)
+		b.Run(fmt.Sprintf("composite/m=%d", m), func(b *testing.B) {
+			runSharingSide(b, fmt.Sprintf("multi-query-sharing/composite/m=%d", m),
+				compSpecs, compBatches, steps, msgs)
+		})
 	}
 }

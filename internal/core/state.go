@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"adaptivefilters/internal/filter"
 	"adaptivefilters/internal/rankindex"
@@ -129,7 +130,17 @@ func importIndex(r *snapshot.Reader, ix *rankindex.Index) error {
 	}
 	for id := 0; id < n; id++ {
 		if r.Bool() {
-			ix.Set(id, r.Float64())
+			v := r.Float64()
+			if err := r.Err(); err != nil {
+				return err
+			}
+			// The codec round-trips NaN bit-exactly, so a corrupt snapshot
+			// can carry one; rankindex.Set treats NaN as a caller bug
+			// (panic), so reject it here as the input error it is.
+			if math.IsNaN(v) {
+				return fmt.Errorf("core: snapshot index value for stream %d is NaN", id)
+			}
+			ix.Set(id, v)
 		}
 		if err := r.Err(); err != nil {
 			return err

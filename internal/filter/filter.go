@@ -92,6 +92,23 @@ func (c Constraint) Contains(v float64) bool {
 	}
 }
 
+// Bounds returns the closed region [lo, hi] inside which Contains holds:
+// the interval itself, or a band's center ± half-width computed with
+// exactly the arithmetic Contains uses. For None it returns (NaN, NaN) —
+// an unfiltered entry has no inside region. Callers indexing constraint
+// boundaries (server's query index) must treat non-finite or inverted
+// bounds as unindexable.
+func (c Constraint) Bounds() (lo, hi float64) {
+	switch c.Kind {
+	case Interval:
+		return c.Lo, c.Hi
+	case Band:
+		return c.Lo - c.Hi, c.Lo + c.Hi
+	default:
+		return math.NaN(), math.NaN()
+	}
+}
+
 // Silent reports whether the constraint can never be violated by any finite
 // value: either every finite value is inside, or none is.
 func (c Constraint) Silent() bool {

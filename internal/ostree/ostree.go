@@ -4,12 +4,24 @@
 // It is the ranking substrate used by the server-side no-filter baseline and
 // by the ground-truth oracle: it answers "how many streams have a value less
 // than v" and "which key holds rank i" in O(log n), which is what both rank
-// verification (Definition 1 of the paper) and k-NN ground truth need.
+// verification (Definition 1 of the paper) and k-NN ground truth need. It is
+// also the boundary index of the composite query plane (server/queryindex),
+// which puts Insert/Delete/AppendRange on the ingest hot path: deleted nodes
+// are recycled through an internal free list, so steady-state churn
+// allocates nothing.
 //
 // Keys are unique: two streams may carry the same value but never the same
 // (value, id) pair. Ordering is by value first, id second, which gives a
 // deterministic total order in the presence of ties.
+//
+// NaN values are rejected: a NaN compares "not less" in both directions, so
+// a single NaN-valued key would make every Contains probe succeed and would
+// silently corrupt the tree order. Insert panics on a NaN key (callers that
+// handle untrusted input — snapshot restore, wire ingest — must validate
+// first); the read-only probes treat a NaN argument as "matches nothing".
 package ostree
+
+import "math"
 
 // Key identifies one stream observation in the tree.
 type Key struct {
@@ -17,7 +29,8 @@ type Key struct {
 	ID int     // stream identifier (tie break)
 }
 
-// Less reports the strict total order used by the tree.
+// Less reports the strict total order used by the tree. It is only a total
+// order over non-NaN values, which is why Insert rejects NaN keys.
 func (k Key) Less(o Key) bool {
 	if k.V != o.V {
 		return k.V < o.V
@@ -45,6 +58,7 @@ func (n *node) update() { n.size = 1 + size(n.left) + size(n.right) }
 type Tree struct {
 	root  *node
 	state uint64 // deterministic priority stream
+	free  *node  // recycled nodes, chained through right
 }
 
 // New returns an empty tree. Priorities are derived from a fixed internal
@@ -63,19 +77,135 @@ func (t *Tree) nextPrio() uint64 {
 // Len returns the number of keys stored.
 func (t *Tree) Len() int { return size(t.root) }
 
-// split partitions n into keys < k and keys >= k.
-func split(n *node, k Key) (l, r *node) {
+// newNode takes a node off the free list (or allocates one) and assigns it
+// the next priority. Called exactly once per successful insert, so the
+// priority stream's consumption is identical to the historical
+// Contains-then-split/merge implementation: a priority is drawn only when
+// the key was absent.
+func (t *Tree) newNode(k Key) *node {
+	n := t.free
 	if n == nil {
-		return nil, nil
+		return &node{key: k, prio: t.nextPrio(), size: 1}
 	}
-	if n.key.Less(k) {
-		n.right, r = split(n.right, k)
-		n.update()
-		return n, r
-	}
-	l, n.left = split(n.left, k)
+	t.free = n.right
+	*n = node{key: k, prio: t.nextPrio(), size: 1}
+	return n
+}
+
+// recycle puts a detached node on the free list.
+func (t *Tree) recycle(n *node) {
+	*n = node{right: t.free}
+	t.free = n
+}
+
+func rotateRight(n *node) *node {
+	l := n.left
+	n.left = l.right
+	l.right = n
 	n.update()
-	return l, n
+	l.update()
+	return l
+}
+
+func rotateLeft(n *node) *node {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	n.update()
+	r.update()
+	return r
+}
+
+// Insert adds k to the tree in a single descent. It returns false (and
+// leaves the tree unchanged) if the key is already present.
+//
+// Insert panics if k.V is NaN: NaN admits no ordering, so storing it would
+// corrupt the tree (see the package comment). Validate untrusted values
+// before they reach the tree.
+func (t *Tree) Insert(k Key) bool {
+	if math.IsNaN(k.V) {
+		panic("ostree: Insert with NaN-valued key")
+	}
+	if t.state == 0 { // zero-value Tree: initialize the priority stream
+		t.state = 0x9E3779B97F4A7C15
+	}
+	root, ok := t.insert(t.root, k)
+	t.root = root
+	return ok
+}
+
+// insert is the single-pass recursive core: one BST descent that creates the
+// leaf, then rotations on the way back up restore the heap property. With
+// distinct priorities the treap shape is a function of the (key, priority)
+// set alone, so the result is byte-identical to the historical split/merge
+// implementation (pinned by TestInsertMatchesLegacyImplementation).
+func (t *Tree) insert(n *node, k Key) (*node, bool) {
+	if n == nil {
+		return t.newNode(k), true
+	}
+	switch {
+	case k.Less(n.key):
+		child, ok := t.insert(n.left, k)
+		n.left = child
+		if !ok {
+			return n, false
+		}
+		if child.prio > n.prio {
+			return rotateRight(n), true
+		}
+		n.update()
+		return n, true
+	case n.key.Less(k):
+		child, ok := t.insert(n.right, k)
+		n.right = child
+		if !ok {
+			return n, false
+		}
+		if child.prio > n.prio {
+			return rotateLeft(n), true
+		}
+		n.update()
+		return n, true
+	default:
+		return n, false
+	}
+}
+
+// Delete removes k, recycling its node. It returns false if the key was
+// absent (always the case for a NaN key, which Insert rejects).
+func (t *Tree) Delete(k Key) bool {
+	if math.IsNaN(k.V) {
+		return false
+	}
+	root, ok := t.delete(t.root, k)
+	t.root = root
+	return ok
+}
+
+func (t *Tree) delete(n *node, k Key) (*node, bool) {
+	if n == nil {
+		return nil, false
+	}
+	switch {
+	case k.Less(n.key):
+		child, ok := t.delete(n.left, k)
+		n.left = child
+		if ok {
+			n.update()
+		}
+		return n, ok
+	case n.key.Less(k):
+		child, ok := t.delete(n.right, k)
+		n.right = child
+		if ok {
+			n.update()
+		}
+		return n, ok
+	default:
+		m := merge(n.left, n.right)
+		t.recycle(n)
+		return m, true
+	}
 }
 
 func merge(l, r *node) *node {
@@ -95,47 +225,28 @@ func merge(l, r *node) *node {
 	}
 }
 
-// Insert adds k to the tree. It returns false (and leaves the tree
-// unchanged) if the key is already present.
-func (t *Tree) Insert(k Key) bool {
-	if t.Contains(k) {
+// Clear removes every key, recycling all nodes for reuse. The priority
+// stream keeps advancing from where it was (Clear is a bulk Delete, not a
+// reset to a fresh tree).
+func (t *Tree) Clear() {
+	t.clear(t.root)
+	t.root = nil
+}
+
+func (t *Tree) clear(n *node) {
+	if n == nil {
+		return
+	}
+	t.clear(n.left)
+	t.clear(n.right)
+	t.recycle(n)
+}
+
+// Contains reports whether k is stored. A NaN key is never stored.
+func (t *Tree) Contains(k Key) bool {
+	if math.IsNaN(k.V) {
 		return false
 	}
-	if t.state == 0 { // zero-value Tree: initialize the priority stream
-		t.state = 0x9E3779B97F4A7C15
-	}
-	nn := &node{key: k, prio: t.nextPrio(), size: 1}
-	l, r := split(t.root, k)
-	t.root = merge(merge(l, nn), r)
-	return true
-}
-
-// Delete removes k. It returns false if the key was absent.
-func (t *Tree) Delete(k Key) bool {
-	var deleted bool
-	var del func(n *node) *node
-	del = func(n *node) *node {
-		if n == nil {
-			return nil
-		}
-		switch {
-		case k.Less(n.key):
-			n.left = del(n.left)
-		case n.key.Less(k):
-			n.right = del(n.right)
-		default:
-			deleted = true
-			return merge(n.left, n.right)
-		}
-		n.update()
-		return n
-	}
-	t.root = del(t.root)
-	return deleted
-}
-
-// Contains reports whether k is stored.
-func (t *Tree) Contains(k Key) bool {
 	n := t.root
 	for n != nil {
 		switch {
@@ -151,8 +262,11 @@ func (t *Tree) Contains(k Key) bool {
 }
 
 // Rank returns the number of keys strictly less than k. k itself need not be
-// present.
+// present. A NaN key is less than nothing: its rank is 0.
 func (t *Tree) Rank(k Key) int {
+	if math.IsNaN(k.V) {
+		return 0
+	}
 	rank := 0
 	n := t.root
 	for n != nil {
@@ -188,7 +302,7 @@ func (t *Tree) Select(i int) (Key, bool) {
 }
 
 // CountLess returns the number of stored keys with value strictly less
-// than v (regardless of id).
+// than v (regardless of id). NaN counts nothing.
 func (t *Tree) CountLess(v float64) int {
 	// Key{v, minInt} sorts before every key with value v.
 	return t.Rank(Key{V: v, ID: minInt})
@@ -200,7 +314,7 @@ func (t *Tree) CountLE(v float64) int {
 }
 
 // CountRange returns the number of stored keys with lo <= value <= hi.
-// It returns 0 when lo > hi.
+// It returns 0 when lo > hi (and for NaN bounds).
 func (t *Tree) CountRange(lo, hi float64) int {
 	if lo > hi {
 		return 0
@@ -230,6 +344,62 @@ func (t *Tree) Ascend(fn func(Key) bool) {
 		return walk(n.right)
 	}
 	walk(t.root)
+}
+
+// AppendRange appends every stored key k with ge <= k <= le (inclusive, in
+// increasing order) to dst and returns the extended slice. Unlike Ascend it
+// takes no callback, so a caller holding a pre-grown dst pays zero
+// allocations — this is the composite query index's boundary walk. NaN
+// bounds match nothing.
+func (t *Tree) AppendRange(ge, le Key, dst []Key) []Key {
+	if math.IsNaN(ge.V) || math.IsNaN(le.V) || le.Less(ge) {
+		return dst
+	}
+	return appendRange(t.root, ge, le, dst)
+}
+
+func appendRange(n *node, ge, le Key, dst []Key) []Key {
+	if n == nil {
+		return dst
+	}
+	if n.key.Less(ge) {
+		return appendRange(n.right, ge, le, dst)
+	}
+	if le.Less(n.key) {
+		return appendRange(n.left, ge, le, dst)
+	}
+	dst = appendRange(n.left, ge, le, dst)
+	dst = append(dst, n.key)
+	return appendRange(n.right, ge, le, dst)
+}
+
+// BracketValue returns the widest open interval (lo, hi) around v that
+// contains no stored key values: lo is the largest key value below v (−Inf
+// when none) and hi the smallest above (+Inf when none). exact reports that
+// some key's value equals v itself — the open interval excludes it, so a
+// caller caching (lo, hi) as a "no boundaries here" certificate must treat
+// exact as a refusal. A NaN v admits no ordering and reports exact.
+// One O(log n) descent, no allocation.
+func (t *Tree) BracketValue(v float64) (lo, hi float64, exact bool) {
+	lo, hi = math.Inf(-1), math.Inf(1)
+	n := t.root
+	for n != nil {
+		switch {
+		case n.key.V < v:
+			if n.key.V > lo {
+				lo = n.key.V
+			}
+			n = n.right
+		case n.key.V > v:
+			if n.key.V < hi {
+				hi = n.key.V
+			}
+			n = n.left
+		default: // a key value equal to v (or a NaN v: unordered)
+			return lo, hi, true
+		}
+	}
+	return lo, hi, false
 }
 
 // Keys returns all keys in increasing order. Intended for tests and small

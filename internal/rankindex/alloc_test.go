@@ -1,0 +1,95 @@
+package rankindex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adaptivefilters/internal/query"
+)
+
+// TestSetRejectsNaN is the regression test for the NaN-poisoning bug: a
+// NaN value must never reach the ordering tree.
+func TestSetRejectsNaN(t *testing.T) {
+	ix := New(4)
+	ix.Set(0, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set(NaN) did not panic")
+		}
+		// The rejected Set must not have disturbed the index.
+		if ix.Len() != 1 || !ix.Has(0) || ix.Has(1) {
+			t.Fatal("index disturbed by rejected Set")
+		}
+	}()
+	ix.Set(1, math.NaN())
+}
+
+// TestSortByDistIDAllocFree asserts the keyed-sorter rewrite: re-ranking
+// KNearest candidates must not allocate once the scratch is warm.
+func TestSortByDistIDAllocFree(t *testing.T) {
+	ix := New(64)
+	for id := 0; id < 64; id++ {
+		ix.Set(id, float64((id*37)%64))
+	}
+	ids := make([]int, 64)
+	q := query.At(31.5)
+	reset := func() {
+		for i := range ids {
+			ids[i] = i
+		}
+	}
+	reset()
+	ix.sortByDistID(ids, q) // warm the scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		reset()
+		ix.sortByDistID(ids, q)
+	})
+	if allocs != 0 {
+		t.Fatalf("sortByDistID allocates %v allocs/run, want 0", allocs)
+	}
+	// And it still sorts correctly: (distance, id) ascending.
+	for i := 1; i < len(ids); i++ {
+		da, db := q.Dist(ix.vals[ids[i-1]]), q.Dist(ix.vals[ids[i]])
+		if da > db || (da == db && ids[i-1] >= ids[i]) {
+			t.Fatalf("order violated at %d: id %d (d=%g) before id %d (d=%g)",
+				i, ids[i-1], da, ids[i], db)
+		}
+	}
+}
+
+// BenchmarkSortByDistID measures the re-rank step on a realistic candidate
+// window; the 0 allocs/op is what the keyed sorter buys.
+func BenchmarkSortByDistID(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	ix := New(256)
+	for id := 0; id < 256; id++ {
+		ix.Set(id, rng.NormFloat64()*100)
+	}
+	ids := make([]int, 32)
+	q := query.At(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range ids {
+			ids[j] = (i + j*7) % 256
+		}
+		ix.sortByDistID(ids, q)
+	}
+}
+
+// BenchmarkKNearest covers the full query path now feeding the composite
+// hot path.
+func BenchmarkKNearest(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	ix := New(512)
+	for id := 0; id < 512; id++ {
+		ix.Set(id, rng.NormFloat64()*100)
+	}
+	q := query.At(12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.KNearest(q, 10)
+	}
+}

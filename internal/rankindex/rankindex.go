@@ -25,6 +25,12 @@ type Index struct {
 	tree    *ostree.Tree
 	vals    []float64
 	present []bool
+
+	// sortByDistID scratch: keys are recomputed per sort, the sorter struct
+	// is pointed at the live slices so sort.Sort sees a pointer receiver and
+	// nothing escapes (same idiom as core's keyedSorter).
+	skeys  []float64
+	sorter distSorter
 }
 
 // New returns an empty index sized for n streams.
@@ -54,7 +60,15 @@ func (ix *Index) Has(id int) bool { return ix.present[id] }
 func (ix *Index) Value(id int) (float64, bool) { return ix.vals[id], ix.present[id] }
 
 // Set inserts stream id at value v, or moves it if already present.
+//
+// Set panics if v is NaN — a NaN value would corrupt the underlying tree
+// order (see ostree.Insert) and poison every later ranking answer. Paths
+// that carry untrusted values (snapshot restore, wire ingest) validate
+// before calling Set, so the panic marks a caller bug, not bad input.
 func (ix *Index) Set(id int, v float64) {
+	if math.IsNaN(v) {
+		panic("rankindex: Set with NaN value")
+	}
 	if ix.present[id] {
 		ix.tree.Delete(ostree.Key{V: ix.vals[id], ID: id})
 	}
@@ -224,15 +238,39 @@ func keyAt(t *ostree.Tree, i int) (ostree.Key, bool) {
 	return t.Select(i)
 }
 
+// distSorter sorts ids by precomputed (distance, id) keys. A concrete
+// pointer-receiver sort.Interface over index-owned scratch, so sorting
+// allocates nothing — sort.Slice's capturing closure allocated on every
+// call, which matters now that KNearest sits on the ingest hot path.
+type distSorter struct {
+	ids  []int
+	keys []float64
+}
+
+func (s *distSorter) Len() int { return len(s.ids) }
+
+func (s *distSorter) Less(a, b int) bool {
+	if s.keys[a] != s.keys[b] {
+		return s.keys[a] < s.keys[b]
+	}
+	return s.ids[a] < s.ids[b]
+}
+
+func (s *distSorter) Swap(a, b int) {
+	s.ids[a], s.ids[b] = s.ids[b], s.ids[a]
+	s.keys[a], s.keys[b] = s.keys[b], s.keys[a]
+}
+
 // sortByDistID orders ids ascending by (distance from q, id).
 func (ix *Index) sortByDistID(ids []int, q query.Center) {
-	sort.Slice(ids, func(a, b int) bool {
-		da, db := q.Dist(ix.vals[ids[a]]), q.Dist(ix.vals[ids[b]])
-		if da != db {
-			return da < db
-		}
-		return ids[a] < ids[b]
-	})
+	keys := ix.skeys[:0]
+	for _, id := range ids {
+		keys = append(keys, q.Dist(ix.vals[id]))
+	}
+	ix.skeys = keys
+	ix.sorter.ids, ix.sorter.keys = ids, keys
+	sort.Sort(&ix.sorter)
+	ix.sorter.ids, ix.sorter.keys = nil, nil
 }
 
 // KthDist returns the distance from q of the k-th nearest present stream

@@ -22,6 +22,7 @@ package runtime
 import (
 	"context"
 	"fmt"
+	"math"
 	goruntime "runtime"
 	"sync"
 
@@ -268,6 +269,13 @@ func (n *Node) buildTenant(spec TenantSpec, ti int, seedID int64, withQueries bo
 	if len(spec.Initial) == 0 {
 		return nil, fmt.Errorf("runtime: tenant %d has an empty stream partition", ti)
 	}
+	// A NaN initial value would reach the ranking indexes through the
+	// protocols' t0 probe fan-out, where it is a panic, not an error.
+	for s, v := range spec.Initial {
+		if math.IsNaN(v) {
+			return nil, fmt.Errorf("runtime: tenant %d initial value for stream %d is NaN", ti, s)
+		}
+	}
 	name := spec.Name
 	if name == "" {
 		name = fmt.Sprintf("tenant-%d", ti)
@@ -479,6 +487,10 @@ func (n *Node) Ingest(events []Event) error {
 		if ev.Stream < 0 || ev.Stream >= t.n() {
 			return fmt.Errorf("runtime: event for unknown stream %d of tenant %d (n=%d)",
 				ev.Stream, ev.Tenant, t.n())
+		}
+		if math.IsNaN(ev.Value) {
+			return fmt.Errorf("runtime: event for stream %d of tenant %d carries a NaN value",
+				ev.Stream, ev.Tenant)
 		}
 	}
 	for _, ev := range events {

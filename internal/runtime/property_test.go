@@ -49,7 +49,7 @@ type schedOp struct {
 // heterogeneous per-query state (including RNG positions).
 func propQuerySpec(j int) QuerySpec {
 	name := fmt.Sprintf("pq-%d", j)
-	switch j % 3 {
+	switch j % 4 {
 	case 0:
 		return QuerySpec{Name: name,
 			NewProtocol: func(h server.Host, seed int64) server.Protocol {
@@ -63,6 +63,14 @@ func propQuerySpec(j int) QuerySpec {
 		return QuerySpec{Name: name,
 			NewProtocol: func(h server.Host, seed int64) server.Protocol {
 				return core.NewRTP(h, query.At(480), core.RankTolerance{K: 4, R: 2})
+			}}
+	case 2:
+		// Band-filter coverage: VBKNN keeps an Olston band on every stream,
+		// exercising the composite fabric's re-centering path (and the query
+		// index's band classes) under the full lifecycle schedule.
+		return QuerySpec{Name: name,
+			NewProtocol: func(h server.Host, seed int64) server.Protocol {
+				return core.NewVBKNN(h, query.NewKNN(query.At(500), 3), 60)
 			}}
 	default:
 		return QuerySpec{Name: name,
@@ -431,6 +439,103 @@ func TestScheduleProperty(t *testing.T) {
 			}
 			if snapIdx == 0 {
 				t.Fatal("schedule generated no snapshot barriers; adjust the generator")
+			}
+		})
+	}
+}
+
+// TestSchedulePropertyIndexEquivalence pins the composite query index
+// bit-identical to the linear reference evaluation under the full lifecycle
+// schedule: answers, recorded sides, counter values and snapshot bytes
+// (which encode all of them plus maintenance-message accounting) must match
+// between index-off and index-on runs at shard counts 1, 4 and 8, with
+// AddQuery/RemoveQuery interleaved — and across a restore cut at every
+// snapshot barrier, where the restored node rebuilds its indexes from the
+// linear run's snapshot bytes and must still reproduce the linear tail.
+func TestSchedulePropertyIndexEquivalence(t *testing.T) {
+	shardCounts := []int{1, 4, 8}
+	for _, seed := range []int64{11, 29} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			initial, added, ops := genSchedule(seed, 40)
+			kinds := make(map[opKind]int)
+			for _, o := range ops {
+				kinds[o.kind]++
+			}
+			if kinds[opAddQuery] == 0 || kinds[opRemoveQuery] == 0 {
+				t.Fatalf("schedule exercises no query lifecycle (kinds %v); adjust the generator", kinds)
+			}
+
+			run := func(indexed bool, shards int) (string, [][]byte) {
+				prev := server.SetQueryIndexEnabled(indexed)
+				defer server.SetQueryIndexEnabled(prev)
+				node, err := NewNode(Config{Shards: shards, Seed: 42}, initial)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := node.Start(context.Background()); err != nil {
+					t.Fatal(err)
+				}
+				snaps := execOps(t, node, ops, 0)
+				fp := fingerprint(node)
+				node.Stop()
+				return fp, snaps
+			}
+
+			refFP, refSnaps := run(false, 1) // linear reference
+			for _, shards := range shardCounts {
+				fp, snaps := run(true, shards)
+				if fp != refFP {
+					t.Fatalf("indexed shards=%d fingerprint diverged from linear:\n%s\nwant:\n%s",
+						shards, fp, refFP)
+				}
+				if len(snaps) != len(refSnaps) {
+					t.Fatalf("indexed shards=%d produced %d snapshots, want %d", shards, len(snaps), len(refSnaps))
+				}
+				for i := range snaps {
+					if !bytes.Equal(snaps[i], refSnaps[i]) {
+						t.Fatalf("indexed shards=%d snapshot %d differs from linear evaluation", shards, i)
+					}
+				}
+			}
+
+			// Cut at every barrier: restore the linear run's snapshot with the
+			// index ON (forcing an index rebuild from snapshot state) and
+			// replay the remaining schedule; tail snapshots and the end state
+			// must still match the linear reference.
+			snapIdx := 0
+			for k, o := range ops {
+				if o.kind != opSnapshot {
+					continue
+				}
+				shards := shardCounts[snapIdx%len(shardCounts)]
+				specs := specsAt(initial, added, ops, k)
+				prev := server.SetQueryIndexEnabled(true)
+				rn, err := RestoreNode(Config{Shards: shards}, specs, refSnaps[snapIdx])
+				server.SetQueryIndexEnabled(prev)
+				if err != nil {
+					t.Fatalf("cut %d: restore failed: %v", snapIdx, err)
+				}
+				if err := rn.Start(context.Background()); err != nil {
+					t.Fatal(err)
+				}
+				tail := execOps(t, rn, ops, k+1)
+				fp := fingerprint(rn)
+				rn.Stop()
+				if fp != refFP {
+					t.Fatalf("cut %d (shards=%d) indexed fingerprint diverged from linear:\n%s\nwant:\n%s",
+						snapIdx, shards, fp, refFP)
+				}
+				cutSnaps := refSnaps[snapIdx:]
+				if len(tail) != len(cutSnaps)-1 {
+					t.Fatalf("cut %d: %d tail snapshots, want %d", snapIdx, len(tail), len(cutSnaps)-1)
+				}
+				for i := range tail {
+					if !bytes.Equal(tail[i], cutSnaps[i+1]) {
+						t.Fatalf("cut %d: indexed tail snapshot %d differs from linear run", snapIdx, i)
+					}
+				}
+				snapIdx++
 			}
 		})
 	}

@@ -56,6 +56,11 @@ type Composite struct {
 	inEpoch    bool
 	probeGen   []uint64
 	installGen []uint64
+
+	// idx is the per-stream query index making Deliver sub-linear in the
+	// query count (see queryindex.go). nil runs the linear reference scan —
+	// equivalence tests construct such composites via SetQueryIndexEnabled.
+	idx *queryIndex
 }
 
 // compositeQuery is one standing query slot: its protocol, its Host view,
@@ -81,6 +86,9 @@ func NewComposite(initial []float64) *Composite {
 		inside:     make([][]bool, n),
 		probeGen:   make([]uint64, n),
 		installGen: make([]uint64, n),
+	}
+	if enableQueryIndex {
+		c.idx = newQueryIndex(n)
 	}
 	return c
 }
@@ -156,6 +164,9 @@ func (c *Composite) AddQuery(name string, seedID int64, build func(h Host) Proto
 		c.cons[s] = append(c.cons[s], filter.Constraint{})
 		c.inside[s] = append(c.inside[s], false)
 	}
+	if c.idx != nil {
+		c.idx.addSlot(c)
+	}
 	return qi
 }
 
@@ -174,6 +185,9 @@ func (c *Composite) RemoveQuery(qi int) error {
 	for s := range c.cons {
 		c.cons[s][qi] = filter.Constraint{}
 		c.inside[s][qi] = false
+	}
+	if c.idx != nil {
+		c.idx.removeSlot(c, qi)
 	}
 	return nil
 }
@@ -230,7 +244,44 @@ func (c *Composite) endEpoch()   { c.inEpoch = false }
 // message — Olston-style), and a None entry — an unfiltered query — makes
 // the stream report every update. Steady state allocates nothing.
 func (c *Composite) Deliver(s stream.ID, v float64) {
+	u := c.vals[s]
 	c.vals[s] = v
+	var crossed bool
+	if c.idx != nil {
+		crossed = c.idx.deliver(c, int(s), u, v)
+	} else {
+		crossed = c.deliverScan(s, v)
+	}
+	if !crossed {
+		return
+	}
+	c.ctr.Add(comm.Update, 1)
+	c.table[s] = v
+	c.known[s] = true
+	row := c.cons[s]
+	for qi, q := range c.queries {
+		if q == nil {
+			continue
+		}
+		// Silent entries never generate reports, but the report may have
+		// been caused by another query's constraint; only run a query's
+		// maintenance when its own constraint is live (the paper's
+		// per-filter semantics). The skipped query still pays the lookup.
+		if row[qi].Silent() {
+			c.ctr.AddServerOps(1)
+			continue
+		}
+		q.proto.HandleUpdate(s, v)
+	}
+}
+
+// deliverScan is the linear crossing-detection reference: it walks every
+// entry of stream s's constraint vector, applies each kind's source-side
+// semantics, and reports whether the stream reports. The indexed path
+// (queryindex.go) must make exactly the decisions and side effects of this
+// loop; it also falls back to it for NaN values, which the boundary index
+// cannot order.
+func (c *Composite) deliverScan(s stream.ID, v float64) bool {
 	row := c.cons[s]
 	ins := c.inside[s]
 	crossed := false
@@ -259,26 +310,7 @@ func (c *Composite) Deliver(s stream.ID, v float64) {
 			}
 		}
 	}
-	if !crossed {
-		return
-	}
-	c.ctr.Add(comm.Update, 1)
-	c.table[s] = v
-	c.known[s] = true
-	for qi, q := range c.queries {
-		if q == nil {
-			continue
-		}
-		// Silent entries never generate reports, but the report may have
-		// been caused by another query's constraint; only run a query's
-		// maintenance when its own constraint is live (the paper's
-		// per-filter semantics). The skipped query still pays the lookup.
-		if row[qi].Silent() {
-			c.ctr.AddServerOps(1)
-			continue
-		}
-		q.proto.HandleUpdate(s, v)
-	}
+	return crossed
 }
 
 // SilentStreams returns the number of streams whose every live per-query
@@ -342,6 +374,9 @@ func (c *Composite) recordInside(s stream.ID) {
 func (c *Composite) setConstraint(s stream.ID, qi int, cons filter.Constraint) {
 	c.cons[s][qi] = cons
 	c.inside[s][qi] = cons.Contains(c.vals[s])
+	if c.idx != nil {
+		c.idx.set(c, int(s), qi, cons, true)
+	}
 }
 
 // compositeView adapts one query slot to the Host interface its protocol

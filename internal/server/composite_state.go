@@ -149,5 +149,14 @@ func (c *Composite) ImportState(r *snapshot.Reader, rebuild QueryFactory) error 
 		q.proto = proto
 		c.queries = append(c.queries, q)
 	}
-	return r.Err()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	// The index is never encoded: rebuild it from the restored constraint
+	// vectors so it cannot drift from fabric state across a save/load cycle
+	// (and the snapshot format predating the index keeps working).
+	if c.idx != nil {
+		c.idx.rebuild(c)
+	}
+	return nil
 }

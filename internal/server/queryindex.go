@@ -1,0 +1,537 @@
+package server
+
+import (
+	"math"
+
+	"adaptivefilters/internal/filter"
+	"adaptivefilters/internal/ostree"
+)
+
+// This file makes Composite.Deliver sub-linear in the number of standing
+// queries M. The linear fabric walks all M constraint entries of the
+// delivered stream on every update; at M=256 that scan dominates ingest
+// even though almost no entry can possibly cross. The query index replaces
+// only that crossing-detection scan — the report path (counter charges,
+// table refresh, per-query HandleUpdate fan-out) is untouched, so message
+// accounting and protocol trajectories stay bit-identical to the linear
+// evaluation (pinned by the equivalence tests and the runtime property
+// harness).
+//
+// Two structures per stream:
+//
+//   - A planner groups that stream's live entries into evaluation classes:
+//     entries whose constraints are bit-identical (and, for intervals, whose
+//     recorded sides agree) share one class and are evaluated once per
+//     update instead of once per query. M queries installing the same band
+//     cost one check, not M.
+//
+//   - The finite boundaries of each class's inside region live in an
+//     order-statistic treap (ostree) keyed by (boundary value, class id).
+//     A value move u→v can only change Contains for a class with a boundary
+//     inside [min(u,v), max(u,v)] — the proven fabric invariant is that
+//     inside[s][q] == cons[s][q].Contains(vals[s]) at all times, so an
+//     interval crossing is exactly a sign change of Contains over the move.
+//     Deliver therefore walks AppendRange(u, v) — O(log M + hits) — instead
+//     of all M entries.
+//
+// Three escape hatches keep the walk exactly equivalent to the scan:
+//
+//   - always: filter.None entries report every update; a plain count makes
+//     the stream report unconditionally while any live unfiltered query
+//     exists.
+//
+//   - armed: classes that must be evaluated on every update because the
+//     boundary walk cannot see their next fire. A band whose region
+//     excludes the current value fires on the next update wherever it
+//     lands ("stays outside on the same side" crosses no boundary), as do
+//     degenerate bands (NaN or inverted regions, ±Inf centers) and — after
+//     a corrupted restore — interval entries whose recorded side disagrees
+//     with ground truth. Transient arming clears itself on first
+//     evaluation; structural arming (degenerate bands) persists until the
+//     class is rewritten.
+//
+//   - NaN updates: a NaN value admits no ordering, so the boundary walk is
+//     meaningless; Deliver falls back to the linear scan for that update
+//     and rebuilds the stream's index afterwards.
+//
+// Mutations funnel through set(): AddQuery, RemoveQuery, setConstraint
+// (installs), and the restore rebuild all re-categorize one (stream, slot)
+// entry; band re-centering inside Deliver moves whole classes at once
+// (rekeyBand), merging into an existing class when re-centering makes two
+// bands identical. ExportState/ImportState never encode the index — restore
+// rebuilds it from the restored constraint vectors, so the snapshot format
+// is unchanged and index state can never drift from fabric state across a
+// save/load cycle.
+//
+// Everything on the Deliver path reuses scratch owned by the index
+// (boundary key buffer, touched-class list, treap nodes via ostree's free
+// list), keeping the steady-state ingest path at 0 allocs/op.
+
+// enableQueryIndex gates the indexed Deliver path for composites built
+// after it changes. Production always runs indexed; equivalence tests
+// toggle it to pin indexed against linear evaluation.
+var enableQueryIndex = true
+
+// SetQueryIndexEnabled toggles whether newly constructed Composites build
+// the per-stream query index, returning the previous setting. It exists
+// for tests that compare the indexed Deliver against the linear reference
+// scan; production code never calls it.
+func SetQueryIndexEnabled(on bool) bool {
+	prev := enableQueryIndex
+	enableQueryIndex = on
+	return prev
+}
+
+// Slot categories recorded in qstream.classOf.
+const (
+	catNone   int32 = -1 // no index entry: removed slot or silent filter
+	catAlways int32 = -2 // filter.None entry: reports every update
+)
+
+// qclass is one evaluation class: the queries of one stream sharing a
+// bit-identical constraint (and recorded side, for intervals).
+type qclass struct {
+	cons       filter.Constraint
+	slots      []int32 // member query slots, unordered
+	stamp      uint64  // last deliver generation this class was evaluated in
+	live       bool
+	armed      bool // on the always-evaluate list
+	structural bool // degenerate band: stays armed until rewritten
+}
+
+// qstream is one stream's index: its classes, their boundary treap, and the
+// escape-hatch lists.
+type qstream struct {
+	bounds  ostree.Tree
+	classes []qclass
+	freeCls []int32 // recycled class ids
+	classOf []int32 // per query slot: class id, catNone or catAlways
+	armed   []int32 // class ids to evaluate on every update
+	always  int     // live filter.None entries
+
+	// guard caches a boundary-free open value interval (gLo, gHi): while
+	// guardOK holds, the treap provably has no key value inside it, so a
+	// move contained in it cannot touch any class and skips the boundary
+	// walk entirely — the steady-state cost of a standing query that the
+	// update doesn't concern is two float compares, not a treap descent.
+	// Any treap mutation drops the guard; the next walk recomputes it.
+	gLo, gHi float64
+	guardOK  bool
+
+	// recent ring-buffers the last classes classFor resolved. Protocol
+	// maintenance reinstalls a small working set of constraints over and
+	// over (a range query's interval, a band at the new center), so the
+	// cache turns the usual classFor call into a handful of compares
+	// instead of a scan of every standing class. Entries are validated
+	// against the same match criteria as the full scan, so stale ids are
+	// harmless.
+	recent  [8]int32
+	recentN uint8
+}
+
+// queryIndex is the per-Composite index: one qstream per stream plus shared
+// deliver scratch.
+type queryIndex struct {
+	streams []qstream
+	keys    []ostree.Key // boundary walk scratch
+	touched []int32      // candidate class ids scratch
+	gen     uint64       // deliver generation for class dedupe
+}
+
+func newQueryIndex(n int) *queryIndex {
+	return &queryIndex{streams: make([]qstream, n)}
+}
+
+// addSlot registers a freshly appended query slot (AddQuery just wrote a
+// live filter.None entry for it at every stream).
+func (x *queryIndex) addSlot(c *Composite) {
+	qi := len(c.queries) - 1
+	for s := range x.streams {
+		x.streams[s].classOf = append(x.streams[s].classOf, catNone)
+		x.set(c, s, qi, filter.NoFilter(), true)
+	}
+}
+
+// removeSlot drops query slot qi from every stream (RemoveQuery already
+// cleared its entries).
+func (x *queryIndex) removeSlot(c *Composite, qi int) {
+	for s := range x.streams {
+		x.set(c, s, qi, filter.Constraint{}, false)
+	}
+}
+
+// set re-categorizes one (stream, slot) entry after its constraint changed
+// to cons; live is false when the slot was removed. This is the single
+// mutation point every fabric path funnels through, so index and fabric can
+// never disagree about one entry.
+func (x *queryIndex) set(c *Composite, s, qi int, cons filter.Constraint, live bool) {
+	st := &x.streams[s]
+	// Reinstalling what is already categorized — a maintenance round
+	// refreshing a query's standing constraint — must not churn the class
+	// or its treap boundaries (churn drops the stream's walk-skipping
+	// guard). Sides are compared against a member other than qi itself,
+	// since the install may have just rewritten qi's recorded side.
+	if cid := st.classOf[qi]; cid >= 0 && live && sameConstraint(st.classes[cid].cons, cons) {
+		cl := &st.classes[cid]
+		ok := cons.Kind == filter.Band || len(cl.slots) == 1
+		if !ok {
+			ref := cl.slots[0]
+			if ref == int32(qi) {
+				ref = cl.slots[1]
+			}
+			ok = c.inside[s][ref] == c.inside[s][qi]
+		}
+		if ok {
+			return
+		}
+	}
+	switch cid := st.classOf[qi]; {
+	case cid == catAlways:
+		st.always--
+	case cid >= 0:
+		x.detach(st, cid, int32(qi))
+	}
+	st.classOf[qi] = catNone
+	if !live {
+		return
+	}
+	switch {
+	case cons.Kind == filter.None:
+		st.always++
+		st.classOf[qi] = catAlways
+	case cons.Silent():
+		// Can never cross; recordInside keeps its side correct for free.
+	default:
+		cid := x.classFor(c, st, s, cons, c.inside[s][qi])
+		st.classes[cid].slots = append(st.classes[cid].slots, int32(qi))
+		st.classOf[qi] = cid
+	}
+}
+
+// detach removes slot qi from class cid, freeing the class when it empties.
+func (x *queryIndex) detach(st *qstream, cid, qi int32) {
+	cl := &st.classes[cid]
+	for i, sl := range cl.slots {
+		if sl == qi {
+			cl.slots[i] = cl.slots[len(cl.slots)-1]
+			cl.slots = cl.slots[:len(cl.slots)-1]
+			break
+		}
+	}
+	if len(cl.slots) == 0 {
+		st.removeBounds(cid, cl.cons)
+		st.freeClass(cid)
+	}
+}
+
+// freeClass retires an already-detached, bounds-free class for reuse.
+func (st *qstream) freeClass(cid int32) {
+	cl := &st.classes[cid]
+	if cl.armed {
+		st.disarm(cid)
+		cl.armed = false
+	}
+	cl.live = false
+	cl.structural = false
+	cl.cons = filter.Constraint{}
+	st.freeCls = append(st.freeCls, cid)
+}
+
+// classFor returns the class for (cons, recorded side ins), creating it if
+// no live class matches. Class identity is bit-equality of the constraint
+// (math.Float64bits, so NaN bounds and ±0 group deterministically) plus,
+// for intervals, the shared recorded side — after a corrupted restore two
+// entries may hold the same interval on different recorded sides, and they
+// must then fire independently.
+func (x *queryIndex) classFor(c *Composite, st *qstream, s int, cons filter.Constraint, ins bool) int32 {
+	for _, cid := range st.recent {
+		if int(cid) >= len(st.classes) {
+			continue
+		}
+		cl := &st.classes[cid]
+		if cl.live && sameConstraint(cl.cons, cons) &&
+			(cons.Kind == filter.Band || c.inside[s][cl.slots[0]] == ins) {
+			return cid
+		}
+	}
+	for cid := range st.classes {
+		cl := &st.classes[cid]
+		if cl.live && sameConstraint(cl.cons, cons) &&
+			(cons.Kind == filter.Band || c.inside[s][cl.slots[0]] == ins) {
+			st.recent[st.recentN&7] = int32(cid)
+			st.recentN++
+			return int32(cid)
+		}
+	}
+	var cid int32
+	if k := len(st.freeCls); k > 0 {
+		cid = st.freeCls[k-1]
+		st.freeCls = st.freeCls[:k-1]
+	} else {
+		st.classes = append(st.classes, qclass{})
+		cid = int32(len(st.classes) - 1)
+	}
+	cl := &st.classes[cid]
+	cl.cons = cons
+	cl.live = true
+	cl.slots = cl.slots[:0]
+	// A class born inside a Deliver (a band fire created it) has already
+	// been accounted for this update; stamping it now prevents a recycled
+	// class id from being evaluated twice in one walk.
+	cl.stamp = x.gen
+	st.addBounds(cid, cons)
+	cl.structural = cons.Kind == filter.Band && structuralBand(cons)
+	armed := cl.structural
+	if !armed {
+		in := cons.Contains(c.vals[s])
+		if cons.Kind == filter.Band {
+			// A band outside its region fires on the next update no matter
+			// where the value lands; the boundary walk cannot see that.
+			armed = !in
+		} else {
+			// Recorded side disagreeing with ground truth (corrupted
+			// restore): the next update fires regardless of boundaries.
+			armed = ins != in
+		}
+	}
+	if armed {
+		cl.armed = true
+		st.armed = append(st.armed, cid)
+	}
+	st.recent[st.recentN&7] = cid
+	st.recentN++
+	return cid
+}
+
+// sameConstraint is bit-exact constraint equality — the planner's grouping
+// key. Float64bits keeps NaN-carrying constraints groupable (NaN != NaN
+// would otherwise split them into unbounded fresh classes).
+func sameConstraint(a, b filter.Constraint) bool {
+	return a.Kind == b.Kind &&
+		math.Float64bits(a.Lo) == math.Float64bits(b.Lo) &&
+		math.Float64bits(a.Hi) == math.Float64bits(b.Hi)
+}
+
+// structuralBand reports whether a band's fires are invisible to the
+// boundary walk even from inside its region: empty or NaN regions fire on
+// every update, and a ±Inf-centered region {±Inf} can stop containing the
+// value without crossing any finite boundary. Such classes stay armed.
+func structuralBand(cons filter.Constraint) bool {
+	lo, hi := cons.Bounds()
+	return math.IsNaN(lo) || math.IsNaN(hi) || lo > hi ||
+		math.IsInf(lo, 1) || math.IsInf(hi, -1)
+}
+
+// addBounds inserts class cid's finite region boundaries into the treap.
+// Non-finite boundaries are unindexable: an infinite interval end can never
+// be crossed into (half-open intervals transition only over their finite
+// bound) and degenerate bands are structurally armed instead.
+func (st *qstream) addBounds(cid int32, cons filter.Constraint) {
+	st.guardOK = false
+	lo, hi := cons.Bounds()
+	if lo > hi { // empty region: no transitions over these "boundaries"
+		return
+	}
+	if !math.IsNaN(lo) && !math.IsInf(lo, 0) {
+		st.bounds.Insert(ostree.Key{V: lo, ID: int(cid) * 2})
+	}
+	if !math.IsNaN(hi) && !math.IsInf(hi, 0) {
+		st.bounds.Insert(ostree.Key{V: hi, ID: int(cid)*2 + 1})
+	}
+}
+
+// removeBounds undoes addBounds for class cid.
+func (st *qstream) removeBounds(cid int32, cons filter.Constraint) {
+	st.guardOK = false
+	lo, hi := cons.Bounds()
+	if lo > hi {
+		return
+	}
+	if !math.IsNaN(lo) && !math.IsInf(lo, 0) {
+		st.bounds.Delete(ostree.Key{V: lo, ID: int(cid) * 2})
+	}
+	if !math.IsNaN(hi) && !math.IsInf(hi, 0) {
+		st.bounds.Delete(ostree.Key{V: hi, ID: int(cid)*2 + 1})
+	}
+}
+
+// disarm removes class cid from the always-evaluate list.
+func (st *qstream) disarm(cid int32) {
+	for i, a := range st.armed {
+		if a == cid {
+			st.armed[i] = st.armed[len(st.armed)-1]
+			st.armed = st.armed[:len(st.armed)-1]
+			return
+		}
+	}
+}
+
+// deliver is the indexed crossing-detection phase of Composite.Deliver for
+// the value move u→v on stream s (c.vals[s] already holds v). It reports
+// whether the stream reports — with decisions and side effects (recorded
+// sides, band re-centering) exactly matching the linear scan's.
+func (x *queryIndex) deliver(c *Composite, s int, u, v float64) bool {
+	if math.IsNaN(u) || math.IsNaN(v) {
+		crossed := c.deliverScan(s, v)
+		x.rebuildStream(c, s)
+		return crossed
+	}
+	st := &x.streams[s]
+	lo, hi := u, v
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	// Guard fast path: the whole move sits inside a cached boundary-free
+	// interval, so the walk below would find nothing — only armed classes
+	// (and the always count) can matter. With nothing armed this is the
+	// steady-state cost of every standing query the update doesn't touch.
+	inGuard := st.guardOK && st.gLo < lo && hi < st.gHi
+	if inGuard && len(st.armed) == 0 {
+		return st.always > 0
+	}
+	x.gen++
+	crossed := st.always > 0
+	x.keys = x.keys[:0]
+	if !inGuard {
+		x.keys = st.bounds.AppendRange(
+			ostree.Key{V: lo, ID: minInt}, ostree.Key{V: hi, ID: maxInt}, x.keys[:0])
+	}
+	touched := x.touched[:0]
+	for _, k := range x.keys {
+		touched = append(touched, int32(k.ID>>1))
+	}
+	touched = append(touched, st.armed...)
+	x.touched = touched
+	for _, cid := range touched {
+		cl := &st.classes[cid]
+		if !cl.live || cl.stamp == x.gen {
+			continue
+		}
+		cl.stamp = x.gen
+		if x.evalClass(c, st, s, cid, v) {
+			crossed = true
+		}
+	}
+	if !inGuard {
+		// Re-center the guard on where the value landed. Class evaluation
+		// above may have moved boundaries (band re-centering), so this runs
+		// after it; BracketValue refuses a guard when a boundary sits
+		// exactly at v (exact), since no open interval can contain v then.
+		gLo, gHi, exact := st.bounds.BracketValue(v)
+		st.gLo, st.gHi, st.guardOK = gLo, gHi, !exact
+	}
+	return crossed
+}
+
+// evalClass applies one class's crossing semantics to the new value v,
+// mirroring the linear scan's per-entry switch for every member at once.
+func (x *queryIndex) evalClass(c *Composite, st *qstream, s int, cid int32, v float64) bool {
+	cl := &st.classes[cid]
+	if cl.cons.Kind == filter.Band {
+		if cl.cons.Contains(v) {
+			if cl.armed && !cl.structural {
+				st.disarm(cid)
+				cl.armed = false
+			}
+			return false
+		}
+		nc := filter.NewBand(v, cl.cons.BandHalfWidth())
+		row, ins := c.cons[s], c.inside[s]
+		for _, sl := range cl.slots {
+			row[sl] = nc
+			ins[sl] = true
+		}
+		x.rekeyBand(st, cid, nc, v)
+		return true
+	}
+	now := cl.cons.Contains(v)
+	if cl.armed {
+		// Evaluated: the recorded side is about to agree with ground truth.
+		st.disarm(cid)
+		cl.armed = false
+	}
+	if now == c.inside[s][cl.slots[0]] {
+		return false
+	}
+	ins := c.inside[s]
+	for _, sl := range cl.slots {
+		ins[sl] = now
+	}
+	return true
+}
+
+// rekeyBand moves a fired band class to its re-centered constraint nc
+// (centered on v), merging into an existing identical class if the
+// re-centering made two bands converge — this is how M same-width bands
+// collapse to one class after their first shared fire.
+func (x *queryIndex) rekeyBand(st *qstream, cid int32, nc filter.Constraint, v float64) {
+	cl := &st.classes[cid]
+	st.removeBounds(cid, cl.cons)
+	for tid := range st.classes {
+		tgt := &st.classes[tid]
+		if int32(tid) == cid || !tgt.live || !sameConstraint(tgt.cons, nc) {
+			continue
+		}
+		tgt.slots = append(tgt.slots, cl.slots...)
+		for _, sl := range cl.slots {
+			st.classOf[sl] = int32(tid)
+		}
+		cl.slots = cl.slots[:0]
+		st.freeClass(cid)
+		return
+	}
+	cl.cons = nc
+	st.addBounds(cid, nc)
+	cl.structural = structuralBand(nc)
+	armed := cl.structural || !nc.Contains(v)
+	if armed != cl.armed {
+		if armed {
+			st.armed = append(st.armed, cid)
+		} else {
+			st.disarm(cid)
+		}
+		cl.armed = armed
+	}
+}
+
+// rebuildStream recomputes one stream's index from the fabric's constraint
+// vector (used after a NaN fallback scan mutated entries behind the
+// index's back).
+func (x *queryIndex) rebuildStream(c *Composite, s int) {
+	st := &x.streams[s]
+	st.bounds.Clear()
+	st.guardOK = false
+	st.classes = st.classes[:0]
+	st.freeCls = st.freeCls[:0]
+	st.armed = st.armed[:0]
+	st.always = 0
+	for qi := range st.classOf {
+		st.classOf[qi] = catNone
+	}
+	for qi, q := range c.queries {
+		if q == nil {
+			continue
+		}
+		x.set(c, s, qi, c.cons[s][qi], true)
+	}
+}
+
+// rebuild recomputes the whole index from the fabric — the restore path.
+// ImportState never decodes index state: deriving it from the restored
+// constraint vectors is the invariant that keeps the snapshot encoding
+// unchanged and the index incapable of drifting across a save/load cycle.
+func (x *queryIndex) rebuild(c *Composite) {
+	for s := range x.streams {
+		st := &x.streams[s]
+		st.classOf = st.classOf[:0]
+		for range c.queries {
+			st.classOf = append(st.classOf, catNone)
+		}
+		x.rebuildStream(c, s)
+	}
+}
+
+const (
+	maxInt = int(^uint(0) >> 1)
+	minInt = -maxInt - 1
+)

@@ -1,0 +1,243 @@
+package server
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"adaptivefilters/internal/filter"
+	"adaptivefilters/internal/ostree"
+	"adaptivefilters/internal/stream"
+)
+
+type nopProto struct{}
+
+func (nopProto) Name() string                    { return "nop" }
+func (nopProto) Initialize()                     {}
+func (nopProto) HandleUpdate(stream.ID, float64) {}
+func (nopProto) Answer() []stream.ID             { return nil }
+
+// checkIndex verifies the full structural invariant set of the query index
+// against the fabric: slot categorization, class membership and
+// homogeneity, the exact boundary key set, and the armed list (no leaks,
+// no duplicates, every must-evaluate class present).
+func checkIndex(t *testing.T, c *Composite) {
+	t.Helper()
+	x := c.idx
+	if x == nil {
+		t.Fatal("composite has no index")
+	}
+	for s := range x.streams {
+		st := &x.streams[s]
+		if len(st.classOf) != len(c.queries) {
+			t.Fatalf("stream %d: classOf sized %d, want %d", s, len(st.classOf), len(c.queries))
+		}
+		always := 0
+		members := map[int32][]int32{}
+		for qi := range c.queries {
+			cons := c.cons[s][qi]
+			cid := st.classOf[qi]
+			switch {
+			case c.queries[qi] == nil || (cons.Kind == filter.Interval && cons.Silent()):
+				if cid != catNone {
+					t.Fatalf("stream %d slot %d: category %d, want none", s, qi, cid)
+				}
+			case cons.Kind == filter.None:
+				if cid != catAlways {
+					t.Fatalf("stream %d slot %d: category %d, want always", s, qi, cid)
+				}
+				always++
+			default:
+				if cid < 0 || int(cid) >= len(st.classes) {
+					t.Fatalf("stream %d slot %d: class id %d out of range", s, qi, cid)
+				}
+				cl := &st.classes[cid]
+				if !cl.live {
+					t.Fatalf("stream %d slot %d: points at dead class %d", s, qi, cid)
+				}
+				if !sameConstraint(cl.cons, cons) {
+					t.Fatalf("stream %d slot %d: class %d holds %v, entry holds %v",
+						s, qi, cid, cl.cons, cons)
+				}
+				members[cid] = append(members[cid], int32(qi))
+			}
+		}
+		if always != st.always {
+			t.Fatalf("stream %d: always = %d, want %d", s, st.always, always)
+		}
+		var wantKeys []ostree.Key
+		for cid := range st.classes {
+			cl := &st.classes[cid]
+			if !cl.live {
+				if len(members[int32(cid)]) != 0 {
+					t.Fatalf("stream %d: dead class %d has members", s, cid)
+				}
+				continue
+			}
+			got := append([]int32(nil), cl.slots...)
+			want := members[int32(cid)]
+			sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+			sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+			if len(got) != len(want) {
+				t.Fatalf("stream %d class %d: %d members, fabric implies %d", s, cid, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("stream %d class %d: members %v, fabric implies %v", s, cid, got, want)
+				}
+			}
+			if len(got) == 0 {
+				t.Fatalf("stream %d: live class %d is empty", s, cid)
+			}
+			// Interval classes must share one recorded side.
+			if cl.cons.Kind == filter.Interval {
+				side := c.inside[s][cl.slots[0]]
+				for _, sl := range cl.slots {
+					if c.inside[s][sl] != side {
+						t.Fatalf("stream %d class %d: recorded sides diverge", s, cid)
+					}
+				}
+			}
+			lo, hi := cl.cons.Bounds()
+			if !(lo > hi) {
+				if !math.IsNaN(lo) && !math.IsInf(lo, 0) {
+					wantKeys = append(wantKeys, ostree.Key{V: lo, ID: cid * 2})
+				}
+				if !math.IsNaN(hi) && !math.IsInf(hi, 0) {
+					wantKeys = append(wantKeys, ostree.Key{V: hi, ID: cid*2 + 1})
+				}
+			}
+			// Must-evaluate classes are armed.
+			needArmed := false
+			if cl.cons.Kind == filter.Band {
+				needArmed = structuralBand(cl.cons) || !cl.cons.Contains(c.vals[s])
+			} else {
+				needArmed = c.inside[s][cl.slots[0]] != cl.cons.Contains(c.vals[s])
+			}
+			if needArmed && !cl.armed {
+				t.Fatalf("stream %d class %d (%v): must-evaluate but not armed", s, cid, cl.cons)
+			}
+		}
+		sort.Slice(wantKeys, func(a, b int) bool { return wantKeys[a].Less(wantKeys[b]) })
+		gotKeys := st.bounds.Keys()
+		if len(gotKeys) != len(wantKeys) {
+			t.Fatalf("stream %d: %d boundary keys, want %d", s, len(gotKeys), len(wantKeys))
+		}
+		for i := range gotKeys {
+			if gotKeys[i] != wantKeys[i] {
+				t.Fatalf("stream %d: boundary key %d = %v, want %v", s, i, gotKeys[i], wantKeys[i])
+			}
+		}
+		// The guard's certificate: while it stands, its open interval must
+		// be free of boundary key values (a stale guard would silently skip
+		// real crossings — behaviorally invisible until a query misses an
+		// update, so it is audited structurally here).
+		if st.guardOK {
+			for _, k := range gotKeys {
+				if st.gLo < k.V && k.V < st.gHi {
+					t.Fatalf("stream %d: guard (%v, %v) claims boundary-free but key %v is inside",
+						s, st.gLo, st.gHi, k)
+				}
+			}
+		}
+		seen := map[int32]bool{}
+		for _, cid := range st.armed {
+			if seen[cid] {
+				t.Fatalf("stream %d: class %d armed twice", s, cid)
+			}
+			seen[cid] = true
+			cl := &st.classes[cid]
+			if !cl.live || !cl.armed {
+				t.Fatalf("stream %d: armed list holds dead/unflagged class %d", s, cid)
+			}
+		}
+		for cid := range st.classes {
+			if st.classes[cid].armed && !seen[int32(cid)] {
+				t.Fatalf("stream %d: class %d flagged armed but not listed", s, cid)
+			}
+		}
+	}
+}
+
+// TestQueryIndexInvariants churns the index through every mutation path —
+// installs from an adversarial palette, deliveries (including NaN and ±Inf
+// fallbacks), slot addition and removal — and fully audits the structures
+// after every operation. The black-box equivalence test proves behaviour;
+// this one catches silent structural leaks (stale boundary keys, leaked
+// armed entries) that would only show as performance decay.
+func TestQueryIndexInvariants(t *testing.T) {
+	const n = 6
+	rng := rand.New(rand.NewSource(99))
+	initial := make([]float64, n)
+	for s := range initial {
+		initial[s] = rng.NormFloat64()*40 + 150
+	}
+	c := NewComposite(initial)
+	if c.idx == nil {
+		t.Skip("query index disabled")
+	}
+	build := func(Host) Protocol { return nopProto{} }
+	for qi := 0; qi < 4; qi++ {
+		c.AddQuery("q", int64(qi), build)
+	}
+	palette := func(v float64) filter.Constraint {
+		w := 5 + rng.Float64()*40
+		switch rng.Intn(12) {
+		case 0:
+			return filter.NoFilter()
+		case 1:
+			return filter.WideOpen()
+		case 2:
+			return filter.Shut()
+		case 3:
+			return filter.NewBand(v, w)
+		case 4:
+			return filter.NewBand(v, math.NaN())
+		case 5:
+			return filter.NewBand(math.Inf(1), w)
+		case 6:
+			return filter.NewInterval(v+w, v-w)
+		case 7:
+			return filter.NewInterval(math.NaN(), v)
+		case 8:
+			return filter.NewInterval(100, 200)
+		case 9:
+			return filter.NewBand(150, 25)
+		default:
+			return filter.NewInterval(v-w, v+w)
+		}
+	}
+	live := []int{0, 1, 2, 3}
+	slots := 4
+	for op := 0; op < 3000; op++ {
+		switch r := rng.Intn(100); {
+		case r < 35:
+			s := stream.ID(rng.Intn(n))
+			qi := live[rng.Intn(len(live))]
+			c.setConstraint(s, qi, palette(c.vals[s]))
+		case r < 38 && slots < 10:
+			c.AddQuery("q", int64(slots), build)
+			live = append(live, slots)
+			slots++
+		case r < 41 && len(live) > 1:
+			j := rng.Intn(len(live))
+			if err := c.RemoveQuery(live[j]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:j], live[j+1:]...)
+		default:
+			v := rng.NormFloat64()*40 + 150
+			switch rng.Intn(30) {
+			case 0:
+				v = math.NaN()
+			case 1:
+				v = math.Inf(1)
+			case 2:
+				v = math.Inf(-1)
+			}
+			c.Deliver(stream.ID(rng.Intn(n)), v)
+		}
+		checkIndex(t, c)
+	}
+}

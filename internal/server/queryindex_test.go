@@ -1,0 +1,242 @@
+package server_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"adaptivefilters/internal/filter"
+	"adaptivefilters/internal/server"
+	"adaptivefilters/internal/snapshot"
+	"adaptivefilters/internal/stream"
+)
+
+// churner is an adversarial scripted protocol for the query-index
+// equivalence tests: its maintenance phase installs constraints drawn from
+// a palette covering every categorization edge the index has — shared
+// duplicates, bands of every degeneracy (NaN width, ±Inf center, zero and
+// negative width), silent and half-infinite intervals, unfiltered entries.
+// All randomness is a pure function of (seed, update counter), so its only
+// dynamic state is the counter and snapshot restore resumes the exact
+// decision stream.
+type churner struct {
+	h       server.Host
+	seed    uint64
+	updates uint64
+}
+
+func churnMix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func (p *churner) Name() string { return "churner" }
+
+func (p *churner) pick(r uint64, v float64) filter.Constraint {
+	w := 10 + float64(r%97)
+	switch (r >> 32) % 16 {
+	case 0:
+		return filter.NoFilter()
+	case 1:
+		return filter.NewInterval(v-w, v+w)
+	case 2:
+		return filter.NewInterval(v+1, v+w) // current value just outside
+	case 3:
+		return filter.WideOpen()
+	case 4:
+		return filter.Shut()
+	case 5:
+		return filter.NewBand(v, w)
+	case 6:
+		return filter.NewBand(v, 0)
+	case 7:
+		return filter.NewInterval(v+w, v-w) // inverted: silent
+	case 8:
+		return filter.NewInterval(v-w, math.Inf(1))
+	case 9:
+		return filter.NewInterval(math.Inf(-1), v)
+	case 10:
+		return filter.NewBand(v, math.NaN()) // fires every update
+	case 11:
+		return filter.NewInterval(math.NaN(), v)
+	case 12:
+		return filter.NewBand(math.Inf(1), w) // region {+Inf}
+	case 13:
+		return filter.NewInterval(100, 200) // shared across queries
+	default:
+		return filter.NewBand(150, 25) // shared band
+	}
+}
+
+func (p *churner) Initialize() {
+	p.h.ProbeAll()
+	for id := 0; id < p.h.N(); id++ {
+		v, _ := p.h.Table(stream.ID(id))
+		p.h.Install(stream.ID(id), p.pick(churnMix(p.seed^uint64(id)), v), false)
+	}
+}
+
+func (p *churner) HandleUpdate(id stream.ID, v float64) {
+	p.updates++
+	r := churnMix(p.seed ^ churnMix(p.updates))
+	n := uint64(p.h.N())
+	switch r % 8 {
+	case 0:
+		p.h.Install(id, p.pick(r, v), false)
+	case 1:
+		tid := stream.ID((r >> 8) % n)
+		tv := p.h.Probe(tid)
+		p.h.Install(tid, p.pick(r>>16, tv), false)
+	case 2:
+		// ProbeIf re-records the probed stream's sides even on a miss.
+		p.h.ProbeIf(stream.ID((r>>8)%n), filter.NewInterval(100, 500))
+	case 3:
+		p.h.AddServerOps(1)
+	}
+}
+
+func (p *churner) Answer() []stream.ID { return nil }
+
+func (p *churner) ExportState(w *snapshot.Writer)       { w.Uint64(p.updates) }
+func (p *churner) ImportState(r *snapshot.Reader) error { p.updates = r.Uint64(); return r.Err() }
+
+// compOp is one step of a recorded composite schedule.
+type compOp struct {
+	kind int // 0 deliver, 1 add query, 2 remove query, 3 snapshot cut
+	s    int
+	v    float64
+	qi   int
+}
+
+// genCompOps records a deterministic schedule over n streams: mostly
+// deliveries (with exact-boundary, ±Inf and NaN values mixed in), plus
+// query admissions, removals and snapshot cuts. Liveness is simulated here
+// so removals always target a live slot on both replays.
+func genCompOps(seed int64, n, steps, initialQueries int) []compOp {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]compOp, 0, steps)
+	live := make([]int, 0, 8)
+	slots := initialQueries
+	for qi := 0; qi < initialQueries; qi++ {
+		live = append(live, qi)
+	}
+	for i := 0; i < steps; i++ {
+		switch r := rng.Intn(100); {
+		case r < 3 && slots < 12:
+			ops = append(ops, compOp{kind: 1, qi: slots})
+			live = append(live, slots)
+			slots++
+		case r < 5 && len(live) > 1:
+			j := rng.Intn(len(live))
+			ops = append(ops, compOp{kind: 2, qi: live[j]})
+			live = append(live[:j], live[j+1:]...)
+		case r < 8:
+			ops = append(ops, compOp{kind: 3})
+		default:
+			v := rng.NormFloat64()*60 + 150
+			switch rng.Intn(40) {
+			case 0:
+				v = math.NaN() // linear-scan fallback + stream rebuild
+			case 1:
+				v = math.Inf(1)
+			case 2:
+				v = math.Inf(-1)
+			case 3, 4:
+				v = []float64{100, 200, 150, 125, 175}[rng.Intn(5)]
+			}
+			ops = append(ops, compOp{kind: 0, s: rng.Intn(n), v: v})
+		}
+	}
+	return ops
+}
+
+// replayComposite runs one recorded schedule with the query index on or
+// off, returning the snapshot taken at every cut plus the final one. Each
+// cut round-trips the fabric through ExportState/ImportState into a fresh
+// composite, so the restore-rebuild path is exercised mid-schedule, not
+// just compared at the end.
+func replayComposite(t *testing.T, indexed bool, initial []float64, ops []compOp, initialQueries int) [][]byte {
+	t.Helper()
+	prev := server.SetQueryIndexEnabled(indexed)
+	defer server.SetQueryIndexEnabled(prev)
+
+	build := func(seedID int64) func(server.Host) server.Protocol {
+		return func(h server.Host) server.Protocol {
+			return &churner{h: h, seed: uint64(seedID)*0x9E3779B97F4A7C15 + 1}
+		}
+	}
+	factory := func(slot int, name string, seedID int64, h server.Host) (server.Protocol, error) {
+		return build(seedID)(h), nil
+	}
+	export := func(c *server.Composite) []byte {
+		w := snapshot.NewWriter()
+		c.ExportState(w)
+		if err := w.Err(); err != nil {
+			t.Fatalf("export: %v", err)
+		}
+		return w.Bytes()
+	}
+
+	comp := server.NewComposite(initial)
+	for qi := 0; qi < initialQueries; qi++ {
+		comp.AddQuery(fmt.Sprintf("q%d", qi), int64(qi), build(int64(qi)))
+	}
+	comp.Initialize()
+
+	var cuts [][]byte
+	for _, op := range ops {
+		switch op.kind {
+		case 0:
+			comp.Deliver(stream.ID(op.s), op.v)
+		case 1:
+			qi := comp.AddQuery(fmt.Sprintf("q%d", op.qi), int64(op.qi), build(int64(op.qi)))
+			comp.InitializeQuery(qi)
+		case 2:
+			if err := comp.RemoveQuery(op.qi); err != nil {
+				t.Fatalf("RemoveQuery(%d): %v", op.qi, err)
+			}
+		case 3:
+			b := export(comp)
+			cuts = append(cuts, b)
+			restored := server.NewComposite(initial)
+			if err := restored.ImportState(snapshot.NewReader(b), factory); err != nil {
+				t.Fatalf("restore at cut %d: %v", len(cuts), err)
+			}
+			comp = restored
+		}
+	}
+	cuts = append(cuts, export(comp))
+	return cuts
+}
+
+// TestQueryIndexEquivalence pins the indexed Deliver bit-identical to the
+// linear reference scan — full fabric snapshots (constraint vectors,
+// recorded sides, tables, counters, protocol state) compared at every
+// snapshot cut and at the end — across adversarial constraint churn, query
+// admission/removal, NaN/±Inf deliveries and mid-schedule restores.
+func TestQueryIndexEquivalence(t *testing.T) {
+	const n = 24
+	for _, seed := range []int64{1, 7, 23, 61} {
+		rng := rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
+		initial := make([]float64, n)
+		for s := range initial {
+			initial[s] = rng.NormFloat64()*60 + 150
+		}
+		ops := genCompOps(seed, n, 1500, 3)
+		linear := replayComposite(t, false, initial, ops, 3)
+		indexed := replayComposite(t, true, initial, ops, 3)
+		if len(linear) != len(indexed) {
+			t.Fatalf("seed %d: %d cuts linear, %d indexed", seed, len(linear), len(indexed))
+		}
+		for i := range linear {
+			if !bytes.Equal(linear[i], indexed[i]) {
+				t.Fatalf("seed %d: snapshot at cut %d/%d differs between linear and indexed evaluation",
+					seed, i+1, len(linear))
+			}
+		}
+	}
+}
