@@ -1,0 +1,497 @@
+// Package client is the Go client of the serving plane: batched,
+// pipelined, reconnect-aware access to a netserve server over the
+// internal/wire protocol (DESIGN.md §9).
+//
+// # Pipelining
+//
+// Ingest is asynchronous: it frames the batch, returns its sequence
+// number, and lets up to Options.Inflight batches ride the connection
+// unacknowledged. A background reader matches acks to sequence numbers as
+// they return and hands them to Options.OnIngestAck — the hook an
+// open-loop load generator uses to timestamp completions without ever
+// blocking the send path. Synchronous calls (Drain, Report, lifecycle,
+// Shutdown) flush the pipeline and wait for their own reply; because the
+// server answers each connection in request order, a Drain ack also
+// proves every earlier ingest batch was accepted or shed.
+//
+// # Reconnect
+//
+// With Options.Reconnect, a broken connection fails all in-flight calls
+// (pipelined ingest acks are reported to OnIngestAck as StatusLost — the
+// client cannot know whether the server applied them) and redials in the
+// background with constant backoff. Calls made while the link is down
+// fail fast with ErrDisconnected; an open-loop generator counts those as
+// lost sends and keeps pace, a closed-loop caller retries after the link
+// returns.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"adaptivefilters/internal/runtime"
+	"adaptivefilters/internal/snapshot"
+	"adaptivefilters/internal/wire"
+)
+
+// StatusLost is delivered to OnIngestAck for batches whose connection
+// died before the ack returned: the client cannot know whether the server
+// applied them. It is a client-side code, never on the wire.
+const StatusLost byte = 0xFF
+
+// ErrDisconnected fails calls made while the link is down (redialing or
+// closed for good).
+var ErrDisconnected = errors.New("client: not connected")
+
+// ErrClosed fails calls made after Close.
+var ErrClosed = errors.New("client: closed")
+
+// Options tunes a Client. The zero value is usable.
+type Options struct {
+	// MaxFrame bounds frame payloads both ways (0 = wire.DefaultMaxFrame).
+	MaxFrame int
+	// Inflight caps unacknowledged pipelined ingest batches; Ingest
+	// flushes and waits when the window is full (0 = 128).
+	Inflight int
+	// OnIngestAck, when set, observes every ingest batch's completion:
+	// the batch's sequence number and wire.StatusOK, wire.StatusShed,
+	// wire.StatusError or StatusLost. Called on the reader goroutine —
+	// keep it cheap and do not call back into the Client from it.
+	OnIngestAck func(seq uint64, status byte)
+	// Reconnect redials a broken connection in the background.
+	Reconnect bool
+	// RetryWait is the pause between redial attempts (0 = 100ms).
+	RetryWait time.Duration
+}
+
+func (o Options) inflight() int {
+	if o.Inflight <= 0 {
+		return 128
+	}
+	return o.Inflight
+}
+
+func (o Options) retryWait() time.Duration {
+	if o.RetryWait <= 0 {
+		return 100 * time.Millisecond
+	}
+	return o.RetryWait
+}
+
+// result carries a synchronous call's reply.
+type result struct {
+	ack    wire.Ack
+	report *runtime.Report
+	err    error
+}
+
+// call is one request awaiting its reply.
+type call struct {
+	op byte
+	ch chan result // nil for pipelined ingest
+}
+
+// Stats counts ingest batch outcomes since Dial.
+type Stats struct {
+	Acked uint64 // StatusOK
+	Shed  uint64 // StatusShed dropped by server backpressure
+	Lost  uint64 // connection died before the ack
+}
+
+// Client is one connection to a netserve server. Methods are safe for
+// concurrent use, though the intended shape is one ingest goroutine.
+type Client struct {
+	addr string
+	opts Options
+
+	// wmu serializes the send path: frame encoding, sequence assignment
+	// and socket flushes.
+	wmu sync.Mutex
+	nc  net.Conn
+	fw  *wire.FrameWriter
+	seq uint64
+
+	// pmu guards the pending table, the ingest window and link state;
+	// cond signals window space and state changes.
+	pmu      sync.Mutex
+	cond     *sync.Cond
+	pending  map[uint64]call
+	inflight int
+	up       bool
+	closed   bool
+	stats    Stats
+
+	wg sync.WaitGroup
+}
+
+// Dial connects, performs the wire handshake and starts the reader.
+func Dial(addr string, opts Options) (*Client, error) {
+	c := &Client{addr: addr, opts: opts, pending: make(map[uint64]call)}
+	c.cond = sync.NewCond(&c.pmu)
+	nc, fr, err := c.connect()
+	if err != nil {
+		return nil, err
+	}
+	c.nc = nc
+	c.fw = wire.NewFrameWriter(nc, opts.MaxFrame)
+	c.up = true
+	c.wg.Add(1)
+	go c.readLoop(fr)
+	return c, nil
+}
+
+// connect dials and completes the Hello exchange on a fresh socket.
+func (c *Client) connect() (net.Conn, *wire.FrameReader, error) {
+	nc, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	fw := wire.NewFrameWriter(nc, c.opts.MaxFrame)
+	wire.EncodeHello(fw.Begin(), 0)
+	if err := fw.End(); err == nil {
+		err = fw.Flush()
+	}
+	if err != nil {
+		nc.Close()
+		return nil, nil, err
+	}
+	fr := wire.NewFrameReader(nc, c.opts.MaxFrame)
+	r, err := fr.Next()
+	if err != nil {
+		nc.Close()
+		return nil, nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	hdr, err := wire.DecodeHeader(r)
+	if err == nil && hdr.Op != wire.ReplyTo(wire.OpHello) {
+		err = fmt.Errorf("client: handshake reply has op %d", hdr.Op)
+	}
+	if err == nil {
+		var ack wire.HelloAck
+		if ack, err = wire.DecodeHelloAck(r); err == nil && ack.Status != wire.StatusOK {
+			err = fmt.Errorf("client: server refused hello: %s", ack.Msg)
+		}
+	}
+	if err != nil {
+		nc.Close()
+		return nil, nil, err
+	}
+	return nc, fr, nil
+}
+
+// Close tears the client down: in-flight calls fail, the reader exits, no
+// redial. Safe to call more than once.
+func (c *Client) Close() error {
+	c.pmu.Lock()
+	if c.closed {
+		c.pmu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.failPendingLocked(ErrClosed)
+	nc := c.nc
+	c.pmu.Unlock()
+	if nc != nil {
+		nc.Close()
+	}
+	c.wg.Wait()
+	return nil
+}
+
+// Stats returns ingest outcome counts so far.
+func (c *Client) Stats() Stats {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	return c.stats
+}
+
+// failPendingLocked fails every outstanding call; pmu held.
+func (c *Client) failPendingLocked(err error) {
+	for seq, cl := range c.pending {
+		delete(c.pending, seq)
+		if cl.ch != nil {
+			cl.ch <- result{err: err}
+			continue
+		}
+		c.stats.Lost++
+		if c.opts.OnIngestAck != nil {
+			c.opts.OnIngestAck(seq, StatusLost)
+		}
+	}
+	c.inflight = 0
+	c.up = false
+	c.cond.Broadcast()
+}
+
+// readLoop matches replies to pending calls; on connection failure it
+// fails in-flight work and, when Reconnect is set, redials until Close.
+func (c *Client) readLoop(fr *wire.FrameReader) {
+	defer c.wg.Done()
+	for {
+		err := c.readReplies(fr)
+		c.pmu.Lock()
+		c.failPendingLocked(err)
+		if c.closed || !c.opts.Reconnect {
+			c.closed = true
+			c.cond.Broadcast()
+			c.pmu.Unlock()
+			return
+		}
+		c.pmu.Unlock()
+		var nc net.Conn
+		for {
+			if nc, fr, err = c.connect(); err == nil {
+				break
+			}
+			c.pmu.Lock()
+			closed := c.closed
+			c.pmu.Unlock()
+			if closed {
+				return
+			}
+			time.Sleep(c.opts.retryWait())
+		}
+		c.wmu.Lock()
+		c.pmu.Lock()
+		if c.closed {
+			c.pmu.Unlock()
+			c.wmu.Unlock()
+			nc.Close()
+			return
+		}
+		c.nc = nc
+		c.fw = wire.NewFrameWriter(nc, c.opts.MaxFrame)
+		c.up = true
+		c.cond.Broadcast()
+		c.pmu.Unlock()
+		c.wmu.Unlock()
+	}
+}
+
+// readReplies consumes one connection's reply stream until it breaks.
+func (c *Client) readReplies(fr *wire.FrameReader) error {
+	for {
+		r, err := fr.Next()
+		if err != nil {
+			return err
+		}
+		hdr, err := wire.DecodeHeader(r)
+		if err != nil {
+			return err
+		}
+		c.pmu.Lock()
+		cl, ok := c.pending[hdr.Seq]
+		if ok {
+			delete(c.pending, hdr.Seq)
+		}
+		c.pmu.Unlock()
+		if !ok || hdr.Op != wire.ReplyTo(cl.op) {
+			return fmt.Errorf("client: reply (op=%d seq=%d) matches no request", hdr.Op, hdr.Seq)
+		}
+		var res result
+		if cl.op == wire.OpReport {
+			res.report, res.ack, res.err = wire.DecodeReportReply(r)
+		} else {
+			res.ack, res.err = wire.DecodeAck(r)
+		}
+		if res.err != nil {
+			if cl.ch != nil {
+				cl.ch <- res
+			}
+			return res.err
+		}
+		if cl.ch != nil {
+			cl.ch <- res
+			continue
+		}
+		c.pmu.Lock()
+		c.inflight--
+		switch res.ack.Status {
+		case wire.StatusShed:
+			c.stats.Shed++
+		default:
+			c.stats.Acked++
+		}
+		c.cond.Signal()
+		c.pmu.Unlock()
+		if c.opts.OnIngestAck != nil {
+			c.opts.OnIngestAck(hdr.Seq, res.ack.Status)
+		}
+	}
+}
+
+// register installs a pending call under a fresh sequence number. The
+// caller must hold wmu (so the frame goes out after registration, and no
+// reply can race ahead of it).
+func (c *Client) register(cl call, countInflight bool) (uint64, error) {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	if c.closed {
+		return 0, ErrClosed
+	}
+	if !c.up {
+		return 0, ErrDisconnected
+	}
+	c.seq++
+	c.pending[c.seq] = cl
+	if countInflight {
+		c.inflight++
+	}
+	return c.seq, nil
+}
+
+// unregister rolls back a registration whose frame never made it out.
+func (c *Client) unregister(seq uint64, countInflight bool) {
+	c.pmu.Lock()
+	if _, ok := c.pending[seq]; ok {
+		delete(c.pending, seq)
+		if countInflight {
+			c.inflight--
+			c.cond.Signal()
+		}
+	}
+	c.pmu.Unlock()
+}
+
+// Ingest frames one event batch onto the pipeline and returns its
+// sequence number without waiting for the ack. When the inflight window
+// is full it flushes and blocks until space opens. The batch is encoded
+// before return; the caller may reuse the slice immediately.
+func (c *Client) Ingest(events []runtime.Event) (uint64, error) {
+	// Wait for window space outside wmu so acks can drain.
+	c.pmu.Lock()
+	for c.up && !c.closed && c.inflight >= c.opts.inflight() {
+		c.pmu.Unlock()
+		if err := c.Flush(); err != nil {
+			return 0, err
+		}
+		c.pmu.Lock()
+		if c.up && !c.closed && c.inflight >= c.opts.inflight() {
+			c.cond.Wait()
+		}
+	}
+	c.pmu.Unlock()
+
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	seq, err := c.register(call{op: wire.OpIngest}, true)
+	if err != nil {
+		return 0, err
+	}
+	wire.EncodeIngest(c.fw.Begin(), seq, events)
+	if err := c.fw.End(); err != nil {
+		c.unregister(seq, true)
+		return 0, err
+	}
+	return seq, nil
+}
+
+// Flush pushes buffered frames to the socket.
+func (c *Client) Flush() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.pmu.Lock()
+	up := c.up && !c.closed
+	c.pmu.Unlock()
+	if !up {
+		return ErrDisconnected
+	}
+	return c.fw.Flush()
+}
+
+// roundTrip performs one synchronous request.
+func (c *Client) roundTrip(op byte, encode func(p *snapshot.Writer, seq uint64)) (result, error) {
+	ch := make(chan result, 1)
+	c.wmu.Lock()
+	seq, err := c.register(call{op: op, ch: ch}, false)
+	if err != nil {
+		c.wmu.Unlock()
+		return result{}, err
+	}
+	encode(c.fw.Begin(), seq)
+	if err := c.fw.End(); err == nil {
+		err = c.fw.Flush()
+	}
+	if err != nil {
+		c.wmu.Unlock()
+		c.unregister(seq, false)
+		return result{}, err
+	}
+	c.wmu.Unlock()
+	res := <-ch
+	if res.err != nil {
+		return result{}, res.err
+	}
+	if err := res.ack.Err(); err != nil {
+		return result{}, err
+	}
+	return res, nil
+}
+
+// Drain asks the server to apply everything ingested so far and waits for
+// the barrier ack; it also proves every earlier pipelined batch on this
+// connection was answered.
+func (c *Client) Drain() error {
+	_, err := c.roundTrip(wire.OpDrain, func(p *snapshot.Writer, seq uint64) {
+		wire.EncodeDrain(p, seq)
+	})
+	return err
+}
+
+// Report drains nothing by itself: call Drain first for a stable answer.
+// The decoded report renders (Report.Text) byte-identically to an
+// in-process run of the same node.
+func (c *Client) Report() (*runtime.Report, error) {
+	res, err := c.roundTrip(wire.OpReport, func(p *snapshot.Writer, seq uint64) {
+		wire.EncodeReportReq(p, seq)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.report, nil
+}
+
+// AddTenant admits a tenant and returns its slot id.
+func (c *Client) AddTenant(spec wire.TenantSpec) (int, error) {
+	res, err := c.roundTrip(wire.OpAddTenant, func(p *snapshot.Writer, seq uint64) {
+		wire.EncodeAddTenant(p, seq, spec)
+	})
+	return int(res.ack.Value), err
+}
+
+// RemoveTenant evicts tenant slot ti.
+func (c *Client) RemoveTenant(ti int) error {
+	_, err := c.roundTrip(wire.OpRemoveTenant, func(p *snapshot.Writer, seq uint64) {
+		wire.EncodeRemoveTenant(p, seq, ti)
+	})
+	return err
+}
+
+// AddQuery admits a standing query onto multi-query tenant ti and returns
+// its slot id.
+func (c *Client) AddQuery(ti int, q wire.QuerySpec) (int, error) {
+	res, err := c.roundTrip(wire.OpAddQuery, func(p *snapshot.Writer, seq uint64) {
+		wire.EncodeAddQuery(p, seq, ti, q)
+	})
+	return int(res.ack.Value), err
+}
+
+// RemoveQuery evicts query slot qi of tenant ti.
+func (c *Client) RemoveQuery(ti, qi int) error {
+	_, err := c.roundTrip(wire.OpRemoveQuery, func(p *snapshot.Writer, seq uint64) {
+		wire.EncodeRemoveQuery(p, seq, ti, qi)
+	})
+	return err
+}
+
+// Shutdown asks the server to stop, waits for the ack, then closes the
+// client (suppressing any redial).
+func (c *Client) Shutdown() error {
+	_, err := c.roundTrip(wire.OpShutdown, func(p *snapshot.Writer, seq uint64) {
+		wire.EncodeShutdown(p, seq)
+	})
+	c.Close()
+	return err
+}

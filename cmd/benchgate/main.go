@@ -1,13 +1,15 @@
 // Command benchgate is the CI benchmark regression gate: it compares a
 // fresh BENCH_*.json suite against the committed baseline and exits
-// non-zero when throughput regressed beyond the tolerance, when any
-// ingest-path benchmark's allocs/op grew (the zero-allocation invariant),
-// when a deterministic maintenance-message count grew, or when the
-// multi-query scaling points stopped being near-flat.
+// non-zero when throughput regressed beyond the tolerance, when a recorded
+// serving-latency percentile (p50/p99/p999) grew past its allowance, when
+// any ingest-path benchmark's allocs/op grew (the zero-allocation
+// invariant), when a deterministic maintenance-message count grew, or when
+// the multi-query scaling points stopped being near-flat.
 //
 // Usage:
 //
-//	benchgate -baseline BENCH_baseline.json -current BENCH_suite.json [-max-regress 0.15] [-flat-factor 10]
+//	benchgate -baseline BENCH_baseline.json -current BENCH_suite.json \
+//	    [-max-regress 0.15] [-max-lat-regress 0.5] [-flat-factor 10]
 //
 // The near-flat rule is intra-run and machine-independent: within the
 // current suite, the per-event cost of the M=64 and M=256 composite points
@@ -15,63 +17,18 @@
 // scanning every standing query per event scales per-event cost with M and
 // cannot pass, no matter how fast the machine is.
 //
+// On a passing gate it prints a per-benchmark delta table (throughput,
+// per-op cost, allocations, p99 latency against the baseline) so CI logs
+// show the movement a green build ships with.
+//
 // To refresh the baseline after an intentional performance change, run the
 // suite locally (or download the BENCH_suite artifact from a green main
 // build) and commit it as BENCH_baseline.json — see DESIGN.md, "Hot path &
 // benchmarking".
 package main
 
-import (
-	"flag"
-	"fmt"
-	"os"
-
-	"adaptivefilters/internal/bench"
-)
+import "os"
 
 func main() {
-	var (
-		baselinePath = flag.String("baseline", "BENCH_baseline.json", "committed baseline suite")
-		currentPath  = flag.String("current", "BENCH_suite.json", "freshly measured suite")
-		maxRegress   = flag.Float64("max-regress", 0.15, "tolerated fractional events/sec drop")
-		flatFactor   = flag.Float64("flat-factor", 10,
-			"per-event cost bound on the wide-M multi-query points, as a factor of m=1")
-	)
-	flag.Parse()
-
-	baseline, err := bench.LoadFile(*baselinePath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
-	}
-	current, err := bench.LoadFile(*currentPath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
-	}
-
-	if baseline.GoMaxProcs != current.GoMaxProcs {
-		fmt.Fprintf(os.Stderr,
-			"benchgate: baseline GOMAXPROCS=%d vs current %d — hardware mismatch, "+
-				"throughput rule is advisory until the baseline is refreshed from this "+
-				"environment's artifact (allocs/op rules still enforced)\n",
-			baseline.GoMaxProcs, current.GoMaxProcs)
-	}
-	const mqRef = "multi-query-sharing/composite/m=1"
-	violations := bench.Compare(baseline, current, bench.GateConfig{
-		MaxThroughputRegress: *maxRegress,
-		FlatRules: []bench.FlatRule{
-			{Ref: mqRef, Scaled: "multi-query-sharing/composite/m=64", MaxFactor: *flatFactor},
-			{Ref: mqRef, Scaled: "multi-query-sharing/composite/m=256", MaxFactor: *flatFactor},
-		},
-	})
-	if len(violations) > 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %d violation(s) against %s:\n", len(violations), *baselinePath)
-		for _, v := range violations {
-			fmt.Fprintln(os.Stderr, "  -", v)
-		}
-		os.Exit(1)
-	}
-	fmt.Printf("benchgate: %d benchmark(s) within %.0f%% of %s, ingest path allocation-clean, wide-M near-flat\n",
-		len(baseline.Results), *maxRegress*100, *baselinePath)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

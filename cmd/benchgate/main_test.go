@@ -1,0 +1,98 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"adaptivefilters/internal/bench"
+)
+
+// writeSuite stores a suite under dir and returns its path.
+func writeSuite(t *testing.T, dir, name string, s *bench.Suite) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func gateSuite(eventsPerSec, allocs, p99 float64) *bench.Suite {
+	return &bench.Suite{
+		Benchmark:  "suite",
+		GoMaxProcs: 8,
+		Results: []bench.Result{
+			{Name: "multi-tenant-ingest/shards=8", EventsPerOp: 1 << 16,
+				NsPerOp: 1e6, EventsPerSec: eventsPerSec, AllocsPerOp: allocs, IngestPath: true},
+			{Name: "wire-loopback-ingest/batch=256", EventsPerOp: 1 << 14,
+				NsPerOp: 2e6, EventsPerSec: eventsPerSec / 2, P50Ns: p99 / 4, P99Ns: p99, P999Ns: p99 * 3},
+		},
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSuite(t, dir, "base.json", gateSuite(1e7, 0, 50_000))
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+		out  string // substring of stdout (pass) or stderr (fail)
+	}{
+		{"pass", []string{"-baseline", base,
+			"-current", writeSuite(t, dir, "same.json", gateSuite(1e7, 0, 50_000))},
+			0, "within 15%"},
+		{"throughput-trip", []string{"-baseline", base,
+			"-current", writeSuite(t, dir, "slow.json", gateSuite(5e6, 0, 50_000))},
+			1, "throughput regressed"},
+		{"latency-trip", []string{"-baseline", base,
+			"-current", writeSuite(t, dir, "lag.json", gateSuite(1e7, 0, 200_000))},
+			1, "latency regressed"},
+		{"alloc-trip", []string{"-baseline", base,
+			"-current", writeSuite(t, dir, "leak.json", gateSuite(1e7, 2, 50_000))},
+			1, "allocs/op grew"},
+		{"missing-file", []string{"-baseline", base,
+			"-current", filepath.Join(dir, "nope.json")},
+			2, "benchgate:"},
+		{"bad-flag", []string{"-no-such-flag"}, 2, "flag provided but not defined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			got := run(tc.args, &stdout, &stderr)
+			if got != tc.want {
+				t.Fatalf("exit = %d, want %d (stderr: %s)", got, tc.want, stderr.String())
+			}
+			combined := stdout.String() + stderr.String()
+			if !strings.Contains(combined, tc.out) {
+				t.Fatalf("output missing %q:\n%s", tc.out, combined)
+			}
+		})
+	}
+}
+
+// TestDeltaTable checks a passing gate prints the per-benchmark summary
+// with signed movements and rendered latency.
+func TestDeltaTable(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSuite(t, dir, "base.json", gateSuite(1e7, 0, 50_000))
+	cur := writeSuite(t, dir, "cur.json", gateSuite(1.05e7, 0, 55_000))
+	var stdout, stderr strings.Builder
+	if got := run([]string{"-baseline", base, "-current", cur}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit = %d (stderr: %s)", got, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"benchmark", "events/sec", "allocs/op", "p99",
+		"multi-tenant-ingest/shards=8", "wire-loopback-ingest/batch=256",
+		"+5.0%", // throughput moved up 5%
+		"55µs",  // p99 rendered as a duration
+		"—",     // the ingest row records no latency
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("delta table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -10,6 +10,18 @@
 //	streamsim -workload tcp -protocol rtp -k 20 -r 5 -check
 //	streamsim -workload synthetic -protocol ft-rp -k 50 -eps 0.3 -q 500
 //	streamsim -tenants 16 -shards 4 -n 200 -events 5000 -protocol ft-nrp
+//
+// With -listen the process becomes the serving side of the wire: it hosts
+// the configured node behind a TCP front end (internal/netserve) and
+// applies whatever clients send, until a client's -shutdown or SIGINT.
+// With -connect it becomes the driving side: an open-loop load generator
+// that plays the configured workload against a remote -listen process,
+// measures ingest ack latency against intended send deadlines, and can
+// fetch the remote answer dump for byte-comparison with a local run:
+//
+//	streamsim -tenants 16 -shards 4 -listen :7070
+//	streamsim -tenants 16 -connect localhost:7070 -rate 100000 \
+//	    -latency-out BENCH_wire.json -answers remote.txt -shutdown
 package main
 
 import (
@@ -27,7 +39,6 @@ import (
 	"adaptivefilters/internal/query"
 	"adaptivefilters/internal/runtime"
 	"adaptivefilters/internal/server"
-	"adaptivefilters/internal/sim"
 	"adaptivefilters/internal/workload"
 )
 
@@ -67,6 +78,11 @@ func main() {
 		snapEvery = flag.Int("snapshot-every", 0, "take a barrier-consistent node snapshot about every N ingested events (-tenants mode; 0 = off)")
 		snapFile  = flag.String("snapshot-file", "streamsim.snap", "file the latest -snapshot-every snapshot is written to")
 		restore   = flag.String("restore", "", "resume from a node snapshot file instead of starting fresh (-tenants mode; pass the same workload/protocol flags as the snapshotting run)")
+		listen    = flag.String("listen", "", "serve the configured node over TCP on this address (e.g. :7070) instead of ingesting locally")
+		connect   = flag.String("connect", "", "drive a -listen process at this address with the configured workload instead of hosting a node")
+		rate      = flag.Float64("rate", 0, "open-loop target ingest rate in events/sec for -connect (0 = unpaced)")
+		latOut    = flag.String("latency-out", "", "write a bench suite JSON with the -connect run's throughput and p50/p99/p999 ack latency to this file")
+		shutdownR = flag.Bool("shutdown", false, "ask the remote process to stop after a -connect run")
 	)
 	flag.Parse()
 
@@ -75,33 +91,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "run with -h for usage")
 		os.Exit(2)
 	}
-	// Validate flag combinations up front: a bad value must exit non-zero
-	// with a message, not panic in a protocol constructor or silently run a
-	// default. (The protocol-specific k/n checks mirror the constructors'
-	// own panics.)
-	// tenantsMode hosts the configuration on a runtime.Node: more than one
-	// tenant, or at least one multi-query tenant.
-	tenantsMode := *tenants > 1 || *queries > 1
-	switch {
-	case *tenants < 1:
-		fail("-tenants must be at least 1, got %d", *tenants)
-	case *queries < 1:
-		fail("-queries must be at least 1, got %d", *queries)
-	case *shards == 0 || *shards < -1:
-		fail("-shards must be positive or -1 for GOMAXPROCS, got %d", *shards)
-	case *n < 1:
-		fail("-n must be at least 1, got %d", *n)
-	case *events < 0:
-		fail("-events must be non-negative, got %d", *events)
-	case *batch < 1:
-		fail("-batch must be positive, got %d", *batch)
-	case *every < 1:
-		fail("-check-every must be positive, got %d", *every)
-	case *snapEvery < 0:
-		fail("-snapshot-every must be non-negative, got %d", *snapEvery)
-	case (*snapEvery > 0 || *restore != "") && !tenantsMode:
-		fail("-snapshot-every and -restore need -tenants mode (pass -tenants > 1 or -queries > 1)")
+	ep, em := *eps, *eps
+	if *epsP >= 0 {
+		ep = *epsP
 	}
+	if *epsM >= 0 {
+		em = *epsM
+	}
+	params := simParams{
+		Tenants: *tenants, Queries: *queries, Shards: *shards,
+		N: *n, Events: *events, Batch: *batch,
+		CheckEvery: *every, SnapEvery: *snapEvery, Restore: *restore,
+		Proto: *proto, K: *k, R: *r, Width: *width, EpsPlus: ep, EpsMinus: em,
+		Listen: *listen, Connect: *connect, Rate: *rate,
+		LatencyOut: *latOut, Shutdown: *shutdownR,
+	}
+	if err := params.validate(); err != nil {
+		fail("%v", err)
+	}
+	tenantsMode := params.tenantsMode()
 
 	mkWorkload := func(wseed int64) (workload.Workload, error) {
 		switch *wl {
@@ -127,37 +135,7 @@ func main() {
 		}
 	}
 
-	ep, em := *eps, *eps
-	if *epsP >= 0 {
-		ep = *epsP
-	}
-	if *epsM >= 0 {
-		em = *epsM
-	}
 	tol := core.FractionTolerance{EpsPlus: ep, EpsMinus: em}
-	switch *proto {
-	case "ft-nrp", "ft-rp":
-		if err := tol.Validate(); err != nil {
-			fail("%v", err)
-		}
-	}
-	switch *proto {
-	case "rtp":
-		if *k < 1 || *r < 0 || *k+*r >= *n {
-			fail("rtp needs k >= 1, r >= 0 and k+r < n; got k=%d r=%d n=%d", *k, *r, *n)
-		}
-	case "zt-rp", "ft-rp":
-		if *k < 1 || *k >= *n {
-			fail("%s needs 1 <= k < n; got k=%d n=%d", *proto, *k, *n)
-		}
-	case "vb-knn":
-		if *k < 1 || *k > *n {
-			fail("vb-knn needs 1 <= k <= n; got k=%d n=%d", *k, *n)
-		}
-		if *width < 0 {
-			fail("vb-knn needs -width >= 0, got %g", *width)
-		}
-	}
 	selection := core.SelectBoundaryNearest
 	if strings.HasPrefix(*sel, "r") {
 		selection = core.SelectRandom
@@ -255,16 +233,27 @@ func main() {
 		return mk(qrng, qcenter)
 	}
 
-	if tenantsMode {
+	if params.wireMode() || tenantsMode {
 		if *check {
-			fmt.Fprintln(os.Stderr, "streamsim: -check is ignored in -tenants mode")
+			fmt.Fprintln(os.Stderr, "streamsim: -check is ignored in -tenants and wire modes")
 		}
 		cfg := tenantsConfig{
 			tenants: *tenants, queries: *queries, shards: *shards, batch: *batch, seed: *seed,
 			proto: *proto, verbose: *verbose, answers: *answers,
 			snapEvery: *snapEvery, snapFile: *snapFile, restore: *restore,
 		}
-		if err := runTenants(cfg, mkWorkload, build, buildQuery); err != nil {
+		var err error
+		switch {
+		case *listen != "":
+			err = runListen(*listen, cfg, mkWorkload, build, buildQuery)
+		case *connect != "":
+			err = runConnect(*connect, cfg,
+				wireDrive{rate: *rate, latOut: *latOut, shutdown: *shutdownR},
+				mkWorkload, build, buildQuery)
+		default:
+			err = runTenants(cfg, mkWorkload, build, buildQuery)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "streamsim:", err)
 			os.Exit(2)
 		}
@@ -344,30 +333,9 @@ func runTenants(cfg tenantsConfig,
 	build func(c server.Host, seed int64) server.Protocol,
 	buildQuery func(j int) func(c server.Host, seed int64) server.Protocol) error {
 
-	specs := make([]runtime.TenantSpec, cfg.tenants)
-	iters := make([]workload.Iterator, cfg.tenants)
-	for i := 0; i < cfg.tenants; i++ {
-		w, err := mkWorkload(sim.DeriveSeed(cfg.seed, tenantWorkloadStream, int64(i)))
-		if err != nil {
-			return err
-		}
-		specs[i] = runtime.TenantSpec{
-			Name:    fmt.Sprintf("%s/%s-%d", cfg.proto, w.Name(), i),
-			Initial: w.Initial(),
-		}
-		if cfg.queries > 1 {
-			qs := make([]runtime.QuerySpec, cfg.queries)
-			for j := 0; j < cfg.queries; j++ {
-				qs[j] = runtime.QuerySpec{
-					Name:        fmt.Sprintf("q%d", j),
-					NewProtocol: buildQuery(j),
-				}
-			}
-			specs[i].Queries = qs
-		} else {
-			specs[i].NewProtocol = build
-		}
-		iters[i] = w.Events()
+	specs, iters, err := buildSpecs(cfg, mkWorkload, build, buildQuery)
+	if err != nil {
+		return err
 	}
 	merge := workload.MergeIterators(iters)
 
@@ -514,30 +482,9 @@ func answerSizes(node *runtime.Node, ti int) string {
 // multi-query tenants) and message counter plus the node totals, with
 // nothing time- or shard-dependent: the same (seed, tenants, queries,
 // workload) must produce byte-identical dumps at any shard count. CI's
-// determinism job runs -shards 1 and -shards 4 and diffs.
+// determinism job runs -shards 1 and -shards 4 and diffs; the wire job
+// additionally diffs this dump against one rendered from a report decoded
+// off the network (runtime.Report.Text is the single renderer both use).
 func writeAnswers(path string, node *runtime.Node) error {
-	var b strings.Builder
-	for i := 0; i < node.NumTenants(); i++ {
-		if !node.Alive(i) {
-			fmt.Fprintf(&b, "tenant %d removed\n", i)
-			continue
-		}
-		if node.MultiQuery(i) {
-			fmt.Fprintf(&b, "tenant %s events=%d counter={%v}\n",
-				node.TenantName(i), node.Events(i), node.Counter(i))
-			for qi := 0; qi < node.NumQueries(i); qi++ {
-				if !node.QueryAlive(i, qi) {
-					fmt.Fprintf(&b, "  query %d removed\n", qi)
-					continue
-				}
-				fmt.Fprintf(&b, "  query %s answer=%v\n", node.QueryName(i, qi), node.QueryAnswer(i, qi))
-			}
-			continue
-		}
-		fmt.Fprintf(&b, "tenant %s events=%d counter={%v} answer=%v\n",
-			node.TenantName(i), node.Events(i), node.Counter(i), node.Answer(i))
-	}
-	totals := node.Totals()
-	fmt.Fprintf(&b, "totals {%v}\n", &totals)
-	return os.WriteFile(path, []byte(b.String()), 0o644)
+	return os.WriteFile(path, []byte(node.Report().Text()), 0o644)
 }

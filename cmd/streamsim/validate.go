@@ -1,0 +1,93 @@
+package main
+
+import (
+	"fmt"
+
+	"adaptivefilters/internal/core"
+)
+
+// simParams collects every parsed flag value the run shape depends on, so
+// flag validation is one pure function with table-driven tests instead of
+// a switch buried in main. A bad combination must exit non-zero with a
+// message, not panic in a protocol constructor or silently run a default.
+type simParams struct {
+	Tenants, Queries, Shards int
+	N, Events, Batch         int
+	CheckEvery, SnapEvery    int
+	Restore                  string
+	Proto                    string
+	K, R                     int
+	Width                    float64
+	EpsPlus, EpsMinus        float64 // resolved: -eps overridden by -eps-plus/-eps-minus
+	Listen, Connect          string
+	Rate                     float64
+	LatencyOut               string
+	Shutdown                 bool
+}
+
+// tenantsMode reports whether the run hosts a runtime.Node: more than one
+// tenant, or at least one multi-query tenant.
+func (p simParams) tenantsMode() bool { return p.Tenants > 1 || p.Queries > 1 }
+
+// wireMode reports whether the run is a serving-plane endpoint.
+func (p simParams) wireMode() bool { return p.Listen != "" || p.Connect != "" }
+
+// validate returns the first violated flag constraint. The protocol
+// checks mirror the constructors' own panics.
+func (p simParams) validate() error {
+	switch {
+	case p.Tenants < 1:
+		return fmt.Errorf("-tenants must be at least 1, got %d", p.Tenants)
+	case p.Queries < 1:
+		return fmt.Errorf("-queries must be at least 1, got %d", p.Queries)
+	case p.Shards == 0 || p.Shards < -1:
+		return fmt.Errorf("-shards must be positive or -1 for GOMAXPROCS, got %d", p.Shards)
+	case p.N < 1:
+		return fmt.Errorf("-n must be at least 1, got %d", p.N)
+	case p.Events < 0:
+		return fmt.Errorf("-events must be non-negative, got %d", p.Events)
+	case p.Batch < 1:
+		return fmt.Errorf("-batch must be positive, got %d", p.Batch)
+	case p.CheckEvery < 1:
+		return fmt.Errorf("-check-every must be positive, got %d", p.CheckEvery)
+	case p.SnapEvery < 0:
+		return fmt.Errorf("-snapshot-every must be non-negative, got %d", p.SnapEvery)
+	case (p.SnapEvery > 0 || p.Restore != "") && !p.tenantsMode():
+		return fmt.Errorf("-snapshot-every and -restore need -tenants mode (pass -tenants > 1 or -queries > 1)")
+	}
+	switch {
+	case p.Listen != "" && p.Connect != "":
+		return fmt.Errorf("-listen and -connect are mutually exclusive: a process is one end of the wire")
+	case p.Rate < 0:
+		return fmt.Errorf("-rate must be non-negative, got %g", p.Rate)
+	case (p.Rate > 0 || p.LatencyOut != "" || p.Shutdown) && p.Connect == "":
+		return fmt.Errorf("-rate, -latency-out and -shutdown need -connect")
+	case p.wireMode() && (p.SnapEvery > 0 || p.Restore != ""):
+		return fmt.Errorf("snapshots are driven by the node owner's local flags, not over the wire; drop -snapshot-every/-restore from -listen/-connect runs")
+	}
+	switch p.Proto {
+	case "ft-nrp", "ft-rp":
+		tol := core.FractionTolerance{EpsPlus: p.EpsPlus, EpsMinus: p.EpsMinus}
+		if err := tol.Validate(); err != nil {
+			return err
+		}
+	}
+	switch p.Proto {
+	case "rtp":
+		if p.K < 1 || p.R < 0 || p.K+p.R >= p.N {
+			return fmt.Errorf("rtp needs k >= 1, r >= 0 and k+r < n; got k=%d r=%d n=%d", p.K, p.R, p.N)
+		}
+	case "zt-rp", "ft-rp":
+		if p.K < 1 || p.K >= p.N {
+			return fmt.Errorf("%s needs 1 <= k < n; got k=%d n=%d", p.Proto, p.K, p.N)
+		}
+	case "vb-knn":
+		if p.K < 1 || p.K > p.N {
+			return fmt.Errorf("vb-knn needs 1 <= k <= n; got k=%d n=%d", p.K, p.N)
+		}
+		if p.Width < 0 {
+			return fmt.Errorf("vb-knn needs -width >= 0, got %g", p.Width)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// okParams is a valid baseline every table case mutates.
+func okParams() simParams {
+	return simParams{
+		Tenants: 1, Queries: 1, Shards: 1,
+		N: 1000, Events: 50000, Batch: 512, CheckEvery: 10,
+		Proto: "ft-nrp", K: 20, R: 5, Width: 100,
+		EpsPlus: 0.2, EpsMinus: 0.2,
+	}
+}
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	if err := okParams().validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Wire endpoints with sane flags pass too.
+	p := okParams()
+	p.Tenants, p.Listen = 4, ":0"
+	if err := p.validate(); err != nil {
+		t.Fatal(err)
+	}
+	p = okParams()
+	p.Tenants, p.Connect, p.Rate, p.LatencyOut, p.Shutdown = 4, "localhost:7070", 1e5, "lat.json", true
+	if err := p.validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*simParams)
+		want string // substring of the error
+	}{
+		{"zero-tenants", func(p *simParams) { p.Tenants = 0 }, "-tenants"},
+		{"zero-queries", func(p *simParams) { p.Queries = 0 }, "-queries"},
+		{"zero-shards", func(p *simParams) { p.Shards = 0 }, "-shards"},
+		{"negative-shards", func(p *simParams) { p.Shards = -2 }, "-shards"},
+		{"zero-n", func(p *simParams) { p.N = 0 }, "-n must"},
+		{"negative-events", func(p *simParams) { p.Events = -1 }, "-events"},
+		{"zero-batch", func(p *simParams) { p.Batch = 0 }, "-batch"},
+		{"zero-check-every", func(p *simParams) { p.CheckEvery = 0 }, "-check-every"},
+		{"negative-snap-every", func(p *simParams) { p.SnapEvery = -1 }, "-snapshot-every"},
+		{"snapshot-outside-tenants-mode", func(p *simParams) { p.SnapEvery = 100 }, "-tenants mode"},
+		{"restore-outside-tenants-mode", func(p *simParams) { p.Restore = "x.snap" }, "-tenants mode"},
+		{"listen-and-connect", func(p *simParams) { p.Listen, p.Connect = ":1", ":2" }, "mutually exclusive"},
+		{"negative-rate", func(p *simParams) { p.Connect, p.Rate = ":1", -5 }, "-rate"},
+		{"rate-without-connect", func(p *simParams) { p.Rate = 100 }, "need -connect"},
+		{"latency-out-without-connect", func(p *simParams) { p.LatencyOut = "l.json" }, "need -connect"},
+		{"shutdown-without-connect", func(p *simParams) { p.Shutdown = true }, "need -connect"},
+		{"snapshot-over-wire", func(p *simParams) { p.Tenants, p.Listen, p.SnapEvery = 2, ":1", 100 }, "not over the wire"},
+		{"bad-tolerance", func(p *simParams) { p.EpsMinus = -0.5 }, "fraction tolerance"},
+		{"rtp-bad-rank", func(p *simParams) { p.Proto, p.K, p.R = "rtp", 900, 200 }, "rtp needs"},
+		{"zt-rp-bad-k", func(p *simParams) { p.Proto, p.K = "zt-rp", 0 }, "zt-rp needs"},
+		{"ft-rp-bad-k", func(p *simParams) { p.Proto, p.K = "ft-rp", 1000 }, "ft-rp needs"},
+		{"vb-knn-bad-k", func(p *simParams) { p.Proto, p.K = "vb-knn", 1001 }, "vb-knn needs"},
+		{"vb-knn-bad-width", func(p *simParams) { p.Proto, p.Width = "vb-knn", -1 }, "-width"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := okParams()
+			tc.mut(&p)
+			err := p.validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,333 @@
+// Wire mode: the -listen and -connect halves of the serving plane. Both
+// ends are configured with the same flags; the listener compiles them into
+// a hosted runtime.Node behind internal/netserve, the connector compiles
+// them into workload iterators and drives the listener through the client
+// package as an open-loop load generator.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	gort "runtime"
+	"sync"
+	"time"
+
+	"adaptivefilters/client"
+	"adaptivefilters/internal/bench"
+	"adaptivefilters/internal/netserve"
+	"adaptivefilters/internal/runtime"
+	"adaptivefilters/internal/server"
+	"adaptivefilters/internal/sim"
+	"adaptivefilters/internal/wire"
+	"adaptivefilters/internal/workload"
+)
+
+// buildSpecs derives every tenant's runtime spec and workload iterator from
+// the configured flags. It is the single construction all three node-hosting
+// modes share: -tenants hosts the specs locally, -listen hosts them behind
+// TCP, -connect discards them and plays only the iterators (the remote
+// -listen process, started with the same flags, owns the node).
+func buildSpecs(cfg tenantsConfig,
+	mkWorkload func(int64) (workload.Workload, error),
+	build func(c server.Host, seed int64) server.Protocol,
+	buildQuery func(j int) func(c server.Host, seed int64) server.Protocol) ([]runtime.TenantSpec, []workload.Iterator, error) {
+
+	specs := make([]runtime.TenantSpec, cfg.tenants)
+	iters := make([]workload.Iterator, cfg.tenants)
+	for i := 0; i < cfg.tenants; i++ {
+		w, err := mkWorkload(sim.DeriveSeed(cfg.seed, tenantWorkloadStream, int64(i)))
+		if err != nil {
+			return nil, nil, err
+		}
+		specs[i] = runtime.TenantSpec{
+			Name:    fmt.Sprintf("%s/%s-%d", cfg.proto, w.Name(), i),
+			Initial: w.Initial(),
+		}
+		if cfg.queries > 1 {
+			qs := make([]runtime.QuerySpec, cfg.queries)
+			for j := 0; j < cfg.queries; j++ {
+				qs[j] = runtime.QuerySpec{
+					Name:        fmt.Sprintf("q%d", j),
+					NewProtocol: buildQuery(j),
+				}
+			}
+			specs[i].Queries = qs
+		} else {
+			specs[i].NewProtocol = build
+		}
+		iters[i] = w.Events()
+	}
+	return specs, iters, nil
+}
+
+// runListen hosts the configured node behind a TCP front end and serves
+// until a client's -shutdown request or SIGINT. The resolved address is
+// printed first (so -listen :0 runs are scriptable), and with -answers the
+// node's final local dump is written after serving stops — byte-comparable
+// against both an in-process run and a report fetched over the wire.
+func runListen(addr string, cfg tenantsConfig,
+	mkWorkload func(int64) (workload.Workload, error),
+	build func(c server.Host, seed int64) server.Protocol,
+	buildQuery func(j int) func(c server.Host, seed int64) server.Protocol) error {
+
+	specs, _, err := buildSpecs(cfg, mkWorkload, build, buildQuery)
+	if err != nil {
+		return err
+	}
+	node, err := runtime.NewNode(runtime.Config{Shards: cfg.shards, Seed: cfg.seed}, specs)
+	if err != nil {
+		return err
+	}
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSig()
+	if err := node.Start(ctx); err != nil {
+		return err
+	}
+	defer node.Stop()
+	// Finish t0 initialization before taking traffic, as the local modes do.
+	if err := node.Drain(); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s := netserve.Serve(ln, node, netserve.Options{})
+	defer context.AfterFunc(ctx, s.Close)()
+	fmt.Printf("listening:  %s   tenants=%d queries/tenant=%d shards=%d\n",
+		s.Addr(), cfg.tenants, cfg.queries, node.Shards())
+	s.Wait()
+	// The driver goroutine has exited (Wait synchronizes with it), so the
+	// node is ours to inspect again.
+	fmt.Printf("served:     %d events applied\n", node.TotalEvents())
+	if cfg.answers != "" {
+		return writeAnswers(cfg.answers, node)
+	}
+	return nil
+}
+
+// wireDrive bundles the -connect-only flags.
+type wireDrive struct {
+	rate     float64 // target events/sec; 0 = unpaced
+	latOut   string  // bench suite JSON path; "" = none
+	shutdown bool    // ask the remote process to stop afterwards
+}
+
+// runConnect plays the configured workload against a remote -listen process
+// as an open-loop generator: batch i is due at start + i·(batch/rate)
+// regardless of how long earlier sends took, and each ack's latency is
+// measured against that intended deadline — a stalled server inflates the
+// recorded percentiles instead of silently slowing the generator down
+// (coordinated omission is measured, not hidden). With -rate 0 the deadline
+// is simply the send instant and the pipeline runs as fast as the window
+// allows.
+func runConnect(addr string, cfg tenantsConfig, drv wireDrive,
+	mkWorkload func(int64) (workload.Workload, error),
+	build func(c server.Host, seed int64) server.Protocol,
+	buildQuery func(j int) func(c server.Host, seed int64) server.Protocol) error {
+
+	_, iters, err := buildSpecs(cfg, mkWorkload, build, buildQuery)
+	if err != nil {
+		return err
+	}
+	merge := workload.MergeIterators(iters)
+
+	// Ack bookkeeping. The reader goroutine can deliver an ack before the
+	// sender records the batch's deadline (Ingest returns the sequence
+	// number after the frame is out), so unmatched acks park in early until
+	// the sender catches up.
+	type sendRec struct {
+		due time.Time
+		n   int
+	}
+	type ackRec struct {
+		at     time.Time
+		status byte
+	}
+	var (
+		mu                   sync.Mutex
+		inflight             = make(map[uint64]sendRec)
+		early                = make(map[uint64]ackRec)
+		samples              []float64
+		okEv, shedEv, lostEv uint64
+	)
+	settle := func(rec sendRec, at time.Time, status byte) { // mu held
+		switch status {
+		case wire.StatusOK:
+			okEv += uint64(rec.n)
+			samples = append(samples, float64(at.Sub(rec.due)))
+		case wire.StatusShed:
+			shedEv += uint64(rec.n)
+		default:
+			lostEv += uint64(rec.n)
+		}
+	}
+
+	c, err := client.Dial(addr, client.Options{
+		Reconnect: true,
+		OnIngestAck: func(seq uint64, status byte) {
+			at := time.Now()
+			mu.Lock()
+			if rec, ok := inflight[seq]; ok {
+				delete(inflight, seq)
+				settle(rec, at, status)
+			} else {
+				early[seq] = ackRec{at, status}
+			}
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	rateLabel := "unpaced"
+	if drv.rate > 0 {
+		rateLabel = fmt.Sprintf("%.0f events/sec", drv.rate)
+	}
+	fmt.Printf("connected:  %s   tenants=%d queries/tenant=%d batch=%d rate=%s\n",
+		addr, cfg.tenants, cfg.queries, cfg.batch, rateLabel)
+
+	var gap time.Duration
+	if drv.rate > 0 {
+		gap = time.Duration(float64(cfg.batch) / drv.rate * float64(time.Second))
+	}
+	start := time.Now()
+	var batches, sentEv, droppedEv uint64
+	buf := make([]runtime.Event, 0, cfg.batch)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		due := time.Now()
+		if gap > 0 {
+			due = start.Add(time.Duration(batches) * gap)
+			if wait := time.Until(due); wait > 0 {
+				time.Sleep(wait)
+			}
+		}
+		batches++
+		n := len(buf)
+		seq, err := c.Ingest(buf)
+		buf = buf[:0]
+		if err != nil {
+			if errors.Is(err, client.ErrDisconnected) {
+				// The link is redialing: drop the batch and keep pace rather
+				// than stalling the schedule.
+				droppedEv += uint64(n)
+				return nil
+			}
+			return err
+		}
+		sentEv += uint64(n)
+		mu.Lock()
+		if a, ok := early[seq]; ok {
+			delete(early, seq)
+			settle(sendRec{due, n}, a.at, a.status)
+		} else {
+			inflight[seq] = sendRec{due, n}
+		}
+		mu.Unlock()
+		return nil
+	}
+	for {
+		tev, ok := merge.Next()
+		if !ok {
+			break
+		}
+		buf = append(buf, runtime.Event{Tenant: tev.Source, Stream: tev.Event.Stream, Value: tev.Event.Value})
+		if len(buf) == cfg.batch {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+
+	// Barrier: the drain ack proves every earlier pipelined batch on this
+	// connection was answered, so the report below is stable.
+	if err := retryWire(c.Drain); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	var rep *runtime.Report
+	if err := retryWire(func() error {
+		var e error
+		rep, e = c.Report()
+		return e
+	}); err != nil {
+		return err
+	}
+
+	stats := c.Stats()
+	mu.Lock()
+	p50, p99, p999 := bench.LatencyPercentiles(samples)
+	nsamp := len(samples)
+	okEvents, shedEvents, lostEvents := okEv, shedEv, lostEv
+	mu.Unlock()
+
+	fmt.Printf("sent:       %d events in %d batches (%d events dropped while disconnected)\n",
+		sentEv, batches, droppedEv)
+	fmt.Printf("acks:       ok=%d shed=%d lost=%d batches (events ok=%d shed=%d lost=%d)\n",
+		stats.Acked, stats.Shed, stats.Lost, okEvents, shedEvents, lostEvents)
+	fmt.Printf("throughput: %.0f events/sec applied in %v\n",
+		float64(okEvents)/elapsed.Seconds(), elapsed.Round(time.Millisecond))
+	if nsamp > 0 {
+		fmt.Printf("latency:    p50=%v p99=%v p999=%v over %d acks (vs intended deadlines)\n",
+			time.Duration(p50).Round(time.Microsecond),
+			time.Duration(p99).Round(time.Microsecond),
+			time.Duration(p999).Round(time.Microsecond), nsamp)
+	}
+	if cfg.answers != "" {
+		// The dump renders through runtime.Report.Text — the same renderer
+		// writeAnswers uses in-process — so a wire-fetched dump must be
+		// byte-identical to the local one; CI diffs them.
+		if err := os.WriteFile(cfg.answers, []byte(rep.Text()), 0o644); err != nil {
+			return err
+		}
+	}
+	if drv.latOut != "" {
+		suite := &bench.Suite{Benchmark: "streamsim-wire", GoMaxProcs: gort.GOMAXPROCS(0)}
+		var nsPerOp float64
+		if batches > 0 {
+			nsPerOp = float64(elapsed) / float64(batches)
+		}
+		suite.Add(bench.Result{
+			Name:         fmt.Sprintf("wire-loopback-ingest/batch=%d", cfg.batch),
+			EventsPerOp:  cfg.batch,
+			NsPerOp:      nsPerOp,
+			EventsPerSec: float64(okEvents) / elapsed.Seconds(),
+			P50Ns:        p50, P99Ns: p99, P999Ns: p999,
+		})
+		if err := suite.WriteFile(drv.latOut); err != nil {
+			return err
+		}
+	}
+	if drv.shutdown {
+		if err := c.Shutdown(); err != nil {
+			return err
+		}
+		fmt.Println("shutdown:   remote acknowledged")
+	}
+	return nil
+}
+
+// retryWire retries a synchronous call across a background redial: while
+// the link is down calls fail fast with ErrDisconnected, so a closed-loop
+// step like the final drain/report waits the reconnect out.
+func retryWire(f func() error) error {
+	var err error
+	for i := 0; i < 100; i++ {
+		if err = f(); !errors.Is(err, client.ErrDisconnected) {
+			return err
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return err
+}

@@ -35,6 +35,15 @@ type Result struct {
 	// path, where the regression gate rejects any allocs/op increase (the
 	// zero-allocation invariant), not just throughput loss.
 	IngestPath bool `json:"ingest_path"`
+	// P50Ns, P99Ns and P999Ns record wire-serving request latency
+	// percentiles in nanoseconds, measured open-loop against intended send
+	// deadlines (coordinated-omission aware; see DESIGN.md §9). Zero means
+	// the benchmark does not measure latency. Like throughput they are
+	// machine-dependent, so the gate's latency rule obeys the same
+	// GOMAXPROCS guard.
+	P50Ns  float64 `json:"p50_ns,omitempty"`
+	P99Ns  float64 `json:"p99_ns,omitempty"`
+	P999Ns float64 `json:"p999_ns,omitempty"`
 	// MaintMessages records the benchmark workload's deterministic
 	// maintenance-message count (the paper's headline metric), measured on a
 	// fresh run of the benchmark's fixed event sequence. Zero means the
@@ -111,6 +120,12 @@ type GateConfig struct {
 	// MaxThroughputRegress is the tolerated fractional events/sec drop
 	// (0.15 = a current run may be up to 15% slower than the baseline).
 	MaxThroughputRegress float64
+	// MaxLatencyRegress is the tolerated fractional growth of any recorded
+	// latency percentile (0.5 = a percentile may sit up to 50% above the
+	// baseline). Latency is as machine-dependent as throughput, so the rule
+	// shares the GOMAXPROCS guard: a mismatched baseline downgrades it to
+	// advisory. Zero disables the rule.
+	MaxLatencyRegress float64
 	// FlatRules are intra-run scaling bounds checked against the current
 	// suite only; the baseline plays no part in them.
 	FlatRules []FlatRule
@@ -126,6 +141,9 @@ type GateConfig struct {
 //     throughput from different hardware classes is not comparable, so a
 //     mismatched baseline downgrades the throughput rule to advisory
 //     until it is refreshed from numbers measured where the gate runs);
+//   - recorded latency percentiles (p50/p99/p999) must not sit more than
+//     MaxLatencyRegress above the baseline — under the same GOMAXPROCS
+//     guard as throughput, since both are machine-dependent;
 //   - on ingest-path results, allocs/op must not exceed the baseline at
 //     all — the zero-allocation invariant is exact, machine-independent,
 //     and enforced unconditionally;
@@ -162,6 +180,26 @@ func Compare(baseline, current *Suite, cfg GateConfig) []string {
 					"%s: throughput regressed %.1f%%: %.0f events/sec vs baseline %.0f (floor %.0f)",
 					base.Name, 100*(1-cur.EventsPerSec/base.EventsPerSec),
 					cur.EventsPerSec, base.EventsPerSec, floor))
+			}
+		}
+		if compareThroughput && cfg.MaxLatencyRegress > 0 {
+			for _, pc := range []struct {
+				label     string
+				base, cur float64
+			}{
+				{"p50", base.P50Ns, cur.P50Ns},
+				{"p99", base.P99Ns, cur.P99Ns},
+				{"p999", base.P999Ns, cur.P999Ns},
+			} {
+				if pc.base <= 0 {
+					continue
+				}
+				ceil := pc.base * (1 + cfg.MaxLatencyRegress)
+				if pc.cur > ceil {
+					violations = append(violations, fmt.Sprintf(
+						"%s: %s latency regressed %.1f%%: %.0f ns vs baseline %.0f (ceiling %.0f)",
+						base.Name, pc.label, 100*(pc.cur/pc.base-1), pc.cur, pc.base, ceil))
+				}
 			}
 		}
 		if base.IngestPath && cur.AllocsPerOp > base.AllocsPerOp {

@@ -1,0 +1,29 @@
+package bench
+
+import "sort"
+
+// LatencyPercentiles reduces a sample set of request latencies (in
+// nanoseconds) to the suite's p50/p99/p999 triple using the nearest-rank
+// method. The input is not modified. Empty input yields zeros, which the
+// Result schema treats as "latency not measured".
+func LatencyPercentiles(samplesNs []float64) (p50, p99, p999 float64) {
+	if len(samplesNs) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]float64(nil), samplesNs...)
+	sort.Float64s(sorted)
+	return percentile(sorted, 0.50), percentile(sorted, 0.99), percentile(sorted, 0.999)
+}
+
+// percentile is nearest-rank over an ascending-sorted sample set: the
+// smallest value such that at least p of the samples are <= it.
+func percentile(sorted []float64, p float64) float64 {
+	rank := int(p*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

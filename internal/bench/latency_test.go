@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLatencyPercentiles(t *testing.T) {
+	if p50, p99, p999 := LatencyPercentiles(nil); p50 != 0 || p99 != 0 || p999 != 0 {
+		t.Fatalf("empty input: %v %v %v", p50, p99, p999)
+	}
+	// 1..1000 in scrambled order: nearest-rank percentiles are exact.
+	samples := make([]float64, 1000)
+	for i := range samples {
+		samples[i] = float64((i*997)%1000 + 1)
+	}
+	p50, p99, p999 := LatencyPercentiles(samples)
+	if p50 != 500 || p99 != 990 || p999 != 999 {
+		t.Fatalf("percentiles = %v %v %v, want 500 990 999", p50, p99, p999)
+	}
+	// The input must not be reordered.
+	if samples[0] != 1 || samples[1] != 998 {
+		t.Fatal("LatencyPercentiles mutated its input")
+	}
+	if p50, _, _ := LatencyPercentiles([]float64{42}); p50 != 42 {
+		t.Fatalf("single sample p50 = %v", p50)
+	}
+}
+
+// latSuite builds a one-result suite with the given latency triple.
+func latSuite(p50, p99, p999 float64) *Suite {
+	return &Suite{
+		Benchmark:  "wire",
+		GoMaxProcs: 8,
+		Results: []Result{{
+			Name: "wire-loopback-ingest/batch=256", EventsPerSec: 1e6,
+			P50Ns: p50, P99Ns: p99, P999Ns: p999,
+		}},
+	}
+}
+
+// TestLatencyGate pins the latency-regression rule: an injected slowdown
+// beyond the allowance trips the gate, and only under a matching
+// GOMAXPROCS.
+func TestLatencyGate(t *testing.T) {
+	base := latSuite(10_000, 80_000, 300_000)
+	cfg := GateConfig{MaxThroughputRegress: 0.15, MaxLatencyRegress: 0.5}
+
+	if v := Compare(base, latSuite(10_000, 80_000, 300_000), cfg); len(v) != 0 {
+		t.Fatalf("identical run tripped the gate: %v", v)
+	}
+	// Within the 50% allowance.
+	if v := Compare(base, latSuite(14_000, 110_000, 440_000), cfg); len(v) != 0 {
+		t.Fatalf("in-allowance run tripped the gate: %v", v)
+	}
+	// p99 slowdown injected past the ceiling.
+	v := Compare(base, latSuite(10_000, 200_000, 300_000), cfg)
+	if len(v) != 1 || !strings.Contains(v[0], "p99 latency regressed") {
+		t.Fatalf("injected p99 slowdown: violations = %v", v)
+	}
+	// Every percentile checks independently.
+	v = Compare(base, latSuite(50_000, 200_000, 900_000), cfg)
+	if len(v) != 3 {
+		t.Fatalf("triple slowdown: violations = %v", v)
+	}
+	// A baseline percentile of zero means "not measured": no rule.
+	noLat := latSuite(0, 0, 0)
+	if v := Compare(noLat, latSuite(1e9, 1e9, 1e9), cfg); len(v) != 0 {
+		t.Fatalf("unmeasured baseline tripped the gate: %v", v)
+	}
+	// GOMAXPROCS mismatch downgrades the rule to advisory.
+	cur := latSuite(10_000, 200_000, 300_000)
+	cur.GoMaxProcs = 4
+	if v := Compare(base, cur, cfg); len(v) != 0 {
+		t.Fatalf("mismatched GOMAXPROCS still tripped the latency rule: %v", v)
+	}
+	// MaxLatencyRegress zero disables the rule.
+	if v := Compare(base, latSuite(1e9, 1e9, 1e9), GateConfig{MaxThroughputRegress: 0.15}); len(v) != 0 {
+		t.Fatalf("disabled rule tripped: %v", v)
+	}
+}

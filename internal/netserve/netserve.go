@@ -1,0 +1,471 @@
+// Package netserve is the TCP front end of the serving plane: it exposes a
+// runtime.Node over the internal/wire protocol so ingest, drain barriers,
+// reports and tenant lifecycle arrive from the network instead of an
+// in-process caller (DESIGN.md §9).
+//
+// # Threading
+//
+// runtime.Node's contract is that Ingest, Drain, lifecycle and Report all
+// come from one goroutine. The server preserves it with a hub shape:
+//
+//	conn 1 reader ─┐                      ┌─ conn 1 writer
+//	conn 2 reader ─┼─ requests → driver ──┼─ conn 2 writer
+//	conn 3 reader ─┘     (owns the Node)  └─ conn 3 writer
+//
+// Each connection gets one reader goroutine (frames → decoded requests)
+// and one writer goroutine (replies → frames, coalescing flushes); a
+// single driver goroutine dequeues requests in arrival order and is the
+// only caller into the Node. Per-connection reply order therefore matches
+// request order, which is what lets clients pipeline: many requests in
+// flight, acks matched by sequence number as they return.
+//
+// # Backpressure
+//
+// Two regimes, deliberately different:
+//
+//   - Stall: the request queue is bounded. When the driver falls behind,
+//     readers block enqueueing, stop draining their sockets, and TCP flow
+//     control pushes back to the sender. Nothing is dropped.
+//   - Shed: when the node's deepest shard backlog reaches the shed
+//     watermark, ingest batches are acked StatusShed and dropped before
+//     touching the node. Load shedding is visible to the client (the ack
+//     says so), bounded in cost (the batch dies before the shard queues),
+//     and leaves non-ingest traffic — drains, reports, lifecycle — intact.
+//
+// A connection whose peer stops reading replies is aborted after
+// WriteTimeout, so one dead client cannot wedge the driver.
+package netserve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"adaptivefilters/internal/runtime"
+	"adaptivefilters/internal/wire"
+)
+
+// Options tunes a Server. The zero value is production-sane.
+type Options struct {
+	// MaxFrame bounds frame payloads both ways (0 = wire.DefaultMaxFrame).
+	MaxFrame int
+	// QueueDepth bounds the request queue feeding the driver; readers
+	// stall when it is full (0 = 64).
+	QueueDepth int
+	// ShedWatermark sheds ingest batches while the node's deepest shard
+	// backlog (runtime.Node.PendingBatches) is at or above this many
+	// batches. 0 means the node's queue capacity — shed exactly when a
+	// shard queue is full and ingest would otherwise block the driver.
+	// Negative disables shedding entirely.
+	ShedWatermark int
+	// WriteTimeout bounds how long a connection's writer may block on the
+	// socket before the connection is aborted (0 = 30s).
+	WriteTimeout time.Duration
+}
+
+func (o Options) maxFrame() int {
+	if o.MaxFrame <= 0 {
+		return wire.DefaultMaxFrame
+	}
+	return o.MaxFrame
+}
+
+func (o Options) queueDepth() int {
+	if o.QueueDepth <= 0 {
+		return 64
+	}
+	return o.QueueDepth
+}
+
+func (o Options) writeTimeout() time.Duration {
+	if o.WriteTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return o.WriteTimeout
+}
+
+// request is one decoded frame travelling from a reader to the driver.
+type request struct {
+	c   *conn
+	hdr wire.Header
+	// events holds the batch for OpIngest (a pooled buffer, returned to
+	// c.free by the driver).
+	events []runtime.Event
+	// tenant, query, ti, qi carry lifecycle bodies.
+	tenant wire.TenantSpec
+	query  wire.QuerySpec
+	ti, qi int
+}
+
+// reply is one outbound frame travelling from the driver to a writer.
+type reply struct {
+	hdr             wire.Header // request header the reply answers
+	status          byte
+	value           uint64
+	msg             string
+	report          *runtime.Report // OpReport success payload
+	hello           bool            // encode a HelloAck body
+	shards, tenants int
+	last            bool // graceful shutdown: flush, close, stop the server
+}
+
+// conn is one accepted connection.
+type conn struct {
+	nc   net.Conn
+	out  chan reply
+	free chan []runtime.Event
+	// closed signals abort: the peer is gone or misbehaved. The writer
+	// stops, the driver drops this connection's replies.
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// abort tears the connection down from any goroutine.
+func (c *conn) abort() {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.nc.Close()
+	})
+}
+
+// takeBuf reuses an ingest buffer if the driver has returned one.
+func (c *conn) takeBuf() []runtime.Event {
+	select {
+	case buf := <-c.free:
+		return buf[:0]
+	default:
+		return nil
+	}
+}
+
+// Server serves one runtime.Node over one listener. The caller owns the
+// node's lifecycle: start it before Serve, stop it after Wait returns.
+type Server struct {
+	node *runtime.Node
+	ln   net.Listener
+	opts Options
+	shed int
+
+	reqs chan request
+	done chan struct{}
+	stop sync.Once
+	wg   sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[*conn]struct{}
+}
+
+// Serve starts serving node on ln and returns immediately.
+func Serve(ln net.Listener, node *runtime.Node, opts Options) *Server {
+	s := &Server{
+		node:  node,
+		ln:    ln,
+		opts:  opts,
+		shed:  opts.ShedWatermark,
+		reqs:  make(chan request, opts.queueDepth()),
+		done:  make(chan struct{}),
+		conns: make(map[*conn]struct{}),
+	}
+	if s.shed == 0 {
+		s.shed = node.QueueCap()
+	}
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.drive()
+	return s
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the server: the listener closes, live connections abort,
+// the driver exits. Safe to call more than once and from any goroutine.
+func (s *Server) Close() {
+	s.stop.Do(func() {
+		close(s.done)
+		s.ln.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.abort()
+		}
+		s.mu.Unlock()
+	})
+}
+
+// Wait blocks until the server has fully stopped (Close was called or a
+// client's Shutdown request was served).
+func (s *Server) Wait() { s.wg.Wait() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c := &conn{
+			nc:     nc,
+			out:    make(chan reply, s.opts.queueDepth()),
+			free:   make(chan []runtime.Event, 4),
+			closed: make(chan struct{}),
+		}
+		s.mu.Lock()
+		select {
+		case <-s.done:
+			s.mu.Unlock()
+			nc.Close()
+			return
+		default:
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(2)
+		go s.readLoop(c)
+		go s.writeLoop(c)
+	}
+}
+
+func (s *Server) dropConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// readLoop decodes frames into requests. Anything that breaks the
+// protocol — a corrupt frame, an unknown op, a malformed body — aborts
+// the connection; per-request failures (a bad tenant id, an admission the
+// node refuses) are the driver's to answer with error acks.
+func (s *Server) readLoop(c *conn) {
+	defer s.wg.Done()
+	defer c.abort()
+	fr := wire.NewFrameReader(c.nc, s.opts.maxFrame())
+	for {
+		r, err := fr.Next()
+		if err != nil {
+			return
+		}
+		hdr, err := wire.DecodeHeader(r)
+		if err != nil {
+			return
+		}
+		req := request{c: c, hdr: hdr}
+		switch hdr.Op {
+		case wire.OpHello:
+			if _, err := wire.DecodeHello(r); err != nil {
+				return
+			}
+		case wire.OpIngest:
+			if req.events, err = wire.DecodeIngestInto(r, c.takeBuf()); err != nil {
+				return
+			}
+		case wire.OpDrain, wire.OpReport, wire.OpShutdown:
+			// Header-only bodies.
+		case wire.OpAddTenant:
+			if req.tenant, err = wire.DecodeAddTenant(r); err != nil {
+				return
+			}
+		case wire.OpAddQuery:
+			if req.ti, req.query, err = wire.DecodeAddQuery(r); err != nil {
+				return
+			}
+		case wire.OpRemoveTenant:
+			if req.ti, err = wire.DecodeRemoveTenant(r); err != nil {
+				return
+			}
+		case wire.OpRemoveQuery:
+			if req.ti, req.qi, err = wire.DecodeRemoveQuery(r); err != nil {
+				return
+			}
+		default:
+			return
+		}
+		if r.Done() != nil {
+			return // trailing garbage inside the frame
+		}
+		select {
+		case s.reqs <- req: // stall here is the backpressure path
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// writeLoop frames replies back out, flushing whenever the queue runs
+// dry so pipelined acks coalesce into few syscalls.
+func (s *Server) writeLoop(c *conn) {
+	defer s.wg.Done()
+	defer s.dropConn(c)
+	defer c.abort()
+	fw := wire.NewFrameWriter(c.nc, s.opts.maxFrame())
+	flush := func() error {
+		c.nc.SetWriteDeadline(time.Now().Add(s.opts.writeTimeout()))
+		return fw.Flush()
+	}
+	for {
+		select {
+		case rep := <-c.out:
+			c.nc.SetWriteDeadline(time.Now().Add(s.opts.writeTimeout()))
+			if err := encodeReply(fw, rep); err != nil {
+				return
+			}
+			if rep.last {
+				flush()
+				c.nc.Close()
+				s.Close()
+				return
+			}
+			if len(c.out) == 0 {
+				if flush() != nil {
+					return
+				}
+			}
+		case <-c.closed:
+			return
+		}
+	}
+}
+
+func encodeReply(fw *wire.FrameWriter, rep reply) error {
+	p := fw.Begin()
+	switch {
+	case rep.hello && rep.status == wire.StatusOK:
+		wire.EncodeHelloAck(p, rep.hdr.Seq, rep.shards, rep.tenants)
+	case rep.report != nil || rep.hdr.Op == wire.OpReport:
+		wire.EncodeReportReply(p, rep.hdr.Seq, rep.status, rep.msg, rep.report)
+	default:
+		wire.EncodeAck(p, rep.hdr.Op, rep.hdr.Seq, rep.status, rep.value, rep.msg)
+	}
+	return fw.End()
+}
+
+// drive is the hub: the single goroutine that talks to the Node.
+func (s *Server) drive() {
+	defer s.wg.Done()
+	for {
+		select {
+		case req := <-s.reqs:
+			s.handle(req)
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// send enqueues a reply without ever blocking forever: an aborted
+// connection or a stopping server drops it.
+func (s *Server) send(c *conn, rep reply) {
+	select {
+	case c.out <- rep:
+	case <-c.closed:
+	case <-s.done:
+	}
+}
+
+func (s *Server) handle(req request) {
+	rep := reply{hdr: req.hdr, status: wire.StatusOK}
+	switch req.hdr.Op {
+	case wire.OpHello:
+		rep.hello = true
+		rep.shards = s.node.Shards()
+		rep.tenants = s.node.NumTenants()
+
+	case wire.OpIngest:
+		if s.shed >= 0 && s.node.PendingBatches() >= s.shed {
+			rep.status = wire.StatusShed
+		} else if err := s.node.Ingest(req.events); err != nil {
+			rep.status, rep.msg = wire.StatusError, err.Error()
+		}
+		select { // recycle the batch buffer
+		case req.c.free <- req.events[:0]:
+		default:
+		}
+
+	case wire.OpDrain:
+		if err := s.node.Drain(); err != nil {
+			rep.status, rep.msg = wire.StatusError, err.Error()
+		}
+
+	case wire.OpReport:
+		rep.report = s.node.Report()
+
+	case wire.OpAddTenant:
+		spec, err := req.tenant.Runtime()
+		if err == nil {
+			var ti int
+			if ti, err = s.node.AddTenant(spec); err == nil {
+				rep.value = uint64(ti)
+			}
+		}
+		if err != nil {
+			rep.status, rep.msg = wire.StatusError, err.Error()
+		}
+
+	case wire.OpAddQuery:
+		rspec, err := wireQueryRuntime(s.node, req.ti, req.query)
+		if err == nil {
+			var qi int
+			if qi, err = s.node.AddQuery(req.ti, rspec); err == nil {
+				rep.value = uint64(qi)
+			}
+		}
+		if err != nil {
+			rep.status, rep.msg = wire.StatusError, err.Error()
+		}
+
+	case wire.OpRemoveTenant:
+		if err := s.node.RemoveTenant(req.ti); err != nil {
+			rep.status, rep.msg = wire.StatusError, err.Error()
+		}
+
+	case wire.OpRemoveQuery:
+		if err := s.node.RemoveQuery(req.ti, req.qi); err != nil {
+			rep.status, rep.msg = wire.StatusError, err.Error()
+		}
+
+	case wire.OpShutdown:
+		rep.last = true
+	}
+	s.send(req.c, rep)
+}
+
+// wireQueryRuntime validates and compiles a wire query spec against the
+// target tenant's partition size.
+func wireQueryRuntime(node *runtime.Node, ti int, q wire.QuerySpec) (runtime.QuerySpec, error) {
+	if ti < 0 || ti >= node.NumTenants() || !node.Alive(ti) {
+		return runtime.QuerySpec{}, fmt.Errorf("netserve: no live tenant %d", ti)
+	}
+	if err := q.Spec.Validate(node.StreamCount(ti)); err != nil {
+		return runtime.QuerySpec{}, err
+	}
+	build, err := q.Spec.Factory()
+	if err != nil {
+		return runtime.QuerySpec{}, err
+	}
+	return runtime.QuerySpec{Name: q.Name, NewProtocol: build}, nil
+}
+
+// ListenAndServe is the one-call embedding wrapper: build and start a
+// node, listen on addr, serve until a Shutdown request or ctx
+// cancellation, then stop the node. (cmd/streamsim assembles the pieces
+// itself instead, to print the resolved address and drain t0 first.)
+func ListenAndServe(ctx context.Context, addr string, cfg runtime.Config, specs []runtime.TenantSpec, opts Options) error {
+	node, err := runtime.NewNode(cfg, specs)
+	if err != nil {
+		return err
+	}
+	if err := node.Start(ctx); err != nil {
+		return err
+	}
+	defer node.Stop()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s := Serve(ln, node, opts)
+	stop := context.AfterFunc(ctx, s.Close)
+	defer stop()
+	s.Wait()
+	return nil
+}

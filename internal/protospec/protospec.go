@@ -1,0 +1,233 @@
+// Package protospec is the declarative, serializable description of a
+// standing query's protocol configuration — the piece of a tenant spec that
+// can cross a process boundary.
+//
+// runtime.TenantSpec carries protocol *factories* (closures), which work
+// in-process but cannot be shipped over the network serving plane's wire.
+// A Spec names the protocol and its parameters instead; Factory compiles
+// it into the closure form every in-process layer consumes. cmd/streamsim
+// builds Specs from its flags (both to run locally and to drive a remote
+// node), and internal/netserve decodes them from wire frames when a client
+// admits tenants or queries remotely — one switch, shared by every entry
+// point, instead of the per-command protocol tables that preceded it.
+//
+// Specs off the wire are untrusted input: Validate rejects unknown
+// protocols, non-finite parameters and rank bounds that the protocol
+// constructors would panic on, so a malformed admission fails with an
+// error frame instead of crashing a shard loop.
+package protospec
+
+import (
+	"fmt"
+	"math"
+
+	"adaptivefilters/internal/core"
+	"adaptivefilters/internal/query"
+	"adaptivefilters/internal/server"
+	"adaptivefilters/internal/snapshot"
+)
+
+// Selection names for Spec.Selection.
+const (
+	// SelectBoundary is the boundary-nearest silent-filter selection
+	// heuristic (the default).
+	SelectBoundary = "boundary"
+	// SelectRandom is uniform random silent-filter selection.
+	SelectRandom = "random"
+)
+
+// Spec describes one protocol instance declaratively. The zero value is
+// not valid; Protocol must name one of the internal/core protocols.
+type Spec struct {
+	// Protocol is one of: no-filter | zt-nrp | ft-nrp | rtp | zt-rp |
+	// ft-rp | vb-knn.
+	Protocol string
+	// Lo, Hi bound the range query of the non-rank protocols.
+	Lo, Hi float64
+	// K is the rank requirement of the rank-based protocols; R is RTP's
+	// rank slack.
+	K, R int
+	// Q is the k-NN query point; Top replaces it with q=+inf (top-k).
+	Q   float64
+	Top bool
+	// EpsPlus, EpsMinus are the fraction tolerances of FT-NRP and FT-RP.
+	EpsPlus, EpsMinus float64
+	// Width is VB-kNN's value tolerance.
+	Width float64
+	// Selection picks the silent-filter selection heuristic for the
+	// fraction-tolerant protocols: SelectBoundary (also the empty string)
+	// or SelectRandom.
+	Selection string
+}
+
+// rangeBased reports whether the spec's protocol answers a range query
+// (otherwise it is rank-based and uses K/Q/Top).
+func (s Spec) rangeBased() bool {
+	switch s.Protocol {
+	case "no-filter", "zt-nrp", "ft-nrp":
+		return true
+	}
+	return false
+}
+
+// Validate checks the spec against stream-partition size n, mirroring the
+// constructor invariants of internal/core so a bad spec surfaces as an
+// error — never as a panic inside a shard loop. It subsumes the per-flag
+// checks cmd/streamsim grew in PR 4.
+func (s Spec) Validate(n int) error {
+	if n < 1 {
+		return fmt.Errorf("protospec: need at least 1 stream, got %d", n)
+	}
+	for name, v := range map[string]float64{
+		"lo": s.Lo, "hi": s.Hi, "q": s.Q,
+		"eps-plus": s.EpsPlus, "eps-minus": s.EpsMinus, "width": s.Width,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("protospec: %s: parameter %s is not finite (%g)", s.Protocol, name, v)
+		}
+	}
+	switch s.Selection {
+	case "", SelectBoundary, SelectRandom:
+	default:
+		return fmt.Errorf("protospec: unknown selection %q (want %q or %q)",
+			s.Selection, SelectBoundary, SelectRandom)
+	}
+	tol := core.FractionTolerance{EpsPlus: s.EpsPlus, EpsMinus: s.EpsMinus}
+	switch s.Protocol {
+	case "no-filter", "zt-nrp":
+		// Range-only: no further parameters.
+	case "ft-nrp":
+		if err := tol.Validate(); err != nil {
+			return fmt.Errorf("protospec: ft-nrp: %w", err)
+		}
+	case "rtp":
+		if s.K < 1 || s.R < 0 || s.K+s.R >= n {
+			return fmt.Errorf("protospec: rtp needs k >= 1, r >= 0 and k+r < n; got k=%d r=%d n=%d",
+				s.K, s.R, n)
+		}
+	case "zt-rp":
+		if s.K < 1 || s.K >= n {
+			return fmt.Errorf("protospec: zt-rp needs 1 <= k < n; got k=%d n=%d", s.K, n)
+		}
+	case "ft-rp":
+		if s.K < 1 || s.K >= n {
+			return fmt.Errorf("protospec: ft-rp needs 1 <= k < n; got k=%d n=%d", s.K, n)
+		}
+		if err := tol.Validate(); err != nil {
+			return fmt.Errorf("protospec: ft-rp: %w", err)
+		}
+	case "vb-knn":
+		if s.K < 1 || s.K > n {
+			return fmt.Errorf("protospec: vb-knn needs 1 <= k <= n; got k=%d n=%d", s.K, n)
+		}
+		if s.Width < 0 {
+			return fmt.Errorf("protospec: vb-knn needs width >= 0, got %g", s.Width)
+		}
+	default:
+		return fmt.Errorf("protospec: unknown protocol %q", s.Protocol)
+	}
+	if s.rangeBased() && s.Lo > s.Hi {
+		return fmt.Errorf("protospec: %s: empty range [%g,%g]", s.Protocol, s.Lo, s.Hi)
+	}
+	return nil
+}
+
+// center resolves the spec's k-NN query point.
+func (s Spec) center() query.Center {
+	if s.Top {
+		return query.Top()
+	}
+	return query.At(s.Q)
+}
+
+// selection resolves the silent-filter selection heuristic.
+func (s Spec) selection() core.Selection {
+	if s.Selection == SelectRandom {
+		return core.SelectRandom
+	}
+	return core.SelectBoundaryNearest
+}
+
+// Factory compiles the spec into the protocol-factory closure the runtime
+// and experiment layers consume. Call Validate first: Factory assumes a
+// valid spec and defers any remaining size checks to the constructors.
+func (s Spec) Factory() (func(h server.Host, seed int64) server.Protocol, error) {
+	rng := query.NewRange(s.Lo, s.Hi)
+	center := s.center()
+	tol := core.FractionTolerance{EpsPlus: s.EpsPlus, EpsMinus: s.EpsMinus}
+	switch s.Protocol {
+	case "no-filter":
+		return func(h server.Host, _ int64) server.Protocol {
+			return core.NewNoFilterRange(h, rng)
+		}, nil
+	case "zt-nrp":
+		return func(h server.Host, _ int64) server.Protocol {
+			return core.NewZTNRP(h, rng)
+		}, nil
+	case "ft-nrp":
+		sel := s.selection()
+		return func(h server.Host, seed int64) server.Protocol {
+			return core.NewFTNRP(h, rng, core.FTNRPConfig{Tol: tol, Selection: sel, Seed: seed})
+		}, nil
+	case "rtp":
+		rt := core.RankTolerance{K: s.K, R: s.R}
+		return func(h server.Host, _ int64) server.Protocol {
+			return core.NewRTP(h, center, rt)
+		}, nil
+	case "zt-rp":
+		k := s.K
+		return func(h server.Host, _ int64) server.Protocol {
+			return core.NewZTRP(h, center, k)
+		}, nil
+	case "ft-rp":
+		k, sel := s.K, s.selection()
+		return func(h server.Host, seed int64) server.Protocol {
+			fc := core.DefaultFTRPConfig(tol)
+			fc.Selection = sel
+			fc.Seed = seed
+			return core.NewFTRP(h, center, k, fc)
+		}, nil
+	case "vb-knn":
+		knn := query.KNN{Q: center, K: s.K}
+		width := s.Width
+		return func(h server.Host, _ int64) server.Protocol {
+			return core.NewVBKNN(h, knn, width)
+		}, nil
+	}
+	return nil, fmt.Errorf("protospec: unknown protocol %q", s.Protocol)
+}
+
+// Encode appends the spec to a wire payload. The field order is part of
+// the wire format (internal/wire's version covers it).
+func (s Spec) Encode(w *snapshot.Writer) {
+	w.String(s.Protocol)
+	w.Float64(s.Lo)
+	w.Float64(s.Hi)
+	w.Varint(int64(s.K))
+	w.Varint(int64(s.R))
+	w.Float64(s.Q)
+	w.Bool(s.Top)
+	w.Float64(s.EpsPlus)
+	w.Float64(s.EpsMinus)
+	w.Float64(s.Width)
+	w.String(s.Selection)
+}
+
+// Decode reads a spec written by Encode. Decoding is structural only —
+// callers must still Validate against the partition size; errors surface
+// through the Reader's sticky error.
+func Decode(r *snapshot.Reader) Spec {
+	var s Spec
+	s.Protocol = r.String()
+	s.Lo = r.Float64()
+	s.Hi = r.Float64()
+	s.K = int(r.Varint())
+	s.R = int(r.Varint())
+	s.Q = r.Float64()
+	s.Top = r.Bool()
+	s.EpsPlus = r.Float64()
+	s.EpsMinus = r.Float64()
+	s.Width = r.Float64()
+	s.Selection = r.String()
+	return s
+}

@@ -379,6 +379,11 @@ func (n *Node) Shards() int { return len(n.shards) }
 // TenantName returns tenant ti's label.
 func (n *Node) TenantName(ti int) string { return n.live(ti).name }
 
+// StreamCount returns the size of tenant ti's stream partition — the n
+// protocol parameters are validated against when a query is admitted onto
+// an already-running tenant (netserve's OpAddQuery path).
+func (n *Node) StreamCount(ti int) int { return n.live(ti).n() }
+
 // Start launches the shard loops. Each loop first runs the initialization
 // phase of every tenant pinned to it (so t0 setup parallelizes across
 // shards), then consumes routed batches until the context is cancelled or
@@ -531,6 +536,29 @@ func (n *Node) takeBuf(s int) ([]Event, error) {
 		return nil, n.ctx.Err()
 	}
 }
+
+// PendingBatches returns the deepest per-shard backlog: the largest number
+// of routed-but-unapplied batches queued on any shard's work channel. The
+// network serving plane reads it as its admission watermark — when the
+// deepest shard is a near-full queue behind, accepting more ingest would
+// only move the queueing from the node's bounded pools into unbounded
+// server memory, so netserve sheds or stalls instead. The figure is a
+// racy snapshot (shard loops drain concurrently), which is exactly what a
+// watermark wants: erring a batch late never breaks correctness, only
+// shifts when backpressure engages.
+func (n *Node) PendingBatches() int {
+	max := 0
+	for s := range n.shards {
+		if d := len(n.shards[s].work); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// QueueCap returns the per-shard work-queue capacity in batches — the
+// denominator PendingBatches is judged against when picking a watermark.
+func (n *Node) QueueCap() int { return n.cfg.queue() }
 
 // Drain blocks until every shard has applied all batches ingested so far
 // (including its initialization work). After Drain returns, tenant state

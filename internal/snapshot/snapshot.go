@@ -17,6 +17,13 @@
 // Errors are sticky: after the first failure every subsequent read returns
 // the zero value and Err()/Done() report the original cause, so decode code
 // can read a whole section and check once.
+//
+// The package also carries the varint primitives (Uvarint/Varint) the
+// network wire format (internal/wire) builds its frame payloads from, and
+// both Writer and Reader support Reset so frame codecs can reuse one
+// buffer per connection on the hot path. Node snapshots themselves stay
+// fixed-width: varints are a wire-density tool, not a snapshot encoding
+// change.
 package snapshot
 
 import (
@@ -41,8 +48,18 @@ type Writer struct {
 func NewWriter() *Writer { return &Writer{} }
 
 // Bytes returns the encoded snapshot. The slice aliases the Writer's
-// buffer; the Writer must not be reused after Bytes.
+// buffer; the Writer must not be written to again while the slice is in
+// use. After the bytes have been consumed (written to a socket, copied
+// out), Reset makes the Writer safe to reuse.
 func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reset truncates the buffer (keeping its capacity) and clears any sticky
+// error, making the Writer ready for a fresh encoding. Frame codecs call
+// it once per frame so steady-state encoding reuses one buffer.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.err = nil
+}
 
 // Fail records the first export error; later calls keep the original.
 func (w *Writer) Fail(err error) {
@@ -70,6 +87,17 @@ func (w *Writer) Int(v int) { w.Int64(int64(v)) }
 
 // Float64 appends the IEEE-754 bit pattern of v (NaNs survive bit-exactly).
 func (w *Writer) Float64(v float64) { w.Uint64(math.Float64bits(v)) }
+
+// Uvarint appends a variable-width unsigned integer (the wire format's
+// density primitive; node snapshots stay fixed-width).
+func (w *Writer) Uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// Varint appends a zigzag variable-width signed integer.
+func (w *Writer) Varint(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
 
 // Bool appends one byte: 1 for true, 0 for false.
 func (w *Writer) Bool(b bool) {
@@ -122,6 +150,16 @@ type Reader struct {
 // NewReader returns a Reader over data. The Reader does not copy data;
 // callers must not mutate it while decoding.
 func NewReader(data []byte) *Reader { return &Reader{buf: data} }
+
+// Reset re-points the Reader at data from offset zero and clears any
+// sticky error — the decoding analogue of Writer.Reset, so frame codecs
+// can decode one payload after another through a single Reader without
+// reallocating.
+func (r *Reader) Reset(data []byte) {
+	r.buf = data
+	r.off = 0
+	r.err = nil
+}
 
 // Err returns the first decoding error, or nil.
 func (r *Reader) Err() error { return r.err }
@@ -187,6 +225,35 @@ func (r *Reader) Int() int {
 
 // Float64 decodes an IEEE-754 bit pattern.
 func (r *Reader) Float64() float64 { return math.Float64frombits(r.Uint64()) }
+
+// Uvarint decodes a variable-width unsigned integer, failing on truncated
+// or overlong (more than 10 byte / 64 bit) encodings.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("invalid uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint decodes a zigzag variable-width signed integer.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("invalid varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
 
 // Bool decodes one byte, failing on values other than 0 or 1.
 func (r *Reader) Bool() bool {

@@ -1,6 +1,7 @@
 package snapshot
 
 import (
+	"fmt"
 	"math"
 	"testing"
 )
@@ -135,6 +136,136 @@ func TestInvalidBool(t *testing.T) {
 	}
 }
 
+// TestVarintRoundTrip covers the wire-format varint primitives across the
+// width boundaries and the sign extremes.
+func TestVarintRoundTrip(t *testing.T) {
+	uvals := []uint64{0, 1, 127, 128, 16383, 16384, 1<<32 - 1, 1 << 63, math.MaxUint64}
+	svals := []int64{0, 1, -1, 63, -64, 64, -65, math.MaxInt64, math.MinInt64}
+	w := NewWriter()
+	for _, v := range uvals {
+		w.Uvarint(v)
+	}
+	for _, v := range svals {
+		w.Varint(v)
+	}
+	r := NewReader(w.Bytes())
+	for _, v := range uvals {
+		if got := r.Uvarint(); got != v {
+			t.Fatalf("Uvarint = %d, want %d", got, v)
+		}
+	}
+	for _, v := range svals {
+		if got := r.Varint(); got != v {
+			t.Fatalf("Varint = %d, want %d", got, v)
+		}
+	}
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVarintTruncated checks cut-off and overlong varint encodings fail
+// instead of reading past the buffer.
+func TestVarintTruncated(t *testing.T) {
+	for name, data := range map[string][]byte{
+		"empty":     {},
+		"cut":       {0x80},
+		"cut-multi": {0xFF, 0xFF, 0xFF},
+		// 11 continuation bytes: longer than any valid 64-bit encoding.
+		"overlong": {0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80},
+	} {
+		r := NewReader(data)
+		if got := r.Uvarint(); got != 0 {
+			t.Fatalf("%s: truncated Uvarint = %d, want 0", name, got)
+		}
+		if r.Err() == nil {
+			t.Fatalf("%s: truncated uvarint accepted", name)
+		}
+		r.Reset(data)
+		r.Varint()
+		if r.Err() == nil {
+			t.Fatalf("%s: truncated varint accepted", name)
+		}
+	}
+}
+
+// TestWriterReset checks a Writer recycles its buffer across encodings and
+// that a sticky Fail stays sticky until — and only until — Reset.
+func TestWriterReset(t *testing.T) {
+	w := NewWriter()
+	w.String("first frame payload")
+	first := len(w.Bytes())
+	if first == 0 {
+		t.Fatal("nothing written")
+	}
+	w.Fail(errTest)
+	w.Uint64(7) // writes after Fail still append; the error is what sticks
+	if w.Err() != errTest {
+		t.Fatalf("Err = %v, want errTest", w.Err())
+	}
+	w.Fail(errOther)
+	if w.Err() != errTest {
+		t.Fatal("Fail overwrote the first error")
+	}
+
+	w.Reset()
+	if w.Err() != nil {
+		t.Fatalf("Err after Reset = %v, want nil", w.Err())
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", w.Len())
+	}
+	w.Uint64(42)
+	r := NewReader(w.Bytes())
+	if got := r.Uint64(); got != 42 || r.Done() != nil {
+		t.Fatalf("post-Reset round-trip = %d, err %v", got, r.Done())
+	}
+
+	// Steady-state reuse must not reallocate: the second identical encoding
+	// fits the first one's capacity.
+	w.Reset()
+	w.String("first frame payload")
+	if allocs := testing.AllocsPerRun(100, func() {
+		w.Reset()
+		w.String("first frame payload")
+	}); allocs != 0 {
+		t.Fatalf("Reset+rewrite allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestReaderReset checks Reset re-points a failed Reader at fresh data with
+// a clean error state, and that the pre-Reset failure was sticky.
+func TestReaderReset(t *testing.T) {
+	r := NewReader([]byte{1})
+	r.Uint64() // truncated
+	first := r.Err()
+	if first == nil {
+		t.Fatal("truncated read accepted")
+	}
+	r.Uint64()
+	if r.Err() != first {
+		t.Fatal("error not sticky before Reset")
+	}
+
+	w := NewWriter()
+	w.Uvarint(300)
+	r.Reset(w.Bytes())
+	if r.Err() != nil {
+		t.Fatalf("Err after Reset = %v, want nil", r.Err())
+	}
+	if got := r.Uvarint(); got != 300 {
+		t.Fatalf("Uvarint after Reset = %d, want 300", got)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var (
+	errTest  = fmt.Errorf("export failed")
+	errOther = fmt.Errorf("later failure")
+)
+
 // FuzzReader drives arbitrary bytes through every primitive in a fixed
 // rotation: decoding must never panic, and whatever error appears must be
 // sticky.
@@ -155,6 +286,8 @@ func FuzzReader(f *testing.F) {
 			r.Float64s()
 			r.Ints()
 			r.Bools()
+			r.Uvarint()
+			r.Varint()
 		}
 		first := r.Err()
 		r.Uint64()

@@ -1,0 +1,112 @@
+package wire_test
+
+import (
+	"bytes"
+	"testing"
+
+	"adaptivefilters/internal/protospec"
+	"adaptivefilters/internal/runtime"
+	"adaptivefilters/internal/snapshot"
+	"adaptivefilters/internal/wire"
+)
+
+// seedStream frames a sequence of representative payloads into one byte
+// stream — the shape an honest connection puts on the wire.
+func seedStream() []byte {
+	var buf bytes.Buffer
+	fw := wire.NewFrameWriter(&buf, 0)
+	wire.EncodeHello(fw.Begin(), 1)
+	fw.End()
+	wire.EncodeIngest(fw.Begin(), 2, []runtime.Event{{Tenant: 1, Stream: 3, Value: 42.5}})
+	fw.End()
+	wire.EncodeAddTenant(fw.Begin(), 3, wire.TenantSpec{
+		Name: "t", Initial: []float64{1, 2},
+		Spec: protospec.Spec{Protocol: "zt-nrp", Lo: 0, Hi: 2},
+	})
+	fw.End()
+	wire.EncodeReportReply(fw.Begin(), 4, wire.StatusOK, "", sampleReport())
+	fw.End()
+	wire.EncodeAck(fw.Begin(), wire.OpIngest, 2, wire.StatusOK, 0, "")
+	fw.End()
+	fw.Flush()
+	return buf.Bytes()
+}
+
+// decodeAny drives every body decoder the header's op selects — the exact
+// dispatch a server or client performs on an incoming frame. Decoders must
+// return errors on garbage, never panic.
+func decodeAny(r *snapshot.Reader) {
+	hdr, err := wire.DecodeHeader(r)
+	if err != nil {
+		return
+	}
+	switch hdr.Op {
+	case wire.OpHello:
+		wire.DecodeHello(r)
+	case wire.ReplyTo(wire.OpHello):
+		wire.DecodeHelloAck(r)
+	case wire.OpIngest:
+		wire.DecodeIngestInto(r, nil)
+	case wire.OpAddTenant:
+		if spec, err := wire.DecodeAddTenant(r); err == nil {
+			spec.Runtime()
+		}
+	case wire.OpAddQuery:
+		if _, q, err := wire.DecodeAddQuery(r); err == nil {
+			_ = q
+		}
+	case wire.OpRemoveTenant:
+		wire.DecodeRemoveTenant(r)
+	case wire.OpRemoveQuery:
+		wire.DecodeRemoveQuery(r)
+	case wire.ReplyTo(wire.OpReport):
+		wire.DecodeReportReply(r)
+	default:
+		if wire.IsReply(hdr.Op) {
+			wire.DecodeAck(r)
+		}
+	}
+	r.Done()
+}
+
+// FuzzFrame feeds arbitrary byte streams through the frame reader and the
+// full op dispatch: no input may panic or allocate beyond the frame bound.
+func FuzzFrame(f *testing.F) {
+	f.Add(seedStream())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{4, 0, 0, 0, 1, 1, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := wire.NewFrameReader(bytes.NewReader(data), 1<<16)
+		for {
+			r, err := fr.Next()
+			if err != nil {
+				return
+			}
+			decodeAny(r)
+		}
+	})
+}
+
+// FuzzWireReader aims the payload decoders directly at arbitrary bytes,
+// bypassing the frame layer, so corruption inside an intact frame is
+// covered too.
+func FuzzWireReader(f *testing.F) {
+	var payload snapshot.Writer
+	wire.EncodeIngest(&payload, 1, []runtime.Event{{Tenant: 1, Stream: 3, Value: 42.5}})
+	f.Add(payload.Bytes())
+	payload.Reset()
+	wire.EncodeReportReply(&payload, 2, wire.StatusOK, "", sampleReport())
+	f.Add(payload.Bytes())
+	payload.Reset()
+	wire.EncodeAddTenant(&payload, 3, wire.TenantSpec{
+		Name: "t", Initial: []float64{1, 2},
+		Spec: protospec.Spec{Protocol: "zt-nrp", Lo: 0, Hi: 2},
+	})
+	f.Add(payload.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decodeAny(snapshot.NewReader(data))
+	})
+}

@@ -1,0 +1,620 @@
+// Package wire is the network serving plane's binary protocol: the frame
+// format internal/netserve speaks on the server side and package client on
+// the client side (DESIGN.md §9).
+//
+// A frame is a 4-byte little-endian payload length followed by the
+// payload; a payload is an op code, a pipelining sequence number, and an
+// op-specific body, all encoded with internal/snapshot's primitives
+// (varints where density matters — stream ids, counts — and fixed64 for
+// float payloads, which must survive bit-exactly). Replies echo the
+// request's sequence number and set the high bit of its op code, so a
+// client may keep many requests in flight per connection and match acks
+// as they return.
+//
+// The codec is engineered as a hot path:
+//
+//   - FrameWriter and FrameReader own reusable payload buffers; encoding
+//     or decoding a steady-state ingest batch is 0 allocs/op (pinned by
+//     TestIngestCodecAllocs and the wire-codec rows of BENCH_suite.json).
+//   - Decoding never trusts input: lengths are validated against the
+//     bytes actually present before anything is allocated, oversized
+//     frames are refused at the header, and corrupt payloads surface as
+//     errors, never panics (FuzzFrame, FuzzWireReader).
+//
+// The correctness story is inherited from the runtime: everything a
+// client observes — answers, counters, event counts — travels as a
+// runtime.Report, and the report decoded off the wire must render
+// byte-identically to one built in-process (the byte-identity invariant
+// CI's wire job diffs at shards 1 and 4).
+package wire
+
+import (
+	"fmt"
+	"math"
+
+	"adaptivefilters/internal/protospec"
+	"adaptivefilters/internal/runtime"
+	"adaptivefilters/internal/snapshot"
+	"adaptivefilters/internal/stream"
+)
+
+// Magic and Version open every connection: the client's Hello carries
+// both, and the server refuses mismatches before reading anything else.
+// Version covers the whole frame grammar, op set and body layouts.
+const (
+	Magic   = "adaptivefilters/wire"
+	Version = 1
+)
+
+// DefaultMaxFrame bounds a frame payload (8 MiB ≈ 500k-event batches):
+// large enough for any sane ingest batch or report, small enough that a
+// corrupt or hostile length prefix cannot make a peer allocate without
+// bound.
+const DefaultMaxFrame = 8 << 20
+
+// Op codes. Replies set replyBit on the request's op.
+const (
+	// OpHello opens a connection: magic, version.
+	OpHello byte = 1
+	// OpIngest carries one event batch.
+	OpIngest byte = 2
+	// OpDrain asks the node to apply everything ingested so far.
+	OpDrain byte = 3
+	// OpReport asks for the node's runtime.Report.
+	OpReport byte = 4
+	// OpAddTenant admits a tenant described by a wire TenantSpec.
+	OpAddTenant byte = 5
+	// OpRemoveTenant evicts a tenant slot.
+	OpRemoveTenant byte = 6
+	// OpAddQuery admits a standing query onto a multi-query tenant.
+	OpAddQuery byte = 7
+	// OpRemoveQuery evicts a query slot.
+	OpRemoveQuery byte = 8
+	// OpShutdown asks the server to stop serving (acked first).
+	OpShutdown byte = 9
+
+	replyBit byte = 0x80
+)
+
+// Reply statuses.
+const (
+	// StatusOK acknowledges an applied request.
+	StatusOK byte = 0
+	// StatusShed rejects an ingest batch under backpressure: the node's
+	// deepest shard backlog crossed the server's watermark and the batch
+	// was dropped on admission. The events were NOT applied; an open-loop
+	// client records the shed and moves on, a closed-loop client may
+	// retry after backing off.
+	StatusShed byte = 1
+	// StatusError reports a failed request; the ack's Msg says why.
+	StatusError byte = 2
+)
+
+// ReplyTo returns the reply op for a request op.
+func ReplyTo(op byte) byte { return op | replyBit }
+
+// IsReply reports whether op is a reply code.
+func IsReply(op byte) bool { return op&replyBit != 0 }
+
+// RequestOf strips the reply bit.
+func RequestOf(op byte) byte { return op &^ replyBit }
+
+// Header is the (op, seq) pair opening every payload.
+type Header struct {
+	Op  byte
+	Seq uint64
+}
+
+// EncodeHeader begins a payload.
+func EncodeHeader(p *snapshot.Writer, op byte, seq uint64) {
+	p.Uvarint(uint64(op))
+	p.Uvarint(seq)
+}
+
+// DecodeHeader reads a payload's (op, seq).
+func DecodeHeader(r *snapshot.Reader) (Header, error) {
+	op := r.Uvarint()
+	seq := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return Header{}, err
+	}
+	if op == 0 || op > 0xFF {
+		return Header{}, fmt.Errorf("wire: invalid op code %d", op)
+	}
+	return Header{Op: byte(op), Seq: seq}, nil
+}
+
+// wireInt decodes a non-negative int, failing on values that overflow the
+// platform's int instead of wrapping negative.
+func wireInt(r *snapshot.Reader, what string) (int, error) {
+	v := r.Uvarint()
+	if r.Err() != nil {
+		return 0, r.Err()
+	}
+	if v > math.MaxInt64 || int64(int(int64(v))) != int64(v) {
+		return 0, fmt.Errorf("wire: %s %d overflows int", what, v)
+	}
+	return int(v), nil
+}
+
+// --- Hello ---
+
+// EncodeHello writes the connection-opening request.
+func EncodeHello(p *snapshot.Writer, seq uint64) {
+	EncodeHeader(p, OpHello, seq)
+	p.String(Magic)
+	p.Uvarint(Version)
+}
+
+// DecodeHello validates a Hello body and returns the peer's version.
+func DecodeHello(r *snapshot.Reader) (uint64, error) {
+	magic := r.String()
+	version := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	if magic != Magic {
+		return 0, fmt.Errorf("wire: bad magic %q", magic)
+	}
+	if version != Version {
+		return 0, fmt.Errorf("wire: peer speaks version %d, this build speaks %d", version, Version)
+	}
+	return version, nil
+}
+
+// HelloAck is the server's connection greeting.
+type HelloAck struct {
+	Ack
+	// Version is the server's wire version.
+	Version uint64
+	// Shards and Tenants describe the node behind the server.
+	Shards  int
+	Tenants int
+}
+
+// EncodeHelloAck writes the greeting reply.
+func EncodeHelloAck(p *snapshot.Writer, seq uint64, shards, tenants int) {
+	EncodeHeader(p, ReplyTo(OpHello), seq)
+	encodeAckBody(p, StatusOK, 0, "")
+	p.Uvarint(Version)
+	p.Uvarint(uint64(shards))
+	p.Uvarint(uint64(tenants))
+}
+
+// DecodeHelloAck reads the greeting reply body.
+func DecodeHelloAck(r *snapshot.Reader) (HelloAck, error) {
+	var h HelloAck
+	var err error
+	if h.Ack, err = DecodeAck(r); err != nil {
+		return HelloAck{}, err
+	}
+	if h.Ack.Status != StatusOK {
+		return h, nil
+	}
+	h.Version = r.Uvarint()
+	if h.Shards, err = wireInt(r, "shard count"); err != nil {
+		return HelloAck{}, err
+	}
+	if h.Tenants, err = wireInt(r, "tenant count"); err != nil {
+		return HelloAck{}, err
+	}
+	return h, nil
+}
+
+// --- Ingest ---
+
+// eventWireMin is the smallest encoded event (1-byte tenant, 1-byte
+// stream, 8-byte value); decode bounds counts with it.
+const eventWireMin = 10
+
+// EncodeIngest writes one event batch. Tenant and stream ids ride as
+// varints (tenant ids are small; stream ids fit 2 bytes for n < 16384),
+// values as fixed64 bit patterns. Steady-state cost: 0 allocs.
+func EncodeIngest(p *snapshot.Writer, seq uint64, events []runtime.Event) {
+	EncodeHeader(p, OpIngest, seq)
+	p.Uvarint(uint64(len(events)))
+	for i := range events {
+		ev := &events[i]
+		p.Uvarint(uint64(ev.Tenant))
+		p.Uvarint(uint64(ev.Stream))
+		p.Float64(ev.Value)
+	}
+}
+
+// DecodeIngestInto appends a batch's events to dst (pass a reused slice
+// sliced to zero length; steady-state decoding allocates nothing once the
+// slice has grown to the working batch size). The event count is bounds-
+// checked against the payload before anything is appended.
+func DecodeIngestInto(r *snapshot.Reader, dst []runtime.Event) ([]runtime.Event, error) {
+	count := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return dst, err
+	}
+	if count > uint64(r.Remaining())/eventWireMin {
+		return dst, fmt.Errorf("wire: ingest count %d exceeds payload (%d bytes left)",
+			count, r.Remaining())
+	}
+	for i := uint64(0); i < count; i++ {
+		tenant, err := wireInt(r, "tenant id")
+		if err != nil {
+			return dst, err
+		}
+		strm, err := wireInt(r, "stream id")
+		if err != nil {
+			return dst, err
+		}
+		v := r.Float64()
+		if err := r.Err(); err != nil {
+			return dst, err
+		}
+		dst = append(dst, runtime.Event{Tenant: tenant, Stream: stream.ID(strm), Value: v})
+	}
+	return dst, nil
+}
+
+// --- Simple requests ---
+
+// EncodeDrain writes a drain-barrier request.
+func EncodeDrain(p *snapshot.Writer, seq uint64) { EncodeHeader(p, OpDrain, seq) }
+
+// EncodeReportReq asks for the node's report.
+func EncodeReportReq(p *snapshot.Writer, seq uint64) { EncodeHeader(p, OpReport, seq) }
+
+// EncodeShutdown asks the server to stop serving.
+func EncodeShutdown(p *snapshot.Writer, seq uint64) { EncodeHeader(p, OpShutdown, seq) }
+
+// EncodeRemoveTenant writes a tenant-eviction request.
+func EncodeRemoveTenant(p *snapshot.Writer, seq uint64, ti int) {
+	EncodeHeader(p, OpRemoveTenant, seq)
+	p.Uvarint(uint64(ti))
+}
+
+// DecodeRemoveTenant reads the eviction body.
+func DecodeRemoveTenant(r *snapshot.Reader) (int, error) {
+	return wireInt(r, "tenant id")
+}
+
+// EncodeRemoveQuery writes a query-eviction request.
+func EncodeRemoveQuery(p *snapshot.Writer, seq uint64, ti, qi int) {
+	EncodeHeader(p, OpRemoveQuery, seq)
+	p.Uvarint(uint64(ti))
+	p.Uvarint(uint64(qi))
+}
+
+// DecodeRemoveQuery reads the query-eviction body.
+func DecodeRemoveQuery(r *snapshot.Reader) (ti, qi int, err error) {
+	if ti, err = wireInt(r, "tenant id"); err != nil {
+		return 0, 0, err
+	}
+	if qi, err = wireInt(r, "query slot"); err != nil {
+		return 0, 0, err
+	}
+	return ti, qi, nil
+}
+
+// --- Lifecycle specs ---
+
+// QuerySpec is one standing query of a wire tenant spec.
+type QuerySpec struct {
+	Name string
+	Spec protospec.Spec
+}
+
+// TenantSpec is the wire form of runtime.TenantSpec: declarative protocol
+// specs instead of factories, so it can cross the process boundary. A
+// single-query tenant sets Spec; a multi-query tenant sets Queries.
+type TenantSpec struct {
+	Name    string
+	Initial []float64
+	Spec    protospec.Spec
+	Queries []QuerySpec
+}
+
+// Runtime validates the spec and compiles it to the factory form
+// runtime.Node admits. Untrusted input stops here: protocol parameters
+// the constructors would panic on come back as errors.
+func (t TenantSpec) Runtime() (runtime.TenantSpec, error) {
+	if len(t.Initial) == 0 {
+		return runtime.TenantSpec{}, fmt.Errorf("wire: tenant %q has an empty stream partition", t.Name)
+	}
+	for s, v := range t.Initial {
+		if math.IsNaN(v) {
+			return runtime.TenantSpec{}, fmt.Errorf("wire: tenant %q initial value for stream %d is NaN", t.Name, s)
+		}
+	}
+	spec := runtime.TenantSpec{Name: t.Name, Initial: t.Initial}
+	if len(t.Queries) == 0 {
+		if err := t.Spec.Validate(len(t.Initial)); err != nil {
+			return runtime.TenantSpec{}, err
+		}
+		build, err := t.Spec.Factory()
+		if err != nil {
+			return runtime.TenantSpec{}, err
+		}
+		spec.NewProtocol = build
+		return spec, nil
+	}
+	spec.Queries = make([]runtime.QuerySpec, len(t.Queries))
+	for qi, qs := range t.Queries {
+		if err := qs.Spec.Validate(len(t.Initial)); err != nil {
+			return runtime.TenantSpec{}, fmt.Errorf("query %d: %w", qi, err)
+		}
+		build, err := qs.Spec.Factory()
+		if err != nil {
+			return runtime.TenantSpec{}, fmt.Errorf("query %d: %w", qi, err)
+		}
+		spec.Queries[qi] = runtime.QuerySpec{Name: qs.Name, NewProtocol: build}
+	}
+	return spec, nil
+}
+
+// EncodeAddTenant writes a tenant-admission request.
+func EncodeAddTenant(p *snapshot.Writer, seq uint64, t TenantSpec) {
+	EncodeHeader(p, OpAddTenant, seq)
+	p.String(t.Name)
+	p.Float64s(t.Initial)
+	p.Bool(len(t.Queries) > 0)
+	if len(t.Queries) == 0 {
+		t.Spec.Encode(p)
+		return
+	}
+	p.Uvarint(uint64(len(t.Queries)))
+	for _, q := range t.Queries {
+		p.String(q.Name)
+		q.Spec.Encode(p)
+	}
+}
+
+// DecodeAddTenant reads a tenant-admission body. Structural decode only;
+// Runtime() performs the semantic validation.
+func DecodeAddTenant(r *snapshot.Reader) (TenantSpec, error) {
+	var t TenantSpec
+	t.Name = r.String()
+	t.Initial = r.Float64s()
+	multi := r.Bool()
+	if err := r.Err(); err != nil {
+		return TenantSpec{}, err
+	}
+	if !multi {
+		t.Spec = protospec.Decode(r)
+		return t, r.Err()
+	}
+	count := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return TenantSpec{}, err
+	}
+	// A query spec encodes to well over 8 bytes; 8 is a safe per-element
+	// floor for bounding the count against the payload.
+	if count > uint64(r.Remaining())/8 {
+		return TenantSpec{}, fmt.Errorf("wire: query count %d exceeds payload", count)
+	}
+	t.Queries = make([]QuerySpec, count)
+	for qi := range t.Queries {
+		t.Queries[qi].Name = r.String()
+		t.Queries[qi].Spec = protospec.Decode(r)
+		if err := r.Err(); err != nil {
+			return TenantSpec{}, err
+		}
+	}
+	return t, nil
+}
+
+// EncodeAddQuery writes a query-admission request for tenant ti.
+func EncodeAddQuery(p *snapshot.Writer, seq uint64, ti int, q QuerySpec) {
+	EncodeHeader(p, OpAddQuery, seq)
+	p.Uvarint(uint64(ti))
+	p.String(q.Name)
+	q.Spec.Encode(p)
+}
+
+// DecodeAddQuery reads a query-admission body.
+func DecodeAddQuery(r *snapshot.Reader) (int, QuerySpec, error) {
+	ti, err := wireInt(r, "tenant id")
+	if err != nil {
+		return 0, QuerySpec{}, err
+	}
+	var q QuerySpec
+	q.Name = r.String()
+	q.Spec = protospec.Decode(r)
+	return ti, q, r.Err()
+}
+
+// --- Acks ---
+
+// Ack is the generic reply body: a status, an op-specific value (the slot
+// id for admissions, 0 elsewhere) and an error message when Status is
+// StatusError.
+type Ack struct {
+	Status byte
+	Value  uint64
+	Msg    string
+}
+
+func encodeAckBody(p *snapshot.Writer, status byte, value uint64, msg string) {
+	p.Uvarint(uint64(status))
+	p.Uvarint(value)
+	p.String(msg)
+}
+
+// EncodeAck writes the reply to request (op, seq). Steady-state ingest
+// acks (StatusOK, empty msg) cost 0 allocs.
+func EncodeAck(p *snapshot.Writer, op byte, seq uint64, status byte, value uint64, msg string) {
+	EncodeHeader(p, ReplyTo(op), seq)
+	encodeAckBody(p, status, value, msg)
+}
+
+// DecodeAck reads a generic reply body.
+func DecodeAck(r *snapshot.Reader) (Ack, error) {
+	status := r.Uvarint()
+	value := r.Uvarint()
+	msg := r.String()
+	if err := r.Err(); err != nil {
+		return Ack{}, err
+	}
+	if status > uint64(StatusError) {
+		return Ack{}, fmt.Errorf("wire: unknown ack status %d", status)
+	}
+	return Ack{Status: byte(status), Value: value, Msg: msg}, nil
+}
+
+// Err converts an error ack into a Go error (nil for OK/shed acks).
+func (a Ack) Err() error {
+	if a.Status == StatusError {
+		return fmt.Errorf("wire: remote error: %s", a.Msg)
+	}
+	return nil
+}
+
+// --- Report ---
+
+const (
+	tenantAlive byte = 1 << 0
+	tenantMulti byte = 1 << 1
+)
+
+// EncodeReportReply writes a report reply. Pass a nil report with a
+// non-OK status for error replies.
+func EncodeReportReply(p *snapshot.Writer, seq uint64, status byte, msg string, rep *runtime.Report) {
+	EncodeHeader(p, ReplyTo(OpReport), seq)
+	encodeAckBody(p, status, 0, msg)
+	if status != StatusOK {
+		return
+	}
+	p.Uvarint(uint64(len(rep.Tenants)))
+	for i := range rep.Tenants {
+		t := &rep.Tenants[i]
+		var flags byte
+		if t.Alive {
+			flags |= tenantAlive
+		}
+		if t.MultiQuery {
+			flags |= tenantMulti
+		}
+		p.Uvarint(uint64(flags))
+		if !t.Alive {
+			continue
+		}
+		p.String(t.Name)
+		p.Uvarint(t.Events)
+		t.Counter.ExportState(p)
+		if !t.MultiQuery {
+			encodeAnswer(p, t.Answer)
+			continue
+		}
+		p.Uvarint(uint64(len(t.Queries)))
+		for qi := range t.Queries {
+			q := &t.Queries[qi]
+			p.Bool(q.Alive)
+			if !q.Alive {
+				continue
+			}
+			p.String(q.Name)
+			encodeAnswer(p, q.Answer)
+		}
+	}
+	rep.Totals.ExportState(p)
+}
+
+func encodeAnswer(p *snapshot.Writer, ids []stream.ID) {
+	p.Uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		p.Uvarint(uint64(id))
+	}
+}
+
+func decodeAnswer(r *snapshot.Reader) ([]stream.ID, error) {
+	count := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if count > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("wire: answer length %d exceeds payload", count)
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	ids := make([]stream.ID, count)
+	for i := range ids {
+		id, err := wireInt(r, "stream id")
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = stream.ID(id)
+	}
+	return ids, nil
+}
+
+// DecodeReportReply reads a report reply. For non-OK statuses the report
+// is nil and the ack carries the story.
+func DecodeReportReply(r *snapshot.Reader) (*runtime.Report, Ack, error) {
+	ack, err := DecodeAck(r)
+	if err != nil {
+		return nil, Ack{}, err
+	}
+	if ack.Status != StatusOK {
+		return nil, ack, nil
+	}
+	count := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, ack, err
+	}
+	if count > uint64(r.Remaining()) {
+		return nil, ack, fmt.Errorf("wire: tenant count %d exceeds payload", count)
+	}
+	rep := &runtime.Report{Tenants: make([]runtime.TenantReport, count)}
+	for i := range rep.Tenants {
+		t := &rep.Tenants[i]
+		flags := r.Uvarint()
+		if err := r.Err(); err != nil {
+			return nil, ack, err
+		}
+		if flags&^uint64(tenantAlive|tenantMulti) != 0 {
+			return nil, ack, fmt.Errorf("wire: unknown tenant flags %#x", flags)
+		}
+		if flags&uint64(tenantAlive) == 0 {
+			if flags&uint64(tenantMulti) != 0 {
+				return nil, ack, fmt.Errorf("wire: removed tenant %d carries the multi-query flag", i)
+			}
+			continue
+		}
+		t.Alive = true
+		t.Name = r.String()
+		t.Events = r.Uvarint()
+		if err := t.Counter.ImportState(r); err != nil {
+			return nil, ack, err
+		}
+		if flags&uint64(tenantMulti) == 0 {
+			if t.Answer, err = decodeAnswer(r); err != nil {
+				return nil, ack, err
+			}
+			continue
+		}
+		t.MultiQuery = true
+		qcount := r.Uvarint()
+		if err := r.Err(); err != nil {
+			return nil, ack, err
+		}
+		if qcount > uint64(r.Remaining()) {
+			return nil, ack, fmt.Errorf("wire: query count %d exceeds payload", qcount)
+		}
+		t.Queries = make([]runtime.QueryReport, qcount)
+		for qi := range t.Queries {
+			q := &t.Queries[qi]
+			q.Alive = r.Bool()
+			if r.Err() != nil {
+				return nil, ack, r.Err()
+			}
+			if !q.Alive {
+				continue
+			}
+			q.Name = r.String()
+			if q.Answer, err = decodeAnswer(r); err != nil {
+				return nil, ack, err
+			}
+		}
+	}
+	if err := rep.Totals.ImportState(r); err != nil {
+		return nil, ack, err
+	}
+	return rep, ack, nil
+}
