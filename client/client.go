@@ -85,6 +85,8 @@ func (o Options) retryWait() time.Duration {
 type result struct {
 	ack    wire.Ack
 	report *runtime.Report
+	snap   []byte     // OpExportTenant payload
+	stats  wire.Stats // OpStats payload
 	err    error
 }
 
@@ -291,9 +293,14 @@ func (c *Client) readReplies(fr *wire.FrameReader) error {
 			return fmt.Errorf("client: reply (op=%d seq=%d) matches no request", hdr.Op, hdr.Seq)
 		}
 		var res result
-		if cl.op == wire.OpReport {
+		switch cl.op {
+		case wire.OpReport:
 			res.report, res.ack, res.err = wire.DecodeReportReply(r)
-		} else {
+		case wire.OpExportTenant:
+			res.snap, res.ack, res.err = wire.DecodeExportTenantReply(r)
+		case wire.OpStats:
+			res.stats, res.ack, res.err = wire.DecodeStatsReply(r)
+		default:
 			res.ack, res.err = wire.DecodeAck(r)
 		}
 		if res.err != nil {
@@ -484,6 +491,45 @@ func (c *Client) RemoveQuery(ti, qi int) error {
 		wire.EncodeRemoveQuery(p, seq, ti, qi)
 	})
 	return err
+}
+
+// AddTenantLabeled admits a tenant under an explicit seed label and
+// returns its slot id — the cluster placement layer's admission, which
+// pins a tenant's randomness to its global id rather than the member's
+// local counter.
+func (c *Client) AddTenantLabeled(spec wire.TenantSpec, label int64) (int, error) {
+	res, err := c.roundTrip(wire.OpAddTenantLabeled, func(p *snapshot.Writer, seq uint64) {
+		wire.EncodeAddTenantLabeled(p, seq, label, spec)
+	})
+	return int(res.ack.Value), err
+}
+
+// ExportTenant captures tenant ti's migration snapshot (the node drains
+// first, so the bytes reflect every batch ingested before the call).
+func (c *Client) ExportTenant(ti int) ([]byte, error) {
+	res, err := c.roundTrip(wire.OpExportTenant, func(p *snapshot.Writer, seq uint64) {
+		wire.EncodeExportTenant(p, seq, ti)
+	})
+	return res.snap, err
+}
+
+// ImportTenant restores a tenant from an ExportTenant record and returns
+// its new local slot id; spec must describe the exported tenant (see
+// runtime.Node.ImportTenant).
+func (c *Client) ImportTenant(spec wire.TenantSpec, snap []byte) (int, error) {
+	res, err := c.roundTrip(wire.OpImportTenant, func(p *snapshot.Writer, seq uint64) {
+		wire.EncodeImportTenant(p, seq, spec, snap)
+	})
+	return int(res.ack.Value), err
+}
+
+// NodeStats returns the server node's load figures — the rebalancer's
+// placement signal.
+func (c *Client) NodeStats() (wire.Stats, error) {
+	res, err := c.roundTrip(wire.OpStats, func(p *snapshot.Writer, seq uint64) {
+		wire.EncodeStatsReq(p, seq)
+	})
+	return res.stats, err
 }
 
 // Shutdown asks the server to stop, waits for the ack, then closes the

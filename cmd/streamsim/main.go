@@ -36,6 +36,7 @@ import (
 	"adaptivefilters/internal/comm"
 	"adaptivefilters/internal/core"
 	"adaptivefilters/internal/experiment"
+	"adaptivefilters/internal/protospec"
 	"adaptivefilters/internal/query"
 	"adaptivefilters/internal/runtime"
 	"adaptivefilters/internal/server"
@@ -78,6 +79,9 @@ func main() {
 		snapEvery = flag.Int("snapshot-every", 0, "take a barrier-consistent node snapshot about every N ingested events (-tenants mode; 0 = off)")
 		snapFile  = flag.String("snapshot-file", "streamsim.snap", "file the latest -snapshot-every snapshot is written to")
 		restore   = flag.String("restore", "", "resume from a node snapshot file instead of starting fresh (-tenants mode; pass the same workload/protocol flags as the snapshotting run)")
+		clusterN  = flag.Int("cluster", 0, "host the tenants on this many in-process cluster members behind a consistent-hash router instead of one node (0 = off); answers stay byte-identical to a single node at any member count")
+		migEvery  = flag.Int("migrate-every", 0, "with -cluster, force a round-robin live tenant migration about every N ingested events (0 = no forced migrations)")
+		readyFile = flag.String("ready-file", "", "with -listen, write the resolved listen address to this file once the server is accepting (scripts poll it instead of sleeping)")
 		listen    = flag.String("listen", "", "serve the configured node over TCP on this address (e.g. :7070) instead of ingesting locally")
 		connect   = flag.String("connect", "", "drive a -listen process at this address with the configured workload instead of hosting a node")
 		rate      = flag.Float64("rate", 0, "open-loop target ingest rate in events/sec for -connect (0 = unpaced)")
@@ -103,8 +107,9 @@ func main() {
 		N: *n, Events: *events, Batch: *batch,
 		CheckEvery: *every, SnapEvery: *snapEvery, Restore: *restore,
 		Proto: *proto, K: *k, R: *r, Width: *width, EpsPlus: ep, EpsMinus: em,
+		Cluster: *clusterN, MigrateEvery: *migEvery,
 		Listen: *listen, Connect: *connect, Rate: *rate,
-		LatencyOut: *latOut, Shutdown: *shutdownR,
+		LatencyOut: *latOut, Shutdown: *shutdownR, ReadyFile: *readyFile,
 	}
 	if err := params.validate(); err != nil {
 		fail("%v", err)
@@ -232,8 +237,25 @@ func main() {
 		}
 		return mk(qrng, qcenter)
 	}
+	// declQuery is buildQuery's declarative twin: the same query-j shift,
+	// compiled into a protospec the cluster's migration plane can serialize.
+	// protospec.Spec.Factory constructs protocols exactly as mk does, so the
+	// two forms are interchangeable bit for bit.
+	declQuery := func(j int) protospec.Spec {
+		span := *hi - *lo
+		shift := float64(j) * span / 4
+		s := protospec.Spec{
+			Protocol: *proto, Lo: *lo + shift, Hi: *hi + shift,
+			K: *k, R: *r, Q: *qpoint + float64(j)*span/8, Top: *top,
+			EpsPlus: ep, EpsMinus: em, Width: *width,
+		}
+		if selection == core.SelectRandom {
+			s.Selection = protospec.SelectRandom
+		}
+		return s
+	}
 
-	if params.wireMode() || tenantsMode {
+	if params.wireMode() || tenantsMode || params.clusterMode() {
 		if *check {
 			fmt.Fprintln(os.Stderr, "streamsim: -check is ignored in -tenants and wire modes")
 		}
@@ -245,11 +267,13 @@ func main() {
 		var err error
 		switch {
 		case *listen != "":
-			err = runListen(*listen, cfg, mkWorkload, build, buildQuery)
+			err = runListen(*listen, *readyFile, cfg, mkWorkload, build, buildQuery)
 		case *connect != "":
 			err = runConnect(*connect, cfg,
 				wireDrive{rate: *rate, latOut: *latOut, shutdown: *shutdownR},
 				mkWorkload, build, buildQuery)
+		case *clusterN > 0:
+			err = runClusterSim(cfg, *clusterN, *migEvery, mkWorkload, declQuery)
 		default:
 			err = runTenants(cfg, mkWorkload, build, buildQuery)
 		}

@@ -19,10 +19,12 @@ type simParams struct {
 	K, R                     int
 	Width                    float64
 	EpsPlus, EpsMinus        float64 // resolved: -eps overridden by -eps-plus/-eps-minus
+	Cluster, MigrateEvery    int
 	Listen, Connect          string
 	Rate                     float64
 	LatencyOut               string
 	Shutdown                 bool
+	ReadyFile                string
 }
 
 // tenantsMode reports whether the run hosts a runtime.Node: more than one
@@ -31,6 +33,9 @@ func (p simParams) tenantsMode() bool { return p.Tenants > 1 || p.Queries > 1 }
 
 // wireMode reports whether the run is a serving-plane endpoint.
 func (p simParams) wireMode() bool { return p.Listen != "" || p.Connect != "" }
+
+// clusterMode reports whether the run hosts a multi-member cluster.
+func (p simParams) clusterMode() bool { return p.Cluster > 0 }
 
 // validate returns the first violated flag constraint. The protocol
 // checks mirror the constructors' own panics.
@@ -56,12 +61,26 @@ func (p simParams) validate() error {
 		return fmt.Errorf("-snapshot-every and -restore need -tenants mode (pass -tenants > 1 or -queries > 1)")
 	}
 	switch {
+	case p.Cluster < 0:
+		return fmt.Errorf("-cluster must be non-negative, got %d", p.Cluster)
+	case p.MigrateEvery < 0:
+		return fmt.Errorf("-migrate-every must be non-negative, got %d", p.MigrateEvery)
+	case p.MigrateEvery > 0 && !p.clusterMode():
+		return fmt.Errorf("-migrate-every needs -cluster")
+	case p.clusterMode() && p.wireMode():
+		return fmt.Errorf("-cluster hosts in-process members; it is mutually exclusive with -listen/-connect")
+	case p.clusterMode() && (p.SnapEvery > 0 || p.Restore != ""):
+		return fmt.Errorf("node snapshots belong to single-node runs; migration already snapshots per tenant, so drop -snapshot-every/-restore from -cluster runs")
+	}
+	switch {
 	case p.Listen != "" && p.Connect != "":
 		return fmt.Errorf("-listen and -connect are mutually exclusive: a process is one end of the wire")
 	case p.Rate < 0:
 		return fmt.Errorf("-rate must be non-negative, got %g", p.Rate)
 	case (p.Rate > 0 || p.LatencyOut != "" || p.Shutdown) && p.Connect == "":
 		return fmt.Errorf("-rate, -latency-out and -shutdown need -connect")
+	case p.ReadyFile != "" && p.Listen == "":
+		return fmt.Errorf("-ready-file needs -listen")
 	case p.wireMode() && (p.SnapEvery > 0 || p.Restore != ""):
 		return fmt.Errorf("snapshots are driven by the node owner's local flags, not over the wire; drop -snapshot-every/-restore from -listen/-connect runs")
 	}

@@ -30,6 +30,17 @@ func TestValidateAcceptsDefaults(t *testing.T) {
 	if err := p.validate(); err != nil {
 		t.Fatal(err)
 	}
+	// Cluster mode with forced migrations, and a listener with a ready file.
+	p = okParams()
+	p.Tenants, p.Cluster, p.MigrateEvery = 4, 3, 1000
+	if err := p.validate(); err != nil {
+		t.Fatal(err)
+	}
+	p = okParams()
+	p.Tenants, p.Listen, p.ReadyFile = 4, ":0", "addr.txt"
+	if err := p.validate(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestValidateRejects(t *testing.T) {
@@ -55,6 +66,13 @@ func TestValidateRejects(t *testing.T) {
 		{"latency-out-without-connect", func(p *simParams) { p.LatencyOut = "l.json" }, "need -connect"},
 		{"shutdown-without-connect", func(p *simParams) { p.Shutdown = true }, "need -connect"},
 		{"snapshot-over-wire", func(p *simParams) { p.Tenants, p.Listen, p.SnapEvery = 2, ":1", 100 }, "not over the wire"},
+		{"negative-cluster", func(p *simParams) { p.Cluster = -1 }, "-cluster"},
+		{"negative-migrate-every", func(p *simParams) { p.MigrateEvery = -1 }, "-migrate-every"},
+		{"migrate-without-cluster", func(p *simParams) { p.MigrateEvery = 1000 }, "needs -cluster"},
+		{"cluster-and-listen", func(p *simParams) { p.Cluster, p.Listen = 2, ":1" }, "mutually exclusive"},
+		{"cluster-and-connect", func(p *simParams) { p.Cluster, p.Connect = 2, ":1" }, "mutually exclusive"},
+		{"cluster-and-snapshot", func(p *simParams) { p.Tenants, p.Cluster, p.SnapEvery = 2, 2, 100 }, "-cluster runs"},
+		{"ready-file-without-listen", func(p *simParams) { p.ReadyFile = "addr.txt" }, "-ready-file needs -listen"},
 		{"bad-tolerance", func(p *simParams) { p.EpsMinus = -0.5 }, "fraction tolerance"},
 		{"rtp-bad-rank", func(p *simParams) { p.Proto, p.K, p.R = "rtp", 900, 200 }, "rtp needs"},
 		{"zt-rp-bad-k", func(p *simParams) { p.Proto, p.K = "zt-rp", 0 }, "zt-rp needs"},

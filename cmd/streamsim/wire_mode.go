@@ -66,10 +66,12 @@ func buildSpecs(cfg tenantsConfig,
 
 // runListen hosts the configured node behind a TCP front end and serves
 // until a client's -shutdown request or SIGINT. The resolved address is
-// printed first (so -listen :0 runs are scriptable), and with -answers the
-// node's final local dump is written after serving stops — byte-comparable
-// against both an in-process run and a report fetched over the wire.
-func runListen(addr string, cfg tenantsConfig,
+// printed first (so -listen :0 runs are scriptable); with -ready-file it is
+// also written to a file once the listener is accepting, so scripts can
+// poll for readiness instead of sleeping. With -answers the node's final
+// local dump is written after serving stops — byte-comparable against both
+// an in-process run and a report fetched over the wire.
+func runListen(addr, readyFile string, cfg tenantsConfig,
 	mkWorkload func(int64) (workload.Workload, error),
 	build func(c server.Host, seed int64) server.Protocol,
 	buildQuery func(j int) func(c server.Host, seed int64) server.Protocol) error {
@@ -100,6 +102,18 @@ func runListen(addr string, cfg tenantsConfig,
 	defer context.AfterFunc(ctx, s.Close)()
 	fmt.Printf("listening:  %s   tenants=%d queries/tenant=%d shards=%d\n",
 		s.Addr(), cfg.tenants, cfg.queries, node.Shards())
+	if readyFile != "" {
+		// Written after Serve: the listener accepts from this point on, so a
+		// reader that sees the file can connect without racing the server.
+		// Write-then-rename keeps partial reads impossible.
+		tmp := readyFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(s.Addr().String()+"\n"), 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, readyFile); err != nil {
+			return err
+		}
+	}
 	s.Wait()
 	// The driver goroutine has exited (Wait synchronizes with it), so the
 	// node is ours to inspect again.

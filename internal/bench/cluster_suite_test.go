@@ -1,0 +1,149 @@
+package bench_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"adaptivefilters/internal/cluster"
+	"adaptivefilters/internal/protospec"
+	"adaptivefilters/internal/runtime"
+	"adaptivefilters/internal/sim"
+	"adaptivefilters/internal/wire"
+)
+
+// clusterWireSpecs is benchSpecs in declarative form: the same tenant
+// names, initial values and protocol parameters, expressed as
+// wire.TenantSpecs so the cluster's migration plane can rebuild them.
+func clusterWireSpecs(tenants, streams int) []wire.TenantSpec {
+	specs := make([]wire.TenantSpec, tenants)
+	for i := range specs {
+		rng := sim.NewRNG(sim.DeriveSeed(1000, int64(i)))
+		initial := make([]float64, streams+i)
+		for s := range initial {
+			initial[s] = rng.Uniform(0, 1000)
+		}
+		specs[i] = wire.TenantSpec{Name: fmt.Sprintf("q%d", i), Initial: initial}
+		if i%2 == 0 {
+			specs[i].Spec = protospec.Spec{Protocol: "ft-nrp", Lo: 300, Hi: 700,
+				EpsPlus: 0.3, EpsMinus: 0.3, Selection: protospec.SelectRandom}
+		} else {
+			specs[i].Spec = protospec.Spec{Protocol: "rtp", Q: 500, K: 5, R: 3}
+		}
+	}
+	return specs
+}
+
+// startBenchCluster brings up `members` in-process nodes under one router
+// and admits the spec population.
+func startBenchCluster(b *testing.B, members, shards int, specs []wire.TenantSpec) (*cluster.Cluster, func()) {
+	b.Helper()
+	mems := make([]cluster.Member, members)
+	var nodes []*runtime.Node
+	for m := 0; m < members; m++ {
+		node, err := runtime.NewNodeLabeled(runtime.Config{Shards: shards, Seed: 42}, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := node.Start(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		nodes = append(nodes, node)
+		mems[m] = cluster.NewLocalMember(node)
+	}
+	c, err := cluster.New(cluster.Config{}, mems)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, spec := range specs {
+		if _, err := c.AddTenant(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := c.Drain(); err != nil {
+		b.Fatal(err)
+	}
+	return c, func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}
+}
+
+// BenchmarkClusterIngest measures the routed multi-tenant ingest path —
+// placement lookup → per-member batch split → member node ingest — at
+// member counts 1 and 3. The members=1 row prices the router layer itself
+// against multi-tenant-ingest; members=3 shows the fan-out.
+func BenchmarkClusterIngest(b *testing.B) {
+	const (
+		tenants   = 8
+		streams   = 200
+		perTenant = 2000
+		batchSize = 512
+	)
+	batches := benchBatches(benchSpecs(tenants, streams), perTenant, batchSize)
+	totalEvents := tenants * perTenant
+	for _, members := range []int{1, 3} {
+		members := members
+		b.Run(fmt.Sprintf("members=%d", members), func(b *testing.B) {
+			c, stop := startBenchCluster(b, members, 2, clusterWireSpecs(tenants, streams))
+			defer stop()
+			pass := func() {
+				for _, batch := range batches {
+					if err := c.Ingest(batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := c.Drain(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for i := 0; i < 4; i++ {
+				pass()
+			}
+			measure(b, fmt.Sprintf("cluster-ingest/members=%d", members),
+				totalEvents, true, pass)
+		})
+	}
+}
+
+// BenchmarkTenantMigration measures the migration pause: the drain-barrier
+// → export → import → cutover sequence a live tenant move costs while the
+// router is quiescent. One op is a round trip (two migrations), so the
+// figure is stable against placement. Snapshot encode/decode dominates;
+// allocations are inherent (the snapshot buffer), so the row is off the
+// ingest-path alloc gate.
+func BenchmarkTenantMigration(b *testing.B) {
+	const (
+		tenants   = 4
+		streams   = 400
+		perTenant = 2000
+		batchSize = 512
+	)
+	batches := benchBatches(benchSpecs(tenants, streams), perTenant, batchSize)
+	c, stop := startBenchCluster(b, 2, 2, clusterWireSpecs(tenants, streams))
+	defer stop()
+	for _, batch := range batches {
+		if err := c.Ingest(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := c.Drain(); err != nil {
+		b.Fatal(err)
+	}
+	home, err := c.MemberOf(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	away := 1 - home
+	roundTrip := func() {
+		if err := c.MigrateTenant(0, away); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.MigrateTenant(0, home); err != nil {
+			b.Fatal(err)
+		}
+	}
+	roundTrip()
+	measure(b, "tenant-migration/round-trip", 2, false, roundTrip)
+}

@@ -1,0 +1,513 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"adaptivefilters/internal/protospec"
+	"adaptivefilters/internal/runtime"
+	"adaptivefilters/internal/sim"
+	"adaptivefilters/internal/wire"
+)
+
+// This file holds the cluster analogue of the runtime's randomized-schedule
+// property test (ISSUE 8): a seeded generator interleaves Ingest / Drain /
+// AddTenant / RemoveTenant / AddQuery / RemoveQuery over a mixed population
+// of single- and multi-query tenants, and the cluster's Report().Text() —
+// the repository's one determinism currency — must be byte-identical to a
+// single node hosting every tenant, at member counts 1 and 3, with
+// randomized placements and a tenant migration forced at every drain
+// barrier. CI runs it under -race.
+
+const clusterSeed = 42
+
+type copKind int
+
+const (
+	copIngest copKind = iota
+	copDrain
+	copAdd
+	copRemove
+	copAddQuery
+	copRemoveQuery
+)
+
+type clusterOp struct {
+	kind   copKind
+	events []runtime.Event
+	spec   wire.TenantSpec
+	qspec  wire.QuerySpec
+	ti, qi int
+}
+
+// testSpec builds the declarative tenant spec for admission rank adm,
+// rotating through the protocols (including the RNG-bearing ones, whose
+// seed-label discipline is exactly what the property checks) and a
+// multi-query composite tenant.
+func testSpec(adm int, initial []float64) wire.TenantSpec {
+	t := wire.TenantSpec{Initial: initial}
+	switch adm % 6 {
+	case 0:
+		t.Spec = protospec.Spec{Protocol: "ft-nrp", Lo: 300, Hi: 700,
+			EpsPlus: 0.3, EpsMinus: 0.3, Selection: "random"}
+	case 1:
+		t.Spec = protospec.Spec{Protocol: "rtp", Q: 500, K: 4, R: 2}
+	case 2:
+		t.Queries = []wire.QuerySpec{testQuerySpec(0), testQuerySpec(1)}
+	case 3:
+		t.Spec = protospec.Spec{Protocol: "ft-rp", Q: 450, K: 5,
+			EpsPlus: 0.25, EpsMinus: 0.25}
+	case 4:
+		t.Spec = protospec.Spec{Protocol: "zt-rp", Q: 550, K: 3}
+	default:
+		t.Spec = protospec.Spec{Protocol: "zt-nrp", Lo: 250, Hi: 650}
+	}
+	return t
+}
+
+// testQuerySpec builds one standing-query spec for a composite tenant.
+func testQuerySpec(j int) wire.QuerySpec {
+	name := fmt.Sprintf("cq-%d", j)
+	switch j % 4 {
+	case 0:
+		return wire.QuerySpec{Name: name, Spec: protospec.Spec{Protocol: "ft-nrp",
+			Lo: 200 + 40*float64(j%4), Hi: 650, EpsPlus: 0.3, EpsMinus: 0.3, Selection: "random"}}
+	case 1:
+		return wire.QuerySpec{Name: name, Spec: protospec.Spec{Protocol: "rtp", Q: 480, K: 4, R: 2}}
+	case 2:
+		return wire.QuerySpec{Name: name, Spec: protospec.Spec{Protocol: "vb-knn", Q: 500, K: 3, Width: 60}}
+	default:
+		return wire.QuerySpec{Name: name, Spec: protospec.Spec{Protocol: "zt-nrp", Lo: 350, Hi: 800}}
+	}
+}
+
+// genClusterSchedule derives a deterministic operation schedule from seed,
+// tracking slot and query-slot liveness so every op is valid when it runs.
+func genClusterSchedule(seed int64, nOps int) (initial []wire.TenantSpec, ops []clusterOp) {
+	rng := sim.NewRNG(seed)
+	var walks [][]float64
+	var alive []bool
+	var qcount []int // query slots ever admitted; -1 for single-query tenants
+	admissions := 0
+	newSlot := func() wire.TenantSpec {
+		vals := make([]float64, 12+rng.Intn(6))
+		for i := range vals {
+			vals[i] = rng.Uniform(0, 1000)
+		}
+		spec := testSpec(admissions, vals)
+		admissions++
+		walks = append(walks, append([]float64(nil), vals...))
+		alive = append(alive, true)
+		if len(spec.Queries) > 0 {
+			qcount = append(qcount, len(spec.Queries))
+		} else {
+			qcount = append(qcount, -1)
+		}
+		return spec
+	}
+	for i := 0; i < 3; i++ {
+		initial = append(initial, newSlot())
+	}
+	aliveCount := func() int {
+		n := 0
+		for _, a := range alive {
+			if a {
+				n++
+			}
+		}
+		return n
+	}
+	randAlive := func() int {
+		for {
+			if ti := rng.Intn(len(alive)); alive[ti] {
+				return ti
+			}
+		}
+	}
+	composites := func() []int {
+		var out []int
+		for ti := range alive {
+			if alive[ti] && qcount[ti] >= 0 {
+				out = append(out, ti)
+			}
+		}
+		return out
+	}
+	for len(ops) < nOps {
+		switch draw := rng.Intn(12); {
+		case draw < 6:
+			m := 20 + rng.Intn(40)
+			evs := make([]runtime.Event, 0, m)
+			for j := 0; j < m; j++ {
+				ti := randAlive()
+				s := rng.Intn(len(walks[ti]))
+				walks[ti][s] += rng.Normal(0, 35)
+				evs = append(evs, runtime.Event{Tenant: ti, Stream: s, Value: walks[ti][s]})
+			}
+			ops = append(ops, clusterOp{kind: copIngest, events: evs})
+		case draw < 8:
+			ops = append(ops, clusterOp{kind: copDrain})
+		case draw == 8 && len(alive) < 8:
+			expect := len(alive)
+			spec := newSlot()
+			ops = append(ops, clusterOp{kind: copAdd, spec: spec, ti: expect})
+		case draw == 9 && aliveCount() > 2:
+			ti := randAlive()
+			if qcount[ti] >= 0 && len(composites()) == 1 {
+				ops = append(ops, clusterOp{kind: copDrain})
+				continue
+			}
+			alive[ti] = false
+			ops = append(ops, clusterOp{kind: copRemove, ti: ti})
+		case draw == 10:
+			cand := composites()
+			if len(cand) == 0 {
+				ops = append(ops, clusterOp{kind: copDrain})
+				continue
+			}
+			ti := cand[rng.Intn(len(cand))]
+			qspec := testQuerySpec(qcount[ti])
+			expect := qcount[ti]
+			qcount[ti]++
+			ops = append(ops, clusterOp{kind: copAddQuery, ti: ti, qspec: qspec, qi: expect})
+		default:
+			cand := composites()
+			if len(cand) == 0 {
+				ops = append(ops, clusterOp{kind: copDrain})
+				continue
+			}
+			ti := cand[rng.Intn(len(cand))]
+			if qcount[ti] < 2 {
+				ops = append(ops, clusterOp{kind: copDrain})
+				continue
+			}
+			// Remove a random slot among the first two admitted (both are
+			// guaranteed to exist; removing an already-removed slot is an
+			// error both sides must agree on, so stick to live history).
+			qi := rng.Intn(2)
+			ops = append(ops, clusterOp{kind: copRemoveQuery, ti: ti, qi: qi})
+		}
+	}
+	return initial, ops
+}
+
+// runSingle executes the schedule on one plain runtime.Node — the
+// reference trajectory — collecting Report().Text() at every drain barrier
+// and at the end. Query removals may fail (a slot can be removed twice in
+// the generated schedule); failures are recorded in the trace so the
+// cluster run must fail identically.
+func runSingle(t *testing.T, shards int, initial []wire.TenantSpec, ops []clusterOp) []string {
+	t.Helper()
+	specs := make([]runtime.TenantSpec, len(initial))
+	for i, ws := range initial {
+		rs, err := ws.Runtime()
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs[i] = rs
+	}
+	node, err := runtime.NewNode(runtime.Config{Shards: shards, Seed: clusterSeed}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+	var trace []string
+	for i, o := range ops {
+		switch o.kind {
+		case copIngest:
+			err = node.Ingest(o.events)
+		case copDrain:
+			if err = node.Drain(); err == nil {
+				trace = append(trace, node.Report().Text())
+			}
+		case copAdd:
+			rs, rerr := o.spec.Runtime()
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			var ti int
+			if ti, err = node.AddTenant(rs); err == nil && ti != o.ti {
+				t.Fatalf("op %d: AddTenant slot = %d, want %d", i, ti, o.ti)
+			}
+		case copRemove:
+			err = node.RemoveTenant(o.ti)
+		case copAddQuery:
+			build, ferr := o.qspec.Spec.Factory()
+			if ferr != nil {
+				t.Fatal(ferr)
+			}
+			var qi int
+			if qi, err = node.AddQuery(o.ti, runtime.QuerySpec{Name: o.qspec.Name, NewProtocol: build}); err == nil && qi != o.qi {
+				t.Fatalf("op %d: AddQuery slot = %d, want %d", i, qi, o.qi)
+			}
+		case copRemoveQuery:
+			if rerr := node.RemoveQuery(o.ti, o.qi); rerr != nil {
+				trace = append(trace, "removequery-err")
+				continue
+			}
+		}
+		if err != nil {
+			t.Fatalf("single-node op %d (kind %d): %v", i, o.kind, err)
+		}
+	}
+	if err := node.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	return append(trace, node.Report().Text())
+}
+
+// localCluster builds members local in-process nodes (each with its own
+// shard count, to prove shards stay invisible) under one cluster.
+func localCluster(t *testing.T, cfg Config, members int, shardsOf func(m int) int) (*Cluster, func()) {
+	t.Helper()
+	mems := make([]Member, members)
+	var nodes []*runtime.Node
+	for m := 0; m < members; m++ {
+		node, err := runtime.NewNodeLabeled(runtime.Config{Shards: shardsOf(m), Seed: clusterSeed}, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Start(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, node)
+		mems[m] = NewLocalMember(node)
+	}
+	c, err := New(cfg, mems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}
+}
+
+// runCluster executes the schedule on a cluster, forcing a migration of a
+// randomly chosen live tenant to a randomly chosen member at every drain
+// barrier (migSeed drives those choices, independent of the schedule).
+func runCluster(t *testing.T, c *Cluster, migSeed int64, initial []wire.TenantSpec, ops []clusterOp) []string {
+	t.Helper()
+	mig := sim.NewRNG(migSeed)
+	for i, spec := range initial {
+		g, err := c.AddTenant(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g != i {
+			t.Fatalf("initial tenant %d admitted as %d", i, g)
+		}
+	}
+	migrateRandom := func() {
+		var live []int
+		for g := 0; g < c.NumTenants(); g++ {
+			if c.Alive(g) {
+				live = append(live, g)
+			}
+		}
+		if len(live) == 0 {
+			return
+		}
+		g := live[mig.Intn(len(live))]
+		target := mig.Intn(c.NumMembers())
+		if err := c.MigrateTenant(g, target); err != nil {
+			t.Fatalf("migrate tenant %d to member %d: %v", g, target, err)
+		}
+	}
+	var trace []string
+	var err error
+	for i, o := range ops {
+		switch o.kind {
+		case copIngest:
+			err = c.Ingest(o.events)
+		case copDrain:
+			if err = c.Drain(); err == nil {
+				migrateRandom()
+				var rep *runtime.Report
+				if rep, err = c.Report(); err == nil {
+					trace = append(trace, rep.Text())
+				}
+			}
+		case copAdd:
+			var g int
+			if g, err = c.AddTenant(o.spec); err == nil && g != o.ti {
+				t.Fatalf("op %d: AddTenant global id = %d, want %d", i, g, o.ti)
+			}
+		case copRemove:
+			err = c.RemoveTenant(o.ti)
+		case copAddQuery:
+			var qi int
+			if qi, err = c.AddQuery(o.ti, o.qspec); err == nil && qi != o.qi {
+				t.Fatalf("op %d: AddQuery slot = %d, want %d", i, qi, o.qi)
+			}
+		case copRemoveQuery:
+			if rerr := c.RemoveQuery(o.ti, o.qi); rerr != nil {
+				trace = append(trace, "removequery-err")
+				continue
+			}
+		}
+		if err != nil {
+			t.Fatalf("cluster op %d (kind %d): %v", i, o.kind, err)
+		}
+	}
+	rep, err := c.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(trace, rep.Text())
+}
+
+func compareTraces(t *testing.T, label string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d barrier reports, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: barrier %d diverged:\n%s\nwant:\n%s", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestClusterProperty is the tentpole invariant: cluster answers and
+// counters are bit-identical to a single node regardless of member count,
+// per-member shard counts, placement (ring-driven and randomized) and the
+// migration cut forced at every barrier.
+func TestClusterProperty(t *testing.T) {
+	for _, schedSeed := range []int64{11, 29} {
+		schedSeed := schedSeed
+		t.Run(fmt.Sprintf("seed=%d", schedSeed), func(t *testing.T) {
+			initial, ops := genClusterSchedule(schedSeed, 40)
+			ref := runSingle(t, 2, initial, ops)
+
+			for _, members := range []int{1, 3} {
+				// Ring placement.
+				c, stop := localCluster(t, Config{}, members, func(m int) int { return 1 + m })
+				got := runCluster(t, c, 1000+schedSeed, initial, ops)
+				stop()
+				compareTraces(t, fmt.Sprintf("members=%d ring", members), got, ref)
+
+				// Randomized placement via the Place hook, different
+				// migration choices.
+				prng := sim.NewRNG(77 * schedSeed)
+				c, stop = localCluster(t, Config{
+					Place: func(int64) int { return prng.Intn(members) },
+				}, members, func(m int) int { return 4 })
+				got = runCluster(t, c, 2000+schedSeed, initial, ops)
+				stop()
+				compareTraces(t, fmt.Sprintf("members=%d random-place", members), got, ref)
+			}
+		})
+	}
+}
+
+// TestClusterEveryTenantEveryMember sweeps a deterministic migration
+// matrix: each tenant visits every member and comes home, with traffic
+// between each hop, ending bit-identical to the single-node run.
+func TestClusterRoundRobinMigration(t *testing.T) {
+	initial, ops := genClusterSchedule(17, 20)
+	ref := runSingle(t, 1, initial, ops)
+
+	c, stop := localCluster(t, Config{}, 3, func(m int) int { return 2 })
+	defer stop()
+	for i, spec := range initial {
+		if _, err := c.AddTenant(spec); err != nil {
+			t.Fatal(err)
+		}
+		_ = i
+	}
+	hop := 0
+	var trace []string
+	var err error
+	for i, o := range ops {
+		switch o.kind {
+		case copIngest:
+			err = c.Ingest(o.events)
+		case copDrain:
+			if err = c.Drain(); err == nil {
+				// Rotate every live tenant one member clockwise.
+				for g := 0; g < c.NumTenants(); g++ {
+					if !c.Alive(g) {
+						continue
+					}
+					m, _ := c.MemberOf(g)
+					if err := c.MigrateTenant(g, (m+1+hop)%c.NumMembers()); err != nil {
+						t.Fatal(err)
+					}
+				}
+				hop++
+				var rep *runtime.Report
+				if rep, err = c.Report(); err == nil {
+					trace = append(trace, rep.Text())
+				}
+			}
+		case copAdd:
+			_, err = c.AddTenant(o.spec)
+		case copRemove:
+			err = c.RemoveTenant(o.ti)
+		case copAddQuery:
+			_, err = c.AddQuery(o.ti, o.qspec)
+		case copRemoveQuery:
+			if rerr := c.RemoveQuery(o.ti, o.qi); rerr != nil {
+				trace = append(trace, "removequery-err")
+				continue
+			}
+		}
+		if err != nil {
+			t.Fatalf("op %d (kind %d): %v", i, o.kind, err)
+		}
+	}
+	rep, err := c.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareTraces(t, "round-robin", append(trace, rep.Text()), ref)
+}
+
+// TestClusterErrors pins the router's validation: unknown tenants,
+// dead slots, bad members — errors, never panics, no partial routing.
+func TestClusterErrors(t *testing.T) {
+	c, stop := localCluster(t, Config{}, 2, func(m int) int { return 1 })
+	defer stop()
+	if _, err := New(Config{}, nil); err == nil {
+		t.Error("empty member list accepted")
+	}
+	spec := testSpec(0, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	g, err := c.AddTenant(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ingest([]runtime.Event{{Tenant: 5, Stream: 0, Value: 1}}); err == nil {
+		t.Error("event for unknown tenant accepted")
+	}
+	if err := c.MigrateTenant(g, 99); err == nil {
+		t.Error("migration to unknown member accepted")
+	}
+	if err := c.MigrateTenant(99, 0); err == nil {
+		t.Error("migration of unknown tenant accepted")
+	}
+	m, _ := c.MemberOf(g)
+	if err := c.MigrateTenant(g, m); err != nil {
+		t.Errorf("self-migration should be a no-op, got %v", err)
+	}
+	if err := c.RemoveTenant(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveTenant(g); err == nil {
+		t.Error("double removal accepted")
+	}
+	if _, err := c.AddQuery(g, testQuerySpec(0)); err == nil {
+		t.Error("AddQuery on removed tenant accepted")
+	}
+	if err := c.MigrateTenant(g, 0); err == nil {
+		t.Error("migration of removed tenant accepted")
+	}
+	if _, err := c.MemberOf(g); err == nil {
+		t.Error("MemberOf removed tenant succeeded")
+	}
+}

@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"testing"
+
+	"adaptivefilters/internal/runtime"
+	"adaptivefilters/internal/sim"
+)
+
+// initialValues builds a deterministic stream baseline for test tenants.
+func initialValues(n int, seed int64) []float64 {
+	rng := sim.NewRNG(seed)
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.Uniform(0, 1000)
+	}
+	return vals
+}
+
+// skewedLoad admits nTenants on member 0 (via the Place hook) and routes a
+// heavily skewed event mix: tenant 0 gets ~weight× the traffic of the rest.
+func skewedLoad(t *testing.T, c *Cluster, nTenants, rounds, weight int) {
+	t.Helper()
+	const streams = 30
+	rng := sim.NewRNG(99)
+	for i := 0; i < nTenants; i++ {
+		if _, err := c.AddTenant(testSpec(i, initialValues(streams, int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < rounds; r++ {
+		var batch []runtime.Event
+		for g := 0; g < nTenants; g++ {
+			n := 4
+			if g == 0 {
+				n = 4 * weight
+			}
+			for i := 0; i < n; i++ {
+				batch = append(batch, runtime.Event{
+					Tenant: g,
+					Stream: rng.Intn(streams),
+					Value:  rng.Uniform(0, 1000),
+				})
+			}
+		}
+		if err := c.Ingest(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRebalancePlan pins the planner's shape: with every tenant packed on
+// member 0 and one tenant dominating the load, the plan moves exactly the
+// heaviest tenant to the coldest member, and planning is deterministic.
+func TestRebalancePlan(t *testing.T) {
+	c, stop := localCluster(t, Config{Place: func(int64) int { return 0 }}, 3,
+		func(m int) int { return 1 })
+	defer stop()
+	skewedLoad(t, c, 4, 20, 8)
+
+	moves, err := c.Plan(RebalanceOptions{MinEvents: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 1 {
+		t.Fatalf("plan = %+v, want exactly one move", moves)
+	}
+	if moves[0].Tenant != 0 || moves[0].From != 0 {
+		t.Fatalf("plan moves tenant %d off member %d; want the heavy tenant 0 off member 0",
+			moves[0].Tenant, moves[0].From)
+	}
+	again, err := c.Plan(RebalanceOptions{MinEvents: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 1 || again[0] != moves[0] {
+		t.Fatalf("replanning diverged: %+v vs %+v", again, moves)
+	}
+
+	// Below the MinEvents floor nothing is planned, however skewed.
+	none, err := c.Plan(RebalanceOptions{MinEvents: 1 << 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none != nil {
+		t.Fatalf("plan under MinEvents floor = %+v, want nil", none)
+	}
+}
+
+// TestRebalanceExecutes runs the planner's moves through MigrateTenant and
+// checks the placement map cut over, the moved tenant keeps serving, and a
+// balanced cluster plans nothing.
+func TestRebalanceExecutes(t *testing.T) {
+	c, stop := localCluster(t, Config{Place: func(int64) int { return 0 }}, 2,
+		func(m int) int { return 2 })
+	defer stop()
+	skewedLoad(t, c, 3, 20, 8)
+
+	moves, err := c.Rebalance(RebalanceOptions{MinEvents: 1, MaxMoves: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) == 0 {
+		t.Fatal("rebalance applied no moves on a fully packed member")
+	}
+	for _, mv := range moves {
+		m, err := c.MemberOf(mv.Tenant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != mv.To {
+			t.Fatalf("tenant %d on member %d after rebalance, want %d", mv.Tenant, m, mv.To)
+		}
+	}
+
+	// The migrated tenants still serve: a routed batch lands and the
+	// report covers every tenant.
+	var batch []runtime.Event
+	rng := sim.NewRNG(7)
+	for g := 0; g < c.NumTenants(); g++ {
+		batch = append(batch, runtime.Event{Tenant: g, Stream: rng.Intn(30), Value: rng.Uniform(0, 1000)})
+	}
+	if err := c.Ingest(batch); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g, tr := range rep.Tenants {
+		if !tr.Alive {
+			t.Fatalf("tenant %d missing from post-rebalance report", g)
+		}
+	}
+
+	// A single-member cluster never plans.
+	solo, stopSolo := localCluster(t, Config{}, 1, func(m int) int { return 1 })
+	defer stopSolo()
+	if _, err := solo.AddTenant(testSpec(0, initialValues(30, 0))); err != nil {
+		t.Fatal(err)
+	}
+	if mv, err := solo.Plan(RebalanceOptions{MinEvents: 1}); err != nil || mv != nil {
+		t.Fatalf("single-member plan = %+v, %v; want nil, nil", mv, err)
+	}
+}

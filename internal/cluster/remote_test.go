@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"testing"
+
+	"adaptivefilters/client"
+	"adaptivefilters/internal/netserve"
+	"adaptivefilters/internal/runtime"
+)
+
+// remoteMixedCluster builds a cluster whose members alternate between
+// in-process nodes and real netserve endpoints driven through the wire
+// client — the router must not be able to tell them apart. Endpoints serve
+// with shedding disabled (ShedWatermark < 0), the configuration the
+// RemoteMember contract requires for bit-determinism.
+func remoteMixedCluster(t *testing.T, cfg Config, members int, shardsOf func(m int) int) (*Cluster, func()) {
+	t.Helper()
+	mems := make([]Member, members)
+	var stops []func()
+	for m := 0; m < members; m++ {
+		node, err := runtime.NewNodeLabeled(runtime.Config{Shards: shardsOf(m), Seed: clusterSeed}, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Start(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if m%2 == 0 {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := netserve.Serve(ln, node, netserve.Options{ShedWatermark: -1})
+			cl, err := client.Dial(srv.Addr().String(), client.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mems[m] = NewRemoteMember(cl)
+			stops = append(stops, func() {
+				cl.Close()
+				srv.Close()
+				srv.Wait()
+				node.Stop()
+			})
+		} else {
+			mems[m] = NewLocalMember(node)
+			stops = append(stops, node.Stop)
+		}
+	}
+	c, err := New(cfg, mems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, func() {
+		for _, stop := range stops {
+			stop()
+		}
+	}
+}
+
+// TestClusterRemoteMembers runs the randomized schedule — migrations at
+// every barrier included — over a mixed local/remote member set and pins
+// the trace to the single-node reference. Migration snapshots cross a real
+// TCP connection twice (export off one endpoint, import into another), so
+// this exercises the whole wire migration plane end to end.
+func TestClusterRemoteMembers(t *testing.T) {
+	initial, ops := genClusterSchedule(11, 120)
+	ref := runSingle(t, 2, initial, ops)
+
+	c, stop := remoteMixedCluster(t, Config{}, 3, func(m int) int { return 1 + m })
+	got := runCluster(t, c, 1300, initial, ops)
+	stop()
+	compareTraces(t, "remote-mixed", got, ref)
+}

@@ -1,0 +1,69 @@
+package cluster
+
+import "testing"
+
+// TestRingDeterministic pins that two rings built the same way agree on
+// every owner — placement must be a pure function of (members, replicas).
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(5, 0)
+	b := NewRing(5, 0)
+	for key := int64(0); key < 2000; key++ {
+		if ao, bo := a.Owner(key), b.Owner(key); ao != bo {
+			t.Fatalf("key %d: owners diverge (%d vs %d)", key, ao, bo)
+		}
+	}
+}
+
+// TestRingCoverageAndBalance checks every member owns a reasonable share
+// of the key space, and that adding a member only moves keys onto the new
+// member — the consistent-hashing property.
+func TestRingCoverageAndBalance(t *testing.T) {
+	const keys = 10000
+	for _, members := range []int{2, 3, 5, 8} {
+		r := NewRing(members, 0)
+		counts := make([]int, members)
+		for key := int64(0); key < keys; key++ {
+			counts[r.Owner(key)]++
+		}
+		for m, c := range counts {
+			// With 64 virtual points per member, shares stay within a loose
+			// 3x band of even; the test guards against a member owning
+			// (nearly) nothing, not against statistical wobble.
+			if c < keys/(members*3) {
+				t.Errorf("members=%d: member %d owns only %d/%d keys", members, m, c, keys)
+			}
+		}
+	}
+
+	small, grown := NewRing(4, 0), NewRing(5, 0)
+	moved := 0
+	for key := int64(0); key < keys; key++ {
+		so, gr := small.Owner(key), grown.Owner(key)
+		if so == gr {
+			continue
+		}
+		moved++
+		if gr != 4 {
+			t.Fatalf("key %d moved from member %d to %d, not to the new member", key, so, gr)
+		}
+	}
+	if moved == 0 || moved > keys/2 {
+		t.Errorf("grow 4→5 moved %d/%d keys; want a modest, non-zero share", moved, keys)
+	}
+}
+
+// TestRingReplicaOverride checks the replica knob changes the point set
+// without breaking coverage.
+func TestRingReplicaOverride(t *testing.T) {
+	r := NewRing(3, 8)
+	if got := len(r.points); got != 24 {
+		t.Fatalf("3 members x 8 replicas = %d points, want 24", got)
+	}
+	seen := make(map[int]bool)
+	for key := int64(0); key < 1000; key++ {
+		seen[r.Owner(key)] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("only %d of 3 members own keys at 8 replicas", len(seen))
+	}
+}

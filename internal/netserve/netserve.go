@@ -97,6 +97,10 @@ type request struct {
 	tenant wire.TenantSpec
 	query  wire.QuerySpec
 	ti, qi int
+	// label and snap carry the migration bodies (OpAddTenantLabeled,
+	// OpImportTenant).
+	label int64
+	snap  []byte
 }
 
 // reply is one outbound frame travelling from the driver to a writer.
@@ -108,7 +112,9 @@ type reply struct {
 	report          *runtime.Report // OpReport success payload
 	hello           bool            // encode a HelloAck body
 	shards, tenants int
-	last            bool // graceful shutdown: flush, close, stop the server
+	snap            []byte     // OpExportTenant success payload
+	stats           wire.Stats // OpStats success payload
+	last            bool       // graceful shutdown: flush, close, stop the server
 }
 
 // conn is one accepted connection.
@@ -260,10 +266,22 @@ func (s *Server) readLoop(c *conn) {
 			if req.events, err = wire.DecodeIngestInto(r, c.takeBuf()); err != nil {
 				return
 			}
-		case wire.OpDrain, wire.OpReport, wire.OpShutdown:
+		case wire.OpDrain, wire.OpReport, wire.OpShutdown, wire.OpStats:
 			// Header-only bodies.
 		case wire.OpAddTenant:
 			if req.tenant, err = wire.DecodeAddTenant(r); err != nil {
+				return
+			}
+		case wire.OpAddTenantLabeled:
+			if req.label, req.tenant, err = wire.DecodeAddTenantLabeled(r); err != nil {
+				return
+			}
+		case wire.OpExportTenant:
+			if req.ti, err = wire.DecodeExportTenant(r); err != nil {
+				return
+			}
+		case wire.OpImportTenant:
+			if req.tenant, req.snap, err = wire.DecodeImportTenant(r); err != nil {
 				return
 			}
 		case wire.OpAddQuery:
@@ -334,6 +352,10 @@ func encodeReply(fw *wire.FrameWriter, rep reply) error {
 		wire.EncodeHelloAck(p, rep.hdr.Seq, rep.shards, rep.tenants)
 	case rep.report != nil || rep.hdr.Op == wire.OpReport:
 		wire.EncodeReportReply(p, rep.hdr.Seq, rep.status, rep.msg, rep.report)
+	case rep.hdr.Op == wire.OpExportTenant:
+		wire.EncodeExportTenantReply(p, rep.hdr.Seq, rep.status, rep.msg, rep.snap)
+	case rep.hdr.Op == wire.OpStats && rep.status == wire.StatusOK:
+		wire.EncodeStatsReply(p, rep.hdr.Seq, rep.stats)
 	default:
 		wire.EncodeAck(p, rep.hdr.Op, rep.hdr.Seq, rep.status, rep.value, rep.msg)
 	}
@@ -412,6 +434,45 @@ func (s *Server) handle(req request) {
 		}
 		if err != nil {
 			rep.status, rep.msg = wire.StatusError, err.Error()
+		}
+
+	case wire.OpAddTenantLabeled:
+		spec, err := req.tenant.Runtime()
+		if err == nil {
+			var ti int
+			if ti, err = s.node.AddTenantLabeled(spec, req.label); err == nil {
+				rep.value = uint64(ti)
+			}
+		}
+		if err != nil {
+			rep.status, rep.msg = wire.StatusError, err.Error()
+		}
+
+	case wire.OpExportTenant:
+		if snap, err := s.node.ExportTenant(req.ti); err != nil {
+			rep.status, rep.msg = wire.StatusError, err.Error()
+		} else {
+			rep.snap = snap
+		}
+
+	case wire.OpImportTenant:
+		spec, err := req.tenant.Runtime()
+		if err == nil {
+			var ti int
+			if ti, err = s.node.ImportTenant(spec, req.snap); err == nil {
+				rep.value = uint64(ti)
+			}
+		}
+		if err != nil {
+			rep.status, rep.msg = wire.StatusError, err.Error()
+		}
+
+	case wire.OpStats:
+		rep.stats = wire.Stats{
+			Pending:     s.node.PendingBatches(),
+			QueueCap:    s.node.QueueCap(),
+			TotalEvents: s.node.TotalEvents(),
+			Tenants:     s.node.NumTenants(),
 		}
 
 	case wire.OpRemoveTenant:

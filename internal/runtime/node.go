@@ -246,16 +246,46 @@ func NewNode(cfg Config, specs []TenantSpec) (*Node, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("runtime: need at least one tenant")
 	}
+	labels := make([]int64, len(specs))
+	for i := range labels {
+		labels[i] = int64(i)
+	}
+	return NewNodeLabeled(cfg, specs, labels)
+}
+
+// NewNodeLabeled builds a node whose tenants carry explicit seed labels
+// instead of their slot indexes, and — unlike NewNode — may start empty.
+// Both are cluster needs: a placement layer hosts tenant g on whichever
+// member owns it, and tenant g's randomness must derive from its global
+// admission label g (so answers cannot depend on placement), while a fresh
+// member admitted for scale-out starts with no tenants at all and receives
+// them through AddTenantLabeled or ImportTenant. Labels must be distinct
+// and non-negative; the node's admission counter resumes after the largest
+// one.
+func NewNodeLabeled(cfg Config, specs []TenantSpec, labels []int64) (*Node, error) {
+	if len(labels) != len(specs) {
+		return nil, fmt.Errorf("runtime: %d specs but %d seed labels", len(specs), len(labels))
+	}
 	n := &Node{cfg: cfg}
 	shards := cfg.shards()
+	seen := make(map[int64]bool, len(labels))
 	for i, spec := range specs {
-		t, err := n.buildTenant(spec, i, int64(i), true)
+		if labels[i] < 0 {
+			return nil, fmt.Errorf("runtime: tenant %d seed label %d is negative", i, labels[i])
+		}
+		if seen[labels[i]] {
+			return nil, fmt.Errorf("runtime: duplicate seed label %d", labels[i])
+		}
+		seen[labels[i]] = true
+		t, err := n.buildTenant(spec, i, labels[i], true)
 		if err != nil {
 			return nil, err
 		}
 		n.tenants = append(n.tenants, t)
+		if labels[i] >= n.nextSeedID {
+			n.nextSeedID = labels[i] + 1
+		}
 	}
-	n.nextSeedID = int64(len(specs))
 	n.initChannels(shards)
 	return n, nil
 }
@@ -673,18 +703,40 @@ func (n *Node) Totals() comm.Counter {
 // and go. Like Ingest, AddTenant must be called from the single ingest-side
 // goroutine.
 func (n *Node) AddTenant(spec TenantSpec) (int, error) {
+	return n.AddTenantLabeled(spec, n.nextSeedID)
+}
+
+// AddTenantLabeled is AddTenant with an explicit seed label: the admission
+// runs through the same drain barrier and shard-loop t0 machinery, but the
+// tenant's randomness derives from the given label instead of the node's
+// own admission counter. A cluster placement layer uses it to give tenant g
+// the label g on whichever member hosts it, so a tenant's trajectory is
+// bit-identical no matter where placement put it. The label must be
+// non-negative and not in use by a live tenant; the node's admission
+// counter resumes after it, so labels are still never reused.
+func (n *Node) AddTenantLabeled(spec TenantSpec, label int64) (int, error) {
 	if !n.started || n.stopped {
 		return 0, fmt.Errorf("runtime: node not running")
+	}
+	if label < 0 {
+		return 0, fmt.Errorf("runtime: seed label %d is negative", label)
+	}
+	for _, t := range n.tenants {
+		if t != nil && t.seedID == label {
+			return 0, fmt.Errorf("runtime: seed label %d already hosts tenant %q", label, t.name)
+		}
 	}
 	if err := n.Drain(); err != nil {
 		return 0, err
 	}
 	ti := len(n.tenants)
-	t, err := n.buildTenant(spec, ti, n.nextSeedID, true)
+	t, err := n.buildTenant(spec, ti, label, true)
 	if err != nil {
 		return 0, err
 	}
-	n.nextSeedID++
+	if label >= n.nextSeedID {
+		n.nextSeedID = label + 1
+	}
 	n.tenants = append(n.tenants, t)
 	if err := n.runOnShard(t.shard, t.initialize); err != nil {
 		return 0, err

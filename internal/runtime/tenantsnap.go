@@ -1,0 +1,172 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"adaptivefilters/internal/server"
+	"adaptivefilters/internal/snapshot"
+)
+
+// tenantSnapshotMagic and TenantSnapshotVersion head every single-tenant
+// snapshot — the migration primitive of the cluster layer (DESIGN.md §10).
+// A tenant snapshot is a node snapshot scoped to one slot: the same
+// per-tenant record layout, the same crc32c trailer, but no node-wide
+// header, so one tenant can leave a node without freezing the rest of the
+// world longer than a drain barrier.
+const (
+	tenantSnapshotMagic = "adaptivefilters/tenant-snapshot"
+	// TenantSnapshotVersion is the current single-tenant encoding version.
+	TenantSnapshotVersion = 1
+)
+
+// ExportTenant captures a barrier-consistent, versioned encoding of one
+// tenant's full state: seed label, event count, the serving backend
+// (cluster or composite fabric) and every hosted protocol's dynamic state,
+// in exactly the per-tenant record layout node snapshots use. It drains
+// first, so the record reflects every event ingested before the call; the
+// other tenants stay live and keep their queued work.
+//
+// The record carries the node seed, and ImportTenant refuses to restore it
+// onto a node with a different one: a tenant's future randomness (its own
+// resumed RNG positions aside, new query admissions derive seeds from the
+// node seed) must not change when placement moves it. The encoding carries
+// no placement information — a migrated tenant continues bit-identically on
+// any member at any shard count.
+//
+// Like Snapshot, ExportTenant must be called from the single ingest-side
+// goroutine.
+func (n *Node) ExportTenant(ti int) ([]byte, error) {
+	if !n.started || n.stopped {
+		return nil, fmt.Errorf("runtime: node not running")
+	}
+	if ti < 0 || ti >= len(n.tenants) {
+		return nil, fmt.Errorf("runtime: no tenant %d", ti)
+	}
+	t := n.tenants[ti]
+	if t == nil {
+		return nil, fmt.Errorf("runtime: tenant %d was removed", ti)
+	}
+	if err := n.Drain(); err != nil {
+		return nil, err
+	}
+	w := snapshot.NewWriter()
+	w.String(tenantSnapshotMagic)
+	w.Uint64(TenantSnapshotVersion)
+	w.Int64(n.cfg.Seed)
+	w.String(t.name)
+	w.Int64(t.seedID)
+	w.Bool(t.comp != nil)
+	if t.comp != nil {
+		w.Uint64(t.events)
+		w.Int64(t.nextQuerySeed)
+		t.comp.ExportState(w)
+	} else {
+		sp, ok := t.proto.(server.StatefulProtocol)
+		if !ok {
+			return nil, fmt.Errorf("runtime: tenant %d (%s) protocol %q does not support snapshots",
+				ti, t.name, t.proto.Name())
+		}
+		w.String(t.proto.Name())
+		w.Uint64(t.events)
+		t.cluster.ExportState(w)
+		sp.ExportState(w)
+	}
+	if err := w.Err(); err != nil {
+		return nil, err
+	}
+	payload := w.Bytes()
+	var trailer [8]byte
+	binary.LittleEndian.PutUint64(trailer[:], uint64(crc32.Checksum(payload, crcTable)))
+	return append(payload, trailer[:]...), nil
+}
+
+// ImportTenant admits a tenant onto the live node, restoring its state
+// from an ExportTenant record instead of running a t0 phase — the receiving
+// half of a migration. spec must describe the exported tenant exactly as
+// RestoreNode's specs describe a snapshotting node's (same Initial values,
+// Server config and protocol configuration; for a multi-query tenant, one
+// QuerySpec per query slot it ever admitted, in admission order). The
+// tenant resumes with its recorded seed label, event count, counters and
+// RNG positions; fed the events after the export barrier, its trajectory is
+// bit-identical to one that never moved. Returns the new local slot id.
+//
+// Corrupted, truncated or mismatched records return an error and leave the
+// node unchanged; decoding never panics. Must be called from the single
+// ingest-side goroutine.
+func (n *Node) ImportTenant(spec TenantSpec, data []byte) (int, error) {
+	if !n.started || n.stopped {
+		return 0, fmt.Errorf("runtime: node not running")
+	}
+	if len(data) < 8 {
+		return 0, fmt.Errorf("runtime: not a tenant snapshot")
+	}
+	payload, trailer := data[:len(data)-8], data[len(data)-8:]
+	if got, want := binary.LittleEndian.Uint64(trailer), uint64(crc32.Checksum(payload, crcTable)); got != want {
+		return 0, fmt.Errorf("runtime: tenant snapshot checksum mismatch (stored %x, computed %x)", got, want)
+	}
+	r := snapshot.NewReader(payload)
+	if magic := r.String(); r.Err() != nil || magic != tenantSnapshotMagic {
+		return 0, fmt.Errorf("runtime: not a tenant snapshot")
+	}
+	version := r.Uint64()
+	if r.Err() != nil || version < 1 || version > TenantSnapshotVersion {
+		return 0, fmt.Errorf("runtime: unsupported tenant snapshot version %d (have %d)",
+			version, TenantSnapshotVersion)
+	}
+	seed := r.Int64()
+	name := r.String()
+	seedID := r.Int64()
+	multi := r.Bool()
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	if seed != n.cfg.Seed {
+		return 0, fmt.Errorf("runtime: tenant snapshot was taken under node seed %d, this node runs %d",
+			seed, n.cfg.Seed)
+	}
+	if seedID < 0 {
+		return 0, fmt.Errorf("runtime: tenant snapshot seed label %d is negative", seedID)
+	}
+	for _, t := range n.tenants {
+		if t != nil && t.seedID == seedID {
+			return 0, fmt.Errorf("runtime: seed label %d already hosts tenant %q", seedID, t.name)
+		}
+	}
+	if err := n.Drain(); err != nil {
+		return 0, err
+	}
+	ti := len(n.tenants)
+	t, err := n.buildTenant(spec, ti, seedID, false)
+	if err != nil {
+		return 0, err
+	}
+	if multi != (t.comp != nil) {
+		return 0, fmt.Errorf("runtime: tenant snapshot kind (multi=%v) does not match its spec", multi)
+	}
+	var events uint64
+	if multi {
+		events = r.Uint64()
+		if err := n.restoreComposite(r, t, spec); err != nil {
+			return 0, fmt.Errorf("runtime: tenant snapshot: %w", err)
+		}
+	} else {
+		if events, err = restoreSingle(r, t); err != nil {
+			return 0, fmt.Errorf("runtime: tenant snapshot: %w", err)
+		}
+	}
+	if err := r.Done(); err != nil {
+		return 0, err
+	}
+	t.name = name
+	t.events = events
+	t.initialized = true
+	if seedID >= n.nextSeedID {
+		n.nextSeedID = seedID + 1
+	}
+	// No t0 to run: the next work-channel send publishes the grown tenant
+	// table to the shard loops, exactly as AddTenant's barrier protocol does.
+	n.tenants = append(n.tenants, t)
+	return ti, nil
+}

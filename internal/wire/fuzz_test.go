@@ -28,6 +28,22 @@ func seedStream() []byte {
 	fw.End()
 	wire.EncodeAck(fw.Begin(), wire.OpIngest, 2, wire.StatusOK, 0, "")
 	fw.End()
+	wire.EncodeAddTenantLabeled(fw.Begin(), 5, 3, wire.TenantSpec{
+		Name: "m", Initial: []float64{3, 4},
+		Spec: protospec.Spec{Protocol: "zt-nrp", Lo: 0, Hi: 4},
+	})
+	fw.End()
+	wire.EncodeExportTenant(fw.Begin(), 6, 1)
+	fw.End()
+	wire.EncodeExportTenantReply(fw.Begin(), 6, wire.StatusOK, "", []byte{1, 2, 3, 4})
+	fw.End()
+	wire.EncodeImportTenant(fw.Begin(), 7, wire.TenantSpec{
+		Name: "m", Initial: []float64{3, 4},
+		Spec: protospec.Spec{Protocol: "zt-nrp", Lo: 0, Hi: 4},
+	}, []byte{9, 8, 7})
+	fw.End()
+	wire.EncodeStatsReply(fw.Begin(), 8, wire.Stats{Pending: 1, QueueCap: 8, TotalEvents: 99, Tenants: 2})
+	fw.End()
 	fw.Flush()
 	return buf.Bytes()
 }
@@ -61,6 +77,20 @@ func decodeAny(r *snapshot.Reader) {
 		wire.DecodeRemoveQuery(r)
 	case wire.ReplyTo(wire.OpReport):
 		wire.DecodeReportReply(r)
+	case wire.OpAddTenantLabeled:
+		if _, spec, err := wire.DecodeAddTenantLabeled(r); err == nil {
+			spec.Runtime()
+		}
+	case wire.OpExportTenant:
+		wire.DecodeExportTenant(r)
+	case wire.ReplyTo(wire.OpExportTenant):
+		wire.DecodeExportTenantReply(r)
+	case wire.OpImportTenant:
+		if spec, _, err := wire.DecodeImportTenant(r); err == nil {
+			spec.Runtime()
+		}
+	case wire.ReplyTo(wire.OpStats):
+		wire.DecodeStatsReply(r)
 	default:
 		if wire.IsReply(hdr.Op) {
 			wire.DecodeAck(r)

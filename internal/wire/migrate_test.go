@@ -1,0 +1,145 @@
+package wire_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"adaptivefilters/internal/protospec"
+	"adaptivefilters/internal/snapshot"
+	"adaptivefilters/internal/wire"
+)
+
+// The version-2 ops carry the cluster migration plane: labeled admission,
+// tenant snapshot export/import, and the load-stats probe. These tests pin
+// their codecs the same way wire_test.go pins the version-1 lifecycle.
+
+func migrateSpec() wire.TenantSpec {
+	return wire.TenantSpec{
+		Name:    "moving",
+		Initial: []float64{10, 20, 30},
+		Spec:    protospec.Spec{Protocol: "rtp", Q: 25, K: 2, R: 1},
+	}
+}
+
+func TestAddTenantLabeledRoundTrip(t *testing.T) {
+	spec := migrateSpec()
+	r, hdr := frame(t, func(p *snapshot.Writer) {
+		wire.EncodeAddTenantLabeled(p, 21, 7, spec)
+	})
+	if hdr.Op != wire.OpAddTenantLabeled || hdr.Seq != 21 {
+		t.Fatalf("header = %+v", hdr)
+	}
+	label, got, err := wire.DecodeAddTenantLabeled(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
+	if label != 7 || !reflect.DeepEqual(got, spec) {
+		t.Fatalf("round trip: label=%d got=%+v", label, got)
+	}
+
+	// A label past int64 range must be rejected, not wrapped negative.
+	var buf bytes.Buffer
+	fw := wire.NewFrameWriter(&buf, 0)
+	p := fw.Begin()
+	wire.EncodeHeader(p, wire.OpAddTenantLabeled, 22)
+	p.Uvarint(1 << 63)
+	if err := fw.End(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fr := wire.NewFrameReader(&buf, 0)
+	rr, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.DecodeHeader(rr); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := wire.DecodeAddTenantLabeled(rr); err == nil {
+		t.Fatal("label 1<<63 decoded without error")
+	}
+}
+
+func TestExportTenantRoundTrip(t *testing.T) {
+	r, hdr := frame(t, func(p *snapshot.Writer) { wire.EncodeExportTenant(p, 31, 4) })
+	if hdr.Op != wire.OpExportTenant || hdr.Seq != 31 {
+		t.Fatalf("header = %+v", hdr)
+	}
+	if ti, err := wire.DecodeExportTenant(r); err != nil || ti != 4 {
+		t.Fatalf("round trip: ti=%d err=%v", ti, err)
+	}
+
+	snap := []byte{0x00, 0xff, 0x7e, 0x01, 0x80}
+	r, hdr = frame(t, func(p *snapshot.Writer) {
+		wire.EncodeExportTenantReply(p, 31, wire.StatusOK, "", snap)
+	})
+	if hdr.Op != wire.ReplyTo(wire.OpExportTenant) {
+		t.Fatalf("reply header = %+v", hdr)
+	}
+	got, ack, err := wire.DecodeExportTenantReply(r)
+	if err != nil || ack.Status != wire.StatusOK {
+		t.Fatalf("reply: ack=%+v err=%v", ack, err)
+	}
+	if !bytes.Equal(got, snap) {
+		t.Fatalf("snapshot bytes: got %x, want %x", got, snap)
+	}
+
+	// An error reply carries no snapshot payload.
+	r, _ = frame(t, func(p *snapshot.Writer) {
+		wire.EncodeExportTenantReply(p, 32, wire.StatusError, "no such tenant", nil)
+	})
+	got, ack, err = wire.DecodeExportTenantReply(r)
+	if err != nil || ack.Status != wire.StatusError || ack.Msg != "no such tenant" || got != nil {
+		t.Fatalf("error reply: snap=%x ack=%+v err=%v", got, ack, err)
+	}
+}
+
+func TestImportTenantRoundTrip(t *testing.T) {
+	spec := migrateSpec()
+	snap := bytes.Repeat([]byte{0xa5, 0x00, 0x5a}, 40)
+	r, hdr := frame(t, func(p *snapshot.Writer) {
+		wire.EncodeImportTenant(p, 41, spec, snap)
+	})
+	if hdr.Op != wire.OpImportTenant || hdr.Seq != 41 {
+		t.Fatalf("header = %+v", hdr)
+	}
+	got, gotSnap, err := wire.DecodeImportTenant(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, spec) || !bytes.Equal(gotSnap, snap) {
+		t.Fatalf("round trip: spec=%+v snap=%x", got, gotSnap)
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	r, hdr := frame(t, func(p *snapshot.Writer) { wire.EncodeStatsReq(p, 51) })
+	if hdr.Op != wire.OpStats || hdr.Seq != 51 {
+		t.Fatalf("header = %+v", hdr)
+	}
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := wire.Stats{Pending: 3, QueueCap: 64, TotalEvents: 123456, Tenants: 9}
+	r, hdr = frame(t, func(p *snapshot.Writer) { wire.EncodeStatsReply(p, 51, want) })
+	if hdr.Op != wire.ReplyTo(wire.OpStats) {
+		t.Fatalf("reply header = %+v", hdr)
+	}
+	got, ack, err := wire.DecodeStatsReply(r)
+	if err != nil || ack.Status != wire.StatusOK {
+		t.Fatalf("reply: ack=%+v err=%v", ack, err)
+	}
+	if got != want {
+		t.Fatalf("stats: got %+v, want %+v", got, want)
+	}
+}

@@ -42,8 +42,10 @@ import (
 // both, and the server refuses mismatches before reading anything else.
 // Version covers the whole frame grammar, op set and body layouts.
 const (
-	Magic   = "adaptivefilters/wire"
-	Version = 1
+	Magic = "adaptivefilters/wire"
+	// Version 2 added the cluster-migration ops: labeled tenant admission,
+	// per-tenant snapshot export/import, and load stats.
+	Version = 2
 )
 
 // DefaultMaxFrame bounds a frame payload (8 MiB ≈ 500k-event batches):
@@ -72,6 +74,18 @@ const (
 	OpRemoveQuery byte = 8
 	// OpShutdown asks the server to stop serving (acked first).
 	OpShutdown byte = 9
+	// OpAddTenantLabeled admits a tenant under an explicit seed label — the
+	// cluster placement layer's admission, which must pin a tenant's
+	// randomness to its global id rather than the member's local counter.
+	OpAddTenantLabeled byte = 10
+	// OpExportTenant captures one tenant's migration snapshot (the reply
+	// carries runtime.ExportTenant bytes).
+	OpExportTenant byte = 11
+	// OpImportTenant restores a tenant from a migration snapshot; the ack
+	// value is the new local slot id.
+	OpImportTenant byte = 12
+	// OpStats asks for the node's load figures (the rebalancer's signal).
+	OpStats byte = 13
 
 	replyBit byte = 0x80
 )
@@ -348,9 +362,9 @@ func (t TenantSpec) Runtime() (runtime.TenantSpec, error) {
 	return spec, nil
 }
 
-// EncodeAddTenant writes a tenant-admission request.
-func EncodeAddTenant(p *snapshot.Writer, seq uint64, t TenantSpec) {
-	EncodeHeader(p, OpAddTenant, seq)
+// encodeTenantSpec writes a TenantSpec body (shared by OpAddTenant,
+// OpAddTenantLabeled and OpImportTenant).
+func encodeTenantSpec(p *snapshot.Writer, t TenantSpec) {
 	p.String(t.Name)
 	p.Float64s(t.Initial)
 	p.Bool(len(t.Queries) > 0)
@@ -365,9 +379,9 @@ func EncodeAddTenant(p *snapshot.Writer, seq uint64, t TenantSpec) {
 	}
 }
 
-// DecodeAddTenant reads a tenant-admission body. Structural decode only;
+// decodeTenantSpec reads a TenantSpec body. Structural decode only;
 // Runtime() performs the semantic validation.
-func DecodeAddTenant(r *snapshot.Reader) (TenantSpec, error) {
+func decodeTenantSpec(r *snapshot.Reader) (TenantSpec, error) {
 	var t TenantSpec
 	t.Name = r.String()
 	t.Initial = r.Float64s()
@@ -397,6 +411,153 @@ func DecodeAddTenant(r *snapshot.Reader) (TenantSpec, error) {
 		}
 	}
 	return t, nil
+}
+
+// EncodeAddTenant writes a tenant-admission request.
+func EncodeAddTenant(p *snapshot.Writer, seq uint64, t TenantSpec) {
+	EncodeHeader(p, OpAddTenant, seq)
+	encodeTenantSpec(p, t)
+}
+
+// DecodeAddTenant reads a tenant-admission body.
+func DecodeAddTenant(r *snapshot.Reader) (TenantSpec, error) {
+	return decodeTenantSpec(r)
+}
+
+// EncodeAddTenantLabeled writes a labeled tenant-admission request.
+func EncodeAddTenantLabeled(p *snapshot.Writer, seq uint64, label int64, t TenantSpec) {
+	EncodeHeader(p, OpAddTenantLabeled, seq)
+	p.Uvarint(uint64(label))
+	encodeTenantSpec(p, t)
+}
+
+// DecodeAddTenantLabeled reads a labeled tenant-admission body. The label
+// is validated non-negative here so a hostile varint cannot smuggle a
+// negative seed label past the structural decode.
+func DecodeAddTenantLabeled(r *snapshot.Reader) (int64, TenantSpec, error) {
+	v := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return 0, TenantSpec{}, err
+	}
+	if v > math.MaxInt64 {
+		return 0, TenantSpec{}, fmt.Errorf("wire: seed label %d overflows int64", v)
+	}
+	t, err := decodeTenantSpec(r)
+	return int64(v), t, err
+}
+
+// --- Migration ---
+
+// EncodeExportTenant writes a per-tenant snapshot request.
+func EncodeExportTenant(p *snapshot.Writer, seq uint64, ti int) {
+	EncodeHeader(p, OpExportTenant, seq)
+	p.Uvarint(uint64(ti))
+}
+
+// DecodeExportTenant reads the export body.
+func DecodeExportTenant(r *snapshot.Reader) (int, error) {
+	return wireInt(r, "tenant id")
+}
+
+// EncodeExportTenantReply writes an export reply: the ack, then (on OK)
+// the runtime.ExportTenant bytes.
+func EncodeExportTenantReply(p *snapshot.Writer, seq uint64, status byte, msg string, snap []byte) {
+	EncodeHeader(p, ReplyTo(OpExportTenant), seq)
+	encodeAckBody(p, status, 0, msg)
+	if status == StatusOK {
+		p.String(string(snap))
+	}
+}
+
+// DecodeExportTenantReply reads an export reply; the snapshot is nil for
+// non-OK statuses.
+func DecodeExportTenantReply(r *snapshot.Reader) ([]byte, Ack, error) {
+	ack, err := DecodeAck(r)
+	if err != nil {
+		return nil, Ack{}, err
+	}
+	if ack.Status != StatusOK {
+		return nil, ack, nil
+	}
+	snap := r.String()
+	if err := r.Err(); err != nil {
+		return nil, ack, err
+	}
+	return []byte(snap), ack, nil
+}
+
+// EncodeImportTenant writes a migration-restore request: the tenant's
+// declarative spec plus its ExportTenant bytes.
+func EncodeImportTenant(p *snapshot.Writer, seq uint64, t TenantSpec, snap []byte) {
+	EncodeHeader(p, OpImportTenant, seq)
+	encodeTenantSpec(p, t)
+	p.String(string(snap))
+}
+
+// DecodeImportTenant reads a migration-restore body.
+func DecodeImportTenant(r *snapshot.Reader) (TenantSpec, []byte, error) {
+	t, err := decodeTenantSpec(r)
+	if err != nil {
+		return TenantSpec{}, nil, err
+	}
+	snap := r.String()
+	if err := r.Err(); err != nil {
+		return TenantSpec{}, nil, err
+	}
+	return t, []byte(snap), nil
+}
+
+// --- Stats ---
+
+// Stats is a node's load figures — the rebalancer's placement signal.
+type Stats struct {
+	// Pending is the deepest per-shard batch backlog (instantaneous).
+	Pending int
+	// QueueCap is the per-shard queue capacity Pending is judged against.
+	QueueCap int
+	// TotalEvents counts every event the node accepted over its life.
+	TotalEvents uint64
+	// Tenants is the node's tenant slot count (including evicted slots).
+	Tenants int
+}
+
+// EncodeStatsReq asks for the node's load figures.
+func EncodeStatsReq(p *snapshot.Writer, seq uint64) { EncodeHeader(p, OpStats, seq) }
+
+// EncodeStatsReply writes a stats reply.
+func EncodeStatsReply(p *snapshot.Writer, seq uint64, s Stats) {
+	EncodeHeader(p, ReplyTo(OpStats), seq)
+	encodeAckBody(p, StatusOK, 0, "")
+	p.Uvarint(uint64(s.Pending))
+	p.Uvarint(uint64(s.QueueCap))
+	p.Uvarint(s.TotalEvents)
+	p.Uvarint(uint64(s.Tenants))
+}
+
+// DecodeStatsReply reads a stats reply.
+func DecodeStatsReply(r *snapshot.Reader) (Stats, Ack, error) {
+	ack, err := DecodeAck(r)
+	if err != nil {
+		return Stats{}, Ack{}, err
+	}
+	if ack.Status != StatusOK {
+		return Stats{}, ack, nil
+	}
+	var s Stats
+	if s.Pending, err = wireInt(r, "pending batches"); err != nil {
+		return Stats{}, ack, err
+	}
+	if s.QueueCap, err = wireInt(r, "queue capacity"); err != nil {
+		return Stats{}, ack, err
+	}
+	s.TotalEvents = r.Uvarint()
+	if err := r.Err(); err != nil {
+		return Stats{}, ack, err
+	}
+	if s.Tenants, err = wireInt(r, "tenant count"); err != nil {
+		return Stats{}, ack, err
+	}
+	return s, ack, nil
 }
 
 // EncodeAddQuery writes a query-admission request for tenant ti.
