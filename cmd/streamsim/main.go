@@ -52,7 +52,7 @@ func main() {
 	var (
 		wl        = flag.String("workload", "synthetic", "workload: synthetic | tcp | replay")
 		trace     = flag.String("trace", "", "CSV trace file for -workload replay (time,stream,value)")
-		proto     = flag.String("protocol", "ft-nrp", "protocol: no-filter | zt-nrp | ft-nrp | rtp | zt-rp | ft-rp | vb-knn")
+		proto     = flag.String("protocol", "ft-nrp", "protocol: no-filter | zt-nrp | ft-nrp | rtp | zt-rp | ft-rp | vb-knn | rtp2d | ft-rp2d")
 		n         = flag.Int("n", 1000, "number of streams")
 		events    = flag.Int("events", 50000, "approximate number of events")
 		sigma     = flag.Float64("sigma", 20, "synthetic random-walk step deviation")
@@ -62,6 +62,8 @@ func main() {
 		k         = flag.Int("k", 20, "rank requirement for k-NN/top-k protocols")
 		r         = flag.Int("r", 5, "rank slack for rtp")
 		qpoint    = flag.Float64("q", 500, "k-NN query point (use -top for q=+inf)")
+		qx        = flag.Float64("qx", 500, "spatial query point X for rtp2d/ft-rp2d")
+		qy        = flag.Float64("qy", 500, "spatial query point Y for rtp2d/ft-rp2d")
 		top       = flag.Bool("top", false, "use the top-k (q=+inf) transform")
 		eps       = flag.Float64("eps", 0.2, "symmetric fraction tolerance ε⁺=ε⁻")
 		width     = flag.Float64("width", 100, "value tolerance ε_v for vb-knn")
@@ -106,7 +108,8 @@ func main() {
 		Tenants: *tenants, Queries: *queries, Shards: *shards,
 		N: *n, Events: *events, Batch: *batch,
 		CheckEvery: *every, SnapEvery: *snapEvery, Restore: *restore,
-		Proto: *proto, K: *k, R: *r, Width: *width, EpsPlus: ep, EpsMinus: em,
+		Proto: *proto, K: *k, R: *r, QX: *qx, QY: *qy,
+		Width: *width, EpsPlus: ep, EpsMinus: em,
 		Cluster: *clusterN, MigrateEvery: *migEvery,
 		Listen: *listen, Connect: *connect, Rate: *rate,
 		LatencyOut: *latOut, Shutdown: *shutdownR, ReadyFile: *readyFile,
@@ -138,6 +141,28 @@ func main() {
 		default:
 			return nil, fmt.Errorf("unknown workload %q", *wl)
 		}
+	}
+
+	// Spatial protocols always run on a runtime.Node (even with -tenants 1):
+	// there is no 1-D experiment harness for them, and validate has already
+	// rejected the modes the spatial plane does not reach yet.
+	if params.spatialMode() {
+		if *check {
+			fmt.Fprintln(os.Stderr, "streamsim: -check is not supported for spatial protocols and is ignored")
+		}
+		cfg := tenantsConfig{
+			tenants: *tenants, queries: 1, shards: *shards, batch: *batch, seed: *seed,
+			proto: *proto, verbose: *verbose, answers: *answers,
+			snapEvery: *snapEvery, snapFile: *snapFile, restore: *restore,
+		}
+		sspec := protospec.Spec{
+			Protocol: *proto, K: *k, R: *r, QX: *qx, QY: *qy, EpsPlus: ep, EpsMinus: em,
+		}
+		if err := runSpatialTenants(cfg, sspec, *n, *events, *sigma); err != nil {
+			fmt.Fprintln(os.Stderr, "streamsim:", err)
+			os.Exit(2)
+		}
+		return
 	}
 
 	tol := core.FractionTolerance{EpsPlus: ep, EpsMinus: em}
@@ -361,6 +386,15 @@ func runTenants(cfg tenantsConfig,
 	if err != nil {
 		return err
 	}
+	return runNodeSim(cfg, specs, iters)
+}
+
+// runNodeSim hosts the given tenant specs on one runtime.Node and plays the
+// per-tenant iterators into it as a merged time-ordered ingress stream —
+// the shared back half of -tenants mode and the spatial mode (which differ
+// only in how they build specs and workloads). Spatial events carry their
+// second coordinate in Event.Y; 1-D workloads leave it zero.
+func runNodeSim(cfg tenantsConfig, specs []runtime.TenantSpec, iters []workload.Iterator) error {
 	merge := workload.MergeIterators(iters)
 
 	var node *runtime.Node
@@ -438,7 +472,10 @@ func runTenants(cfg tenantsConfig,
 		if seen <= skip {
 			continue // already applied before the snapshot barrier
 		}
-		buf = append(buf, runtime.Event{Tenant: tev.Source, Stream: tev.Event.Stream, Value: tev.Event.Value})
+		buf = append(buf, runtime.Event{
+			Tenant: tev.Source, Stream: tev.Event.Stream,
+			Value: tev.Event.Value, Y: tev.Event.Y,
+		})
 		if len(buf) == cfg.batch {
 			if err := flush(); err != nil {
 				return err

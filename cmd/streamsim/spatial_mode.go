@@ -1,0 +1,61 @@
+// Spatial mode: -protocol rtp2d | ft-rp2d hosts 2-D moving-object tenants
+// on a runtime.Node. Each tenant is one spatial standing query (a k-NN
+// with rank or fraction tolerance around -qx/-qy) over its own planar
+// random-walk workload; ingest, snapshots, -answers dumps and the shard
+// determinism guarantee all work exactly as in 1-D -tenants mode.
+package main
+
+import (
+	"fmt"
+
+	"adaptivefilters/internal/protospec"
+	"adaptivefilters/internal/runtime"
+	"adaptivefilters/internal/sim"
+	"adaptivefilters/internal/workload"
+)
+
+// buildSpatialSpecs derives every spatial tenant's runtime spec and planar
+// workload iterator — the spatial twin of buildSpecs. The protocol factory
+// compiles from the declarative spec, so a spatial flag set round-trips
+// through the same protospec layer the 1-D modes use.
+func buildSpatialSpecs(cfg tenantsConfig, spec protospec.Spec,
+	n, events int, sigma float64) ([]runtime.TenantSpec, []workload.Iterator, error) {
+
+	build, err := spec.SpatialFactory()
+	if err != nil {
+		return nil, nil, err
+	}
+	specs := make([]runtime.TenantSpec, cfg.tenants)
+	iters := make([]workload.Iterator, cfg.tenants)
+	for i := 0; i < cfg.tenants; i++ {
+		wcfg := workload.Spatial2DConfig{
+			N: n, Lo: 0, Hi: 1000, MeanGap: 20, Sigma: sigma,
+			Horizon: float64(events) * 20 / float64(n),
+			Seed:    sim.DeriveSeed(cfg.seed, tenantWorkloadStream, int64(i)),
+		}
+		w, err := workload.NewSpatial2D(wcfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		specs[i] = runtime.TenantSpec{
+			Name:           fmt.Sprintf("%s/%s-%d", cfg.proto, w.Name(), i),
+			SpatialInitial: w.InitialPoints(),
+			NewSpatial:     build,
+		}
+		iters[i] = w.Events()
+	}
+	return specs, iters, nil
+}
+
+// runSpatialTenants validates and compiles the spatial spec, then hosts the
+// tenants through the same node loop as -tenants mode.
+func runSpatialTenants(cfg tenantsConfig, spec protospec.Spec, n, events int, sigma float64) error {
+	if err := spec.Validate(n); err != nil {
+		return err
+	}
+	specs, iters, err := buildSpatialSpecs(cfg, spec, n, events, sigma)
+	if err != nil {
+		return err
+	}
+	return runNodeSim(cfg, specs, iters)
+}

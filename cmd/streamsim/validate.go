@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"adaptivefilters/internal/core"
+	"adaptivefilters/internal/protospec"
 )
 
 // simParams collects every parsed flag value the run shape depends on, so
@@ -17,6 +18,7 @@ type simParams struct {
 	Restore                  string
 	Proto                    string
 	K, R                     int
+	QX, QY                   float64
 	Width                    float64
 	EpsPlus, EpsMinus        float64 // resolved: -eps overridden by -eps-plus/-eps-minus
 	Cluster, MigrateEvery    int
@@ -36,6 +38,12 @@ func (p simParams) wireMode() bool { return p.Listen != "" || p.Connect != "" }
 
 // clusterMode reports whether the run hosts a multi-member cluster.
 func (p simParams) clusterMode() bool { return p.Cluster > 0 }
+
+// spatialMode reports whether the run hosts 2-D spatial tenants (which
+// always run on a runtime.Node, even with -tenants 1).
+func (p simParams) spatialMode() bool {
+	return (protospec.Spec{Protocol: p.Proto}).Spatial()
+}
 
 // validate returns the first violated flag constraint. The protocol
 // checks mirror the constructors' own panics.
@@ -57,7 +65,7 @@ func (p simParams) validate() error {
 		return fmt.Errorf("-check-every must be positive, got %d", p.CheckEvery)
 	case p.SnapEvery < 0:
 		return fmt.Errorf("-snapshot-every must be non-negative, got %d", p.SnapEvery)
-	case (p.SnapEvery > 0 || p.Restore != "") && !p.tenantsMode():
+	case (p.SnapEvery > 0 || p.Restore != "") && !p.tenantsMode() && !p.spatialMode():
 		return fmt.Errorf("-snapshot-every and -restore need -tenants mode (pass -tenants > 1 or -queries > 1)")
 	}
 	switch {
@@ -106,6 +114,25 @@ func (p simParams) validate() error {
 		}
 		if p.Width < 0 {
 			return fmt.Errorf("vb-knn needs -width >= 0, got %g", p.Width)
+		}
+	}
+	if p.spatialMode() {
+		switch {
+		case p.Queries > 1:
+			return fmt.Errorf("%s tenants host a single standing query; drop -queries", p.Proto)
+		case p.wireMode():
+			return fmt.Errorf("%s runs in-process only; the serving plane does not carry spatial tenants yet (drop -listen/-connect)", p.Proto)
+		case p.clusterMode():
+			return fmt.Errorf("%s runs in-process only; the cluster plane does not place spatial tenants yet (drop -cluster)", p.Proto)
+		}
+		// The protospec invariants double as the flag checks, exactly as the
+		// 1-D switches above mirror the constructors' panics.
+		spec := protospec.Spec{
+			Protocol: p.Proto, K: p.K, R: p.R, QX: p.QX, QY: p.QY,
+			EpsPlus: p.EpsPlus, EpsMinus: p.EpsMinus,
+		}
+		if err := spec.Validate(p.N); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -41,6 +41,22 @@ func TestValidateAcceptsDefaults(t *testing.T) {
 	if err := p.validate(); err != nil {
 		t.Fatal(err)
 	}
+	// Spatial protocols: single tenant, many tenants, and snapshot/restore
+	// all pass without -queries (spatial runs always host a node).
+	p = okParams()
+	p.Proto, p.QX, p.QY = "rtp2d", 500, 500
+	if err := p.validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Tenants, p.SnapEvery = 4, 1000
+	if err := p.validate(); err != nil {
+		t.Fatal(err)
+	}
+	p = okParams()
+	p.Proto, p.Restore = "ft-rp2d", "x.snap"
+	if err := p.validate(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestValidateRejects(t *testing.T) {
@@ -79,6 +95,13 @@ func TestValidateRejects(t *testing.T) {
 		{"ft-rp-bad-k", func(p *simParams) { p.Proto, p.K = "ft-rp", 1000 }, "ft-rp needs"},
 		{"vb-knn-bad-k", func(p *simParams) { p.Proto, p.K = "vb-knn", 1001 }, "vb-knn needs"},
 		{"vb-knn-bad-width", func(p *simParams) { p.Proto, p.Width = "vb-knn", -1 }, "-width"},
+		{"spatial-multi-query", func(p *simParams) { p.Proto, p.Queries = "rtp2d", 3 }, "single standing query"},
+		{"spatial-listen", func(p *simParams) { p.Proto, p.Listen = "rtp2d", ":1" }, "in-process only"},
+		{"spatial-connect", func(p *simParams) { p.Proto, p.Connect = "ft-rp2d", ":1" }, "in-process only"},
+		{"spatial-cluster", func(p *simParams) { p.Proto, p.Cluster = "rtp2d", 2 }, "in-process only"},
+		{"rtp2d-bad-rank", func(p *simParams) { p.Proto, p.K, p.R = "rtp2d", 900, 200 }, "rtp2d needs"},
+		{"ft-rp2d-bad-k", func(p *simParams) { p.Proto, p.K = "ft-rp2d", 1000 }, "ft-rp2d needs"},
+		{"ft-rp2d-bad-tol", func(p *simParams) { p.Proto, p.EpsPlus = "ft-rp2d", -2 }, "ft-rp2d"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

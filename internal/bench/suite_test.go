@@ -10,6 +10,8 @@ import (
 	"adaptivefilters/internal/bench"
 	"adaptivefilters/internal/bench/benchtest"
 	"adaptivefilters/internal/core"
+	"adaptivefilters/internal/filter"
+	"adaptivefilters/internal/multidim"
 	"adaptivefilters/internal/query"
 	"adaptivefilters/internal/runtime"
 	"adaptivefilters/internal/server"
@@ -475,6 +477,111 @@ func BenchmarkMultiQuerySharing(b *testing.B) {
 		b.Run(fmt.Sprintf("composite/m=%d", m), func(b *testing.B) {
 			runSharingSide(b, fmt.Sprintf("multi-query-sharing/composite/m=%d", m),
 				compSpecs, compBatches, steps, msgs)
+		})
+	}
+}
+
+// benchSpatialSpecs builds the spatial tenant population: alternating
+// RTP2D and FTRP2D tenants over planar point clouds, mirroring benchSpecs.
+func benchSpatialSpecs(tenants, streams int) []runtime.TenantSpec {
+	specs := make([]runtime.TenantSpec, tenants)
+	for i := range specs {
+		rng := sim.NewRNG(sim.DeriveSeed(3000, int64(i)))
+		initial := make([]filter.Point, streams+i)
+		for s := range initial {
+			initial[s] = filter.Point{X: rng.Uniform(0, 1000), Y: rng.Uniform(0, 1000)}
+		}
+		i := i
+		specs[i] = runtime.TenantSpec{
+			Name:           fmt.Sprintf("sq%d", i),
+			SpatialInitial: initial,
+			NewSpatial: func(h server.SpatialHost, seed int64) server.SpatialProtocol {
+				q := filter.Point{X: 500, Y: 500}
+				if i%2 == 0 {
+					return multidim.NewRTP2D(h, q, core.RankTolerance{K: 5, R: 3})
+				}
+				return multidim.NewFTRP2D(h, q, 5,
+					core.FractionTolerance{EpsPlus: 0.3, EpsMinus: 0.3})
+			},
+		}
+	}
+	return specs
+}
+
+// benchSpatialBatches interleaves per-tenant planar walks round-robin into
+// ingest batches, the 2-D twin of benchBatches.
+func benchSpatialBatches(specs []runtime.TenantSpec, perTenant, batchSize int) [][]runtime.Event {
+	walks := make([][]filter.Point, len(specs))
+	rngs := make([]*sim.RNG, len(specs))
+	for i, spec := range specs {
+		walks[i] = append([]filter.Point(nil), spec.SpatialInitial...)
+		rngs[i] = sim.NewRNG(sim.DeriveSeed(4000, int64(i)))
+	}
+	var all []runtime.Event
+	for e := 0; e < perTenant; e++ {
+		for i := range specs {
+			rng := rngs[i]
+			s := rng.Intn(len(walks[i]))
+			walks[i][s].X += rng.Normal(0, 40)
+			walks[i][s].Y += rng.Normal(0, 40)
+			all = append(all, runtime.Event{
+				Tenant: i, Stream: s, Value: walks[i][s].X, Y: walks[i][s].Y,
+			})
+		}
+	}
+	var batches [][]runtime.Event
+	for len(all) > 0 {
+		n := batchSize
+		if n > len(all) {
+			n = len(all)
+		}
+		batches = append(batches, all[:n])
+		all = all[n:]
+	}
+	return batches
+}
+
+// BenchmarkSpatialIngest measures the spatial ingest hot path — router →
+// shard loop → SpatialCluster → 2-D protocol (rank table sort, disk
+// installs) → accounting — at steady state on a warmed node, per the shard
+// counts the regression gate tracks. One op ingests and drains the whole
+// pre-generated planar event set; the warmed path must not allocate.
+func BenchmarkSpatialIngest(b *testing.B) {
+	const (
+		tenants   = 8
+		streams   = 200
+		perTenant = 2000
+		batchSize = 512
+	)
+	specs := benchSpatialSpecs(tenants, streams)
+	batches := benchSpatialBatches(specs, perTenant, batchSize)
+	totalEvents := tenants * perTenant
+	for _, shards := range []int{1, 4, 8} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			node, err := runtime.NewNode(runtime.Config{Shards: shards, Seed: 42}, specs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := node.Start(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			defer node.Stop()
+			pass := func() {
+				for _, batch := range batches {
+					if err := node.Ingest(batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := node.Drain(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for i := 0; i < 4; i++ {
+				pass()
+			}
+			measure(b, fmt.Sprintf("spatial-ingest/shards=%d", shards),
+				totalEvents, true, pass)
 		})
 	}
 }

@@ -1,0 +1,41 @@
+package filter
+
+import (
+	"fmt"
+
+	"adaptivefilters/internal/snapshot"
+)
+
+// ExportState appends the region to a snapshot: kind discriminator, center
+// coordinates, and both shape parameters (a disk's unused B field is
+// encoded as-is — constructors keep it zero, so the encoding is canonical).
+func (r Region) ExportState(w *snapshot.Writer) {
+	w.Int64(int64(r.Kind))
+	w.Float64(r.C.X)
+	w.Float64(r.C.Y)
+	w.Float64(r.A)
+	w.Float64(r.B)
+}
+
+// ImportRegion decodes a region written by ExportState. Unknown kind
+// discriminators and NaN fields are rejected — a NaN center or radius
+// would poison every Contains answer downstream, the exact drift the
+// spatial plane's ingest validation exists to prevent — so corrupted
+// snapshots fail instead of producing filters with undefined semantics.
+func ImportRegion(rd *snapshot.Reader) (Region, error) {
+	kind := rd.Int64()
+	cx := rd.Float64()
+	cy := rd.Float64()
+	a := rd.Float64()
+	b := rd.Float64()
+	if err := rd.Err(); err != nil {
+		return Region{}, err
+	}
+	if kind < int64(RegionNone) || kind > int64(RegionRect) {
+		return Region{}, fmt.Errorf("filter: snapshot holds invalid region kind %d", kind)
+	}
+	if cx != cx || cy != cy || a != a || b != b {
+		return Region{}, fmt.Errorf("filter: snapshot holds NaN region field")
+	}
+	return Region{Kind: RegionKind(kind), C: Point{X: cx, Y: cy}, A: a, B: b}, nil
+}

@@ -1,0 +1,212 @@
+package filter_test
+
+import (
+	"math"
+	"testing"
+
+	"adaptivefilters/internal/filter"
+	"adaptivefilters/internal/snapshot"
+)
+
+func TestDist(t *testing.T) {
+	cases := []struct {
+		a, b filter.Point
+		want float64
+	}{
+		{filter.Point{}, filter.Point{}, 0},
+		{filter.Point{X: 0, Y: 0}, filter.Point{X: 3, Y: 4}, 5},
+		{filter.Point{X: -1, Y: -1}, filter.Point{X: 2, Y: 3}, 5},
+		{filter.Point{X: 1e300, Y: 0}, filter.Point{X: 0, Y: 0}, 1e300}, // Hypot: no overflow
+	}
+	for _, c := range cases {
+		if got := filter.Dist(c.a, c.b); got != c.want {
+			t.Errorf("Dist(%v,%v) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	disk := filter.NewDisk(filter.Point{X: 10, Y: 10}, 5)
+	rect := filter.NewRect(filter.Point{X: 10, Y: 10}, 5, 2)
+	cases := []struct {
+		name string
+		r    filter.Region
+		p    filter.Point
+		want bool
+	}{
+		{"none", filter.NoRegion(), filter.Point{}, false},
+		{"disk center", disk, filter.Point{X: 10, Y: 10}, true},
+		{"disk boundary", disk, filter.Point{X: 13, Y: 14}, true}, // dist exactly 5
+		{"disk outside", disk, filter.Point{X: 16, Y: 10}, false},
+		{"rect inside", rect, filter.Point{X: 14, Y: 11}, true},
+		{"rect corner", rect, filter.Point{X: 15, Y: 12}, true},
+		{"rect outside-y", rect, filter.Point{X: 10, Y: 13}, false},
+		{"wide-open", filter.WideOpenRegion(filter.Point{}), filter.Point{X: 1e308, Y: -1e308}, true},
+		{"shut", filter.ShutRegion(filter.Point{}), filter.Point{}, false},
+	}
+	for _, c := range cases {
+		if got := c.r.Contains(c.p); got != c.want {
+			t.Errorf("%s: %v.Contains(%v) = %v, want %v", c.name, c.r, c.p, got, c.want)
+		}
+	}
+}
+
+// TestRegionContainsNonFinite is the regression for the spatial plane's NaN
+// drift: the legacy Disk.Contains compared Hypot <= R directly, so a NaN
+// coordinate made even the wide-open disk "lose" the point. Wide-open and
+// shut answers must short-circuit — exact for any bit pattern — and
+// infinite coordinates must compare sanely against finite regions.
+func TestRegionContainsNonFinite(t *testing.T) {
+	nan := filter.Point{X: math.NaN(), Y: 0}
+	if !filter.WideOpenRegion(filter.Point{}).Contains(nan) {
+		t.Error("wide-open region lost a NaN point")
+	}
+	if filter.ShutRegion(filter.Point{}).Contains(nan) {
+		t.Error("shut region contains a NaN point")
+	}
+	if !nan.IsNaN() || (filter.Point{X: 0, Y: math.NaN()}).IsNaN() == false {
+		t.Error("Point.IsNaN missed a NaN coordinate")
+	}
+	if (filter.Point{X: 1, Y: 2}).IsNaN() {
+		t.Error("finite point classified NaN")
+	}
+	inf := filter.Point{X: math.Inf(1), Y: 0}
+	if filter.NewDisk(filter.Point{}, 10).Contains(inf) {
+		t.Error("finite disk contains an infinite point")
+	}
+	if filter.NewRect(filter.Point{}, math.Inf(1), 1).Contains(filter.Point{X: 5, Y: 3}) {
+		t.Error("half-open rectangle ignored its finite axis")
+	}
+}
+
+func TestRegionSilent(t *testing.T) {
+	cases := []struct {
+		r                      filter.Region
+		silent, wideOpen, shut bool
+	}{
+		{filter.NoRegion(), false, false, false},
+		{filter.NewDisk(filter.Point{}, 5), false, false, false},
+		{filter.NewDisk(filter.Point{}, 0), false, false, false}, // contains exactly its center
+		{filter.WideOpenRegion(filter.Point{X: 3}), true, true, false},
+		{filter.ShutRegion(filter.Point{X: 3}), true, false, true},
+		{filter.NewRect(filter.Point{}, 1, 1), false, false, false},
+		{filter.NewRect(filter.Point{}, -1, 5), true, false, true},
+		{filter.NewRect(filter.Point{}, math.Inf(1), math.Inf(1)), true, true, false},
+		{filter.NewRect(filter.Point{}, math.Inf(1), 5), false, false, false}, // half-open strip still crossable
+	}
+	for _, c := range cases {
+		if got := c.r.Silent(); got != c.silent {
+			t.Errorf("%v.Silent() = %v, want %v", c.r, got, c.silent)
+		}
+		if got := c.r.IsWideOpen(); got != c.wideOpen {
+			t.Errorf("%v.IsWideOpen() = %v, want %v", c.r, got, c.wideOpen)
+		}
+		if got := c.r.IsShut(); got != c.shut {
+			t.Errorf("%v.IsShut() = %v, want %v", c.r, got, c.shut)
+		}
+	}
+}
+
+func TestRegionViolates(t *testing.T) {
+	disk := filter.NewDisk(filter.Point{}, 5)
+	in, out := filter.Point{X: 1, Y: 1}, filter.Point{X: 9, Y: 0}
+	if !disk.Violates(in, out) || !disk.Violates(out, in) {
+		t.Error("boundary crossing not flagged as violation")
+	}
+	if disk.Violates(in, in) || disk.Violates(out, out) {
+		t.Error("same-side move flagged as violation")
+	}
+	if filter.NoRegion().Violates(in, out) {
+		t.Error("RegionNone claims crossing semantics")
+	}
+	if filter.WideOpenRegion(filter.Point{}).Violates(in, out) ||
+		filter.ShutRegion(filter.Point{}).Violates(in, out) {
+		t.Error("silent region violated")
+	}
+}
+
+func TestRegionConstructorsPanicOnNaN(t *testing.T) {
+	cases := []func(){
+		func() { filter.NewDisk(filter.Point{X: math.NaN()}, 1) },
+		func() { filter.NewDisk(filter.Point{}, math.NaN()) },
+		func() { filter.NewRect(filter.Point{Y: math.NaN()}, 1, 1) },
+		func() { filter.NewRect(filter.Point{}, math.NaN(), 1) },
+		func() { filter.NewRect(filter.Point{}, 1, math.NaN()) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: NaN parameter did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRegionString(t *testing.T) {
+	cases := []struct {
+		r    filter.Region
+		want string
+	}{
+		{filter.NoRegion(), "none"},
+		{filter.NewDisk(filter.Point{X: 1, Y: 2}, 3), "disk((1,2),r=3)"},
+		{filter.NewRect(filter.Point{}, 2, 4), "rect((0,0),±2,±4)"},
+		{filter.WideOpenRegion(filter.Point{X: 5, Y: 5}), "open@(5,5)"},
+		{filter.ShutRegion(filter.Point{X: 5, Y: 5}), "shut@(5,5)"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestRegionCodecRoundTrip(t *testing.T) {
+	regions := []filter.Region{
+		filter.NoRegion(),
+		filter.NewDisk(filter.Point{X: 10, Y: -3}, 7.5),
+		filter.NewRect(filter.Point{X: 0.5, Y: 0.25}, 2, math.Inf(1)),
+		filter.WideOpenRegion(filter.Point{}),
+		filter.ShutRegion(filter.Point{X: 1}),
+	}
+	for _, want := range regions {
+		w := snapshot.NewWriter()
+		want.ExportState(w)
+		got, err := filter.ImportRegion(snapshot.NewReader(w.Bytes()))
+		if err != nil {
+			t.Fatalf("decoding %v: %v", want, err)
+		}
+		if got != want {
+			t.Errorf("round-trip %v -> %v", want, got)
+		}
+	}
+}
+
+func TestImportRegionRejectsCorruption(t *testing.T) {
+	encode := func(kind int64, fields ...float64) []byte {
+		w := snapshot.NewWriter()
+		w.Int64(kind)
+		for _, f := range fields {
+			w.Float64(f)
+		}
+		return w.Bytes()
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"bad kind", encode(99, 0, 0, 0, 0)},
+		{"negative kind", encode(-1, 0, 0, 0, 0)},
+		{"NaN center", encode(1, math.NaN(), 0, 5, 0)},
+		{"NaN extent", encode(2, 0, 0, 1, math.NaN())},
+		{"truncated", encode(1, 0, 0)},
+		{"empty", nil},
+	}
+	for _, c := range cases {
+		if _, err := filter.ImportRegion(snapshot.NewReader(c.data)); err == nil {
+			t.Errorf("%s: corrupt region decoded without error", c.name)
+		}
+	}
+}

@@ -3,10 +3,11 @@ package multidim
 import (
 	"fmt"
 	"math"
-	"sort"
 
-	"adaptivefilters/internal/comm"
 	"adaptivefilters/internal/core"
+	"adaptivefilters/internal/filter"
+	"adaptivefilters/internal/server"
+	"adaptivefilters/internal/stream"
 )
 
 // FTRP2D is the fraction-based tolerance k-NN protocol (paper §5.2) over
@@ -15,8 +16,11 @@ import (
 // filters with budgets on the Equation 16 frontier, and R is recomputed
 // only when the answer size leaves its admissible window (with the same
 // window tightening as the 1-D core.FTRP; see DESIGN.md §3).
+//
+// FTRP2D is a server.SpatialStatefulProtocol: it runs under any
+// SpatialHost and snapshots via ExportState/ImportState.
 type FTRP2D struct {
-	c   *Cluster
+	h   server.SpatialHost
 	q   Point
 	k   int
 	tol core.FractionTolerance
@@ -28,30 +32,37 @@ type FTRP2D struct {
 	fp    map[int]bool
 	fn    map[int]bool
 	count int
-	cur   Disk
+	cur   filter.Region
+
+	rs rankScratch
 
 	// Recomputes counts full bound recomputations.
 	Recomputes uint64
 }
 
-// NewFTRP2D builds the protocol with a balanced Equation 16 split and wires
-// it into the cluster. It panics on invalid parameters.
-func NewFTRP2D(c *Cluster, q Point, k int, tol core.FractionTolerance) *FTRP2D {
+var _ server.SpatialStatefulProtocol = (*FTRP2D)(nil)
+
+// NewFTRP2D builds the protocol with a balanced Equation 16 split against a
+// spatial host. The caller wires it in with SetProtocol and runs the t0
+// phase via the host's Initialize. It panics on invalid parameters.
+func NewFTRP2D(h server.SpatialHost, q Point, k int, tol core.FractionTolerance) *FTRP2D {
 	if err := tol.Validate(); err != nil {
 		panic(err)
 	}
-	if k <= 0 || k >= c.N() {
-		panic(fmt.Sprintf("multidim: ft-rp2d needs 1 <= k < n, got k=%d n=%d", k, c.N()))
+	if k <= 0 || k >= h.N() {
+		panic(fmt.Sprintf("multidim: ft-rp2d needs 1 <= k < n, got k=%d n=%d", k, h.N()))
+	}
+	if q.IsNaN() {
+		panic("multidim: NaN query point")
 	}
 	p := &FTRP2D{
-		c: c, q: q, k: k, tol: tol,
+		h: h, q: q, k: k, tol: tol,
 		ans: map[int]bool{}, fp: map[int]bool{}, fn: map[int]bool{},
 	}
 	rhoPlus, rhoMinus := tol.DeriveRho(0.5)
 	p.nPlusBudget = int(float64(k) * rhoPlus)
 	p.nMinusBudget = int(float64(k) * rhoMinus)
 	p.deriveWindow()
-	c.SetHandler(p.handleUpdate)
 	return p
 }
 
@@ -84,11 +95,11 @@ func (p *FTRP2D) deriveWindow() {
 // Name identifies the protocol.
 func (p *FTRP2D) Name() string { return fmt.Sprintf("ft-rp2d(k=%d,%v)", p.k, p.tol) }
 
-// Bound returns the deployed disk (tests).
-func (p *FTRP2D) Bound() Disk { return p.cur }
+// Bound returns the deployed region (tests).
+func (p *FTRP2D) Bound() filter.Region { return p.cur }
 
 // Answer returns A(t) sorted by id.
-func (p *FTRP2D) Answer() []int { return sortedKeys(p.ans) }
+func (p *FTRP2D) Answer() []stream.ID { return sortedKeys(p.ans) }
 
 // NPlus returns the live false-positive filter count.
 func (p *FTRP2D) NPlus() int { return len(p.fp) }
@@ -97,32 +108,20 @@ func (p *FTRP2D) NPlus() int { return len(p.fp) }
 func (p *FTRP2D) NMinus() int { return len(p.fn) }
 
 // Initialize probes everything and deploys R plus the silent disks.
+// Accounting phases are switched by the host.
 func (p *FTRP2D) Initialize() {
-	p.c.SetPhase(comm.Init)
-	p.c.ProbeAll()
+	p.h.ProbeAll()
 	p.rebuild()
-	p.c.SetPhase(comm.Maintenance)
 }
 
 func (p *FTRP2D) rebuild() {
-	ids := make([]int, p.c.N())
-	for i := range ids {
-		ids[i] = i
-	}
-	sort.Slice(ids, func(a, b int) bool {
-		da, db := Dist(p.q, p.c.Table(ids[a])), Dist(p.q, p.c.Table(ids[b]))
-		if da != db {
-			return da < db
-		}
-		return ids[a] < ids[b]
-	})
-	p.c.Counter().AddServerOps(uint64(len(ids)))
+	ids := p.rs.rank(p.h, p.q)
 
-	p.ans, p.fp, p.fn = map[int]bool{}, map[int]bool{}, map[int]bool{}
+	clear(p.ans)
+	clear(p.fp)
+	clear(p.fn)
 	p.count = 0
-	inner := Dist(p.q, p.c.Table(ids[p.k-1]))
-	outer := Dist(p.q, p.c.Table(ids[p.k]))
-	p.cur = Disk{C: p.q, R: (inner + outer) / 2}
+	p.cur = filter.NewDisk(p.q, (p.rs.dist[p.k-1]+p.rs.dist[p.k])/2)
 
 	// Boundary-nearest placement: inside streams with the largest distance,
 	// outside streams with the smallest.
@@ -136,22 +135,25 @@ func (p *FTRP2D) rebuild() {
 		p.fn[ids[i]] = true
 	}
 
-	p.c.Counter().Add(comm.Install, uint64(p.c.N()))
+	// One Install message per stream, each routed through the host so the
+	// charge rules stay the shared ones (the legacy path bulk-charged the
+	// counter and poked sources directly).
 	for _, id := range ids {
 		switch {
 		case p.fp[id]:
-			p.c.sources[id].Install(WideOpenDisk(), true)
+			p.h.Install(id, filter.WideOpenRegion(p.q), true)
 		case p.fn[id]:
-			p.c.sources[id].Install(ShutDisk(), false)
+			p.h.Install(id, filter.ShutRegion(p.q), false)
 		default:
-			p.c.sources[id].Install(p.cur, p.cur.Contains(p.c.Table(id)))
+			tp, _ := p.h.Table(id)
+			p.h.Install(id, p.cur, p.cur.Contains(tp))
 		}
 	}
-	p.c.drain()
 	p.Recomputes++
 }
 
-func (p *FTRP2D) handleUpdate(id int, pt Point) {
+// HandleUpdate is the Maintenance Phase entry point.
+func (p *FTRP2D) HandleUpdate(id stream.ID, pt Point) {
 	if p.cur.Contains(pt) {
 		if !p.ans[id] {
 			p.ans[id] = true
@@ -171,39 +173,33 @@ func (p *FTRP2D) handleUpdate(id int, pt Point) {
 func (p *FTRP2D) fixError() {
 	if len(p.fp) > 0 {
 		sy := minKey2D(p.fp)
-		py := p.c.Probe(sy)
+		py := p.h.Probe(sy)
 		delete(p.fp, sy)
 		if p.cur.Contains(py) {
 			p.ans[sy] = true
-			p.install(sy, true)
+			p.h.Install(sy, p.cur, true)
 			return
 		}
 		delete(p.ans, sy)
-		p.install(sy, false)
+		p.h.Install(sy, p.cur, false)
 	}
 	if len(p.fn) > 0 {
 		sz := minKey2D(p.fn)
-		pz := p.c.Probe(sz)
+		pz := p.h.Probe(sz)
 		delete(p.fn, sz)
 		inside := p.cur.Contains(pz)
 		if inside {
 			p.ans[sz] = true
 		}
-		p.install(sz, inside)
+		p.h.Install(sz, p.cur, inside)
 	}
-}
-
-func (p *FTRP2D) install(id int, expectInside bool) {
-	p.c.Counter().Add(comm.Install, 1)
-	p.c.sources[id].Install(p.cur, expectInside)
-	p.c.drain()
 }
 
 func (p *FTRP2D) checkWindow() {
 	if n := len(p.ans); n >= p.minA && n <= p.maxA {
 		return
 	}
-	p.c.ProbeAll()
+	p.h.ProbeAll()
 	p.rebuild()
 }
 

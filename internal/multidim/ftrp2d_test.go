@@ -55,11 +55,12 @@ func check2DFraction(t *testing.T, pts []Point, q Point, ans []int, k int,
 }
 
 func TestFTRP2DInitialization(t *testing.T) {
-	q := Point{50, 50}
+	q := pt(50, 50)
 	c := NewCluster(ringPoints(30, q))
 	tol := core.FractionTolerance{EpsPlus: 0.4, EpsMinus: 0.4}
 	p := NewFTRP2D(c, q, 10, tol)
-	p.Initialize()
+	c.SetProtocol(p)
+	c.Initialize()
 	ans := p.Answer()
 	if len(ans) != 10 {
 		t.Fatalf("|A(t0)| = %d, want 10", len(ans))
@@ -70,7 +71,7 @@ func TestFTRP2DInitialization(t *testing.T) {
 		}
 	}
 	// R between the 10th (dist 10) and 11th (dist 11) drones.
-	if r := p.Bound().R; r < 10.5-1e-9 || r > 10.5+1e-9 {
+	if r := p.Bound().A; r < 10.5-1e-9 || r > 10.5+1e-9 {
 		t.Fatalf("R = %v, want ≈10.5", r)
 	}
 	if p.NPlus() == 0 && p.NMinus() == 0 {
@@ -79,18 +80,19 @@ func TestFTRP2DInitialization(t *testing.T) {
 }
 
 func TestFTRP2DFractionInvariantUnderRandomWalk(t *testing.T) {
-	q := Point{0, 0}
+	q := pt(0, 0)
 	rng := rand.New(rand.NewSource(77))
 	n := 60
 	pts := make([]Point, n)
 	for i := range pts {
-		pts[i] = Point{rng.Float64()*200 - 100, rng.Float64()*200 - 100}
+		pts[i] = pt(rng.Float64()*200-100, rng.Float64()*200-100)
 	}
 	tol := core.FractionTolerance{EpsPlus: 0.3, EpsMinus: 0.3}
 	k := 12
 	c := NewCluster(append([]Point(nil), pts...))
 	p := NewFTRP2D(c, q, k, tol)
-	p.Initialize()
+	c.SetProtocol(p)
+	c.Initialize()
 	check2DFraction(t, pts, q, p.Answer(), k, tol, -1)
 	for step := 0; step < 3000; step++ {
 		id := rng.Intn(n)
@@ -104,12 +106,12 @@ func TestFTRP2DFractionInvariantUnderRandomWalk(t *testing.T) {
 func TestFTRP2DCheaperThanPerCrossingRecompute(t *testing.T) {
 	// Against a zero-tolerance strawman that rebuilds on every crossing,
 	// FT-RP2D must save messages (Figure 15's story in 2-D).
-	q := Point{0, 0}
+	q := pt(0, 0)
 	mkPts := func() []Point {
 		rng := rand.New(rand.NewSource(5))
 		pts := make([]Point, 80)
 		for i := range pts {
-			pts[i] = Point{rng.Float64()*200 - 100, rng.Float64()*200 - 100}
+			pts[i] = pt(rng.Float64()*200-100, rng.Float64()*200-100)
 		}
 		return pts
 	}
@@ -126,7 +128,8 @@ func TestFTRP2DCheaperThanPerCrossingRecompute(t *testing.T) {
 	pts := mkPts()
 	c := NewCluster(append([]Point(nil), pts...))
 	p := NewFTRP2D(c, q, 10, core.FractionTolerance{EpsPlus: 0.4, EpsMinus: 0.4})
-	p.Initialize()
+	c.SetProtocol(p)
+	c.Initialize()
 	for _, mv := range moves() {
 		id := int(mv[0])
 		pts[id].X += mv[1]
@@ -139,7 +142,8 @@ func TestFTRP2DCheaperThanPerCrossingRecompute(t *testing.T) {
 	pts = mkPts()
 	c2 := NewCluster(append([]Point(nil), pts...))
 	p2 := NewFTRP2D(c2, q, 10, core.FractionTolerance{})
-	p2.Initialize()
+	c2.SetProtocol(p2)
+	c2.Initialize()
 	for _, mv := range moves() {
 		id := int(mv[0])
 		pts[id].X += mv[1]

@@ -1,54 +1,77 @@
 // Package multidim extends the paper's one-dimensional protocols to
 // two-dimensional data, as §7 anticipates ("the concepts of our protocols
 // can be extended to multiple dimensions"): stream values are points in the
-// plane, filter constraints are disks around the query point, and the
-// rank-based tolerance protocol (RTP) carries over with |V−q| replaced by
-// Euclidean distance.
+// plane, filter constraints are disks (filter.Region) around the query
+// point, and the rank- and fraction-based tolerance protocols carry over
+// with |V−q| replaced by Euclidean distance.
 //
-// The package is self-contained (its own sources and cluster) so the 1-D
-// core stays exactly as the paper describes it; message accounting reuses
-// the comm substrate so costs are comparable.
+// Since the spatial plane became a first-class citizen of the serving
+// stack, the geometry lives in internal/filter (Point, Region), the sources
+// in internal/stream (SpatialSource) and the hosting in internal/server
+// (SpatialCluster, the canonical SpatialHost): this package holds the 2-D
+// protocols themselves — FTRP2D and RTP2D, both server.SpatialStatefulProtocol
+// implementations that run under any SpatialHost, including runtime.Node's
+// shard event loops — plus a thin synchronous Cluster façade kept for the
+// single-tenant experiment style and equivalence-tested against the runtime
+// port.
 package multidim
 
 import (
 	"fmt"
 	"math"
 
-	"adaptivefilters/internal/comm"
+	"adaptivefilters/internal/filter"
+	"adaptivefilters/internal/server"
 )
 
-// Point is a location in the plane.
-type Point struct {
-	X, Y float64
-}
+// Point is a location in the plane (an alias of filter.Point, where the
+// spatial geometry now lives).
+type Point = filter.Point
 
 // Dist returns the Euclidean distance between two points.
-func Dist(a, b Point) float64 { return math.Hypot(a.X-b.X, a.Y-b.Y) }
+func Dist(a, b Point) float64 { return filter.Dist(a, b) }
 
-// Disk is the 2-D filter constraint: the closed disk of radius R around C.
-// A negative radius is the empty (shut) constraint; an infinite radius is
-// the wide-open constraint.
+// Disk is the legacy 2-D filter constraint: the closed disk of radius R
+// around C. A negative radius is the empty (shut) constraint; an infinite
+// radius is the wide-open constraint. New code should use filter.Region
+// (Disk remains as the package's historical vocabulary and converts via
+// Region()).
 type Disk struct {
 	C Point
 	R float64
 }
 
-// Contains reports whether p lies inside the disk.
-func (d Disk) Contains(p Point) bool { return Dist(d.C, p) <= d.R }
+// Region converts the disk to the canonical filter.Region representation.
+func (d Disk) Region() filter.Region { return filter.NewDisk(d.C, d.R) }
 
-// Silent reports whether no crossing can ever occur.
+// Contains reports whether p lies inside the disk. Wide-open disks contain
+// every point and shut disks none, exactly (delegated to filter.Region's
+// short-circuits — the legacy direct Dist comparison silently "lost" NaN
+// points even from wide-open disks).
+func (d Disk) Contains(p Point) bool { return d.Region().Contains(p) }
+
+// Silent reports whether the disk can never be violated by any finite
+// point: either every point is inside (wide open) or none is (shut) — the
+// disk analogues of filter.WideOpen() and filter.Shut().
 func (d Disk) Silent() bool { return d.R < 0 || math.IsInf(d.R, 1) }
 
-// WideOpenDisk returns the never-violated all-inside constraint.
+// WideOpenDisk returns the never-violated all-inside constraint: every
+// point lies within it, so its stream is presumed inside and can never
+// report — the spatial analogue of filter.WideOpen()'s [−∞, +∞]
+// false-positive filter.
 func WideOpenDisk() Disk { return Disk{R: math.Inf(1)} }
 
-// ShutDisk returns the never-violated all-outside constraint.
+// ShutDisk returns the never-violated all-outside constraint: the empty
+// disk contains no point, so its stream is presumed outside and can never
+// report — the spatial analogue of filter.Shut()'s [+∞, +∞] false-negative
+// filter.
 func ShutDisk() Disk { return Disk{R: -1} }
 
-// String renders the disk.
+// String renders the disk, reusing filter.Shut()'s silent vocabulary: the
+// empty disk renders as shut, the all-inside disk as wide-open.
 func (d Disk) String() string {
 	switch {
-	case d.Silent() && d.R < 0:
+	case d.R < 0:
 		return "disk(shut)"
 	case d.Silent():
 		return "disk(wide-open)"
@@ -57,151 +80,24 @@ func (d Disk) String() string {
 	}
 }
 
-// Source is one 2-D stream with a disk filter. It mirrors stream.Source.
-type Source struct {
-	id     int
-	val    Point
-	cons   Disk
-	inside bool
-	report func(id int, p Point)
-}
-
-// NewSource returns an unfiltered source (wide-open disks never violate, so
-// "no filter" is modelled by reportAll).
-func NewSource(id int, initial Point, report func(int, Point)) *Source {
-	return &Source{id: id, val: initial, cons: WideOpenDisk(), report: report}
-}
-
-// Set applies a new point and reports on disk-boundary crossings.
-func (s *Source) Set(p Point) bool {
-	prev := s.inside
-	s.val = p
-	now := s.cons.Contains(p)
-	if now != prev && !s.cons.Silent() {
-		s.inside = now
-		s.report(s.id, p)
-		return true
-	}
-	s.inside = now
-	return false
-}
-
-// Install sets a new disk constraint with the server's expected side; a
-// mismatch triggers an immediate report (cf. stream.Source.Install).
-func (s *Source) Install(d Disk, expectInside bool) bool {
-	s.cons = d
-	actual := d.Contains(s.val)
-	s.inside = actual
-	if actual != expectInside && !d.Silent() {
-		s.report(s.id, s.val)
-		return true
-	}
-	return false
-}
-
-// Probe returns the true point.
-func (s *Source) Probe() Point {
-	s.inside = s.cons.Contains(s.val)
-	return s.val
-}
-
-// Cluster wires 2-D sources to a protocol with message accounting.
+// Cluster is the synchronous single-tenant façade over the canonical
+// spatial host: it wires 2-D sources to a hosted protocol with exact
+// message accounting, in the style of the pre-runtime experiments. All
+// behavior — charge rules, drain cascades, snapshot state — is
+// server.SpatialCluster's; the façade only preserves this package's
+// historical construction idiom and is equivalence-tested against the
+// runtime-hosted port (TestFacadeMatchesRuntime).
 type Cluster struct {
-	sources []*Source
-	table   []Point
-	ctr     comm.Counter
-	pending []int
-	pvals   []Point
-	drainng bool
-	handler func(id int, p Point)
+	*server.SpatialCluster
 }
 
 // NewCluster creates a 2-D cluster over the initial points.
 func NewCluster(initial []Point) *Cluster {
-	c := &Cluster{table: make([]Point, len(initial))}
-	c.sources = make([]*Source, len(initial))
-	for i, p := range initial {
-		i := i
-		c.sources[i] = NewSource(i, p, c.receive)
-	}
-	return c
+	return &Cluster{server.NewSpatialCluster(initial)}
 }
 
-// N returns the stream count.
-func (c *Cluster) N() int { return len(c.sources) }
+var _ server.SpatialHost = (*Cluster)(nil)
 
-// Counter exposes message accounting.
-func (c *Cluster) Counter() *comm.Counter { return &c.ctr }
-
-// SetHandler installs the protocol update handler.
-func (c *Cluster) SetHandler(h func(id int, p Point)) { c.handler = h }
-
-func (c *Cluster) receive(id int, p Point) {
-	c.ctr.Add(comm.Update, 1)
-	c.table[id] = p
-	c.pending = append(c.pending, id)
-	c.pvals = append(c.pvals, p)
-}
-
-// Deliver applies a workload move and drains protocol work.
-func (c *Cluster) Deliver(id int, p Point) {
-	c.sources[id].Set(p)
-	c.drain()
-}
-
-func (c *Cluster) drain() {
-	if c.drainng {
-		return
-	}
-	c.drainng = true
-	defer func() { c.drainng = false }()
-	for len(c.pending) > 0 {
-		id, p := c.pending[0], c.pvals[0]
-		c.pending, c.pvals = c.pending[1:], c.pvals[1:]
-		if c.handler != nil {
-			c.handler(id, p)
-		}
-	}
-}
-
-// Probe requests one stream's point (2 messages).
-func (c *Cluster) Probe(id int) Point {
-	c.ctr.Add(comm.Probe, 1)
-	c.ctr.Add(comm.ProbeReply, 1)
-	p := c.sources[id].Probe()
-	c.table[id] = p
-	return p
-}
-
-// ProbeAll probes every stream.
-func (c *Cluster) ProbeAll() {
-	for i := range c.sources {
-		c.Probe(i)
-	}
-}
-
-// Install deploys a disk to one stream (1 message).
-func (c *Cluster) Install(id int, d Disk, expectInside bool) {
-	c.ctr.Add(comm.Install, 1)
-	c.sources[id].Install(d, expectInside)
-	c.drain()
-}
-
-// InstallAll deploys the same disk to every stream (n messages), deriving
-// expectations from the table.
-func (c *Cluster) InstallAll(d Disk) {
-	c.ctr.Add(comm.Install, uint64(c.N()))
-	for i, s := range c.sources {
-		s.Install(d, d.Contains(c.table[i]))
-	}
-	c.drain()
-}
-
-// Table returns the server's last known point for a stream.
-func (c *Cluster) Table(id int) Point { return c.table[id] }
-
-// TrueValue exposes ground truth for oracle/tests only.
-func (c *Cluster) TrueValue(id int) Point { return c.sources[id].val }
-
-// SetPhase switches message accounting phase.
-func (c *Cluster) SetPhase(p comm.Phase) { c.ctr.SetPhase(p) }
+// TrueValue exposes ground truth for oracle/tests only (legacy name for
+// SpatialCluster.TruePoint).
+func (c *Cluster) TrueValue(id int) Point { return c.TruePoint(id) }

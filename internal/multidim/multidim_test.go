@@ -8,21 +8,42 @@ import (
 
 	"adaptivefilters/internal/comm"
 	"adaptivefilters/internal/core"
+	"adaptivefilters/internal/filter"
+	"adaptivefilters/internal/server"
+	"adaptivefilters/internal/stream"
 )
 
+// pt builds a Point without fighting vet over unkeyed literals of the
+// filter.Point alias.
+func pt(x, y float64) Point { return Point{X: x, Y: y} }
+
 func TestDist(t *testing.T) {
-	if d := Dist(Point{0, 0}, Point{3, 4}); d != 5 {
+	if d := Dist(pt(0, 0), pt(3, 4)); d != 5 {
 		t.Fatalf("Dist = %v, want 5", d)
 	}
 }
 
 func TestDiskContains(t *testing.T) {
-	d := Disk{C: Point{0, 0}, R: 5}
-	if !d.Contains(Point{3, 4}) {
+	d := Disk{C: pt(0, 0), R: 5}
+	if !d.Contains(pt(3, 4)) {
 		t.Fatal("boundary point excluded (closed disk)")
 	}
-	if d.Contains(Point{3, 4.1}) {
+	if d.Contains(pt(3, 4.1)) {
 		t.Fatal("outside point included")
+	}
+}
+
+// TestDiskContainsNaN is the regression for the NaN drift the legacy direct
+// Dist comparison had: a NaN coordinate made even the wide-open disk "lose"
+// the point, and the shut disk kept excluding it only by accident. The
+// silent answers are now exact for any bit pattern.
+func TestDiskContainsNaN(t *testing.T) {
+	nan := pt(math.NaN(), 0)
+	if !WideOpenDisk().Contains(nan) {
+		t.Fatal("wide-open disk lost a NaN point")
+	}
+	if ShutDisk().Contains(nan) {
+		t.Fatal("shut disk contained a NaN point")
 	}
 }
 
@@ -30,7 +51,7 @@ func TestSilentDisks(t *testing.T) {
 	if !WideOpenDisk().Silent() || !ShutDisk().Silent() {
 		t.Fatal("silent disks not silent")
 	}
-	if !WideOpenDisk().Contains(Point{1e9, -1e9}) {
+	if !WideOpenDisk().Contains(pt(1e9, -1e9)) {
 		t.Fatal("wide-open disk excluded a point")
 	}
 	if ShutDisk().Contains(Point{}) {
@@ -39,42 +60,14 @@ func TestSilentDisks(t *testing.T) {
 	if (Disk{R: 5}).Silent() {
 		t.Fatal("finite disk silent")
 	}
-	for _, d := range []Disk{WideOpenDisk(), ShutDisk(), {C: Point{1, 2}, R: 3}} {
+	for _, d := range []Disk{WideOpenDisk(), ShutDisk(), {C: pt(1, 2), R: 3}} {
 		if d.String() == "" {
 			t.Fatal("empty disk string")
 		}
 	}
-}
-
-func TestSourceCrossingSemantics(t *testing.T) {
-	var reports int
-	s := NewSource(0, Point{0, 0}, func(int, Point) { reports++ })
-	s.Install(Disk{C: Point{0, 0}, R: 10}, true)
-	if s.Set(Point{5, 5}) { // dist ~7.07, still inside
-		t.Fatal("reported without crossing")
-	}
-	if !s.Set(Point{20, 0}) { // leaves
-		t.Fatal("leave not reported")
-	}
-	if s.Set(Point{30, 0}) { // stays outside
-		t.Fatal("reported while outside")
-	}
-	if !s.Set(Point{1, 1}) { // re-enters
-		t.Fatal("enter not reported")
-	}
-	if reports != 2 {
-		t.Fatalf("reports = %d, want 2", reports)
-	}
-}
-
-func TestSourceInstallMismatch(t *testing.T) {
-	var reports int
-	s := NewSource(0, Point{100, 100}, func(int, Point) { reports++ })
-	if !s.Install(Disk{C: Point{0, 0}, R: 5}, true) {
-		t.Fatal("mismatch install silent")
-	}
-	if reports != 1 {
-		t.Fatalf("reports = %d", reports)
+	// Disk and its canonical filter.Region agree on classification.
+	if !WideOpenDisk().Region().IsWideOpen() || !ShutDisk().Region().IsShut() {
+		t.Fatal("disk/region classification disagrees")
 	}
 }
 
@@ -83,22 +76,29 @@ func ringPoints(n int, q Point) []Point {
 	for i := range pts {
 		d := float64(i + 1)
 		angle := float64(i) * 0.7
-		pts[i] = Point{q.X + d*math.Cos(angle), q.Y + d*math.Sin(angle)}
+		pts[i] = pt(q.X+d*math.Cos(angle), q.Y+d*math.Sin(angle))
 	}
 	return pts
 }
 
+// newRTP2D wires protocol and façade together in the canonical order.
+func newRTP2D(c *Cluster, q Point, tol core.RankTolerance) *RTP2D {
+	p := NewRTP2D(c, q, tol)
+	c.SetProtocol(p)
+	c.Initialize()
+	return p
+}
+
 func TestRTP2DInitialization(t *testing.T) {
-	q := Point{50, 50}
+	q := pt(50, 50)
 	c := NewCluster(ringPoints(10, q))
-	p := NewRTP2D(c, q, core.RankTolerance{K: 2, R: 2})
-	p.Initialize()
+	p := newRTP2D(c, q, core.RankTolerance{K: 2, R: 2})
 	if got := p.Answer(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
 		t.Fatalf("A(t0) = %v, want [0 1]", got)
 	}
 	// Disk boundary halfway between the 4th (dist 4) and 5th (dist 5).
-	if p.Bound().R != 4.5 {
-		t.Fatalf("R = %v, want 4.5", p.Bound().R)
+	if p.Bound().A != 4.5 {
+		t.Fatalf("R = %v, want 4.5", p.Bound().A)
 	}
 	if got := c.Counter().Maintenance(); got != 0 {
 		t.Fatalf("maintenance after init = %d", got)
@@ -130,17 +130,16 @@ func check2D(t *testing.T, pts []Point, q Point, ans []int, tol core.RankToleran
 }
 
 func TestRTP2DCorrectnessUnderRandomWalk(t *testing.T) {
-	q := Point{0, 0}
+	q := pt(0, 0)
 	rng := rand.New(rand.NewSource(6))
 	n := 25
 	pts := make([]Point, n)
 	for i := range pts {
-		pts[i] = Point{rng.Float64()*200 - 100, rng.Float64()*200 - 100}
+		pts[i] = pt(rng.Float64()*200-100, rng.Float64()*200-100)
 	}
 	tol := core.RankTolerance{K: 3, R: 2}
 	c := NewCluster(pts)
-	p := NewRTP2D(c, q, tol)
-	p.Initialize()
+	p := newRTP2D(c, q, tol)
 	check2D(t, pts, q, p.Answer(), tol, -1)
 	for step := 0; step < 3000; step++ {
 		id := rng.Intn(n)
@@ -151,17 +150,112 @@ func TestRTP2DCorrectnessUnderRandomWalk(t *testing.T) {
 	}
 }
 
+// TestRTP2DEqualDistanceTies pins the deterministic id tie-break: several
+// streams sit at exactly the disk-boundary distance, and both the rank
+// table and the promotion path must resolve ties by ascending id —
+// placement- and history-independent, the property the determinism CI jobs
+// byte-diff.
+func TestRTP2DEqualDistanceTies(t *testing.T) {
+	q := pt(0, 0)
+	// Five points at distance exactly 5, two closer, one farther.
+	pts := []Point{
+		pt(5, 0), pt(0, 5), pt(-5, 0), pt(0, -5), pt(3, 4), // dist 5, ids 0..4
+		pt(1, 0), pt(0, 2), // dist 1, 2
+		pt(40, 0), // dist 40
+	}
+	tol := core.RankTolerance{K: 4, R: 2}
+	c := NewCluster(pts)
+	p := newRTP2D(c, q, tol)
+	// Ranking: 5 (d=1), 6 (d=2), then the tie group 0,1,2,3,4 by id.
+	if got := p.Answer(); len(got) != 4 || got[0] != 0 || got[1] != 1 || got[2] != 5 || got[3] != 6 {
+		t.Fatalf("A(t0) = %v, want [0 1 5 6] (ties by ascending id)", got)
+	}
+	if x := p.X(); len(x) != 6 {
+		t.Fatalf("X(t0) = %v, want 6 members", x)
+	}
+	// Rerun with a permuted construction; same ids must win the ties.
+	c2 := NewCluster(pts)
+	p2 := newRTP2D(c2, q, tol)
+	got1, got2 := p.Answer(), p2.Answer()
+	for i := range got1 {
+		if got1[i] != got2[i] {
+			t.Fatalf("tie-break not deterministic: %v vs %v", got1, got2)
+		}
+	}
+}
+
+// TestRTP2DEpsilonNMinusOne runs the protocol at the extreme ε = n−1: the
+// deployed disk must still separate the ε-th and (ε+1)-st = n-th distances
+// and the invariant must hold through churn.
+func TestRTP2DEpsilonNMinusOne(t *testing.T) {
+	q := pt(0, 0)
+	rng := rand.New(rand.NewSource(9))
+	n := 8
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = pt(rng.Float64()*100-50, rng.Float64()*100-50)
+	}
+	tol := core.RankTolerance{K: 3, R: n - 1 - 3} // ε = n−1
+	c := NewCluster(pts)
+	p := newRTP2D(c, q, tol)
+	check2D(t, pts, q, p.Answer(), tol, -1)
+	for step := 0; step < 1500; step++ {
+		id := rng.Intn(n)
+		pts[id].X += rng.NormFloat64() * 12
+		pts[id].Y += rng.NormFloat64() * 12
+		c.Deliver(id, pts[id])
+		check2D(t, pts, q, p.Answer(), tol, step)
+	}
+}
+
+// TestRTP2DBatchedCrossings delivers an answer-set member's exit and an
+// X-set member's exit as one batch (both reports queued before the
+// protocol handles either), exercising the drain ordering: the A-exit
+// repair must see the already-recorded X-exit, and the invariant holds
+// after the batch drains.
+func TestRTP2DBatchedCrossings(t *testing.T) {
+	q := pt(0, 0)
+	pts := ringPoints(10, q) // dist i+1
+	tol := core.RankTolerance{K: 2, R: 3}
+	c := NewCluster(append([]Point(nil), pts...))
+	p := newRTP2D(c, q, tol)
+	ans := p.Answer()
+	xs := p.X()
+	var xOnly int = -1
+	inAns := map[int]bool{}
+	for _, id := range ans {
+		inAns[id] = true
+	}
+	for _, id := range xs {
+		if !inAns[id] {
+			xOnly = id
+			break
+		}
+	}
+	if xOnly < 0 {
+		t.Fatal("no X-only member at t0")
+	}
+	// Queue both exits before any protocol handling: the X member and an
+	// answer member leave the disk in the same batch.
+	far := pt(500, 500)
+	pts[xOnly] = far
+	pts[ans[0]] = pt(-500, -500)
+	c.Source(xOnly).Set(pts[xOnly]) // queued, not yet drained
+	c.Deliver(ans[0], pts[ans[0]])  // drains both, in queue order
+	check2D(t, pts, q, p.Answer(), tol, 0)
+}
+
 func TestRTP2DSavesMessagesVsReportAll(t *testing.T) {
-	q := Point{0, 0}
+	q := pt(0, 0)
 	rng := rand.New(rand.NewSource(10))
 	n := 60
 	pts := make([]Point, n)
 	for i := range pts {
-		pts[i] = Point{rng.Float64()*200 - 100, rng.Float64()*200 - 100}
+		pts[i] = pt(rng.Float64()*200-100, rng.Float64()*200-100)
 	}
 	c := NewCluster(append([]Point(nil), pts...))
-	p := NewRTP2D(c, q, core.RankTolerance{K: 3, R: 5})
-	p.Initialize()
+	p := newRTP2D(c, q, core.RankTolerance{K: 3, R: 5})
+	_ = p
 	events := 6000
 	for step := 0; step < events; step++ {
 		id := rng.Intn(n)
@@ -184,16 +278,54 @@ func TestRTP2DPanicsOnBadTolerance(t *testing.T) {
 	NewRTP2D(c, Point{}, core.RankTolerance{K: 2, R: 1})
 }
 
+// nanTableHost feeds the rank scratch a NaN distance: Table returns a NaN
+// point, something the validated ingest/restore paths can never produce.
+type nanTableHost struct{ server.SpatialHost }
+
+func (h nanTableHost) N() int { return 4 }
+func (h nanTableHost) Table(id stream.ID) (filter.Point, bool) {
+	return filter.Point{X: math.NaN()}, true
+}
+func (h nanTableHost) AddServerOps(int) {}
+
+// TestRankTablePanicsOnNaN is the regression for the rankTable sort drift:
+// the legacy sort.Slice comparator silently corrupted the ranking order
+// when a NaN distance slipped in (the ostree bug class PR 6 fixed in 1-D).
+// A NaN now panics at the fill, before any comparison can go wrong.
+func TestRankTablePanicsOnNaN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NaN distance did not panic the rank table")
+		}
+	}()
+	var rs rankScratch
+	rs.rank(nanTableHost{}, Point{})
+}
+
+// TestDeliverNaNPanics pins the façade's ingest trust boundary: a NaN
+// location is rejected at the source, before it can reach geometry.
+func TestDeliverNaNPanics(t *testing.T) {
+	c := NewCluster(ringPoints(4, Point{}))
+	c.SetProtocol(NewRTP2D(c, Point{}, core.RankTolerance{K: 1, R: 1}))
+	c.Initialize()
+	defer func() {
+		if recover() == nil {
+			t.Error("NaN delivery did not panic")
+		}
+	}()
+	c.Deliver(0, pt(math.NaN(), 0))
+}
+
 func TestClusterProbeAccounting(t *testing.T) {
 	c := NewCluster(ringPoints(4, Point{}))
-	c.SetPhase(comm.Maintenance)
+	c.Counter().SetPhase(comm.Maintenance)
 	c.Probe(2)
 	ctr := c.Counter()
 	if ctr.Get(comm.Maintenance, comm.Probe) != 1 ||
 		ctr.Get(comm.Maintenance, comm.ProbeReply) != 1 {
 		t.Fatalf("probe accounting: %v", ctr)
 	}
-	if c.Table(2) != c.TrueValue(2) {
+	if got, known := c.Table(2); !known || got != c.TrueValue(2) {
 		t.Fatal("probe did not refresh table")
 	}
 }

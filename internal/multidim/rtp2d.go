@@ -2,57 +2,64 @@ package multidim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
-	"adaptivefilters/internal/comm"
 	"adaptivefilters/internal/core"
+	"adaptivefilters/internal/filter"
+	"adaptivefilters/internal/server"
+	"adaptivefilters/internal/stream"
 )
 
-// RTP2D is the rank-based tolerance protocol (paper §4) over 2-D points:
-// the server maintains a disk R around the query point enclosing at most
-// ε_k^r streams, with the boundary halfway between the (k+r)-th and
-// (k+r+1)-st distances. Filters are disks; everything else mirrors the 1-D
-// RTP, including the conditional expanding search of Case 2.
-type RTP2D struct {
-	c   *Cluster
-	q   Point
-	tol core.RankTolerance
-
-	inA map[int]bool
-	inX map[int]bool
-	cur Disk
-
-	// Deploys and Reinits mirror core.RTP's counters.
-	Deploys uint64
-	Reinits uint64
+// rankScratch owns the reusable buffers behind distance ranking: stream ids
+// and their parallel distances to the query point, sorted together by
+// (distance, id). Reuse keeps repeated rebuilds off the allocator, and the
+// keyed sorter replaces the legacy sort.Slice closure whose comparator
+// silently corrupted the order when a NaN distance slipped in (the ostree
+// bug class PR 6 fixed in 1-D): distances are validated as they are filled,
+// so a NaN — impossible via validated ingest/restore, hence a caller bug —
+// panics instead of scrambling the ranking.
+type rankScratch struct {
+	ids  []int
+	dist []float64
 }
 
-// NewRTP2D builds the protocol and wires it into the cluster.
-func NewRTP2D(c *Cluster, q Point, tol core.RankTolerance) *RTP2D {
-	if err := tol.Validate(); err != nil {
-		panic(err)
+func (s *rankScratch) Len() int { return len(s.ids) }
+func (s *rankScratch) Less(a, b int) bool {
+	da, db := s.dist[a], s.dist[b]
+	if da != db {
+		return da < db
 	}
-	if tol.Eps() >= c.N() {
-		panic(fmt.Sprintf("multidim: ε=%d needs more than %d streams", tol.Eps(), c.N()))
+	return s.ids[a] < s.ids[b]
+}
+func (s *rankScratch) Swap(a, b int) {
+	s.ids[a], s.ids[b] = s.ids[b], s.ids[a]
+	s.dist[a], s.dist[b] = s.dist[b], s.dist[a]
+}
+
+// rank fills the scratch with every stream id ranked by (distance to q,
+// id), reading locations from the host table, and charges n server ops for
+// the ranking work. It panics on NaN distances.
+func (s *rankScratch) rank(h server.SpatialHost, q Point) []int {
+	n := h.N()
+	if cap(s.ids) < n {
+		s.ids = make([]int, n)
+		s.dist = make([]float64, n)
 	}
-	p := &RTP2D{c: c, q: q, tol: tol, inA: map[int]bool{}, inX: map[int]bool{}}
-	c.SetHandler(p.handleUpdate)
-	return p
+	s.ids, s.dist = s.ids[:n], s.dist[:n]
+	for i := 0; i < n; i++ {
+		s.ids[i] = i
+		pt, _ := h.Table(i)
+		d := Dist(q, pt)
+		if math.IsNaN(d) {
+			panic("multidim: NaN distance in rank table")
+		}
+		s.dist[i] = d
+	}
+	sort.Sort(s)
+	h.AddServerOps(n)
+	return s.ids
 }
-
-// Name identifies the protocol.
-func (p *RTP2D) Name() string {
-	return fmt.Sprintf("rtp2d(k=%d,r=%d)", p.tol.K, p.tol.R)
-}
-
-// Bound returns the deployed disk (tests).
-func (p *RTP2D) Bound() Disk { return p.cur }
-
-// Answer returns A(t) sorted by id.
-func (p *RTP2D) Answer() []int { return sortedKeys(p.inA) }
-
-// X returns X(t) sorted by id (tests).
-func (p *RTP2D) X() []int { return sortedKeys(p.inX) }
 
 func sortedKeys(m map[int]bool) []int {
 	out := make([]int, 0, len(m))
@@ -63,33 +70,81 @@ func sortedKeys(m map[int]bool) []int {
 	return out
 }
 
-// Initialize runs the initialization phase: probe all, seed A and X, deploy.
-func (p *RTP2D) Initialize() {
-	p.c.SetPhase(comm.Init)
-	p.c.ProbeAll()
-	p.rebuildFromTable()
-	p.c.SetPhase(comm.Maintenance)
+// RTP2D is the rank-based tolerance protocol (paper §4) over 2-D points:
+// the server maintains a disk R around the query point enclosing at most
+// ε_k^r streams, with the boundary halfway between the ε-th and (ε+1)-st
+// distances. Filters are disks; everything else mirrors the 1-D RTP,
+// including the conditional expanding search of Case 2 — whose probes now
+// travel through SpatialHost.ProbeIf, so the conditional-probe accounting
+// is the shared charge table's, not the protocol's own arithmetic.
+//
+// RTP2D is a server.SpatialStatefulProtocol: it runs under any SpatialHost
+// (the synchronous Cluster façade or runtime.Node's shard loops) and
+// snapshots via ExportState/ImportState.
+type RTP2D struct {
+	h   server.SpatialHost
+	q   Point
+	tol core.RankTolerance
+
+	inA map[int]bool
+	inX map[int]bool
+	cur filter.Region
+
+	rs      rankScratch
+	us      rankScratch   // expandSearch responder ranking scratch
+	pending []int         // expandSearch candidate scratch
+	hits    map[int]Point // expandSearch responder scratch
+	probeXs []int         // entered() batch-probe scratch
+
+	// Deploys and Reinits mirror core.RTP's counters.
+	Deploys uint64
+	Reinits uint64
 }
 
-func (p *RTP2D) rankTable() []int {
-	ids := make([]int, p.c.N())
-	for i := range ids {
-		ids[i] = i
+var _ server.SpatialStatefulProtocol = (*RTP2D)(nil)
+
+// NewRTP2D builds the protocol against a spatial host. The caller wires it
+// in with SetProtocol and runs the t0 phase via the host's Initialize. It
+// panics on invalid parameters.
+func NewRTP2D(h server.SpatialHost, q Point, tol core.RankTolerance) *RTP2D {
+	if err := tol.Validate(); err != nil {
+		panic(err)
 	}
-	sort.Slice(ids, func(a, b int) bool {
-		da, db := Dist(p.q, p.c.Table(ids[a])), Dist(p.q, p.c.Table(ids[b]))
-		if da != db {
-			return da < db
-		}
-		return ids[a] < ids[b]
-	})
-	p.c.Counter().AddServerOps(uint64(p.c.N()))
-	return ids
+	if tol.Eps() >= h.N() {
+		panic(fmt.Sprintf("multidim: ε=%d needs more than %d streams", tol.Eps(), h.N()))
+	}
+	if q.IsNaN() {
+		panic("multidim: NaN query point")
+	}
+	return &RTP2D{h: h, q: q, tol: tol,
+		inA: map[int]bool{}, inX: map[int]bool{}, hits: map[int]Point{}}
+}
+
+// Name identifies the protocol.
+func (p *RTP2D) Name() string {
+	return fmt.Sprintf("rtp2d(k=%d,r=%d)", p.tol.K, p.tol.R)
+}
+
+// Bound returns the deployed region (tests).
+func (p *RTP2D) Bound() filter.Region { return p.cur }
+
+// Answer returns A(t) sorted by id.
+func (p *RTP2D) Answer() []stream.ID { return sortedKeys(p.inA) }
+
+// X returns X(t) sorted by id (tests).
+func (p *RTP2D) X() []int { return sortedKeys(p.inX) }
+
+// Initialize runs the initialization phase: probe all, seed A and X,
+// deploy. Accounting phases are switched by the host.
+func (p *RTP2D) Initialize() {
+	p.h.ProbeAll()
+	p.rebuildFromTable()
 }
 
 func (p *RTP2D) rebuildFromTable() {
-	sorted := p.rankTable()
-	p.inA, p.inX = map[int]bool{}, map[int]bool{}
+	sorted := p.rs.rank(p.h, p.q)
+	clear(p.inA)
+	clear(p.inX)
 	for i, id := range sorted {
 		if i < p.tol.K {
 			p.inA[id] = true
@@ -101,18 +156,17 @@ func (p *RTP2D) rebuildFromTable() {
 		}
 	}
 	e := p.tol.Eps()
-	inner := Dist(p.q, p.c.Table(sorted[e-1]))
-	outer := Dist(p.q, p.c.Table(sorted[e]))
-	p.install((inner + outer) / 2)
+	p.install((p.rs.dist[e-1] + p.rs.dist[e]) / 2)
 }
 
 func (p *RTP2D) install(r float64) {
-	p.cur = Disk{C: p.q, R: r}
-	p.c.InstallAll(p.cur)
+	p.cur = filter.NewDisk(p.q, r)
+	p.h.InstallAll(p.cur)
 	p.Deploys++
 }
 
-func (p *RTP2D) handleUpdate(id int, pt Point) {
+// HandleUpdate is the Maintenance Phase entry point.
+func (p *RTP2D) HandleUpdate(id stream.ID, pt Point) {
 	inside := p.cur.Contains(pt)
 	switch {
 	case p.inA[id]:
@@ -140,7 +194,8 @@ func (p *RTP2D) answerLeft(id int) {
 			if p.inA[x] {
 				continue
 			}
-			d := Dist(p.q, p.c.Table(x))
+			pt, _ := p.h.Table(x)
+			d := Dist(p.q, pt)
 			if best < 0 || d < bestD || (d == bestD && x < best) {
 				best, bestD = x, d
 			}
@@ -152,63 +207,57 @@ func (p *RTP2D) answerLeft(id int) {
 		return
 	}
 	p.Reinits++
-	p.c.ProbeAll()
+	p.h.ProbeAll()
 	p.rebuildFromTable()
 }
 
 // expandSearch mirrors core.RTP's Case 2 step 4 with disks: grow a disk R'
 // through the stale ranking and conditionally probe candidates until two
-// respond.
+// respond. Every conditional probe is a SpatialHost.ProbeIf round — the
+// request always charged, the reply only on a hit — so the 2-D costs are
+// priced by the same charge rules as server.Cluster's
+// (TestSpatialChargeParity pins this).
 func (p *RTP2D) expandSearch() bool {
-	sorted := p.rankTable()
+	sorted := p.rs.rank(p.h, p.q)
 	e := p.tol.Eps()
-	hits := map[int]Point{}
-	var pending []int
+	clear(p.hits)
+	p.pending = p.pending[:0]
 	for _, id := range sorted[:e] {
 		if !p.inA[id] {
-			pending = append(pending, id)
+			p.pending = append(p.pending, id)
 		}
 	}
 	for j := e + 1; j <= len(sorted); j++ {
-		dPrime := Dist(p.q, p.c.Table(sorted[j-1]))
-		region := Disk{C: p.q, R: dPrime}
+		tp, _ := p.h.Table(sorted[j-1])
+		dPrime := Dist(p.q, tp)
+		region := filter.NewDisk(p.q, dPrime)
 		if !p.inA[sorted[j-1]] {
-			pending = append(pending, sorted[j-1])
+			p.pending = append(p.pending, sorted[j-1])
 		}
-		var misses []int
-		for _, cand := range pending {
-			if _, dup := hits[cand]; dup {
+		misses := p.pending[:0]
+		for _, cand := range p.pending {
+			if _, dup := p.hits[cand]; dup {
 				continue
 			}
-			// Conditional probe: the probe is always counted; the reply only
-			// on a hit (cf. server.Cluster.ProbeIf).
-			p.c.Counter().Add(comm.Probe, 1)
-			pt := p.c.sources[cand].Probe()
-			if region.Contains(pt) {
-				p.c.Counter().Add(comm.ProbeReply, 1)
-				p.c.table[cand] = pt
-				hits[cand] = pt
+			if pt, ok := p.h.ProbeIf(cand, region); ok {
+				p.hits[cand] = pt
 			} else {
 				misses = append(misses, cand)
 			}
 		}
-		pending = misses
-		if len(hits) < 2 {
+		p.pending = misses
+		if len(p.hits) < 2 {
 			continue
 		}
-		u := make([]int, 0, len(hits))
-		for id := range hits {
-			u = append(u, id)
+		p.us.ids, p.us.dist = p.us.ids[:0], p.us.dist[:0]
+		for id, pt := range p.hits {
+			p.us.ids = append(p.us.ids, id)
+			p.us.dist = append(p.us.dist, Dist(p.q, pt))
 		}
-		sort.Slice(u, func(a, b int) bool {
-			da, db := Dist(p.q, hits[u[a]]), Dist(p.q, hits[u[b]])
-			if da != db {
-				return da < db
-			}
-			return u[a] < u[b]
-		})
+		sort.Sort(&p.us)
+		u := p.us.ids
 		p.inA[u[0]] = true
-		p.inX = map[int]bool{}
+		clear(p.inX)
 		for a := range p.inA {
 			p.inX[a] = true
 		}
@@ -221,13 +270,14 @@ func (p *RTP2D) expandSearch() bool {
 		}
 		inner := 0.0
 		for x := range p.inX {
-			if d := Dist(p.q, p.c.Table(x)); d > inner {
+			pt, _ := p.h.Table(x)
+			if d := Dist(p.q, pt); d > inner {
 				inner = d
 			}
 		}
 		outer := dPrime
 		if limit < len(u) {
-			if d := Dist(p.q, hits[u[limit]]); d < outer {
+			if d := Dist(p.q, p.hits[u[limit]]); d < outer {
 				outer = d
 			}
 		}
@@ -245,8 +295,13 @@ func (p *RTP2D) entered(id int) {
 		p.inX[id] = true
 		return
 	}
-	for _, x := range sortedKeys(p.inX) {
-		p.c.Probe(x)
+	// Refresh every X member in one batched probe fan-out (2·|X| messages,
+	// identical totals to the legacy per-stream loop) and rebuild.
+	p.probeXs = p.probeXs[:0]
+	for x := range p.inX {
+		p.probeXs = append(p.probeXs, x)
 	}
+	sort.Ints(p.probeXs)
+	p.h.ProbeBatch(p.probeXs)
 	p.rebuildFromTable()
 }

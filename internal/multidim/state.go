@@ -1,0 +1,138 @@
+package multidim
+
+import (
+	"fmt"
+
+	"adaptivefilters/internal/filter"
+	"adaptivefilters/internal/snapshot"
+)
+
+// This file gives the 2-D protocols the StatefulProtocol snapshot contract:
+// dynamic state only (membership sets, deployed region, counters), in
+// canonical form — sets are written as ascending id lists so the same state
+// always produces the same bytes and node snapshots byte-diff across shard
+// counts. Configuration (query point, tolerance, budgets, windows) is
+// recomputed by the constructors and deliberately not encoded.
+
+// exportIDSet writes a membership set as a length-prefixed ascending id
+// list.
+func exportIDSet(w *snapshot.Writer, m map[int]bool) {
+	ids := sortedKeys(m)
+	w.Int(len(ids))
+	for _, id := range ids {
+		w.Int(id)
+	}
+}
+
+// importIDSet rebuilds a membership set, requiring strictly ascending ids
+// below n — the canonical form exportIDSet writes — so every valid state
+// has exactly one encoding and corrupt ids are rejected.
+func importIDSet(r *snapshot.Reader, n int) (map[int]bool, error) {
+	cnt := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if cnt < 0 || cnt > n {
+		return nil, fmt.Errorf("multidim: snapshot set of %d members, host has %d streams", cnt, n)
+	}
+	m := make(map[int]bool, cnt)
+	prev := -1
+	for i := 0; i < cnt; i++ {
+		id := r.Int()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if id <= prev || id >= n {
+			return nil, fmt.Errorf("multidim: snapshot set member %d out of order or range (n=%d)", id, n)
+		}
+		m[id] = true
+		prev = id
+	}
+	return m, nil
+}
+
+// ExportState appends RTP2D's dynamic state: answer and X sets, the
+// deployed region and the deploy/reinit counters.
+func (p *RTP2D) ExportState(w *snapshot.Writer) {
+	exportIDSet(w, p.inA)
+	exportIDSet(w, p.inX)
+	p.cur.ExportState(w)
+	w.Uint64(p.Deploys)
+	w.Uint64(p.Reinits)
+}
+
+// ImportState restores state written by ExportState into a freshly
+// constructed RTP2D with the same configuration. It returns an error on
+// corrupted input and never panics.
+func (p *RTP2D) ImportState(r *snapshot.Reader) error {
+	n := p.h.N()
+	inA, err := importIDSet(r, n)
+	if err != nil {
+		return err
+	}
+	inX, err := importIDSet(r, n)
+	if err != nil {
+		return err
+	}
+	cur, err := filter.ImportRegion(r)
+	if err != nil {
+		return err
+	}
+	deploys := r.Uint64()
+	reinits := r.Uint64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	p.inA, p.inX = inA, inX
+	p.cur = cur
+	p.Deploys, p.Reinits = deploys, reinits
+	return nil
+}
+
+// ExportState appends FTRP2D's dynamic state: answer and false-positive/
+// false-negative filter sets, the crossing budget counter, the deployed
+// region and the recompute counter.
+func (p *FTRP2D) ExportState(w *snapshot.Writer) {
+	exportIDSet(w, p.ans)
+	exportIDSet(w, p.fp)
+	exportIDSet(w, p.fn)
+	w.Int(p.count)
+	p.cur.ExportState(w)
+	w.Uint64(p.Recomputes)
+}
+
+// ImportState restores state written by ExportState into a freshly
+// constructed FTRP2D with the same configuration. It returns an error on
+// corrupted input and never panics.
+func (p *FTRP2D) ImportState(r *snapshot.Reader) error {
+	n := p.h.N()
+	ans, err := importIDSet(r, n)
+	if err != nil {
+		return err
+	}
+	fp, err := importIDSet(r, n)
+	if err != nil {
+		return err
+	}
+	fn, err := importIDSet(r, n)
+	if err != nil {
+		return err
+	}
+	count := r.Int()
+	cur, err := filter.ImportRegion(r)
+	if err != nil {
+		return err
+	}
+	recomputes := r.Uint64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if count < 0 {
+		return fmt.Errorf("multidim: snapshot crossing budget %d negative", count)
+	}
+	p.ans, p.fp, p.fn = ans, fp, fn
+	p.count = count
+	p.cur = cur
+	p.Recomputes = recomputes
+	return nil
+}

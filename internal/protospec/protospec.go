@@ -22,6 +22,8 @@ import (
 	"math"
 
 	"adaptivefilters/internal/core"
+	"adaptivefilters/internal/filter"
+	"adaptivefilters/internal/multidim"
 	"adaptivefilters/internal/query"
 	"adaptivefilters/internal/server"
 	"adaptivefilters/internal/snapshot"
@@ -40,7 +42,7 @@ const (
 // not valid; Protocol must name one of the internal/core protocols.
 type Spec struct {
 	// Protocol is one of: no-filter | zt-nrp | ft-nrp | rtp | zt-rp |
-	// ft-rp | vb-knn.
+	// ft-rp | vb-knn | rtp2d | ft-rp2d.
 	Protocol string
 	// Lo, Hi bound the range query of the non-rank protocols.
 	Lo, Hi float64
@@ -58,6 +60,21 @@ type Spec struct {
 	// fraction-tolerant protocols: SelectBoundary (also the empty string)
 	// or SelectRandom.
 	Selection string
+	// QX, QY are the planar query point of the spatial protocols (rtp2d,
+	// ft-rp2d), which use K/R/EpsPlus/EpsMinus exactly as their 1-D
+	// counterparts do and ignore Q/Top.
+	QX, QY float64
+}
+
+// Spatial reports whether the spec names a 2-D protocol, which compiles via
+// SpatialFactory instead of Factory and (for now) runs in-process only —
+// the network serving plane rejects spatial admissions.
+func (s Spec) Spatial() bool {
+	switch s.Protocol {
+	case "rtp2d", "ft-rp2d":
+		return true
+	}
+	return false
 }
 
 // rangeBased reports whether the spec's protocol answers a range query
@@ -79,7 +96,7 @@ func (s Spec) Validate(n int) error {
 		return fmt.Errorf("protospec: need at least 1 stream, got %d", n)
 	}
 	for name, v := range map[string]float64{
-		"lo": s.Lo, "hi": s.Hi, "q": s.Q,
+		"lo": s.Lo, "hi": s.Hi, "q": s.Q, "qx": s.QX, "qy": s.QY,
 		"eps-plus": s.EpsPlus, "eps-minus": s.EpsMinus, "width": s.Width,
 	} {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
@@ -123,6 +140,18 @@ func (s Spec) Validate(n int) error {
 		if s.Width < 0 {
 			return fmt.Errorf("protospec: vb-knn needs width >= 0, got %g", s.Width)
 		}
+	case "rtp2d":
+		if s.K < 1 || s.R < 0 || s.K+s.R >= n {
+			return fmt.Errorf("protospec: rtp2d needs k >= 1, r >= 0 and k+r < n; got k=%d r=%d n=%d",
+				s.K, s.R, n)
+		}
+	case "ft-rp2d":
+		if s.K < 1 || s.K >= n {
+			return fmt.Errorf("protospec: ft-rp2d needs 1 <= k < n; got k=%d n=%d", s.K, n)
+		}
+		if err := tol.Validate(); err != nil {
+			return fmt.Errorf("protospec: ft-rp2d: %w", err)
+		}
 	default:
 		return fmt.Errorf("protospec: unknown protocol %q", s.Protocol)
 	}
@@ -151,7 +180,12 @@ func (s Spec) selection() core.Selection {
 // Factory compiles the spec into the protocol-factory closure the runtime
 // and experiment layers consume. Call Validate first: Factory assumes a
 // valid spec and defers any remaining size checks to the constructors.
+// Spatial specs compile through SpatialFactory instead and are an error
+// here.
 func (s Spec) Factory() (func(h server.Host, seed int64) server.Protocol, error) {
+	if s.Spatial() {
+		return nil, fmt.Errorf("protospec: %s is a spatial protocol; use SpatialFactory", s.Protocol)
+	}
 	rng := query.NewRange(s.Lo, s.Hi)
 	center := s.center()
 	tol := core.FractionTolerance{EpsPlus: s.EpsPlus, EpsMinus: s.EpsMinus}
@@ -197,8 +231,30 @@ func (s Spec) Factory() (func(h server.Host, seed int64) server.Protocol, error)
 	return nil, fmt.Errorf("protospec: unknown protocol %q", s.Protocol)
 }
 
+// SpatialFactory compiles a spatial spec into the 2-D protocol-factory
+// closure runtime.TenantSpec.NewSpatial consumes. Call Validate first.
+// Non-spatial specs compile through Factory and are an error here.
+func (s Spec) SpatialFactory() (func(h server.SpatialHost, seed int64) server.SpatialProtocol, error) {
+	q := filter.Point{X: s.QX, Y: s.QY}
+	switch s.Protocol {
+	case "rtp2d":
+		rt := core.RankTolerance{K: s.K, R: s.R}
+		return func(h server.SpatialHost, _ int64) server.SpatialProtocol {
+			return multidim.NewRTP2D(h, q, rt)
+		}, nil
+	case "ft-rp2d":
+		k := s.K
+		tol := core.FractionTolerance{EpsPlus: s.EpsPlus, EpsMinus: s.EpsMinus}
+		return func(h server.SpatialHost, _ int64) server.SpatialProtocol {
+			return multidim.NewFTRP2D(h, q, k, tol)
+		}, nil
+	}
+	return nil, fmt.Errorf("protospec: %s is not a spatial protocol; use Factory", s.Protocol)
+}
+
 // Encode appends the spec to a wire payload. The field order is part of
-// the wire format (internal/wire's version covers it).
+// the wire format (internal/wire's version covers it; version 3 appended
+// the spatial query point).
 func (s Spec) Encode(w *snapshot.Writer) {
 	w.String(s.Protocol)
 	w.Float64(s.Lo)
@@ -211,6 +267,8 @@ func (s Spec) Encode(w *snapshot.Writer) {
 	w.Float64(s.EpsMinus)
 	w.Float64(s.Width)
 	w.String(s.Selection)
+	w.Float64(s.QX)
+	w.Float64(s.QY)
 }
 
 // Decode reads a spec written by Encode. Decoding is structural only —
@@ -229,5 +287,7 @@ func Decode(r *snapshot.Reader) Spec {
 	s.EpsMinus = r.Float64()
 	s.Width = r.Float64()
 	s.Selection = r.String()
+	s.QX = r.Float64()
+	s.QY = r.Float64()
 	return s
 }

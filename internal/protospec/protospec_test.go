@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"adaptivefilters/internal/filter"
 	"adaptivefilters/internal/protospec"
 	"adaptivefilters/internal/server"
 	"adaptivefilters/internal/snapshot"
@@ -142,5 +143,84 @@ func TestCodecRoundTrip(t *testing.T) {
 		if r.Done() == nil {
 			t.Fatalf("truncation at %d bytes decoded cleanly", cut)
 		}
+	}
+}
+
+// TestSpatialSpecs pins the 2-D protocols' full declarative path: Validate
+// accepts canonical specs and rejects the constructor invariants,
+// SpatialFactory compiles them onto a real spatial cluster with parameters
+// wired through, and Factory/SpatialFactory refuse each other's specs.
+func TestSpatialSpecs(t *testing.T) {
+	specs := map[string]protospec.Spec{
+		"rtp2d":   {Protocol: "rtp2d", QX: 500, QY: 500, K: 4, R: 3},
+		"ft-rp2d": {Protocol: "ft-rp2d", QX: 500, QY: 500, K: 5, EpsPlus: 0.2, EpsMinus: 0.2},
+	}
+	wantName := map[string]string{
+		"rtp2d": "rtp2d(k=4,r=3)", "ft-rp2d": "ft-rp2d(k=5,",
+	}
+	for name, s := range specs {
+		if !s.Spatial() {
+			t.Fatalf("%s: Spatial() = false", name)
+		}
+		if err := s.Validate(100); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := s.Factory(); err == nil || !strings.Contains(err.Error(), "SpatialFactory") {
+			t.Errorf("%s: Factory err = %v, want SpatialFactory redirect", name, err)
+		}
+		build, err := s.SpatialFactory()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		initial := make([]filter.Point, 100)
+		for i := range initial {
+			initial[i] = filter.Point{X: float64(i * 10), Y: float64(i * 7)}
+		}
+		c := server.NewSpatialCluster(initial)
+		p := build(c, 7)
+		c.SetProtocol(p)
+		c.Initialize()
+		if got := p.Name(); !strings.HasPrefix(got, wantName[name]) {
+			t.Errorf("%s: protocol name = %q, want prefix %q", name, got, wantName[name])
+		}
+		if len(p.Answer()) == 0 {
+			t.Errorf("%s: empty answer after t0", name)
+		}
+	}
+	if _, err := valid()["rtp"].SpatialFactory(); err == nil {
+		t.Error("SpatialFactory compiled a 1-D spec")
+	}
+	if valid()["rtp"].Spatial() {
+		t.Error("rtp reported spatial")
+	}
+
+	bad := []struct {
+		name string
+		spec protospec.Spec
+		want string
+	}{
+		{"rtp2d-k-zero", protospec.Spec{Protocol: "rtp2d", K: 0, R: 2}, "k >= 1"},
+		{"rtp2d-k-plus-r", protospec.Spec{Protocol: "rtp2d", K: 90, R: 10}, "k+r < n"},
+		{"rtp2d-nan-qx", protospec.Spec{Protocol: "rtp2d", QX: math.NaN(), K: 3, R: 1}, "not finite"},
+		{"ft-rp2d-k-over-n", protospec.Spec{Protocol: "ft-rp2d", K: 100, EpsPlus: 0.2, EpsMinus: 0.2}, "1 <= k < n"},
+		{"ft-rp2d-bad-tol", protospec.Spec{Protocol: "ft-rp2d", K: 5, EpsPlus: -1, EpsMinus: 0.2}, "ft-rp2d"},
+	}
+	for _, tc := range bad {
+		err := tc.spec.Validate(100)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestCodecCarriesSpatialPoint extends the round-trip pin to the version-3
+// tail fields.
+func TestCodecCarriesSpatialPoint(t *testing.T) {
+	in := protospec.Spec{Protocol: "rtp2d", K: 4, R: 2, QX: -3.5, QY: 812.25}
+	w := snapshot.NewWriter()
+	in.Encode(w)
+	out := protospec.Decode(snapshot.NewReader(w.Bytes()))
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"adaptivefilters/internal/comm"
+	"adaptivefilters/internal/filter"
 	"adaptivefilters/internal/server"
 	"adaptivefilters/internal/sim"
 	"adaptivefilters/internal/stream"
@@ -47,11 +48,14 @@ const tenantSeedStream int64 = 0x7E4A
 // or which sibling queries came and went before it.
 const querySeedStream int64 = 0x3D91
 
-// Event is one value change bound for one tenant's stream partition.
+// Event is one value change bound for one tenant's stream partition. For a
+// spatial tenant, (Value, Y) is the stream's new planar location; for 1-D
+// tenants Y must be zero.
 type Event struct {
 	Tenant int
 	Stream stream.ID
 	Value  float64
+	Y      float64
 }
 
 // QuerySpec describes one standing query of a multi-query tenant: a label
@@ -93,6 +97,16 @@ type TenantSpec struct {
 	// (single-query tenants only; the composite fabric models neither
 	// uplink loss nor broadcast installs).
 	Server server.Config
+	// SpatialInitial, when non-empty, makes this a spatial (2-D) tenant: its
+	// partition's streams are planar locations served by a private
+	// server.SpatialCluster, and events carry (Value, Y) coordinates. Set
+	// NewSpatial with it; Initial, NewProtocol, Queries and Server must stay
+	// zero.
+	SpatialInitial []filter.Point
+	// NewSpatial builds a spatial tenant's protocol over its host. The seed
+	// derives exactly as NewProtocol's does and must be the factory's only
+	// randomness source.
+	NewSpatial func(h server.SpatialHost, seed int64) server.SpatialProtocol
 }
 
 // Config tunes the node.
@@ -126,13 +140,16 @@ func (c Config) queue() int {
 }
 
 // tenant is one hosted serving instance, owned by exactly one shard after
-// Start: either a single-query server.Cluster or a multi-query
-// server.Composite (exactly one of cluster/comp is non-nil).
+// Start: a single-query server.Cluster, a multi-query server.Composite or a
+// spatial server.SpatialCluster (exactly one of cluster/comp/spatial is
+// non-nil).
 type tenant struct {
 	name    string
-	cluster *server.Cluster   // single-query tenants
-	proto   server.Protocol   // single-query tenants
-	comp    *server.Composite // multi-query tenants
+	cluster *server.Cluster        // single-query tenants
+	proto   server.Protocol        // single-query tenants
+	comp    *server.Composite      // multi-query tenants
+	spatial *server.SpatialCluster // spatial tenants
+	sproto  server.SpatialProtocol // spatial tenants
 	shard   int
 	events  uint64
 	// seedID is the label the tenant's protocol seed was derived with. It is
@@ -153,38 +170,52 @@ type tenant struct {
 
 // initialize runs the tenant's t0 phase on whichever backend serves it.
 func (t *tenant) initialize() {
-	if t.comp != nil {
+	switch {
+	case t.comp != nil:
 		t.comp.Initialize()
-		return
+	case t.spatial != nil:
+		t.spatial.Initialize()
+	default:
+		t.cluster.Initialize()
 	}
-	t.cluster.Initialize()
 }
 
 // deliver applies one event on the serving backend (the shard-loop hot
-// path; both branches are allocation-free in steady state).
-func (t *tenant) deliver(s stream.ID, v float64) {
-	if t.comp != nil {
+// path; all branches are allocation-free in steady state).
+func (t *tenant) deliver(s stream.ID, v, y float64) {
+	switch {
+	case t.comp != nil:
 		t.comp.Deliver(s, v)
-		return
+	case t.spatial != nil:
+		t.spatial.Deliver(s, filter.Point{X: v, Y: y})
+	default:
+		t.cluster.Deliver(s, v)
 	}
-	t.cluster.Deliver(s, v)
 }
 
 // n returns the tenant's stream-partition size.
 func (t *tenant) n() int {
-	if t.comp != nil {
+	switch {
+	case t.comp != nil:
 		return t.comp.N()
+	case t.spatial != nil:
+		return t.spatial.N()
+	default:
+		return t.cluster.N()
 	}
-	return t.cluster.N()
 }
 
 // counter returns the tenant's message counter (shared across all queries
 // of a composite tenant).
 func (t *tenant) counter() *comm.Counter {
-	if t.comp != nil {
+	switch {
+	case t.comp != nil:
 		return t.comp.Counter()
+	case t.spatial != nil:
+		return t.spatial.Counter()
+	default:
+		return t.cluster.Counter()
 	}
-	return t.cluster.Counter()
 }
 
 // batch is one unit of shard work: events (all for this shard's tenants, in
@@ -296,6 +327,12 @@ func NewNodeLabeled(cfg Config, specs []TenantSpec, labels []int64) (*Node, erro
 // whether the spec's queries are built too (NewNode/AddTenant) or left for
 // the snapshot decoder to rebuild slot by slot (RestoreNode).
 func (n *Node) buildTenant(spec TenantSpec, ti int, seedID int64, withQueries bool) (*tenant, error) {
+	if len(spec.SpatialInitial) > 0 {
+		return n.buildSpatialTenant(spec, ti, seedID)
+	}
+	if spec.NewSpatial != nil {
+		return nil, fmt.Errorf("runtime: tenant %d sets NewSpatial without SpatialInitial", ti)
+	}
 	if len(spec.Initial) == 0 {
 		return nil, fmt.Errorf("runtime: tenant %d has an empty stream partition", ti)
 	}
@@ -344,6 +381,44 @@ func (n *Node) buildTenant(spec TenantSpec, ti int, seedID int64, withQueries bo
 	cluster.SetProtocol(proto)
 	t.cluster = cluster
 	t.proto = proto
+	return t, nil
+}
+
+// buildSpatialTenant constructs a spatial (2-D) tenant: a private
+// server.SpatialCluster over the initial locations, its protocol built by
+// the NewSpatial factory with the same seed derivation single-query tenants
+// use.
+func (n *Node) buildSpatialTenant(spec TenantSpec, ti int, seedID int64) (*tenant, error) {
+	if spec.NewProtocol != nil || len(spec.Queries) > 0 || len(spec.Initial) > 0 {
+		return nil, fmt.Errorf("runtime: tenant %d mixes spatial and 1-D configuration", ti)
+	}
+	if spec.Server != (server.Config{}) {
+		return nil, fmt.Errorf("runtime: tenant %d: Server config is not supported on spatial tenants", ti)
+	}
+	if spec.NewSpatial == nil {
+		return nil, fmt.Errorf("runtime: tenant %d has no spatial protocol factory", ti)
+	}
+	// A NaN initial location would reach the spatial sources, where it is a
+	// panic, not an error.
+	for s, p := range spec.SpatialInitial {
+		if p.IsNaN() {
+			return nil, fmt.Errorf("runtime: tenant %d initial location for stream %d is NaN", ti, s)
+		}
+	}
+	name := spec.Name
+	if name == "" {
+		name = fmt.Sprintf("tenant-%d", ti)
+	}
+	t := &tenant{
+		name:   name,
+		shard:  ti % n.cfg.shards(),
+		seedID: seedID,
+	}
+	spatial := server.NewSpatialCluster(spec.SpatialInitial)
+	sproto := spec.NewSpatial(spatial, sim.DeriveSeed(n.cfg.Seed, tenantSeedStream, seedID))
+	spatial.SetProtocol(sproto)
+	t.spatial = spatial
+	t.sproto = sproto
 	return t, nil
 }
 
@@ -474,7 +549,7 @@ func (n *Node) loop(sh shard, owned []*tenant) {
 			}
 			for _, ev := range b.events {
 				t := n.tenants[ev.Tenant]
-				t.deliver(ev.Stream, ev.Value)
+				t.deliver(ev.Stream, ev.Value, ev.Y)
 				t.events++
 			}
 			if b.events != nil {
@@ -523,8 +598,12 @@ func (n *Node) Ingest(events []Event) error {
 			return fmt.Errorf("runtime: event for unknown stream %d of tenant %d (n=%d)",
 				ev.Stream, ev.Tenant, t.n())
 		}
-		if math.IsNaN(ev.Value) {
+		if math.IsNaN(ev.Value) || math.IsNaN(ev.Y) {
 			return fmt.Errorf("runtime: event for stream %d of tenant %d carries a NaN value",
+				ev.Stream, ev.Tenant)
+		}
+		if ev.Y != 0 && t.spatial == nil {
+			return fmt.Errorf("runtime: event for stream %d of 1-D tenant %d carries a Y coordinate",
 				ev.Stream, ev.Tenant)
 		}
 	}
@@ -641,6 +720,9 @@ func (n *Node) Answer(ti int) []stream.ID {
 	t := n.live(ti)
 	if t.comp != nil {
 		panic(fmt.Sprintf("runtime: tenant %d hosts %d queries; use QueryAnswer", ti, t.comp.QuerySlots()))
+	}
+	if t.spatial != nil {
+		return t.sproto.Answer()
 	}
 	return t.proto.Answer()
 }

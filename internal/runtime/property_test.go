@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"adaptivefilters/internal/core"
+	"adaptivefilters/internal/filter"
+	"adaptivefilters/internal/multidim"
 	"adaptivefilters/internal/query"
 	"adaptivefilters/internal/server"
 	"adaptivefilters/internal/sim"
@@ -81,11 +83,13 @@ func propQuerySpec(j int) QuerySpec {
 }
 
 // propSpec builds the tenant spec for admission number adm, rotating
-// through the stateful protocols — and a multi-query composite tenant — so
-// every ExportState/ImportState pair is exercised by the property.
-func propSpec(adm int, initial []float64) TenantSpec {
+// through the stateful protocols — a multi-query composite tenant and a
+// spatial 2-D tenant included — so every ExportState/ImportState pair is
+// exercised by the property. ys supplies the second coordinate for the
+// spatial case (the other cases ignore it).
+func propSpec(adm int, initial, ys []float64) TenantSpec {
 	name := fmt.Sprintf("prop-%d", adm)
-	switch adm % 6 {
+	switch adm % 7 {
 	case 0:
 		return TenantSpec{Name: name, Initial: initial,
 			NewProtocol: func(h server.Host, seed int64) server.Protocol {
@@ -106,13 +110,32 @@ func propSpec(adm int, initial []float64) TenantSpec {
 		return TenantSpec{Name: name, Initial: initial,
 			Queries: []QuerySpec{propQuerySpec(0), propQuerySpec(1)}}
 	case 3:
+		// A spatial 2-D tenant: its k-NN disk protocols snapshot through the
+		// version-3 spatial record, alternating between the two protocols
+		// across admissions.
+		pts := make([]filter.Point, len(initial))
+		for i := range pts {
+			pts[i] = filter.Point{X: initial[i], Y: ys[i]}
+		}
+		q := filter.Point{X: 500, Y: 500}
+		if (adm/7)%2 == 0 {
+			return TenantSpec{Name: name, SpatialInitial: pts,
+				NewSpatial: func(h server.SpatialHost, seed int64) server.SpatialProtocol {
+					return multidim.NewRTP2D(h, q, core.RankTolerance{K: 3, R: 2})
+				}}
+		}
+		return TenantSpec{Name: name, SpatialInitial: pts,
+			NewSpatial: func(h server.SpatialHost, seed int64) server.SpatialProtocol {
+				return multidim.NewFTRP2D(h, q, 4, core.FractionTolerance{EpsPlus: 0.3, EpsMinus: 0.3})
+			}}
+	case 4:
 		return TenantSpec{Name: name, Initial: initial,
 			NewProtocol: func(h server.Host, seed int64) server.Protocol {
 				fc := core.DefaultFTRPConfig(core.FractionTolerance{EpsPlus: 0.25, EpsMinus: 0.25})
 				fc.Seed = seed
 				return core.NewFTRP(h, query.At(450), 5, fc)
 			}}
-	case 4:
+	case 5:
 		return TenantSpec{Name: name, Initial: initial,
 			NewProtocol: func(h server.Host, seed int64) server.Protocol {
 				return core.NewZTRP(h, query.At(550), 3)
@@ -132,18 +155,26 @@ func propSpec(adm int, initial []float64) TenantSpec {
 func genSchedule(seed int64, nOps int) (initial []TenantSpec, added []TenantSpec, ops []schedOp) {
 	rng := sim.NewRNG(seed)
 	var walks [][]float64
+	var walksY [][]float64 // nil for 1-D tenants
 	var alive []bool
 	var qalive [][]bool // per tenant, nil for single-query tenants
 	var qadmissions []int
 	admissions := 0
 	newSlot := func() TenantSpec {
 		vals := make([]float64, 12+rng.Intn(6))
+		ys := make([]float64, len(vals))
 		for i := range vals {
 			vals[i] = rng.Uniform(0, 1000)
+			ys[i] = rng.Uniform(0, 1000)
 		}
-		spec := propSpec(admissions, vals)
+		spec := propSpec(admissions, vals, ys)
 		admissions++
 		walks = append(walks, append([]float64(nil), vals...))
+		if len(spec.SpatialInitial) > 0 {
+			walksY = append(walksY, append([]float64(nil), ys...))
+		} else {
+			walksY = append(walksY, nil)
+		}
 		alive = append(alive, true)
 		if len(spec.Queries) > 0 {
 			qs := make([]bool, len(spec.Queries))
@@ -158,7 +189,9 @@ func genSchedule(seed int64, nOps int) (initial []TenantSpec, added []TenantSpec
 		}
 		return spec
 	}
-	for i := 0; i < 3; i++ {
+	// Four initial slots so the spatial tenant (admission 3) is always
+	// present from t0.
+	for i := 0; i < 4; i++ {
 		initial = append(initial, newSlot())
 	}
 	aliveCount := func() int {
@@ -206,7 +239,12 @@ func genSchedule(seed int64, nOps int) (initial []TenantSpec, added []TenantSpec
 				ti := randAlive()
 				s := rng.Intn(len(walks[ti]))
 				walks[ti][s] += rng.Normal(0, 35)
-				evs = append(evs, Event{Tenant: ti, Stream: s, Value: walks[ti][s]})
+				ev := Event{Tenant: ti, Stream: s, Value: walks[ti][s]}
+				if walksY[ti] != nil {
+					walksY[ti][s] += rng.Normal(0, 35)
+					ev.Y = walksY[ti][s]
+				}
+				evs = append(evs, ev)
 			}
 			ops = append(ops, schedOp{kind: opIngest, events: evs})
 		case draw == 5:
@@ -367,6 +405,13 @@ func TestScheduleProperty(t *testing.T) {
 			}
 			if kinds[opAddQuery] == 0 || kinds[opRemoveQuery] == 0 {
 				t.Fatalf("schedule exercises no query lifecycle (kinds %v); adjust the generator", kinds)
+			}
+			spatial := false
+			for _, sp := range initial {
+				spatial = spatial || len(sp.SpatialInitial) > 0
+			}
+			if !spatial {
+				t.Fatal("schedule hosts no spatial tenant; adjust the generator")
 			}
 
 			// Reference trajectory per shard count: identical fingerprints

@@ -69,6 +69,10 @@ func (n *Node) Report() *Report {
 		tr.Name = t.name
 		tr.Events = t.events
 		tr.Counter = *t.counter()
+		if t.spatial != nil {
+			tr.Answer = append([]stream.ID(nil), t.sproto.Answer()...)
+			continue
+		}
 		if t.comp == nil {
 			tr.Answer = append([]stream.ID(nil), t.proto.Answer()...)
 			continue

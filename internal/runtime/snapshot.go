@@ -15,11 +15,19 @@ import (
 // rejects versions it does not know (DESIGN.md §6).
 const (
 	snapshotMagic = "adaptivefilters/node-snapshot"
-	// SnapshotVersion is the current encoding version. Version 2 added
-	// multi-query composite tenants (a per-tenant kind discriminator plus
-	// the composite fabric's state); version 1 snapshots — single-query
-	// tenants only — still decode (DESIGN.md §7.4).
-	SnapshotVersion = 2
+	// SnapshotVersion is the current encoding version. Version 3 widened the
+	// per-tenant kind discriminator from a bool to an integer to admit
+	// spatial (2-D) tenants; version 2 added multi-query composite tenants;
+	// version 1 snapshots — single-query tenants only — still decode, as do
+	// version 2 ones (DESIGN.md §7.4, §11).
+	SnapshotVersion = 3
+)
+
+// Per-tenant kind discriminators in version-3 snapshots.
+const (
+	tenantKindSingle  = 0
+	tenantKindMulti   = 1
+	tenantKindSpatial = 2
 )
 
 // Snapshot captures a barrier-consistent, versioned encoding of the node's
@@ -58,26 +66,40 @@ func (n *Node) Snapshot() ([]byte, error) {
 		if t == nil {
 			continue
 		}
-		w.Bool(t.comp != nil)
+		w.Int64(tenantKind(t))
 		w.String(t.name)
 		w.Int64(t.seedID)
-		if t.comp != nil {
+		switch {
+		case t.comp != nil:
 			w.Uint64(t.events)
 			w.Int64(t.nextQuerySeed)
 			t.comp.ExportState(w)
-			continue
+		case t.spatial != nil:
+			// Spatial records keep the single-query field order — protocol
+			// name, event count, backend state, protocol state.
+			sp, ok := t.sproto.(server.SpatialStatefulProtocol)
+			if !ok {
+				return nil, fmt.Errorf("runtime: tenant %d (%s) protocol %q does not support snapshots",
+					ti, t.name, t.sproto.Name())
+			}
+			w.String(t.sproto.Name())
+			w.Uint64(t.events)
+			t.spatial.ExportState(w)
+			sp.ExportState(w)
+		default:
+			// Single-query records keep the version-1 field order after the
+			// kind discriminator, so the v1 decode path below shares this
+			// layout.
+			sp, ok := t.proto.(server.StatefulProtocol)
+			if !ok {
+				return nil, fmt.Errorf("runtime: tenant %d (%s) protocol %q does not support snapshots",
+					ti, t.name, t.proto.Name())
+			}
+			w.String(t.proto.Name())
+			w.Uint64(t.events)
+			t.cluster.ExportState(w)
+			sp.ExportState(w)
 		}
-		// Single-query records keep the version-1 field order after the kind
-		// flag, so the v1 decode path below shares this layout.
-		sp, ok := t.proto.(server.StatefulProtocol)
-		if !ok {
-			return nil, fmt.Errorf("runtime: tenant %d (%s) protocol %q does not support snapshots",
-				ti, t.name, t.proto.Name())
-		}
-		w.String(t.proto.Name())
-		w.Uint64(t.events)
-		t.cluster.ExportState(w)
-		sp.ExportState(w)
 	}
 	if err := w.Err(); err != nil {
 		return nil, err
@@ -154,15 +176,25 @@ func RestoreNode(cfg Config, specs []TenantSpec, data []byte) (*Node, error) {
 			continue
 		}
 		// Version 1 predates the query plane: every record is single-query
-		// and carries no kind discriminator.
-		multi := false
-		if version >= 2 {
-			multi = r.Bool()
+		// and carries no kind discriminator. Version 2 wrote the kind as a
+		// multi-query bool; version 3 widened it to an integer for spatial
+		// tenants.
+		kind := int64(tenantKindSingle)
+		switch {
+		case version == 2:
+			if r.Bool() {
+				kind = tenantKindMulti
+			}
+		case version >= 3:
+			kind = r.Int64()
 		}
 		name := r.String()
 		seedID := r.Int64()
 		if err := r.Err(); err != nil {
 			return nil, err
+		}
+		if kind < tenantKindSingle || kind > tenantKindSpatial {
+			return nil, fmt.Errorf("runtime: tenant %d snapshot kind %d unknown", ti, kind)
 		}
 		if seedID < 0 || seedID >= nextSeedID {
 			return nil, fmt.Errorf("runtime: tenant %d seed label %d outside [0,%d)", ti, seedID, nextSeedID)
@@ -171,16 +203,22 @@ func RestoreNode(cfg Config, specs []TenantSpec, data []byte) (*Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		if multi != (t.comp != nil) {
-			return nil, fmt.Errorf("runtime: tenant %d snapshot kind (multi=%v) does not match its spec", ti, multi)
+		if kind != tenantKind(t) {
+			return nil, fmt.Errorf("runtime: tenant %d snapshot holds a %s tenant, spec builds a %s tenant",
+				ti, kindName(kind), kindName(tenantKind(t)))
 		}
 		var events uint64
-		if multi {
+		switch kind {
+		case tenantKindMulti:
 			events = r.Uint64()
 			if err := n.restoreComposite(r, t, specs[ti]); err != nil {
 				return nil, fmt.Errorf("runtime: tenant %d: %w", ti, err)
 			}
-		} else {
+		case tenantKindSpatial:
+			if events, err = restoreSpatial(r, t); err != nil {
+				return nil, fmt.Errorf("runtime: tenant %d: %w", ti, err)
+			}
+		default:
 			if events, err = restoreSingle(r, t); err != nil {
 				return nil, fmt.Errorf("runtime: tenant %d: %w", ti, err)
 			}
@@ -195,6 +233,52 @@ func RestoreNode(cfg Config, specs []TenantSpec, data []byte) (*Node, error) {
 	}
 	n.initChannels(shards)
 	return n, nil
+}
+
+// kindName renders a kind discriminator for error messages.
+func kindName(kind int64) string {
+	switch kind {
+	case tenantKindMulti:
+		return "multi-query"
+	case tenantKindSpatial:
+		return "spatial"
+	default:
+		return "single-query"
+	}
+}
+
+// tenantKind returns a live tenant's version-3 kind discriminator.
+func tenantKind(t *tenant) int64 {
+	switch {
+	case t.comp != nil:
+		return tenantKindMulti
+	case t.spatial != nil:
+		return tenantKindSpatial
+	default:
+		return tenantKindSingle
+	}
+}
+
+// restoreSpatial decodes a spatial tenant record — protocol name, event
+// count, spatial-cluster state, protocol state — into the freshly built
+// tenant, returning the event count.
+func restoreSpatial(r *snapshot.Reader, t *tenant) (uint64, error) {
+	protoName := r.String()
+	events := r.Uint64()
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	if got := t.sproto.Name(); got != protoName {
+		return 0, fmt.Errorf("spec builds protocol %q, snapshot holds %q", got, protoName)
+	}
+	sp, ok := t.sproto.(server.SpatialStatefulProtocol)
+	if !ok {
+		return 0, fmt.Errorf("protocol %q does not support snapshots", protoName)
+	}
+	if err := t.spatial.ImportState(r); err != nil {
+		return 0, fmt.Errorf("spatial cluster: %w", err)
+	}
+	return events, sp.ImportState(r)
 }
 
 // restoreSingle decodes a single-query tenant record — protocol name, event

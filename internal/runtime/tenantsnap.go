@@ -18,7 +18,10 @@ import (
 const (
 	tenantSnapshotMagic = "adaptivefilters/tenant-snapshot"
 	// TenantSnapshotVersion is the current single-tenant encoding version.
-	TenantSnapshotVersion = 1
+	// Version 2 widened the kind discriminator from a multi-query bool to the
+	// node snapshot's integer kinds, admitting spatial tenants; version 1
+	// records still decode.
+	TenantSnapshotVersion = 2
 )
 
 // ExportTenant captures a barrier-consistent, versioned encoding of one
@@ -57,12 +60,23 @@ func (n *Node) ExportTenant(ti int) ([]byte, error) {
 	w.Int64(n.cfg.Seed)
 	w.String(t.name)
 	w.Int64(t.seedID)
-	w.Bool(t.comp != nil)
-	if t.comp != nil {
+	w.Int64(tenantKind(t))
+	switch {
+	case t.comp != nil:
 		w.Uint64(t.events)
 		w.Int64(t.nextQuerySeed)
 		t.comp.ExportState(w)
-	} else {
+	case t.spatial != nil:
+		sp, ok := t.sproto.(server.SpatialStatefulProtocol)
+		if !ok {
+			return nil, fmt.Errorf("runtime: tenant %d (%s) protocol %q does not support snapshots",
+				ti, t.name, t.sproto.Name())
+		}
+		w.String(t.sproto.Name())
+		w.Uint64(t.events)
+		t.spatial.ExportState(w)
+		sp.ExportState(w)
+	default:
 		sp, ok := t.proto.(server.StatefulProtocol)
 		if !ok {
 			return nil, fmt.Errorf("runtime: tenant %d (%s) protocol %q does not support snapshots",
@@ -118,9 +132,21 @@ func (n *Node) ImportTenant(spec TenantSpec, data []byte) (int, error) {
 	seed := r.Int64()
 	name := r.String()
 	seedID := r.Int64()
-	multi := r.Bool()
+	// Version 1 wrote the kind as a multi-query bool; version 2 uses the
+	// node snapshot's integer kinds.
+	kind := int64(tenantKindSingle)
+	if version == 1 {
+		if r.Bool() {
+			kind = tenantKindMulti
+		}
+	} else {
+		kind = r.Int64()
+	}
 	if err := r.Err(); err != nil {
 		return 0, err
+	}
+	if kind < tenantKindSingle || kind > tenantKindSpatial {
+		return 0, fmt.Errorf("runtime: tenant snapshot kind %d unknown", kind)
 	}
 	if seed != n.cfg.Seed {
 		return 0, fmt.Errorf("runtime: tenant snapshot was taken under node seed %d, this node runs %d",
@@ -142,16 +168,22 @@ func (n *Node) ImportTenant(spec TenantSpec, data []byte) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if multi != (t.comp != nil) {
-		return 0, fmt.Errorf("runtime: tenant snapshot kind (multi=%v) does not match its spec", multi)
+	if kind != tenantKind(t) {
+		return 0, fmt.Errorf("runtime: tenant snapshot holds a %s tenant, spec builds a %s tenant",
+			kindName(kind), kindName(tenantKind(t)))
 	}
 	var events uint64
-	if multi {
+	switch kind {
+	case tenantKindMulti:
 		events = r.Uint64()
 		if err := n.restoreComposite(r, t, spec); err != nil {
 			return 0, fmt.Errorf("runtime: tenant snapshot: %w", err)
 		}
-	} else {
+	case tenantKindSpatial:
+		if events, err = restoreSpatial(r, t); err != nil {
+			return 0, fmt.Errorf("runtime: tenant snapshot: %w", err)
+		}
+	default:
 		if events, err = restoreSingle(r, t); err != nil {
 			return 0, fmt.Errorf("runtime: tenant snapshot: %w", err)
 		}

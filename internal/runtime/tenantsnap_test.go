@@ -32,18 +32,26 @@ func tenantState(n *Node, ti int) string {
 }
 
 // migrationFixture builds a 4-tenant population (rotating through the
-// stateful protocols, including a composite tenant) plus deterministic
-// prefix and tail event batches over per-tenant random walks.
+// stateful protocols, including a composite and a spatial tenant) plus
+// deterministic prefix and tail event batches over per-tenant random walks.
 func migrationFixture() (specs []TenantSpec, prefix, tail []Event) {
 	rng := sim.NewRNG(7)
-	var walks [][]float64
+	var walks, walksY [][]float64
 	for i := 0; i < 4; i++ {
 		vals := make([]float64, 10+rng.Intn(5))
+		ys := make([]float64, len(vals))
 		for j := range vals {
 			vals[j] = rng.Uniform(0, 1000)
+			ys[j] = rng.Uniform(0, 1000)
 		}
-		specs = append(specs, propSpec(i, vals))
+		spec := propSpec(i, vals, ys)
+		specs = append(specs, spec)
 		walks = append(walks, append([]float64(nil), vals...))
+		if len(spec.SpatialInitial) > 0 {
+			walksY = append(walksY, append([]float64(nil), ys...))
+		} else {
+			walksY = append(walksY, nil)
+		}
 	}
 	gen := func(m int) []Event {
 		evs := make([]Event, 0, m)
@@ -51,7 +59,12 @@ func migrationFixture() (specs []TenantSpec, prefix, tail []Event) {
 			ti := rng.Intn(len(walks))
 			s := rng.Intn(len(walks[ti]))
 			walks[ti][s] += rng.Normal(0, 35)
-			evs = append(evs, Event{Tenant: ti, Stream: s, Value: walks[ti][s]})
+			ev := Event{Tenant: ti, Stream: s, Value: walks[ti][s]}
+			if walksY[ti] != nil {
+				walksY[ti][s] += rng.Normal(0, 35)
+				ev.Y = walksY[ti][s]
+			}
+			evs = append(evs, ev)
 		}
 		return evs
 	}

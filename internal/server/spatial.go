@@ -1,0 +1,281 @@
+package server
+
+import (
+	"fmt"
+
+	"adaptivefilters/internal/comm"
+	"adaptivefilters/internal/filter"
+	"adaptivefilters/internal/stream"
+)
+
+// SpatialHost is the narrow server-side surface a 2-D protocol programs
+// against — the planar twin of Host. A *SpatialCluster is the canonical
+// implementation, but anything that can answer location probes, deploy
+// region filters and account messages can host a spatial protocol. Every
+// message a spatial protocol can cause flows through this interface and is
+// charged through the same internal/server charge rules the 1-D hosts use,
+// so 2-D costs can never drift from the paper's accounting model.
+type SpatialHost interface {
+	// N returns the number of streams.
+	N() int
+	// Probe requests stream id's current location (one Probe plus one
+	// ProbeReply message) and refreshes the server table.
+	Probe(id stream.ID) filter.Point
+	// ProbeIf asks stream id to reply only when its location lies inside
+	// reg; the probe is always counted, the reply only on a hit.
+	ProbeIf(id stream.ID, reg filter.Region) (filter.Point, bool)
+	// ProbeAll probes every stream (2n messages) and refreshes the table;
+	// callers read the fresh locations back through Table, so periodic
+	// re-initializations allocate nothing.
+	ProbeAll()
+	// ProbeBatch probes every listed stream (2·len(ids) messages, counted
+	// in one batched counter update) and refreshes the table.
+	ProbeBatch(ids []stream.ID)
+	// Install deploys a region filter to one stream (one Install message).
+	// expectInside is the side of the region the server's table implies.
+	Install(id stream.ID, reg filter.Region, expectInside bool)
+	// InstallAll deploys the same region to every stream (n Install
+	// messages), deriving each stream's expected side from the table.
+	InstallAll(reg filter.Region)
+	// Table returns the server's belief about stream id's location and
+	// whether the stream has ever been heard from.
+	Table(id stream.ID) (filter.Point, bool)
+	// AddServerOps records server-side ranking work (computation metric).
+	AddServerOps(n int)
+}
+
+// SpatialProtocol is a region-bound assignment protocol hosted by a
+// SpatialCluster: the paper's §7 multidimensional extension (FT-RP2D,
+// RTP2D).
+type SpatialProtocol interface {
+	// Name identifies the protocol in reports.
+	Name() string
+	// Initialize performs the time-t0 Initialization Phase: probe streams,
+	// compute the initial answer, deploy region filters.
+	Initialize()
+	// HandleUpdate is the Maintenance Phase entry point: the server
+	// received an update (filter violation or unfiltered report) from
+	// stream id at location p.
+	HandleUpdate(id stream.ID, p filter.Point)
+	// Answer returns the current answer set A(t) as stream IDs, in
+	// unspecified order.
+	Answer() []stream.ID
+}
+
+type spatialUpdate struct {
+	id stream.ID
+	p  filter.Point
+}
+
+// SpatialCluster wires n spatial stream sources to a hosted 2-D protocol
+// and accounts every message. It is the canonical SpatialHost and mirrors
+// Cluster structurally: a reusable pending FIFO, drain-cascade delivery,
+// and one comm.Counter charged exclusively through charges.go.
+type SpatialCluster struct {
+	sources []*stream.SpatialSource
+	proto   SpatialProtocol
+
+	// table is the server's last known location per stream: updated by
+	// reports and probes. known marks streams heard from at least once.
+	table []filter.Point
+	known []bool
+
+	ctr comm.Counter
+	// pending is a reusable FIFO of updates awaiting protocol handling:
+	// receive appends at the tail, drain consumes via head and resets both
+	// once empty, so the steady-state delivery path never reallocates it.
+	pending  []spatialUpdate
+	head     int
+	draining bool
+}
+
+var _ SpatialHost = (*SpatialCluster)(nil)
+
+// NewSpatialCluster creates a cluster over the given initial true stream
+// locations. The server table starts unknown: protocols learn locations by
+// probing. NaN coordinates are a caller bug and panic — runtime admission
+// validates initial locations before construction.
+func NewSpatialCluster(initial []filter.Point) *SpatialCluster {
+	c := &SpatialCluster{
+		table: make([]filter.Point, len(initial)),
+		known: make([]bool, len(initial)),
+	}
+	c.sources = make([]*stream.SpatialSource, len(initial))
+	for i, p := range initial {
+		c.sources[i] = stream.NewSpatial(i, p, c.receive)
+	}
+	return c
+}
+
+// N returns the number of streams.
+func (c *SpatialCluster) N() int { return len(c.sources) }
+
+// SetProtocol installs the hosted protocol. It must be called exactly once
+// before Initialize.
+func (c *SpatialCluster) SetProtocol(p SpatialProtocol) {
+	if c.proto != nil {
+		panic("server: protocol already set")
+	}
+	c.proto = p
+}
+
+// Protocol returns the hosted protocol.
+func (c *SpatialCluster) Protocol() SpatialProtocol { return c.proto }
+
+// Counter exposes the message counter (read-mostly; the experiment harness
+// switches phases through it).
+func (c *SpatialCluster) Counter() *comm.Counter { return &c.ctr }
+
+// Initialize runs the protocol's initialization phase in the Init
+// accounting bucket and then switches to Maintenance.
+func (c *SpatialCluster) Initialize() {
+	if c.proto == nil {
+		panic("server: Initialize without protocol")
+	}
+	c.ctr.SetPhase(comm.Init)
+	c.proto.Initialize()
+	c.drain()
+	c.ctr.SetPhase(comm.Maintenance)
+}
+
+// receive is the uplink callback given to every source: counts the update,
+// refreshes the table and queues the update for protocol handling.
+func (c *SpatialCluster) receive(id stream.ID, p filter.Point) {
+	c.ctr.Add(comm.Update, 1)
+	c.table[id] = p
+	c.known[id] = true
+	c.pending = append(c.pending, spatialUpdate{id, p})
+}
+
+// Deliver applies a workload location change to stream id and then drains
+// all resulting protocol work (including cascaded install-mismatch
+// reports). NaN coordinates are a caller bug and panic — runtime ingest
+// validates them first.
+func (c *SpatialCluster) Deliver(id stream.ID, p filter.Point) {
+	c.sources[id].Set(p)
+	c.drain()
+}
+
+// drain feeds queued updates to the protocol one at a time, exactly like
+// Cluster.drain: cascade updates land behind head and run in order, and the
+// queue storage is reused across deliveries.
+func (c *SpatialCluster) drain() {
+	if c.draining {
+		return
+	}
+	c.draining = true
+	defer func() { c.draining = false }()
+	for c.head < len(c.pending) {
+		u := c.pending[c.head]
+		c.head++
+		c.proto.HandleUpdate(u.id, u.p)
+	}
+	c.pending = c.pending[:0]
+	c.head = 0
+}
+
+// --- primitives available to protocols -------------------------------------
+
+// Probe requests the current location of stream id (one Probe plus one
+// ProbeReply message) and refreshes the server table.
+func (c *SpatialCluster) Probe(id stream.ID) filter.Point {
+	chargeProbes(&c.ctr, 1)
+	p := c.sources[id].Probe()
+	c.table[id] = p
+	c.known[id] = true
+	return p
+}
+
+// ProbeIf asks stream id to reply only when its current location lies
+// inside reg (RTP step 4 in the plane: query the clients whose locations
+// may fall in the expanded disk). The probe message is always counted; the
+// reply — and the table refresh — happen only on a hit.
+func (c *SpatialCluster) ProbeIf(id stream.ID, reg filter.Region) (filter.Point, bool) {
+	chargeProbeRequest(&c.ctr)
+	p := c.sources[id].Probe() // the source evaluates the predicate locally
+	if !reg.Contains(p) {
+		return filter.Point{}, false
+	}
+	chargeProbeReply(&c.ctr)
+	c.table[id] = p
+	c.known[id] = true
+	return p, true
+}
+
+// ProbeAll probes every stream (2n messages, one batched counter update)
+// and refreshes the whole table in place.
+func (c *SpatialCluster) ProbeAll() {
+	chargeProbes(&c.ctr, uint64(c.N()))
+	for i, s := range c.sources {
+		c.table[i] = s.Probe()
+		c.known[i] = true
+	}
+}
+
+// ProbeBatch probes every listed stream, refreshing the table; the
+// 2·len(ids) messages land on the counter in one batched update per kind.
+func (c *SpatialCluster) ProbeBatch(ids []stream.ID) {
+	if len(ids) == 0 {
+		return
+	}
+	chargeProbes(&c.ctr, uint64(len(ids)))
+	for _, id := range ids {
+		c.table[id] = c.sources[id].Probe()
+		c.known[id] = true
+	}
+}
+
+// Install deploys a region filter to one stream (one Install message).
+// expectInside is the side of the region the server's table implies; on
+// mismatch the source reports immediately (counted as an update and
+// queued).
+func (c *SpatialCluster) Install(id stream.ID, reg filter.Region, expectInside bool) {
+	chargeInstalls(&c.ctr, 1)
+	c.sources[id].Install(reg, expectInside)
+	c.drain() // no-op when already inside a delivery cycle
+}
+
+// InstallAll deploys the same region to every stream, deriving each
+// stream's expected side from the server table. It costs n Install
+// messages — the paper charges one per stream; the spatial plane has no
+// broadcast ablation.
+func (c *SpatialCluster) InstallAll(reg filter.Region) {
+	chargeInstalls(&c.ctr, uint64(c.N()))
+	for i, s := range c.sources {
+		s.Install(reg, reg.Contains(c.table[i]))
+	}
+	c.drain() // no-op when already inside a delivery cycle
+}
+
+// Table returns the server's current belief about stream id's location and
+// whether the stream has ever been heard from.
+func (c *SpatialCluster) Table(id stream.ID) (filter.Point, bool) {
+	return c.table[id], c.known[id]
+}
+
+// Region returns the filter currently installed at stream id (the server
+// knows what it installed; this does not cost a message).
+func (c *SpatialCluster) Region(id stream.ID) filter.Region {
+	return c.sources[id].Region()
+}
+
+// AddServerOps records server-side ranking work for the computation metric.
+func (c *SpatialCluster) AddServerOps(n int) { c.ctr.AddServerOps(uint64(n)) }
+
+// --- inspection (oracle / tests only) ---------------------------------------
+
+// TruePoint returns the ground-truth location of stream id. Protocols must
+// not call this; it exists for the oracle and tests.
+func (c *SpatialCluster) TruePoint(id stream.ID) filter.Point { return c.sources[id].Point() }
+
+// Source exposes the underlying source for tests.
+func (c *SpatialCluster) Source(id stream.ID) *stream.SpatialSource { return c.sources[id] }
+
+// String summarizes the cluster.
+func (c *SpatialCluster) String() string {
+	name := "<none>"
+	if c.proto != nil {
+		name = c.proto.Name()
+	}
+	return fmt.Sprintf("spatial-cluster{n=%d proto=%s %v}", c.N(), name, &c.ctr)
+}

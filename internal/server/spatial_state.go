@@ -1,0 +1,118 @@
+package server
+
+import (
+	"fmt"
+
+	"adaptivefilters/internal/filter"
+	"adaptivefilters/internal/snapshot"
+)
+
+// SpatialStatefulProtocol is a SpatialProtocol with snapshot support, under
+// exactly the StatefulProtocol contract: ImportState is called once, on a
+// freshly constructed instance of the same configuration (same query point,
+// tolerance), before any Initialize or HandleUpdate. Configuration is not
+// part of the encoding — it lives in the caller's TenantSpec.
+type SpatialStatefulProtocol interface {
+	SpatialProtocol
+	// ExportState appends the protocol's dynamic state to the snapshot.
+	ExportState(w *snapshot.Writer)
+	// ImportState restores state written by ExportState. It returns an
+	// error on corrupted or mismatched input and never panics.
+	ImportState(r *snapshot.Reader) error
+}
+
+// ExportState appends the cluster's full dynamic state to a snapshot: the
+// server location table, the message counter, any queued-but-unhandled
+// updates, and every source's location/region/side. Export during an
+// in-flight delivery cascade is a programming error; the runtime only
+// exports at a drain barrier, where no delivery is active.
+func (c *SpatialCluster) ExportState(w *snapshot.Writer) {
+	if c.draining {
+		panic("server: ExportState during delivery")
+	}
+	w.Int(c.N())
+	for _, p := range c.table {
+		w.Float64(p.X)
+		w.Float64(p.Y)
+	}
+	w.Bools(c.known)
+	c.ctr.ExportState(w)
+	pend := c.pending[c.head:]
+	w.Int(len(pend))
+	for _, u := range pend {
+		w.Int(u.id)
+		w.Float64(u.p.X)
+		w.Float64(u.p.Y)
+	}
+	for _, s := range c.sources {
+		s.ExportState(w)
+	}
+}
+
+// ImportState restores state written by ExportState into a freshly
+// constructed cluster with the same stream count. NaN locations — in the
+// table or the pending queue — are rejected per the spatial NaN discipline.
+// It returns an error on corrupted or mismatched input and never panics.
+func (c *SpatialCluster) ImportState(r *snapshot.Reader) error {
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n != c.N() {
+		return fmt.Errorf("server: snapshot has %d streams, spatial cluster has %d", n, c.N())
+	}
+	table := make([]filter.Point, n)
+	for i := range table {
+		table[i] = filter.Point{X: r.Float64(), Y: r.Float64()}
+	}
+	known := r.Bools()
+	if err := c.ctr.ImportState(r); err != nil {
+		return err
+	}
+	pendLen := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if len(known) != n {
+		return fmt.Errorf("server: snapshot known vector sized %d, want %d", len(known), n)
+	}
+	for i, p := range table {
+		if p.IsNaN() {
+			return fmt.Errorf("server: snapshot holds NaN table location for stream %d", i)
+		}
+	}
+	if pendLen < 0 || pendLen > r.Remaining()/24 {
+		// Each entry is 24 encoded bytes; a length beyond the remaining
+		// input is corruption, caught before allocating for it.
+		return fmt.Errorf("server: snapshot pending queue length %d exceeds remaining input", pendLen)
+	}
+	pending := make([]spatialUpdate, 0, pendLen)
+	for i := 0; i < pendLen; i++ {
+		id := r.Int()
+		p := filter.Point{X: r.Float64(), Y: r.Float64()}
+		if r.Err() == nil {
+			if id < 0 || id >= n {
+				return fmt.Errorf("server: snapshot pending update for unknown stream %d", id)
+			}
+			if p.IsNaN() {
+				return fmt.Errorf("server: snapshot pending update with NaN location for stream %d", id)
+			}
+		}
+		pending = append(pending, spatialUpdate{id: id, p: p})
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	// All scalars decoded; restore sources last so a failure midway leaves
+	// at worst a partially restored cluster that the caller discards.
+	copy(c.table, table)
+	copy(c.known, known)
+	c.pending = pending
+	c.head = 0
+	for _, s := range c.sources {
+		if err := s.ImportState(r); err != nil {
+			return err
+		}
+	}
+	return r.Err()
+}

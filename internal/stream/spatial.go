@@ -1,0 +1,165 @@
+package stream
+
+import (
+	"fmt"
+
+	"adaptivefilters/internal/filter"
+	"adaptivefilters/internal/snapshot"
+)
+
+// SpatialReportFunc is the uplink a spatial source uses to send an update
+// message — its current location — to the server.
+type SpatialReportFunc func(id ID, p filter.Point)
+
+// SpatialSource is one remote data stream whose value is a location in the
+// plane, with an adaptive region filter: the 2-D counterpart of Source for
+// the paper's §7 multidimensional extension. Reporting semantics mirror the
+// 1-D source exactly — report on region-boundary crossings, or on every
+// update when unfiltered.
+type SpatialSource struct {
+	id     ID
+	pt     filter.Point
+	reg    filter.Region
+	inside bool // side of the region of the last point known to the server
+	report SpatialReportFunc
+	// Updates counts location changes applied to the source; Reports counts
+	// how many were actually sent to the server.
+	Updates uint64
+	Reports uint64
+}
+
+// NewSpatial returns a spatial source with the given initial location and
+// no filter installed (every update is reported). The initial point must
+// not be NaN: location validation happens at the trust boundary (cluster
+// construction, runtime ingest, snapshot restore), so a NaN reaching a
+// source is a caller bug and panics.
+func NewSpatial(id ID, initial filter.Point, report SpatialReportFunc) *SpatialSource {
+	if report == nil {
+		panic("stream: nil report func")
+	}
+	if initial.IsNaN() {
+		panic("stream: NaN initial point")
+	}
+	return &SpatialSource{id: id, pt: initial, reg: filter.NoRegion(), report: report}
+}
+
+// ID returns the source identifier.
+func (s *SpatialSource) ID() ID { return s.id }
+
+// Point returns the true current location. Only the workload driver, probes
+// and the ground-truth oracle may call this; protocols must rely on
+// reported data.
+func (s *SpatialSource) Point() filter.Point { return s.pt }
+
+// Region returns the currently installed region filter.
+func (s *SpatialSource) Region() filter.Region { return s.reg }
+
+// Inside reports the source's recorded side of its region constraint —
+// i.e. the side the server believes the stream is on.
+func (s *SpatialSource) Inside() bool { return s.inside }
+
+// Set applies a new location from the workload. It reports to the server
+// when the region filter is violated (or always, when unfiltered) and
+// returns whether a report was sent. NaN coordinates are a caller bug and
+// panic — the delivery path validates them first.
+func (s *SpatialSource) Set(p filter.Point) bool {
+	if p.IsNaN() {
+		panic("stream: NaN point delivered to spatial source")
+	}
+	s.Updates++
+	prevInside := s.inside
+	s.pt = p
+	if s.reg.Kind == filter.RegionNone {
+		s.send()
+		return true
+	}
+	nowInside := s.reg.Contains(p)
+	if nowInside != prevInside {
+		s.inside = nowInside
+		s.send()
+		return true
+	}
+	return false
+}
+
+// Install sets a new region filter. expectInside is the side of the new
+// region the server believes this stream is on (from its location table).
+// If the true side differs, the source immediately reports its location so
+// the server's view converges — unless the region is silent (wide-open or
+// shut regions can never be violated, so no report is owed). Install
+// returns whether such a mismatch report was sent. Semantics mirror
+// Source.Install for interval constraints.
+func (s *SpatialSource) Install(reg filter.Region, expectInside bool) bool {
+	s.reg = reg
+	if reg.Kind == filter.RegionNone {
+		s.inside = false
+		return false
+	}
+	actual := reg.Contains(s.pt)
+	s.inside = actual
+	if actual != expectInside && !reg.Silent() {
+		s.send()
+		return true
+	}
+	return false
+}
+
+// Probe returns the current location, modelling a server probe request plus
+// the stream's reply. Message accounting is done by the caller (the
+// cluster). Probing refreshes the recorded side of the region.
+func (s *SpatialSource) Probe() filter.Point {
+	if s.reg.Kind != filter.RegionNone {
+		s.inside = s.reg.Contains(s.pt)
+	}
+	return s.pt
+}
+
+func (s *SpatialSource) send() {
+	s.Reports++
+	s.report(s.id, s.pt)
+}
+
+// ExportState appends the source's full dynamic state — location, installed
+// region, recorded side, update/report counters — to a snapshot.
+func (s *SpatialSource) ExportState(w *snapshot.Writer) {
+	w.Float64(s.pt.X)
+	w.Float64(s.pt.Y)
+	s.reg.ExportState(w)
+	w.Bool(s.inside)
+	w.Uint64(s.Updates)
+	w.Uint64(s.Reports)
+}
+
+// ImportState restores state written by ExportState, overwriting the
+// source's location, region, side and counters (id and uplink are kept).
+// NaN locations are rejected — restore is a trust boundary, per the spatial
+// NaN discipline. It returns an error on corrupted input and never panics.
+func (s *SpatialSource) ImportState(r *snapshot.Reader) error {
+	x := r.Float64()
+	y := r.Float64()
+	reg, err := filter.ImportRegion(r)
+	if err != nil {
+		return err
+	}
+	inside := r.Bool()
+	updates := r.Uint64()
+	reports := r.Uint64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	p := filter.Point{X: x, Y: y}
+	if p.IsNaN() {
+		return fmt.Errorf("stream: snapshot holds NaN location for source %d", s.id)
+	}
+	s.pt = p
+	s.reg = reg
+	s.inside = inside
+	s.Updates = updates
+	s.Reports = reports
+	return nil
+}
+
+// String renders the source state for debugging.
+func (s *SpatialSource) String() string {
+	return fmt.Sprintf("S%d{p=%v reg=%v inside=%v}", s.id, s.pt, s.reg, s.inside)
+}

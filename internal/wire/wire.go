@@ -44,8 +44,11 @@ import (
 const (
 	Magic = "adaptivefilters/wire"
 	// Version 2 added the cluster-migration ops: labeled tenant admission,
-	// per-tenant snapshot export/import, and load stats.
-	Version = 2
+	// per-tenant snapshot export/import, and load stats. Version 3 appended
+	// the spatial query point (QX, QY) to the protospec encoding; spatial
+	// tenants themselves remain in-process only and are rejected at
+	// admission validation.
+	Version = 3
 )
 
 // DefaultMaxFrame bounds a frame payload (8 MiB ≈ 500k-event batches):

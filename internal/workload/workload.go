@@ -11,10 +11,13 @@ package workload
 import "container/heap"
 
 // Event is one stream value change at a simulation time strictly after t0.
+// For spatial workloads Value is the X coordinate and Y the second one; 1-D
+// generators leave Y zero, matching runtime.Event's convention.
 type Event struct {
 	Time   float64
 	Stream int
 	Value  float64
+	Y      float64
 }
 
 // Iterator yields events in non-decreasing time order.
