@@ -92,8 +92,70 @@ type result struct {
 
 // call is one request awaiting its reply.
 type call struct {
-	op byte
-	ch chan result // nil for pipelined ingest
+	seq uint64
+	op  byte
+	ch  chan result // nil for pipelined ingest
+}
+
+// pendingRing is the FIFO of requests awaiting replies. The server answers
+// each connection strictly in request order (ingest acks from the reader,
+// control replies from the driver, never reordered), so the oldest pending
+// call is always the one the next reply matches — a ring buffer replaces
+// the seq→call map and its ever-growing-key rehash churn. The ring grows to
+// the high-water inflight window and is then allocation-free.
+type pendingRing struct {
+	buf  []call
+	head int
+	size int
+}
+
+// push appends a call at the tail.
+func (r *pendingRing) push(cl call) {
+	if r.size == len(r.buf) {
+		grown := make([]call, max(16, 2*len(r.buf)))
+		for i := 0; i < r.size; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.size)%len(r.buf)] = cl
+	r.size++
+}
+
+// peek returns the oldest pending call without removing it.
+func (r *pendingRing) peek() (call, bool) {
+	if r.size == 0 {
+		return call{}, false
+	}
+	return r.buf[r.head], true
+}
+
+// pop removes and returns the oldest pending call.
+func (r *pendingRing) pop() (call, bool) {
+	if r.size == 0 {
+		return call{}, false
+	}
+	cl := r.buf[r.head]
+	r.buf[r.head] = call{} // release the result channel
+	r.head = (r.head + 1) % len(r.buf)
+	r.size--
+	return cl, true
+}
+
+// dropTail rolls back the newest pending call if it carries seq — the
+// unregister path for a frame that never made it onto the socket. Reports
+// whether anything was removed (a disconnect may already have cleared it).
+func (r *pendingRing) dropTail(seq uint64) bool {
+	if r.size == 0 {
+		return false
+	}
+	i := (r.head + r.size - 1) % len(r.buf)
+	if r.buf[i].seq != seq {
+		return false
+	}
+	r.buf[i] = call{}
+	r.size--
+	return true
 }
 
 // Stats counts ingest batch outcomes since Dial.
@@ -116,11 +178,11 @@ type Client struct {
 	fw  *wire.FrameWriter
 	seq uint64
 
-	// pmu guards the pending table, the ingest window and link state;
+	// pmu guards the pending ring, the ingest window and link state;
 	// cond signals window space and state changes.
 	pmu      sync.Mutex
 	cond     *sync.Cond
-	pending  map[uint64]call
+	pending  pendingRing
 	inflight int
 	up       bool
 	closed   bool
@@ -131,7 +193,7 @@ type Client struct {
 
 // Dial connects, performs the wire handshake and starts the reader.
 func Dial(addr string, opts Options) (*Client, error) {
-	c := &Client{addr: addr, opts: opts, pending: make(map[uint64]call)}
+	c := &Client{addr: addr, opts: opts}
 	c.cond = sync.NewCond(&c.pmu)
 	nc, fr, err := c.connect()
 	if err != nil {
@@ -209,17 +271,20 @@ func (c *Client) Stats() Stats {
 	return c.stats
 }
 
-// failPendingLocked fails every outstanding call; pmu held.
+// failPendingLocked fails every outstanding call, oldest first; pmu held.
 func (c *Client) failPendingLocked(err error) {
-	for seq, cl := range c.pending {
-		delete(c.pending, seq)
+	for {
+		cl, ok := c.pending.pop()
+		if !ok {
+			break
+		}
 		if cl.ch != nil {
 			cl.ch <- result{err: err}
 			continue
 		}
 		c.stats.Lost++
 		if c.opts.OnIngestAck != nil {
-			c.opts.OnIngestAck(seq, StatusLost)
+			c.opts.OnIngestAck(cl.seq, StatusLost)
 		}
 	}
 	c.inflight = 0
@@ -283,13 +348,18 @@ func (c *Client) readReplies(fr *wire.FrameReader) error {
 		if err != nil {
 			return err
 		}
+		// Replies arrive in request order, so the reply must match the
+		// oldest pending call. A mismatch leaves the call in the ring for
+		// failPendingLocked, so a waiting roundTrip still gets its error.
 		c.pmu.Lock()
-		cl, ok := c.pending[hdr.Seq]
-		if ok {
-			delete(c.pending, hdr.Seq)
+		cl, ok := c.pending.peek()
+		if ok && cl.seq == hdr.Seq && hdr.Op == wire.ReplyTo(cl.op) {
+			c.pending.pop()
+		} else {
+			ok = false
 		}
 		c.pmu.Unlock()
-		if !ok || hdr.Op != wire.ReplyTo(cl.op) {
+		if !ok {
 			return fmt.Errorf("client: reply (op=%d seq=%d) matches no request", hdr.Op, hdr.Seq)
 		}
 		var res result
@@ -342,22 +412,22 @@ func (c *Client) register(cl call, countInflight bool) (uint64, error) {
 		return 0, ErrDisconnected
 	}
 	c.seq++
-	c.pending[c.seq] = cl
+	cl.seq = c.seq
+	c.pending.push(cl)
 	if countInflight {
 		c.inflight++
 	}
 	return c.seq, nil
 }
 
-// unregister rolls back a registration whose frame never made it out.
+// unregister rolls back a registration whose frame never made it out. The
+// caller still holds wmu, so the registration is necessarily the newest
+// pending call (nothing can have registered behind it).
 func (c *Client) unregister(seq uint64, countInflight bool) {
 	c.pmu.Lock()
-	if _, ok := c.pending[seq]; ok {
-		delete(c.pending, seq)
-		if countInflight {
-			c.inflight--
-			c.cond.Signal()
-		}
+	if c.pending.dropTail(seq) && countInflight {
+		c.inflight--
+		c.cond.Signal()
 	}
 	c.pmu.Unlock()
 }

@@ -24,6 +24,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			"tolerated fractional growth of recorded p50/p99/p999 latency")
 		flatFactor = fs.Float64("flat-factor", 10,
 			"per-event cost bound on the wide-M multi-query points, as a factor of m=1")
+		minScale = fs.Float64("min-scale", 1.8,
+			"required events/sec speedup of ingesters=4/shards=8 over ingesters=1/shards=1 (enforced only at GOMAXPROCS >= 4)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -54,6 +56,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		FlatRules: []bench.FlatRule{
 			{Ref: mqRef, Scaled: "multi-query-sharing/composite/m=64", MaxFactor: *flatFactor},
 			{Ref: mqRef, Scaled: "multi-query-sharing/composite/m=256", MaxFactor: *flatFactor},
+		},
+		ScaleRules: []bench.ScaleRule{
+			{
+				Ref:       "multi-tenant-ingest/ingesters=1/shards=1",
+				Scaled:    "multi-tenant-ingest/ingesters=4/shards=8",
+				MinFactor: *minScale,
+				MinProcs:  4,
+			},
 		},
 	})
 	if len(violations) > 0 {

@@ -31,6 +31,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"adaptivefilters/internal/comm"
@@ -77,6 +78,8 @@ func main() {
 		queries   = flag.Int("queries", 1, "standing queries per tenant: with -queries M > 1 each tenant is a composite multi-query tenant whose M queries (shifted copies of the configured query) share one value table, one counter and composite filters")
 		shards    = flag.Int("shards", 1, "event-loop goroutines for -tenants mode (-1 = GOMAXPROCS)")
 		batch     = flag.Int("batch", 512, "ingest batch size for -tenants mode")
+		ingesters = flag.Int("ingesters", 1, "concurrent ingest goroutines for -tenants mode, each with its own runtime.Ingester; tenant i's traffic flows through ingester i mod N, so answers stay byte-identical at any count")
+		conns     = flag.Int("conns", 1, "TCP connections for -connect, each with its own pipeline; tenant i's traffic flows through connection i mod N")
 		answers   = flag.String("answers", "", "write a timing-free per-tenant answer/counter dump to this file (-tenants mode); byte-identical at any -shards, the CI determinism job diffs it")
 		snapEvery = flag.Int("snapshot-every", 0, "take a barrier-consistent node snapshot about every N ingested events (-tenants mode; 0 = off)")
 		snapFile  = flag.String("snapshot-file", "streamsim.snap", "file the latest -snapshot-every snapshot is written to")
@@ -107,6 +110,7 @@ func main() {
 	params := simParams{
 		Tenants: *tenants, Queries: *queries, Shards: *shards,
 		N: *n, Events: *events, Batch: *batch,
+		Ingesters: *ingesters, Conns: *conns,
 		CheckEvery: *every, SnapEvery: *snapEvery, Restore: *restore,
 		Proto: *proto, K: *k, R: *r, QX: *qx, QY: *qy,
 		Width: *width, EpsPlus: ep, EpsMinus: em,
@@ -151,7 +155,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "streamsim: -check is not supported for spatial protocols and is ignored")
 		}
 		cfg := tenantsConfig{
-			tenants: *tenants, queries: 1, shards: *shards, batch: *batch, seed: *seed,
+			tenants: *tenants, queries: 1, shards: *shards, batch: *batch,
+			ingesters: *ingesters, seed: *seed,
 			proto: *proto, verbose: *verbose, answers: *answers,
 			snapEvery: *snapEvery, snapFile: *snapFile, restore: *restore,
 		}
@@ -285,7 +290,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "streamsim: -check is ignored in -tenants and wire modes")
 		}
 		cfg := tenantsConfig{
-			tenants: *tenants, queries: *queries, shards: *shards, batch: *batch, seed: *seed,
+			tenants: *tenants, queries: *queries, shards: *shards, batch: *batch,
+			ingesters: *ingesters, seed: *seed,
 			proto: *proto, verbose: *verbose, answers: *answers,
 			snapEvery: *snapEvery, snapFile: *snapFile, restore: *restore,
 		}
@@ -295,7 +301,7 @@ func main() {
 			err = runListen(*listen, *readyFile, cfg, mkWorkload, build, buildQuery)
 		case *connect != "":
 			err = runConnect(*connect, cfg,
-				wireDrive{rate: *rate, latOut: *latOut, shutdown: *shutdownR},
+				wireDrive{rate: *rate, latOut: *latOut, shutdown: *shutdownR, conns: *conns},
 				mkWorkload, build, buildQuery)
 		case *clusterN > 0:
 			err = runClusterSim(cfg, *clusterN, *migEvery, mkWorkload, declQuery)
@@ -352,6 +358,7 @@ func main() {
 // tenantsConfig bundles the -tenants mode flags.
 type tenantsConfig struct {
 	tenants, queries, shards, batch int
+	ingesters                       int
 	seed                            int64
 	proto                           string
 	verbose                         bool
@@ -432,6 +439,68 @@ func runNodeSim(cfg tenantsConfig, specs []runtime.TenantSpec, iters []workload.
 	}
 	start := time.Now()
 	var ingested uint64
+	if cfg.ingesters > 1 {
+		// validate has already rejected -snapshot-every/-restore here: the
+		// snapshot's replay cut assumes a sequential global ingest prefix.
+		var err error
+		if ingested, err = fanOutIngest(node, merge, cfg.ingesters, cfg.batch); err != nil {
+			return err
+		}
+	} else if err := sequentialIngest(node, merge, cfg, skip, &ingested); err != nil {
+		return err
+	}
+	if err := node.Drain(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	node.Stop()
+
+	ningest := cfg.ingesters
+	if ningest < 1 {
+		ningest = 1
+	}
+	fmt.Printf("tenants:    %d   queries/tenant: %d   shards: %d   batch: %d   ingesters: %d\n",
+		cfg.tenants, cfg.queries, node.Shards(), cfg.batch, ningest)
+	fmt.Printf("ingested:   %d events in %v (%.0f events/sec)\n",
+		ingested, elapsed.Round(time.Millisecond), float64(ingested)/elapsed.Seconds())
+	var worst, total uint64
+	for i := 0; i < cfg.tenants; i++ {
+		c := node.Counter(i)
+		if cfg.verbose || cfg.tenants <= 8 {
+			fmt.Printf("  %-28s events=%-7d maint=%-7d answers=%s\n",
+				node.TenantName(i), node.Events(i), c.Maintenance(), answerSizes(node, i))
+		}
+		if m := c.Maintenance(); m > worst {
+			worst = m
+		}
+		total += c.Maintenance()
+	}
+	totals := node.Totals()
+	fmt.Printf("node totals: init=%d maintenance=%d serverOps=%d (worst tenant maint=%d, mean=%.1f)\n",
+		totals.PhaseTotal(comm.Init), totals.Maintenance(), totals.ServerOps,
+		worst, float64(total)/float64(cfg.tenants))
+	if cfg.verbose {
+		for _, st := range node.ShardStats() {
+			fmt.Printf("  shard %-3d queued=%-4d applied=%-8d tenants=%d\n",
+				st.Shard, st.Queued, st.Applied, st.Tenants)
+		}
+	}
+	if cfg.answers != "" {
+		if err := writeAnswers(cfg.answers, node); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sequentialIngest is the single-caller ingest path: the merged stream is
+// batched in arrival order through Node.Ingest, the first skip events are
+// dropped (already applied before a restored snapshot's barrier), and with
+// cfg.snapEvery > 0 the node snapshots itself at batch boundaries. Only this
+// path supports snapshots — its global ingest order is what a restore replays.
+func sequentialIngest(node *runtime.Node, merge *workload.TaggedIterator,
+	cfg tenantsConfig, skip uint64, ingested *uint64) error {
+
 	nextSnap := uint64(0)
 	if cfg.snapEvery > 0 {
 		nextSnap = skip + uint64(cfg.snapEvery)
@@ -444,9 +513,9 @@ func runNodeSim(cfg tenantsConfig, specs []runtime.TenantSpec, iters []workload.
 		if err := node.Ingest(buf); err != nil {
 			return err
 		}
-		ingested += uint64(len(buf))
+		*ingested += uint64(len(buf))
 		buf = buf[:0]
-		if nextSnap > 0 && skip+ingested >= nextSnap {
+		if nextSnap > 0 && skip+*ingested >= nextSnap {
 			snap, err := node.Snapshot()
 			if err != nil {
 				return err
@@ -454,7 +523,7 @@ func runNodeSim(cfg tenantsConfig, specs []runtime.TenantSpec, iters []workload.
 			if err := os.WriteFile(cfg.snapFile, snap, 0o644); err != nil {
 				return err
 			}
-			for nextSnap <= skip+ingested {
+			for nextSnap <= skip+*ingested {
 				nextSnap += uint64(cfg.snapEvery)
 			}
 		}
@@ -482,41 +551,78 @@ func runNodeSim(cfg tenantsConfig, specs []runtime.TenantSpec, iters []workload.
 			}
 		}
 	}
-	if err := flush(); err != nil {
-		return err
-	}
-	if err := node.Drain(); err != nil {
-		return err
-	}
-	elapsed := time.Since(start)
-	node.Stop()
+	return flush()
+}
 
-	fmt.Printf("tenants:    %d   queries/tenant: %d   shards: %d   batch: %d\n",
-		cfg.tenants, cfg.queries, node.Shards(), cfg.batch)
-	fmt.Printf("ingested:   %d events in %v (%.0f events/sec)\n",
-		ingested, elapsed.Round(time.Millisecond), float64(ingested)/elapsed.Seconds())
-	var worst, total uint64
-	for i := 0; i < cfg.tenants; i++ {
-		c := node.Counter(i)
-		if cfg.verbose || cfg.tenants <= 8 {
-			fmt.Printf("  %-28s events=%-7d maint=%-7d answers=%s\n",
-				node.TenantName(i), node.Events(i), c.Maintenance(), answerSizes(node, i))
-		}
-		if m := c.Maintenance(); m > worst {
-			worst = m
-		}
-		total += c.Maintenance()
+// fanOutIngest plays the merged ingress stream through n concurrent ingest
+// goroutines, each owning one runtime.Ingester. Tenant i's events stage into
+// goroutine i mod n's batches, so every tenant's traffic flows through
+// exactly one ingester — the schedule the runtime guarantees bit-identical
+// to a single-caller run — while different tenant groups route concurrently.
+// Each lane's batches are sent in staging order over an in-order channel, so
+// per-tenant event order is preserved end to end.
+func fanOutIngest(node *runtime.Node, merge *workload.TaggedIterator, n, batchSize int) (uint64, error) {
+	type lane struct {
+		in   chan []runtime.Event // full batches, in per-lane order
+		free chan []runtime.Event // recycled batch buffers
 	}
-	totals := node.Totals()
-	fmt.Printf("node totals: init=%d maintenance=%d serverOps=%d (worst tenant maint=%d, mean=%.1f)\n",
-		totals.PhaseTotal(comm.Init), totals.Maintenance(), totals.ServerOps,
-		worst, float64(total)/float64(cfg.tenants))
-	if cfg.answers != "" {
-		if err := writeAnswers(cfg.answers, node); err != nil {
-			return err
+	lanes := make([]lane, n)
+	errs := make([]error, n) // errs[g] written only by goroutine g, read after Wait
+	var wg sync.WaitGroup
+	for g := 0; g < n; g++ {
+		lanes[g] = lane{
+			in:   make(chan []runtime.Event, 2),
+			free: make(chan []runtime.Event, 4),
+		}
+		for i := 0; i < 4; i++ {
+			lanes[g].free <- make([]runtime.Event, 0, batchSize)
+		}
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ing := node.NewIngester()
+			for b := range lanes[g].in {
+				if errs[g] == nil {
+					errs[g] = ing.Ingest(b)
+				}
+				lanes[g].free <- b[:0]
+			}
+		}(g)
+	}
+	stage := make([][]runtime.Event, n)
+	for g := range stage {
+		stage[g] = <-lanes[g].free
+	}
+	var ingested uint64
+	for {
+		tev, ok := merge.Next()
+		if !ok {
+			break
+		}
+		g := tev.Source % n
+		stage[g] = append(stage[g], runtime.Event{
+			Tenant: tev.Source, Stream: tev.Event.Stream,
+			Value: tev.Event.Value, Y: tev.Event.Y,
+		})
+		ingested++
+		if len(stage[g]) == batchSize {
+			lanes[g].in <- stage[g]
+			stage[g] = <-lanes[g].free
 		}
 	}
-	return nil
+	for g := 0; g < n; g++ {
+		if len(stage[g]) > 0 {
+			lanes[g].in <- stage[g]
+		}
+		close(lanes[g].in)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return ingested, err
+		}
+	}
+	return ingested, nil
 }
 
 // answerSizes renders a tenant's answer-set size — per query slot for a

@@ -14,6 +14,7 @@ import (
 type simParams struct {
 	Tenants, Queries, Shards int
 	N, Events, Batch         int
+	Ingesters, Conns         int
 	CheckEvery, SnapEvery    int
 	Restore                  string
 	Proto                    string
@@ -91,6 +92,22 @@ func (p simParams) validate() error {
 		return fmt.Errorf("-ready-file needs -listen")
 	case p.wireMode() && (p.SnapEvery > 0 || p.Restore != ""):
 		return fmt.Errorf("snapshots are driven by the node owner's local flags, not over the wire; drop -snapshot-every/-restore from -listen/-connect runs")
+	}
+	switch {
+	case p.Ingesters < 1:
+		return fmt.Errorf("-ingesters must be at least 1, got %d", p.Ingesters)
+	case p.Ingesters > 1 && p.wireMode():
+		return fmt.Errorf("-ingesters fans out local node ingest; on the wire each connection already ingests concurrently (use -conns with -connect)")
+	case p.Ingesters > 1 && p.clusterMode():
+		return fmt.Errorf("-ingesters fans out local node ingest; -cluster routes through its own router (drop -ingesters)")
+	case p.Ingesters > 1 && !p.tenantsMode() && !p.spatialMode():
+		return fmt.Errorf("-ingesters needs -tenants mode (pass -tenants > 1 or -queries > 1)")
+	case p.Ingesters > 1 && (p.SnapEvery > 0 || p.Restore != ""):
+		return fmt.Errorf("-snapshot-every/-restore resume by replaying a sequential ingest prefix, which concurrent ingesters do not produce; they need -ingesters 1")
+	case p.Conns < 1:
+		return fmt.Errorf("-conns must be at least 1, got %d", p.Conns)
+	case p.Conns > 1 && p.Connect == "":
+		return fmt.Errorf("-conns needs -connect")
 	}
 	switch p.Proto {
 	case "ft-nrp", "ft-rp":

@@ -10,6 +10,7 @@ func okParams() simParams {
 	return simParams{
 		Tenants: 1, Queries: 1, Shards: 1,
 		N: 1000, Events: 50000, Batch: 512, CheckEvery: 10,
+		Ingesters: 1, Conns: 1,
 		Proto: "ft-nrp", K: 20, R: 5, Width: 100,
 		EpsPlus: 0.2, EpsMinus: 0.2,
 	}
@@ -57,6 +58,18 @@ func TestValidateAcceptsDefaults(t *testing.T) {
 	if err := p.validate(); err != nil {
 		t.Fatal(err)
 	}
+	// Concurrent ingesters on a local multi-tenant run, and a multi-connection
+	// wire driver.
+	p = okParams()
+	p.Tenants, p.Shards, p.Ingesters = 8, 4, 4
+	if err := p.validate(); err != nil {
+		t.Fatal(err)
+	}
+	p = okParams()
+	p.Tenants, p.Connect, p.Conns = 4, "localhost:7070", 4
+	if err := p.validate(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestValidateRejects(t *testing.T) {
@@ -89,6 +102,14 @@ func TestValidateRejects(t *testing.T) {
 		{"cluster-and-connect", func(p *simParams) { p.Cluster, p.Connect = 2, ":1" }, "mutually exclusive"},
 		{"cluster-and-snapshot", func(p *simParams) { p.Tenants, p.Cluster, p.SnapEvery = 2, 2, 100 }, "-cluster runs"},
 		{"ready-file-without-listen", func(p *simParams) { p.ReadyFile = "addr.txt" }, "-ready-file needs -listen"},
+		{"zero-ingesters", func(p *simParams) { p.Ingesters = 0 }, "-ingesters must"},
+		{"ingesters-over-wire", func(p *simParams) { p.Tenants, p.Listen, p.Ingesters = 2, ":1", 2 }, "use -conns"},
+		{"ingesters-with-cluster", func(p *simParams) { p.Tenants, p.Cluster, p.Ingesters = 2, 2, 2 }, "drop -ingesters"},
+		{"ingesters-outside-tenants-mode", func(p *simParams) { p.Ingesters = 2 }, "-tenants mode"},
+		{"ingesters-with-snapshot", func(p *simParams) { p.Tenants, p.SnapEvery, p.Ingesters = 2, 100, 2 }, "need -ingesters 1"},
+		{"ingesters-with-restore", func(p *simParams) { p.Tenants, p.Restore, p.Ingesters = 2, "x.snap", 2 }, "need -ingesters 1"},
+		{"zero-conns", func(p *simParams) { p.Conns = 0 }, "-conns must"},
+		{"conns-without-connect", func(p *simParams) { p.Conns = 2 }, "-conns needs -connect"},
 		{"bad-tolerance", func(p *simParams) { p.EpsMinus = -0.5 }, "fraction tolerance"},
 		{"rtp-bad-rank", func(p *simParams) { p.Proto, p.K, p.R = "rtp", 900, 200 }, "rtp needs"},
 		{"zt-rp-bad-k", func(p *simParams) { p.Proto, p.K = "zt-rp", 0 }, "zt-rp needs"},

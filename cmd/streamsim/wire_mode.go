@@ -126,19 +126,152 @@ func runListen(addr, readyFile string, cfg tenantsConfig,
 
 // wireDrive bundles the -connect-only flags.
 type wireDrive struct {
-	rate     float64 // target events/sec; 0 = unpaced
+	rate     float64 // target events/sec across all connections; 0 = unpaced
 	latOut   string  // bench suite JSON path; "" = none
 	shutdown bool    // ask the remote process to stop afterwards
+	conns    int     // concurrent connections; tenant i drives over conn i mod conns
+}
+
+// sendRec records one in-flight batch: its intended deadline and event
+// count, keyed by ingest sequence number until the ack lands.
+type sendRec struct {
+	due time.Time
+	n   int
+}
+
+// ackRec parks an ack that arrived before the sender recorded the batch's
+// deadline (Ingest returns the sequence number after the frame is out).
+type ackRec struct {
+	at     time.Time
+	status byte
+}
+
+// wireConn is one -connect connection: a pipelined client plus the ack
+// bookkeeping its reader goroutine and sender goroutine share.
+type wireConn struct {
+	cl *client.Client
+
+	mu                   sync.Mutex
+	inflight             map[uint64]sendRec
+	early                map[uint64]ackRec
+	samples              []float64
+	okEv, shedEv, lostEv uint64
+
+	// Sender-goroutine-only counters, read after the sender joins.
+	batches, sentEv, droppedEv uint64
+}
+
+// dialWireConn dials one connection and wires its ack callback into the
+// connection's own bookkeeping, so connections never contend on a lock.
+func dialWireConn(addr string) (*wireConn, error) {
+	wc := &wireConn{
+		inflight: make(map[uint64]sendRec),
+		early:    make(map[uint64]ackRec),
+	}
+	cl, err := client.Dial(addr, client.Options{
+		Reconnect: true,
+		OnIngestAck: func(seq uint64, status byte) {
+			at := time.Now()
+			wc.mu.Lock()
+			if rec, ok := wc.inflight[seq]; ok {
+				delete(wc.inflight, seq)
+				wc.settle(rec, at, status)
+			} else {
+				wc.early[seq] = ackRec{at, status}
+			}
+			wc.mu.Unlock()
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	wc.cl = cl
+	return wc, nil
+}
+
+// settle accounts one acked batch. Caller holds wc.mu.
+func (wc *wireConn) settle(rec sendRec, at time.Time, status byte) {
+	switch status {
+	case wire.StatusOK:
+		wc.okEv += uint64(rec.n)
+		wc.samples = append(wc.samples, float64(at.Sub(rec.due)))
+	case wire.StatusShed:
+		wc.shedEv += uint64(rec.n)
+	default:
+		wc.lostEv += uint64(rec.n)
+	}
+}
+
+// drive plays this connection's tenant subset as an open-loop sender: batch
+// i is due at start + i·gap regardless of how long earlier sends took, and
+// each ack's latency is measured against that intended deadline — a stalled
+// server inflates the recorded percentiles instead of silently slowing the
+// generator down (coordinated omission is measured, not hidden). With gap 0
+// the deadline is the send instant and the pipeline runs as fast as the
+// window allows. tenants[j] is the global tenant id of iters[j], so staged
+// events carry node-side ids while the merge stays local to the subset.
+func (wc *wireConn) drive(cfg tenantsConfig, tenants []int, iters []workload.Iterator,
+	gap time.Duration, start time.Time) error {
+
+	merge := workload.MergeIterators(iters)
+	buf := make([]runtime.Event, 0, cfg.batch)
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		due := time.Now()
+		if gap > 0 {
+			due = start.Add(time.Duration(wc.batches) * gap)
+			if wait := time.Until(due); wait > 0 {
+				time.Sleep(wait)
+			}
+		}
+		wc.batches++
+		n := len(buf)
+		seq, err := wc.cl.Ingest(buf)
+		buf = buf[:0]
+		if err != nil {
+			if errors.Is(err, client.ErrDisconnected) {
+				// The link is redialing: drop the batch and keep pace rather
+				// than stalling the schedule.
+				wc.droppedEv += uint64(n)
+				return nil
+			}
+			return err
+		}
+		wc.sentEv += uint64(n)
+		wc.mu.Lock()
+		if a, ok := wc.early[seq]; ok {
+			delete(wc.early, seq)
+			wc.settle(sendRec{due, n}, a.at, a.status)
+		} else {
+			wc.inflight[seq] = sendRec{due, n}
+		}
+		wc.mu.Unlock()
+		return nil
+	}
+	for {
+		tev, ok := merge.Next()
+		if !ok {
+			break
+		}
+		buf = append(buf, runtime.Event{Tenant: tenants[tev.Source], Stream: tev.Event.Stream, Value: tev.Event.Value})
+		if len(buf) == cfg.batch {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
 }
 
 // runConnect plays the configured workload against a remote -listen process
-// as an open-loop generator: batch i is due at start + i·(batch/rate)
-// regardless of how long earlier sends took, and each ack's latency is
-// measured against that intended deadline — a stalled server inflates the
-// recorded percentiles instead of silently slowing the generator down
-// (coordinated omission is measured, not hidden). With -rate 0 the deadline
-// is simply the send instant and the pipeline runs as fast as the window
-// allows.
+// over drv.conns pipelined connections. Tenant i's traffic flows through
+// connection i mod conns, so each tenant's events arrive in order on one
+// connection — the schedule under which the remote node's answers stay
+// byte-identical to a local run — while connections ingest concurrently
+// against the server's per-connection readers. The open-loop rate budget is
+// global: each connection paces at rate/conns.
 func runConnect(addr string, cfg tenantsConfig, drv wireDrive,
 	mkWorkload func(int64) (workload.Workload, error),
 	build func(c server.Host, seed int64) server.Protocol,
@@ -148,155 +281,114 @@ func runConnect(addr string, cfg tenantsConfig, drv wireDrive,
 	if err != nil {
 		return err
 	}
-	merge := workload.MergeIterators(iters)
-
-	// Ack bookkeeping. The reader goroutine can deliver an ack before the
-	// sender records the batch's deadline (Ingest returns the sequence
-	// number after the frame is out), so unmatched acks park in early until
-	// the sender catches up.
-	type sendRec struct {
-		due time.Time
-		n   int
+	nconn := drv.conns
+	if nconn < 1 {
+		nconn = 1
 	}
-	type ackRec struct {
-		at     time.Time
-		status byte
+	if nconn > cfg.tenants {
+		nconn = cfg.tenants // an idle extra connection would only add noise
 	}
-	var (
-		mu                   sync.Mutex
-		inflight             = make(map[uint64]sendRec)
-		early                = make(map[uint64]ackRec)
-		samples              []float64
-		okEv, shedEv, lostEv uint64
-	)
-	settle := func(rec sendRec, at time.Time, status byte) { // mu held
-		switch status {
-		case wire.StatusOK:
-			okEv += uint64(rec.n)
-			samples = append(samples, float64(at.Sub(rec.due)))
-		case wire.StatusShed:
-			shedEv += uint64(rec.n)
-		default:
-			lostEv += uint64(rec.n)
-		}
+	ids := make([][]int, nconn)
+	subs := make([][]workload.Iterator, nconn)
+	for i := 0; i < cfg.tenants; i++ {
+		c := i % nconn
+		ids[c] = append(ids[c], i)
+		subs[c] = append(subs[c], iters[i])
+	}
+	var gap time.Duration
+	if drv.rate > 0 {
+		gap = time.Duration(float64(cfg.batch) * float64(nconn) / drv.rate * float64(time.Second))
 	}
 
-	c, err := client.Dial(addr, client.Options{
-		Reconnect: true,
-		OnIngestAck: func(seq uint64, status byte) {
-			at := time.Now()
-			mu.Lock()
-			if rec, ok := inflight[seq]; ok {
-				delete(inflight, seq)
-				settle(rec, at, status)
-			} else {
-				early[seq] = ackRec{at, status}
+	conns := make([]*wireConn, nconn)
+	for c := range conns {
+		wc, err := dialWireConn(addr)
+		if err != nil {
+			for _, prev := range conns[:c] {
+				prev.cl.Close()
 			}
-			mu.Unlock()
-		},
-	})
-	if err != nil {
-		return err
+			return err
+		}
+		conns[c] = wc
 	}
-	defer c.Close()
+	defer func() {
+		for _, wc := range conns {
+			wc.cl.Close()
+		}
+	}()
 	rateLabel := "unpaced"
 	if drv.rate > 0 {
 		rateLabel = fmt.Sprintf("%.0f events/sec", drv.rate)
 	}
-	fmt.Printf("connected:  %s   tenants=%d queries/tenant=%d batch=%d rate=%s\n",
-		addr, cfg.tenants, cfg.queries, cfg.batch, rateLabel)
+	fmt.Printf("connected:  %s   tenants=%d queries/tenant=%d batch=%d conns=%d rate=%s\n",
+		addr, cfg.tenants, cfg.queries, cfg.batch, nconn, rateLabel)
 
-	var gap time.Duration
-	if drv.rate > 0 {
-		gap = time.Duration(float64(cfg.batch) / drv.rate * float64(time.Second))
-	}
 	start := time.Now()
-	var batches, sentEv, droppedEv uint64
-	buf := make([]runtime.Event, 0, cfg.batch)
-	flush := func() error {
-		if len(buf) == 0 {
-			return nil
-		}
-		due := time.Now()
-		if gap > 0 {
-			due = start.Add(time.Duration(batches) * gap)
-			if wait := time.Until(due); wait > 0 {
-				time.Sleep(wait)
-			}
-		}
-		batches++
-		n := len(buf)
-		seq, err := c.Ingest(buf)
-		buf = buf[:0]
+	sendErrs := make([]error, nconn)
+	var wg sync.WaitGroup
+	for c := range conns {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			sendErrs[c] = conns[c].drive(cfg, ids[c], subs[c], gap, start)
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range sendErrs {
 		if err != nil {
-			if errors.Is(err, client.ErrDisconnected) {
-				// The link is redialing: drop the batch and keep pace rather
-				// than stalling the schedule.
-				droppedEv += uint64(n)
-				return nil
-			}
 			return err
 		}
-		sentEv += uint64(n)
-		mu.Lock()
-		if a, ok := early[seq]; ok {
-			delete(early, seq)
-			settle(sendRec{due, n}, a.at, a.status)
-		} else {
-			inflight[seq] = sendRec{due, n}
-		}
-		mu.Unlock()
-		return nil
-	}
-	for {
-		tev, ok := merge.Next()
-		if !ok {
-			break
-		}
-		buf = append(buf, runtime.Event{Tenant: tev.Source, Stream: tev.Event.Stream, Value: tev.Event.Value})
-		if len(buf) == cfg.batch {
-			if err := flush(); err != nil {
-				return err
-			}
-		}
-	}
-	if err := flush(); err != nil {
-		return err
 	}
 
-	// Barrier: the drain ack proves every earlier pipelined batch on this
-	// connection was answered, so the report below is stable.
-	if err := retryWire(c.Drain); err != nil {
-		return err
+	// Barrier: each connection's drain ack proves every earlier pipelined
+	// batch on that connection was answered, so the report below is stable.
+	for _, wc := range conns {
+		if err := retryWire(wc.cl.Drain); err != nil {
+			return err
+		}
 	}
 	elapsed := time.Since(start)
 	var rep *runtime.Report
 	if err := retryWire(func() error {
 		var e error
-		rep, e = c.Report()
+		rep, e = conns[0].cl.Report()
 		return e
 	}); err != nil {
 		return err
 	}
 
-	stats := c.Stats()
-	mu.Lock()
+	var samples []float64
+	var okEvents, shedEvents, lostEvents uint64
+	var batches, sentEv, droppedEv uint64
+	var ackedB, shedB, lostB uint64
+	for _, wc := range conns {
+		wc.mu.Lock()
+		samples = append(samples, wc.samples...)
+		okEvents += wc.okEv
+		shedEvents += wc.shedEv
+		lostEvents += wc.lostEv
+		wc.mu.Unlock()
+		batches += wc.batches
+		sentEv += wc.sentEv
+		droppedEv += wc.droppedEv
+		st := wc.cl.Stats()
+		ackedB += st.Acked
+		shedB += st.Shed
+		lostB += st.Lost
+	}
 	p50, p99, p999 := bench.LatencyPercentiles(samples)
-	nsamp := len(samples)
-	okEvents, shedEvents, lostEvents := okEv, shedEv, lostEv
-	mu.Unlock()
 
 	fmt.Printf("sent:       %d events in %d batches (%d events dropped while disconnected)\n",
 		sentEv, batches, droppedEv)
 	fmt.Printf("acks:       ok=%d shed=%d lost=%d batches (events ok=%d shed=%d lost=%d)\n",
-		stats.Acked, stats.Shed, stats.Lost, okEvents, shedEvents, lostEvents)
+		ackedB, shedB, lostB, okEvents, shedEvents, lostEvents)
 	fmt.Printf("throughput: %.0f events/sec applied in %v\n",
 		float64(okEvents)/elapsed.Seconds(), elapsed.Round(time.Millisecond))
-	if nsamp > 0 {
+	if len(samples) > 0 {
 		fmt.Printf("latency:    p50=%v p99=%v p999=%v over %d acks (vs intended deadlines)\n",
 			time.Duration(p50).Round(time.Microsecond),
 			time.Duration(p99).Round(time.Microsecond),
-			time.Duration(p999).Round(time.Microsecond), nsamp)
+			time.Duration(p999).Round(time.Microsecond), len(samples))
 	}
 	if cfg.answers != "" {
 		// The dump renders through runtime.Report.Text — the same renderer
@@ -308,12 +400,16 @@ func runConnect(addr string, cfg tenantsConfig, drv wireDrive,
 	}
 	if drv.latOut != "" {
 		suite := &bench.Suite{Benchmark: "streamsim-wire", GoMaxProcs: gort.GOMAXPROCS(0)}
+		name := fmt.Sprintf("wire-loopback-ingest/batch=%d", cfg.batch)
+		if nconn > 1 {
+			name += fmt.Sprintf("/conns=%d", nconn)
+		}
 		var nsPerOp float64
 		if batches > 0 {
 			nsPerOp = float64(elapsed) / float64(batches)
 		}
 		suite.Add(bench.Result{
-			Name:         fmt.Sprintf("wire-loopback-ingest/batch=%d", cfg.batch),
+			Name:         name,
 			EventsPerOp:  cfg.batch,
 			NsPerOp:      nsPerOp,
 			EventsPerSec: float64(okEvents) / elapsed.Seconds(),
@@ -324,7 +420,7 @@ func runConnect(addr string, cfg tenantsConfig, drv wireDrive,
 		}
 	}
 	if drv.shutdown {
-		if err := c.Shutdown(); err != nil {
+		if err := conns[0].cl.Shutdown(); err != nil {
 			return err
 		}
 		fmt.Println("shutdown:   remote acknowledged")

@@ -115,6 +115,26 @@ type FlatRule struct {
 	MaxFactor float64
 }
 
+// ScaleRule pins a minimum intra-run speedup between two named results:
+// Scaled's events/sec must reach at least MinFactor × Ref's. Both figures
+// come from the same run on the same machine, so the bound is
+// hardware-relative — but a parallel-ingest speedup cannot materialize
+// without cores to run the ingesters on, so the rule is enforced only when
+// the current run's GoMaxProcs is at least MinProcs (skipped below that,
+// mirroring the GOMAXPROCS guard on the absolute-throughput rule). A rule
+// whose Ref and Scaled are both absent from the current suite is skipped;
+// one present without the other is a violation.
+type ScaleRule struct {
+	// Ref names the single-threaded reference point (e.g. ingesters=1).
+	Ref string
+	// Scaled names the point that must scale past the reference.
+	Scaled string
+	// MinFactor is the required events/sec ratio Scaled : Ref.
+	MinFactor float64
+	// MinProcs is the least GoMaxProcs at which the rule is enforced.
+	MinProcs int
+}
+
 // GateConfig tunes Compare.
 type GateConfig struct {
 	// MaxThroughputRegress is the tolerated fractional events/sec drop
@@ -129,6 +149,9 @@ type GateConfig struct {
 	// FlatRules are intra-run scaling bounds checked against the current
 	// suite only; the baseline plays no part in them.
 	FlatRules []FlatRule
+	// ScaleRules are intra-run minimum-speedup bounds, likewise checked
+	// against the current suite only, and only at sufficient parallelism.
+	ScaleRules []ScaleRule
 }
 
 // Compare checks current against baseline and returns one human-readable
@@ -155,7 +178,12 @@ type GateConfig struct {
 //     beyond the rule's factor of its reference point. This is the guard
 //     for the sub-linear multi-query evaluation path — a return to linear
 //     scanning blows the factor out regardless of the hardware the gate
-//     happens to run on.
+//     happens to run on;
+//   - every ScaleRule must hold within the current run when it ran with at
+//     least the rule's MinProcs: the scaled result's events/sec must reach
+//     MinFactor × the reference's. This is the guard for the concurrent
+//     ingest plane — a hot-path lock that serializes the ingesters erases
+//     the speedup wherever the cores exist to show it.
 //
 // Results present only in current are ignored, so new benchmarks can land
 // before the baseline is refreshed.
@@ -239,6 +267,36 @@ func Compare(baseline, current *Suite, cfg GateConfig) []string {
 			violations = append(violations, fmt.Sprintf(
 				"%s: per-event cost not near-flat: %.1f ns/event vs %.1f at %s — factor %.1fx exceeds %.1fx",
 				rule.Scaled, perScaled, perRef, rule.Ref, perScaled/perRef, rule.MaxFactor))
+		}
+	}
+	for _, rule := range cfg.ScaleRules {
+		if current.GoMaxProcs < rule.MinProcs {
+			continue // no cores to scale onto; the bound is unmeasurable here
+		}
+		ref, refOK := byName[rule.Ref]
+		scaled, scaledOK := byName[rule.Scaled]
+		if !refOK && !scaledOK {
+			continue // this run tracks a different benchmark family
+		}
+		if !refOK || !scaledOK {
+			missing := rule.Ref
+			if !scaledOK {
+				missing = rule.Scaled
+			}
+			violations = append(violations, fmt.Sprintf(
+				"scale rule %s vs %s: %s missing from current run", rule.Scaled, rule.Ref, missing))
+			continue
+		}
+		if ref.EventsPerSec <= 0 || scaled.EventsPerSec <= 0 {
+			violations = append(violations, fmt.Sprintf(
+				"scale rule %s vs %s: results do not record events/sec", rule.Scaled, rule.Ref))
+			continue
+		}
+		if scaled.EventsPerSec < ref.EventsPerSec*rule.MinFactor {
+			violations = append(violations, fmt.Sprintf(
+				"%s: concurrent ingest did not scale: %.0f events/sec vs %.0f at %s — factor %.2fx below required %.2fx",
+				rule.Scaled, scaled.EventsPerSec, ref.EventsPerSec,
+				rule.Ref, scaled.EventsPerSec/ref.EventsPerSec, rule.MinFactor))
 		}
 	}
 	return violations

@@ -194,6 +194,75 @@ func TestCompareFlatRuleMissingResults(t *testing.T) {
 	}
 }
 
+// TestCompareScaleRule pins the concurrent-ingest scaling guard: at enough
+// parallelism the ingesters=4 point must reach the required speedup over
+// ingesters=1, an under-scaled run trips the rule, and a run without the
+// cores to show the speedup (GoMaxProcs below MinProcs) skips it entirely.
+func TestCompareScaleRule(t *testing.T) {
+	cfg := GateConfig{
+		MaxThroughputRegress: 0.15,
+		ScaleRules: []ScaleRule{
+			{Ref: "ingest/ing=1", Scaled: "ingest/ing=4", MinFactor: 1.8, MinProcs: 4},
+		},
+	}
+	base := mkSuite(
+		Result{Name: "ingest/ing=1", EventsPerSec: 1e6},
+		Result{Name: "ingest/ing=4", EventsPerSec: 2.5e6},
+	)
+	scaling := mkSuite(
+		Result{Name: "ingest/ing=1", EventsPerSec: 1e6},
+		Result{Name: "ingest/ing=4", EventsPerSec: 2.2e6},
+	)
+	if v := Compare(base, scaling, cfg); len(v) != 0 {
+		t.Fatalf("scaling run flagged: %v", v)
+	}
+	// A serializing hot-path lock: ingesters=4 no faster than ingesters=1.
+	// The baseline mirrors the regression so only the intra-run scale rule
+	// fires, not the baseline throughput comparison.
+	flatBase := mkSuite(
+		Result{Name: "ingest/ing=1", EventsPerSec: 1e6},
+		Result{Name: "ingest/ing=4", EventsPerSec: 1.05e6},
+	)
+	flat := mkSuite(
+		Result{Name: "ingest/ing=1", EventsPerSec: 1e6},
+		Result{Name: "ingest/ing=4", EventsPerSec: 1.05e6},
+	)
+	v := Compare(flatBase, flat, cfg)
+	if len(v) != 1 || !strings.Contains(v[0], "did not scale") {
+		t.Fatalf("lost speedup not flagged exactly once: %v", v)
+	}
+	// One core: the speedup is unmeasurable, so the rule must stand down.
+	flatBase.GoMaxProcs = 1
+	flat.GoMaxProcs = 1
+	if v := Compare(flatBase, flat, cfg); len(v) != 0 {
+		t.Fatalf("single-core run tripped the scale rule: %v", v)
+	}
+}
+
+// TestCompareScaleRuleMissingResults mirrors the flat rule's edge handling:
+// an untracked family is skipped, a half-tracked one is a violation, and
+// results without events/sec cannot satisfy the rule silently.
+func TestCompareScaleRuleMissingResults(t *testing.T) {
+	cfg := GateConfig{ScaleRules: []ScaleRule{
+		{Ref: "ingest/ing=1", Scaled: "ingest/ing=4", MinFactor: 1.8, MinProcs: 4},
+	}}
+	base := mkSuite()
+	if v := Compare(base, mkSuite(Result{Name: "other"}), cfg); len(v) != 0 {
+		t.Fatalf("untracked family tripped the scale rule: %v", v)
+	}
+	v := Compare(base, mkSuite(Result{Name: "ingest/ing=1", EventsPerSec: 1e6}), cfg)
+	if len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Fatalf("half-tracked family not flagged: %v", v)
+	}
+	v = Compare(base, mkSuite(
+		Result{Name: "ingest/ing=1", NsPerOp: 1},
+		Result{Name: "ingest/ing=4", NsPerOp: 1},
+	), cfg)
+	if len(v) != 1 || !strings.Contains(v[0], "events/sec") {
+		t.Fatalf("events/sec-free results not flagged: %v", v)
+	}
+}
+
 // TestCompareFailsOnMessageGrowth pins the multi-query sharing guard:
 // maintenance-message counts are deterministic, so any growth over the
 // baseline trips the gate — shrinkage and untracked results do not.

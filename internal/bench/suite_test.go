@@ -220,6 +220,111 @@ func BenchmarkMultiTenantIngest(b *testing.B) {
 	}
 }
 
+// laneBatches regroups mixed multi-tenant batches into per-ingester lanes:
+// lane g carries tenants t ≡ g (mod lanes), rebatched at batchSize with each
+// tenant's event order preserved — the partition under which concurrent
+// ingest stays bit-identical to a single caller.
+func laneBatches(batches [][]runtime.Event, lanes, batchSize int) [][][]runtime.Event {
+	out := make([][][]runtime.Event, lanes)
+	cur := make([][]runtime.Event, lanes)
+	for _, b := range batches {
+		for _, ev := range b {
+			g := ev.Tenant % lanes
+			if cur[g] == nil {
+				cur[g] = make([]runtime.Event, 0, batchSize)
+			}
+			cur[g] = append(cur[g], ev)
+			if len(cur[g]) == batchSize {
+				out[g] = append(out[g], cur[g])
+				cur[g] = nil
+			}
+		}
+	}
+	for g, b := range cur {
+		if len(b) > 0 {
+			out[g] = append(out[g], b)
+		}
+	}
+	return out
+}
+
+// BenchmarkConcurrentIngest measures the concurrent ingest plane: N
+// persistent goroutines, each owning a runtime.Ingester and a fixed tenant
+// subset, route into the shard loops simultaneously. The ingesters=1/shards=1
+// row is the single-caller reference the gate's scale rule reads the
+// ingesters=4/shards=8 row against (enforced only where the cores exist);
+// all rows sit on the ingest path, so steady state must stay allocation-free.
+// Workers are spawned once and signalled per op, keeping goroutine start-up
+// out of the measured region.
+func BenchmarkConcurrentIngest(b *testing.B) {
+	const (
+		tenants   = 8
+		streams   = 200
+		perTenant = 2000
+		batchSize = 512
+	)
+	specs := benchSpecs(tenants, streams)
+	batches := benchBatches(specs, perTenant, batchSize)
+	totalEvents := tenants * perTenant
+	for _, tc := range []struct{ ingesters, shards int }{{1, 1}, {2, 4}, {4, 8}} {
+		tc := tc
+		b.Run(fmt.Sprintf("ingesters=%d/shards=%d", tc.ingesters, tc.shards), func(b *testing.B) {
+			node, err := runtime.NewNode(runtime.Config{Shards: tc.shards, Seed: 42}, specs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := node.Start(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			defer node.Stop()
+			lanes := laneBatches(batches, tc.ingesters, batchSize)
+			start := make([]chan struct{}, tc.ingesters)
+			done := make(chan error, tc.ingesters)
+			for g := range start {
+				start[g] = make(chan struct{})
+				go func(g int) {
+					ing := node.NewIngester()
+					for range start[g] {
+						var err error
+						for _, batch := range lanes[g] {
+							if err = ing.Ingest(batch); err != nil {
+								break
+							}
+						}
+						done <- err
+					}
+				}(g)
+			}
+			defer func() {
+				for _, ch := range start {
+					close(ch)
+				}
+			}()
+			pass := func() {
+				for _, ch := range start {
+					ch <- struct{}{}
+				}
+				for range start {
+					if err := <-done; err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := node.Drain(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Warm until every pooled buffer has cycled at its working size:
+			// with N lanes each shard sees ~1/N of the sends a single-caller
+			// pass produces, so the pool needs proportionally more passes.
+			for i := 0; i < 4*tc.ingesters; i++ {
+				pass()
+			}
+			measure(b, fmt.Sprintf("multi-tenant-ingest/ingesters=%d/shards=%d", tc.ingesters, tc.shards),
+				totalEvents, true, pass)
+		})
+	}
+}
+
 // BenchmarkWorkloadReplay measures trace replay end to end: iterate a
 // recorded trace (the cmd/tracegen schema) and deliver it into a
 // single-tenant cluster. The iterator side allocates a constant handful per

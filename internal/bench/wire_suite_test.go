@@ -198,3 +198,118 @@ func BenchmarkWireLoopbackIngest(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkWireLoopbackIngestMultiConn measures the off-driver ingest plane:
+// four pipelined connections push disjoint tenant subsets concurrently, so
+// each connection's server-side reader decodes, validates and routes on its
+// own goroutine with its own Ingester — the configuration the netserve hub
+// split exists for. Tenant i drives over connection i mod 4 (the partition
+// under which the node's answers stay bit-identical to one connection), and
+// every connection's per-batch ack latency feeds one shared percentile row.
+func BenchmarkWireLoopbackIngestMultiConn(b *testing.B) {
+	const (
+		tenants   = 8
+		streams   = 200
+		perTenant = 2000
+		batchSize = 512
+		conns     = 4
+		shards    = 4
+	)
+	specs := benchSpecs(tenants, streams)
+	lanes := laneBatches(benchBatches(specs, perTenant, batchSize), conns, batchSize)
+	totalEvents := tenants * perTenant
+
+	node, err := runtime.NewNode(runtime.Config{Shards: shards, Seed: 42}, specs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := node.Start(b.Context()); err != nil {
+		b.Fatal(err)
+	}
+	defer node.Stop()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := netserve.Serve(ln, node, netserve.Options{})
+	defer srv.Close()
+
+	type connState struct {
+		c       *client.Client
+		mu      sync.Mutex
+		sent    map[uint64]time.Time
+		samples []float64
+	}
+	states := make([]*connState, conns)
+	for ci := range states {
+		st := &connState{sent: make(map[uint64]time.Time)}
+		st.c, err = client.Dial(ln.Addr().String(), client.Options{
+			OnIngestAck: func(seq uint64, status byte) {
+				at := time.Now()
+				st.mu.Lock()
+				if t0, ok := st.sent[seq]; ok {
+					delete(st.sent, seq)
+					if status == wire.StatusOK {
+						st.samples = append(st.samples, float64(at.Sub(t0)))
+					}
+				}
+				st.mu.Unlock()
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.c.Close()
+		states[ci] = st
+	}
+
+	pass := func() {
+		var wg sync.WaitGroup
+		errs := make([]error, conns)
+		for ci := range states {
+			wg.Add(1)
+			go func(ci int) {
+				defer wg.Done()
+				st := states[ci]
+				for _, batch := range lanes[ci] {
+					t0 := time.Now()
+					seq, err := st.c.Ingest(batch)
+					if err != nil {
+						errs[ci] = err
+						return
+					}
+					st.mu.Lock()
+					st.sent[seq] = t0
+					st.mu.Unlock()
+				}
+				// Per-connection drain barriers this pipeline; the last one
+				// to finish leaves the node quiescent for the next op.
+				errs[ci] = st.c.Drain()
+			}(ci)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 4; i++ {
+		pass() // warm pools, protocol scratch and socket buffers
+	}
+	var samples []float64
+	for _, st := range states {
+		st.mu.Lock()
+		st.samples = st.samples[:0] // percentiles come from the timed passes only
+		st.mu.Unlock()
+	}
+	name := fmt.Sprintf("wire-loopback-ingest/conns=%d/shards=%d", conns, shards)
+	measure(b, name, totalEvents, false, pass)
+	for _, st := range states {
+		st.mu.Lock()
+		samples = append(samples, st.samples...)
+		st.mu.Unlock()
+	}
+	p50, p99, p999 := bench.LatencyPercentiles(samples)
+	setLatency(name, p50, p99, p999)
+}

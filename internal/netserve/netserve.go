@@ -5,19 +5,30 @@
 //
 // # Threading
 //
-// runtime.Node's contract is that Ingest, Drain, lifecycle and Report all
-// come from one goroutine. The server preserves it with a hub shape:
+// runtime.Node ingests concurrently (one runtime.Ingester per caller) but
+// keeps a single-goroutine contract for control ops — Drain, Report,
+// lifecycle, snapshots. The server splits along exactly that line:
 //
-//	conn 1 reader ─┐                      ┌─ conn 1 writer
-//	conn 2 reader ─┼─ requests → driver ──┼─ conn 2 writer
-//	conn 3 reader ─┘     (owns the Node)  └─ conn 3 writer
+//	conn 1 reader ──ingest──→ Node ←─┐            ┌─ conn 1 writer
+//	conn 2 reader ──ingest──→ Node ←─┼─ driver ───┼─ conn 2 writer
+//	conn 3 reader ──control ops──────┘ (control)  └─ conn 3 writer
 //
-// Each connection gets one reader goroutine (frames → decoded requests)
-// and one writer goroutine (replies → frames, coalescing flushes); a
-// single driver goroutine dequeues requests in arrival order and is the
-// only caller into the Node. Per-connection reply order therefore matches
-// request order, which is what lets clients pipeline: many requests in
-// flight, acks matched by sequence number as they return.
+// Each connection gets one reader goroutine and one writer goroutine
+// (replies → frames, coalescing flushes). The reader owns a private
+// runtime.Ingester and serves OpIngest itself — decode, shed check, route,
+// ack — so ingest from K connections runs on K cores and never queues
+// behind the driver. Control ops still flow to the single driver
+// goroutine, the only caller into the node's control side; after
+// forwarding one, the reader waits for the driver to enqueue its reply
+// before decoding the next frame. Per-connection reply order therefore
+// still matches request order — the invariant pipelining clients match
+// acks against — because every reply, ingest ack or driver reply, is
+// enqueued before the reader touches the next request.
+//
+// Events on one connection apply in arrival order (the reader routes a
+// batch before decoding the next); a tenant fed from several connections
+// interleaves at batch granularity in scheduling order, exactly the
+// runtime.Ingester contract.
 //
 // # Backpressure
 //
@@ -86,13 +97,11 @@ func (o Options) writeTimeout() time.Duration {
 	return o.WriteTimeout
 }
 
-// request is one decoded frame travelling from a reader to the driver.
+// request is one decoded control frame travelling from a reader to the
+// driver (OpIngest never becomes a request — readers serve it in place).
 type request struct {
 	c   *conn
 	hdr wire.Header
-	// events holds the batch for OpIngest (a pooled buffer, returned to
-	// c.free by the driver).
-	events []runtime.Event
 	// tenant, query, ti, qi carry lifecycle bodies.
 	tenant wire.TenantSpec
 	query  wire.QuerySpec
@@ -119,9 +128,17 @@ type reply struct {
 
 // conn is one accepted connection.
 type conn struct {
-	nc   net.Conn
-	out  chan reply
-	free chan []runtime.Event
+	nc  net.Conn
+	out chan reply
+	// ing is the reader's private ingest handle; buf is its reused decode
+	// buffer (the ingester copies events into pooled shard buffers, so one
+	// buffer per connection suffices and steady state allocates nothing).
+	ing *runtime.Ingester
+	buf []runtime.Event
+	// handled is the driver's per-request completion signal: the reader
+	// forwards a control op and blocks here until the driver has enqueued
+	// its reply, keeping per-connection reply order equal to request order.
+	handled chan struct{}
 	// closed signals abort: the peer is gone or misbehaved. The writer
 	// stops, the driver drops this connection's replies.
 	closed    chan struct{}
@@ -134,16 +151,6 @@ func (c *conn) abort() {
 		close(c.closed)
 		c.nc.Close()
 	})
-}
-
-// takeBuf reuses an ingest buffer if the driver has returned one.
-func (c *conn) takeBuf() []runtime.Event {
-	select {
-	case buf := <-c.free:
-		return buf[:0]
-	default:
-		return nil
-	}
 }
 
 // Server serves one runtime.Node over one listener. The caller owns the
@@ -212,10 +219,11 @@ func (s *Server) acceptLoop() {
 			return // listener closed
 		}
 		c := &conn{
-			nc:     nc,
-			out:    make(chan reply, s.opts.queueDepth()),
-			free:   make(chan []runtime.Event, 4),
-			closed: make(chan struct{}),
+			nc:      nc,
+			out:     make(chan reply, s.opts.queueDepth()),
+			ing:     s.node.NewIngester(),
+			handled: make(chan struct{}),
+			closed:  make(chan struct{}),
 		}
 		s.mu.Lock()
 		select {
@@ -239,10 +247,15 @@ func (s *Server) dropConn(c *conn) {
 	s.mu.Unlock()
 }
 
-// readLoop decodes frames into requests. Anything that breaks the
-// protocol — a corrupt frame, an unknown op, a malformed body — aborts
-// the connection; per-request failures (a bad tenant id, an admission the
-// node refuses) are the driver's to answer with error acks.
+// readLoop decodes frames and serves OpIngest in place on the
+// connection's private Ingester — decode, shed check, route, ack — so
+// ingest parallelizes across connections. Control ops are forwarded to the
+// driver, and the reader then waits for the driver to enqueue the reply
+// before decoding the next frame (per-conn reply order stays request
+// order). Anything that breaks the protocol — a corrupt frame, an unknown
+// op, a malformed body — aborts the connection; per-request failures (a
+// bad tenant id, an admission the node refuses) are answered with error
+// acks.
 func (s *Server) readLoop(c *conn) {
 	defer s.wg.Done()
 	defer c.abort()
@@ -263,9 +276,20 @@ func (s *Server) readLoop(c *conn) {
 				return
 			}
 		case wire.OpIngest:
-			if req.events, err = wire.DecodeIngestInto(r, c.takeBuf()); err != nil {
+			if c.buf, err = wire.DecodeIngestInto(r, c.buf[:0]); err != nil {
 				return
 			}
+			if r.Done() != nil {
+				return // trailing garbage inside the frame
+			}
+			rep := reply{hdr: hdr, status: wire.StatusOK}
+			if s.shed >= 0 && s.node.PendingBatches() >= s.shed {
+				rep.status = wire.StatusShed
+			} else if err := c.ing.Ingest(c.buf); err != nil {
+				rep.status, rep.msg = wire.StatusError, err.Error()
+			}
+			s.send(c, rep)
+			continue
 		case wire.OpDrain, wire.OpReport, wire.OpShutdown, wire.OpStats:
 			// Header-only bodies.
 		case wire.OpAddTenant:
@@ -304,6 +328,16 @@ func (s *Server) readLoop(c *conn) {
 		}
 		select {
 		case s.reqs <- req: // stall here is the backpressure path
+		case <-s.done:
+			return
+		}
+		// Wait for the driver's reply to land in c.out: the next frame may
+		// be an ingest this reader acks itself, and that ack must not
+		// overtake the control reply.
+		select {
+		case <-c.handled:
+		case <-c.closed:
+			return
 		case <-s.done:
 			return
 		}
@@ -362,7 +396,8 @@ func encodeReply(fw *wire.FrameWriter, rep reply) error {
 	return fw.End()
 }
 
-// drive is the hub: the single goroutine that talks to the Node.
+// drive is the hub: the single goroutine that talks to the Node's control
+// side (readers ingest directly through their own handles).
 func (s *Server) drive() {
 	defer s.wg.Done()
 	for {
@@ -392,17 +427,6 @@ func (s *Server) handle(req request) {
 		rep.hello = true
 		rep.shards = s.node.Shards()
 		rep.tenants = s.node.NumTenants()
-
-	case wire.OpIngest:
-		if s.shed >= 0 && s.node.PendingBatches() >= s.shed {
-			rep.status = wire.StatusShed
-		} else if err := s.node.Ingest(req.events); err != nil {
-			rep.status, rep.msg = wire.StatusError, err.Error()
-		}
-		select { // recycle the batch buffer
-		case req.c.free <- req.events[:0]:
-		default:
-		}
 
 	case wire.OpDrain:
 		if err := s.node.Drain(); err != nil {
@@ -489,6 +513,13 @@ func (s *Server) handle(req request) {
 		rep.last = true
 	}
 	s.send(req.c, rep)
+	// Release the reader: its reply is enqueued (or its connection is
+	// gone), so the next frame it decodes cannot reorder around this one.
+	select {
+	case req.c.handled <- struct{}{}:
+	case <-req.c.closed:
+	case <-s.done:
+	}
 }
 
 // wireQueryRuntime validates and compiles a wire query spec against the

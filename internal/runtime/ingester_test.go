@@ -1,0 +1,362 @@
+package runtime
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"adaptivefilters/internal/sim"
+)
+
+// perTenantBatches regroups the mixed test batches into per-tenant batch
+// lists, preserving each tenant's event order: the unit a concurrent-ingest
+// schedule moves around. Every batch holds one tenant's events only, so any
+// assignment of whole tenants to ingesters keeps per-tenant order intact.
+func perTenantBatches(specs []TenantSpec, perTenant, batchSize int) [][][]Event {
+	mixed := testEvents(specs, perTenant, batchSize)
+	perTenantEv := make([][]Event, len(specs))
+	for _, b := range mixed {
+		for _, ev := range b {
+			perTenantEv[ev.Tenant] = append(perTenantEv[ev.Tenant], ev)
+		}
+	}
+	out := make([][][]Event, len(specs))
+	for ti, evs := range perTenantEv {
+		for len(evs) > 0 {
+			n := batchSize
+			if n > len(evs) {
+				n = len(evs)
+			}
+			out[ti] = append(out[ti], evs[:n])
+			evs = evs[n:]
+		}
+	}
+	return out
+}
+
+// runSequential plays every tenant's batches through the node's default
+// handle, tenant by tenant — the single-caller reference schedule every
+// concurrent schedule must reproduce bit for bit.
+func runSequential(t *testing.T, shards int, specs []TenantSpec, tb [][][]Event) *Node {
+	t.Helper()
+	node, err := NewNode(Config{Shards: shards, Seed: 42}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, batches := range tb {
+		for _, b := range batches {
+			if err := node.Ingest(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := node.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	node.Stop()
+	return node
+}
+
+// TestIngesterMatchesNodeIngest pins the explicit-handle path bit-identical
+// to Node.Ingest (which is a thin wrapper over the node's default handle):
+// same events, same answers, same counters, at several shard counts.
+func TestIngesterMatchesNodeIngest(t *testing.T) {
+	specs := testSpecs(5, 30)
+	tb := perTenantBatches(specs, 300, 64)
+	for _, shards := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			ref := runSequential(t, shards, specs, tb)
+
+			node, err := NewNode(Config{Shards: shards, Seed: 42}, specs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := node.Start(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			ing := node.NewIngester()
+			for _, batches := range tb {
+				for _, b := range batches {
+					if err := ing.Ingest(b); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if err := node.Drain(); err != nil {
+				t.Fatal(err)
+			}
+			node.Stop()
+			if got, want := fingerprint(node), fingerprint(ref); got != want {
+				t.Fatalf("explicit handle diverged from Node.Ingest:\n%s\nwant:\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestConcurrentIngestBitIdentity is the tentpole property: any schedule in
+// which each tenant's traffic flows through exactly one ingester produces
+// answers, counters and snapshot bytes bit-identical to a single-caller run,
+// at every (shards × ingesters) combination — including across a restore
+// cut at a mid-run barrier. Ingester goroutines interleave their own
+// tenants' batches pseudo-randomly and race each other for real (run under
+// -race in CI), so each execution exercises a fresh arrival order.
+func TestConcurrentIngestBitIdentity(t *testing.T) {
+	specs := testSpecs(8, 25)
+	tb := perTenantBatches(specs, 240, 48)
+	// Cut point: each tenant's batch index where the mid-run barrier falls.
+	cut := make([]int, len(tb))
+	for ti := range tb {
+		cut[ti] = len(tb[ti]) / 2
+	}
+
+	ref := runSequential(t, 1, specs, tb)
+	refFP := fingerprint(ref)
+
+	// Reference snapshot at the cut, and at the end, from a sequential run.
+	seqNode, err := NewNode(Config{Shards: 1, Seed: 42}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seqNode.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for ti, batches := range tb {
+		for _, b := range batches[:cut[ti]] {
+			if err := seqNode.Ingest(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cutSnap, err := seqNode.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti, batches := range tb {
+		for _, b := range batches[cut[ti]:] {
+			if err := seqNode.Ingest(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	finalSnap, err := seqNode.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqNode.Stop()
+	if fp := fingerprint(seqNode); fp != refFP {
+		t.Fatalf("sequential snapshotting run diverged:\n%s\nwant:\n%s", fp, refFP)
+	}
+
+	for _, shards := range []int{1, 4, 8} {
+		for _, ingesters := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("shards=%d/ingesters=%d", shards, ingesters), func(t *testing.T) {
+				node, err := NewNode(Config{Shards: shards, Seed: 42}, specs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := node.Start(context.Background()); err != nil {
+					t.Fatal(err)
+				}
+				// phase plays every lane concurrently from batch index
+				// from[ti] to to[ti]: goroutine g owns tenants t ≡ g (mod
+				// ingesters) and interleaves their batches in a seeded
+				// pseudo-random order, preserving each tenant's own order.
+				phase := func(from func(int) int, to func(int) int, seed int64) {
+					var wg sync.WaitGroup
+					errs := make([]error, ingesters)
+					for g := 0; g < ingesters; g++ {
+						wg.Add(1)
+						go func(g int) {
+							defer wg.Done()
+							ing := node.NewIngester()
+							rng := sim.NewRNG(sim.DeriveSeed(seed, int64(shards), int64(g)))
+							var mine []int // tenants this ingester owns
+							next := make(map[int]int)
+							for ti := range tb {
+								if ti%ingesters == g && from(ti) < to(ti) {
+									mine = append(mine, ti)
+									next[ti] = from(ti)
+								}
+							}
+							for len(mine) > 0 {
+								k := rng.Intn(len(mine))
+								ti := mine[k]
+								if err := ing.Ingest(tb[ti][next[ti]]); err != nil {
+									errs[g] = err
+									return
+								}
+								next[ti]++
+								if next[ti] == to(ti) {
+									mine = append(mine[:k], mine[k+1:]...)
+								}
+							}
+						}(g)
+					}
+					wg.Wait()
+					for _, err := range errs {
+						if err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				phase(func(int) int { return 0 }, func(ti int) int { return cut[ti] }, 77)
+				snap, err := node.Snapshot() // barrier quiesces the ingesters
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(snap, cutSnap) {
+					t.Fatalf("cut snapshot differs from sequential run's (%d vs %d bytes)",
+						len(snap), len(cutSnap))
+				}
+				phase(func(ti int) int { return cut[ti] }, func(ti int) int { return len(tb[ti]) }, 131)
+				endSnap, err := node.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				node.Stop()
+				if fp := fingerprint(node); fp != refFP {
+					t.Fatalf("concurrent run diverged:\n%s\nwant:\n%s", fp, refFP)
+				}
+				if !bytes.Equal(endSnap, finalSnap) {
+					t.Fatal("final snapshot differs from sequential run's")
+				}
+
+				// Restore at the cut and replay the tail concurrently: the
+				// restored node must land on the same end state.
+				rn, err := RestoreNode(Config{Shards: shards, Seed: 42}, specs, snap)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := rn.Start(context.Background()); err != nil {
+					t.Fatal(err)
+				}
+				node = rn // phase closes over node
+				phase(func(ti int) int { return cut[ti] }, func(ti int) int { return len(tb[ti]) }, 193)
+				rnSnap, err := rn.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				rn.Stop()
+				if fp := fingerprint(rn); fp != refFP {
+					t.Fatalf("restored tail diverged:\n%s\nwant:\n%s", fp, refFP)
+				}
+				if !bytes.Equal(rnSnap, finalSnap) {
+					t.Fatal("restored run's final snapshot differs from sequential run's")
+				}
+			})
+		}
+	}
+}
+
+// TestConcurrentIngestErrorRoutesNothing checks the refused-batch guarantee
+// under concurrency: a batch with an invalid event routes none of its
+// events, leaves the node usable, and concurrent valid traffic is unharmed.
+func TestConcurrentIngestErrorRoutesNothing(t *testing.T) {
+	specs := testSpecs(4, 20)
+	tb := perTenantBatches(specs, 120, 32)
+	ref := runSequential(t, 4, specs, tb)
+
+	node, err := NewNode(Config{Shards: 4, Seed: 42}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(tb))
+	for ti := range tb {
+		wg.Add(1)
+		go func(ti int) {
+			defer wg.Done()
+			ing := node.NewIngester()
+			for _, b := range tb[ti] {
+				// A poisoned copy first: valid prefix, then an unknown
+				// stream. It must be refused wholesale.
+				bad := append(append([]Event(nil), b...), Event{Tenant: ti, Stream: 9999})
+				if err := ing.Ingest(bad); err == nil {
+					errs[ti] = fmt.Errorf("tenant %d: poisoned batch accepted", ti)
+					return
+				}
+				if err := ing.Ingest(b); err != nil {
+					errs[ti] = err
+					return
+				}
+			}
+		}(ti)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := node.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	node.Stop()
+	if got, want := fingerprint(node), fingerprint(ref); got != want {
+		t.Fatalf("refused batches perturbed state:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestShardStats checks the per-shard observability snapshot: tenant counts
+// follow the routing table through lifecycle changes, applied batch counts
+// sum to the batches ingested, and a drained node reports empty queues.
+func TestShardStats(t *testing.T) {
+	specs := testSpecs(6, 20)
+	batches := testEvents(specs, 100, 50)
+	node := runNode(t, 4, specs, batches)
+
+	stats := node.ShardStats()
+	if len(stats) != 4 {
+		t.Fatalf("ShardStats returned %d entries, want 4", len(stats))
+	}
+	var applied, tenants uint64
+	for s, st := range stats {
+		if st.Shard != s {
+			t.Errorf("stats[%d].Shard = %d", s, st.Shard)
+		}
+		if st.Queued != 0 {
+			t.Errorf("shard %d queued = %d after drain, want 0", s, st.Queued)
+		}
+		applied += st.Applied
+		tenants += uint64(st.Tenants)
+	}
+	if want := uint64(len(batches)); applied != want {
+		// Every ingest batch lands on exactly one shard per tenant group it
+		// carries; with mixed batches the split can exceed the batch count
+		// but never undershoot it.
+		if applied < want {
+			t.Errorf("sum of applied = %d, want at least %d", applied, want)
+		}
+	}
+	if tenants != uint64(len(specs)) {
+		t.Errorf("sum of tenants = %d, want %d", tenants, len(specs))
+	}
+
+	// Eviction must drop the evicted tenant from the per-shard counts.
+	node2, err := NewNode(Config{Shards: 2, Seed: 42}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node2.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer node2.Stop()
+	if err := node2.RemoveTenant(3); err != nil {
+		t.Fatal(err)
+	}
+	var live int
+	for _, st := range node2.ShardStats() {
+		live += st.Tenants
+	}
+	if live != len(specs)-1 {
+		t.Errorf("tenants after eviction = %d, want %d", live, len(specs)-1)
+	}
+}

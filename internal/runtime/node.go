@@ -25,6 +25,7 @@ import (
 	"math"
 	goruntime "runtime"
 	"sync"
+	"sync/atomic"
 
 	"adaptivefilters/internal/comm"
 	"adaptivefilters/internal/filter"
@@ -228,40 +229,63 @@ type batch struct {
 }
 
 // shard is one event loop's channel pair. Event buffers circulate between
-// work and free: the router takes an empty buffer from free, fills it, and
+// work and free: an ingester takes an empty buffer from free, fills it, and
 // sends it on work; the loop applies it and returns it to free. free holds
 // queue+2 buffers — enough for a full work queue plus one buffer in flight
-// on each side — so in steady state the router never allocates and never
-// finds free empty unless the work queue is genuinely full.
+// on each side — so in steady state a lone ingester never allocates and
+// never finds free empty unless the work queue is genuinely full. The work
+// channel is MPSC: any number of ingesters send, only the shard loop
+// receives, and buffer identity is never observable, so concurrent senders
+// cannot perturb a tenant's event order as long as that tenant's traffic
+// flows through one ingester.
 type shard struct {
 	work chan batch
 	free chan []Event
+	// applied counts event batches the loop has applied — ShardStats'
+	// per-shard progress figure (barrier/lifecycle batches excluded).
+	applied atomic.Uint64
 }
 
-// Node hosts tenants on sharded event loops. The ingest side (Start,
-// Ingest, Drain, Stop, and the lifecycle calls AddTenant, RemoveTenant and
-// Snapshot) must be driven from a single goroutine; the concurrency lives
-// in the shard loops behind it. Tenant state accessors (Answer, Counter,
-// Totals, Events) are race-free after a Drain or Stop.
+// Node hosts tenants on sharded event loops. Ingest is concurrent: any
+// number of goroutines may route events, each through its own Ingester
+// handle (Node.Ingest wraps a default handle for single-caller code). The
+// control side — Start, Drain, Stop, and the lifecycle calls AddTenant,
+// RemoveTenant, AddQuery, RemoveQuery, Snapshot, ExportTenant, ImportTenant
+// — must still be driven from a single goroutine; each control call is a
+// barrier that first quiesces every in-flight Ingest (the ingestMu write
+// side) and every shard loop (the drain protocol). Tenant state accessors
+// (Answer, Counter, Totals, Events) are race-free after a Drain or Stop.
 type Node struct {
 	cfg Config
 	// tenants is indexed by tenant id. Slots are never reused: RemoveTenant
 	// nils its slot (so in-flight ids stay unambiguous) and AddTenant
-	// appends. The slice is only mutated by the ingest-side goroutine while
-	// every shard loop is quiescent behind a Drain barrier; the next channel
-	// send publishes the new header to the loops.
+	// appends. The slice is only mutated by the control-side goroutine while
+	// every ingester is held out by ingestMu and every shard loop is
+	// quiescent behind a Drain barrier; publishTable then republishes the
+	// routing table and the next channel send publishes the new header to
+	// the loops.
 	tenants []*tenant
 	// nextSeedID is the monotonic admission counter seeding new tenants.
 	nextSeedID int64
 	// ingested counts every event accepted by Ingest over the node's whole
 	// life — including events for tenants that were later evicted — so a
 	// snapshot records exactly how far into the merged ingress stream the
-	// barrier sits (TotalEvents). Maintained on the ingest-side goroutine.
-	ingested uint64
+	// barrier sits (TotalEvents). Atomic: concurrent ingesters add to it.
+	ingested atomic.Uint64
 	shards   []shard
-	// fill[s] is the pooled buffer Ingest is currently filling for shard s
-	// (nil when none); acks is the reusable Drain acknowledgement channel.
-	fill [][]Event
+	// table is the published routing table ingesters validate against; see
+	// publishTable for the replace-only protocol.
+	table atomic.Pointer[routingTable]
+	// ingestMu is the ingester quiescence lock: every Ingest batch holds the
+	// read side, every barrier (Drain, lifecycle, Stop) takes the write side
+	// — so a barrier waits out in-flight batches and holds new ones back,
+	// and a completed barrier has observed every event routed before it.
+	// Uncontended in steady state (no barrier running), so the hot path
+	// stays lock-free in the queueing sense: readers never block each other.
+	ingestMu sync.RWMutex
+	// def is the default ingest handle Node.Ingest delegates to; acks is the
+	// reusable barrier acknowledgement channel (control side only).
+	def  *Ingester
 	acks chan struct{}
 
 	ctx     context.Context
@@ -442,10 +466,10 @@ func (n *Node) addQuerySlot(t *tenant, qs QuerySpec, qid int64) int {
 	})
 }
 
-// initChannels sets up the shard channel pairs and buffer pools.
+// initChannels sets up the shard channel pairs and buffer pools, publishes
+// the initial routing table and builds the default ingest handle.
 func (n *Node) initChannels(shards int) {
 	n.shards = make([]shard, shards)
-	n.fill = make([][]Event, shards)
 	n.acks = make(chan struct{}, shards)
 	for s := range n.shards {
 		n.shards[s].work = make(chan batch, n.cfg.queue())
@@ -456,6 +480,8 @@ func (n *Node) initChannels(shards int) {
 			n.shards[s].free <- nil
 		}
 	}
+	n.publishTable()
+	n.def = n.NewIngester()
 }
 
 // NumTenants returns the tenant slot count, including evicted slots (slot
@@ -496,6 +522,8 @@ func (n *Node) StreamCount(ti int) int { return n.live(ti).n() }
 // experiment.RunCells stops the figure engine: in-flight batches finish,
 // queued ones are dropped, and Ingest starts refusing work.
 func (n *Node) Start(ctx context.Context) error {
+	n.ingestMu.Lock()
+	defer n.ingestMu.Unlock()
 	if n.started {
 		return fmt.Errorf("runtime: node already started")
 	}
@@ -509,7 +537,7 @@ func (n *Node) Start(ctx context.Context) error {
 			}
 		}
 		n.wg.Add(1)
-		go n.loop(n.shards[s], owned)
+		go n.loop(&n.shards[s], owned)
 	}
 	for _, t := range n.tenants {
 		if t != nil {
@@ -522,7 +550,7 @@ func (n *Node) Start(ctx context.Context) error {
 // loop is one shard's event loop: initialize owned tenants, then apply
 // batches in arrival order, recycling each batch's buffer into the shard's
 // pool once applied.
-func (n *Node) loop(sh shard, owned []*tenant) {
+func (n *Node) loop(sh *shard, owned []*tenant) {
 	defer n.wg.Done()
 	for _, t := range owned {
 		// Checked between tenants so cancellation interrupts t0 setup too —
@@ -553,6 +581,7 @@ func (n *Node) loop(sh shard, owned []*tenant) {
 				t.events++
 			}
 			if b.events != nil {
+				sh.applied.Add(1)
 				select {
 				case sh.free <- b.events[:0]:
 				default:
@@ -567,70 +596,20 @@ func (n *Node) loop(sh shard, owned []*tenant) {
 	}
 }
 
-// Ingest routes a batch of events to the shard loops. Events are grouped by
-// owning shard with their relative order preserved; a tenant lives on
-// exactly one shard, so per-tenant order is exactly the arrival order no
-// matter how many shards the node runs. One Ingest costs at most one
-// channel send per shard — callers feeding high-rate streams should batch
-// accordingly. Events are copied into buffers from the per-shard pools
-// (allocation-free once warm), so the caller may reuse its slice
-// immediately; when a shard's queue and pool are exhausted Ingest blocks
-// until that shard frees a buffer.
+// Ingest routes a batch of events to the shard loops through the node's
+// default ingest handle. Events are grouped by owning shard with their
+// relative order preserved; a tenant lives on exactly one shard, so
+// per-tenant order is exactly the arrival order no matter how many shards
+// the node runs. One Ingest costs at most one channel send per shard —
+// callers feeding high-rate streams should batch accordingly. Events are
+// copied into buffers from the per-shard pools (allocation-free once warm),
+// so the caller may reuse its slice immediately; when a shard's queue and
+// pool are exhausted Ingest blocks until that shard frees a buffer.
+//
+// Like any single Ingester, the default handle serves one goroutine at a
+// time; concurrent callers each take their own handle from NewIngester.
 func (n *Node) Ingest(events []Event) error {
-	if !n.started || n.stopped {
-		return fmt.Errorf("runtime: node not running")
-	}
-	if err := n.ctx.Err(); err != nil {
-		return err
-	}
-	// Validate everything first so an error routes nothing: a malformed
-	// event would otherwise surface as an index panic inside a shard
-	// goroutine, where the caller cannot recover it.
-	for _, ev := range events {
-		if ev.Tenant < 0 || ev.Tenant >= len(n.tenants) {
-			return fmt.Errorf("runtime: event for unknown tenant %d", ev.Tenant)
-		}
-		t := n.tenants[ev.Tenant]
-		if t == nil {
-			return fmt.Errorf("runtime: event for removed tenant %d", ev.Tenant)
-		}
-		if ev.Stream < 0 || ev.Stream >= t.n() {
-			return fmt.Errorf("runtime: event for unknown stream %d of tenant %d (n=%d)",
-				ev.Stream, ev.Tenant, t.n())
-		}
-		if math.IsNaN(ev.Value) || math.IsNaN(ev.Y) {
-			return fmt.Errorf("runtime: event for stream %d of tenant %d carries a NaN value",
-				ev.Stream, ev.Tenant)
-		}
-		if ev.Y != 0 && t.spatial == nil {
-			return fmt.Errorf("runtime: event for stream %d of 1-D tenant %d carries a Y coordinate",
-				ev.Stream, ev.Tenant)
-		}
-	}
-	for _, ev := range events {
-		s := n.tenants[ev.Tenant].shard
-		if n.fill[s] == nil {
-			buf, err := n.takeBuf(s)
-			if err != nil {
-				return err
-			}
-			n.fill[s] = buf
-		}
-		n.fill[s] = append(n.fill[s], ev)
-	}
-	for s := range n.shards {
-		if len(n.fill[s]) == 0 {
-			continue
-		}
-		select {
-		case n.shards[s].work <- batch{events: n.fill[s]}:
-			n.fill[s] = nil
-		case <-n.ctx.Done():
-			return n.ctx.Err()
-		}
-	}
-	n.ingested += uint64(len(events))
-	return nil
+	return n.def.Ingest(events)
 }
 
 // takeBuf borrows an empty event buffer from shard s's pool, blocking until
@@ -670,10 +649,26 @@ func (n *Node) PendingBatches() int {
 func (n *Node) QueueCap() int { return n.cfg.queue() }
 
 // Drain blocks until every shard has applied all batches ingested so far
-// (including its initialization work). After Drain returns, tenant state
-// read through Answer, Counter, Totals or Events is consistent and
+// (including its initialization work). The barrier has two phases: first it
+// quiesces the ingesters (the ingestMu write side waits out every in-flight
+// Ingest batch and holds new ones back), then it flushes the shard loops
+// (an acknowledged marker batch per shard). After Drain returns, tenant
+// state read through Answer, Counter, Totals or Events is consistent and
 // race-free until the next Ingest.
 func (n *Node) Drain() error {
+	n.ingestMu.Lock()
+	defer n.ingestMu.Unlock()
+	return n.drainLocked()
+}
+
+// drainLocked runs the shard-flush phase of the barrier. Callers hold the
+// ingestMu write side, so no ingester can route between the markers and the
+// acknowledgements — the barrier observes exactly the events routed before
+// it. The write lock always becomes available: an in-flight ingester blocked
+// on a full queue or an empty pool is waiting on a shard loop, and shard
+// loops always make progress (their recycle sends are non-blocking and their
+// ack sends are bounded by the barrier protocol).
+func (n *Node) drainLocked() error {
 	if !n.started || n.stopped {
 		return fmt.Errorf("runtime: node not running")
 	}
@@ -706,10 +701,13 @@ func (n *Node) Drain() error {
 // their own, but only Stop waits for that to finish — call it before
 // reading tenant state even after an external cancellation.
 func (n *Node) Stop() {
+	n.ingestMu.Lock()
 	if !n.started || n.stopped {
+		n.ingestMu.Unlock()
 		return
 	}
 	n.stopped = true
+	n.ingestMu.Unlock()
 	n.cancel()
 	n.wg.Wait()
 }
@@ -782,8 +780,8 @@ func (n *Node) Totals() comm.Counter {
 // initialization runs on its owning shard loop. The protocol seed derives
 // from the node seed and a monotonic admission counter, so a tenant's
 // randomness is independent of shard count and of when its neighbors come
-// and go. Like Ingest, AddTenant must be called from the single ingest-side
-// goroutine.
+// and go. Like all lifecycle calls, AddTenant must be called from the single
+// control-side goroutine; its barrier quiesces concurrent ingesters first.
 func (n *Node) AddTenant(spec TenantSpec) (int, error) {
 	return n.AddTenantLabeled(spec, n.nextSeedID)
 }
@@ -797,6 +795,8 @@ func (n *Node) AddTenant(spec TenantSpec) (int, error) {
 // non-negative and not in use by a live tenant; the node's admission
 // counter resumes after it, so labels are still never reused.
 func (n *Node) AddTenantLabeled(spec TenantSpec, label int64) (int, error) {
+	n.ingestMu.Lock()
+	defer n.ingestMu.Unlock()
 	if !n.started || n.stopped {
 		return 0, fmt.Errorf("runtime: node not running")
 	}
@@ -808,7 +808,7 @@ func (n *Node) AddTenantLabeled(spec TenantSpec, label int64) (int, error) {
 			return 0, fmt.Errorf("runtime: seed label %d already hosts tenant %q", label, t.name)
 		}
 	}
-	if err := n.Drain(); err != nil {
+	if err := n.drainLocked(); err != nil {
 		return 0, err
 	}
 	ti := len(n.tenants)
@@ -820,6 +820,7 @@ func (n *Node) AddTenantLabeled(spec TenantSpec, label int64) (int, error) {
 		n.nextSeedID = label + 1
 	}
 	n.tenants = append(n.tenants, t)
+	n.publishTable()
 	if err := n.runOnShard(t.shard, t.initialize); err != nil {
 		return 0, err
 	}
@@ -853,9 +854,11 @@ func (n *Node) runOnShard(s int, fn func()) error {
 // shard loop. The protocol seed derives from the node seed, the tenant's
 // admission label and a per-tenant monotonic query-admission counter, so a
 // query's randomness is independent of shard count and of when its sibling
-// queries come and go. Must be called from the single ingest-side
+// queries come and go. Must be called from the single control-side
 // goroutine.
 func (n *Node) AddQuery(ti int, spec QuerySpec) (int, error) {
+	n.ingestMu.Lock()
+	defer n.ingestMu.Unlock()
 	if !n.started || n.stopped {
 		return 0, fmt.Errorf("runtime: node not running")
 	}
@@ -872,7 +875,7 @@ func (n *Node) AddQuery(ti int, spec QuerySpec) (int, error) {
 	if spec.NewProtocol == nil {
 		return 0, fmt.Errorf("runtime: query has no protocol factory")
 	}
-	if err := n.Drain(); err != nil {
+	if err := n.drainLocked(); err != nil {
 		return 0, err
 	}
 	qid := t.nextQuerySeed
@@ -889,9 +892,11 @@ func (n *Node) AddQuery(ti int, spec QuerySpec) (int, error) {
 // barrier first applies every event ingested so far (so sibling answers and
 // the shared counter are exact), then the slot is cleared on the quiescent
 // fabric: its filter entries become inert, its state accessors panic, and
-// slot ids are never reused. Must be called from the single ingest-side
+// slot ids are never reused. Must be called from the single control-side
 // goroutine.
 func (n *Node) RemoveQuery(ti, qi int) error {
+	n.ingestMu.Lock()
+	defer n.ingestMu.Unlock()
 	if !n.started || n.stopped {
 		return fmt.Errorf("runtime: node not running")
 	}
@@ -905,7 +910,7 @@ func (n *Node) RemoveQuery(ti, qi int) error {
 	if t.comp == nil {
 		return fmt.Errorf("runtime: tenant %d is single-query; build it with Queries", ti)
 	}
-	if err := n.Drain(); err != nil {
+	if err := n.drainLocked(); err != nil {
 		return err
 	}
 	return t.comp.RemoveQuery(qi)
@@ -915,9 +920,12 @@ func (n *Node) RemoveQuery(ti, qi int) error {
 // applies every event ingested for it (so its final answer and counters are
 // exact), then the slot is cleared; subsequent events for the slot are
 // rejected by Ingest and its state accessors panic. Slot ids are never
-// reused. Like Ingest, RemoveTenant must be called from the single
-// ingest-side goroutine.
+// reused. Like all lifecycle calls, RemoveTenant must be called from the
+// single control-side goroutine; its barrier quiesces concurrent ingesters
+// first.
 func (n *Node) RemoveTenant(ti int) error {
+	n.ingestMu.Lock()
+	defer n.ingestMu.Unlock()
 	if !n.started || n.stopped {
 		return fmt.Errorf("runtime: node not running")
 	}
@@ -927,9 +935,10 @@ func (n *Node) RemoveTenant(ti int) error {
 	if n.tenants[ti] == nil {
 		return fmt.Errorf("runtime: tenant %d already removed", ti)
 	}
-	if err := n.Drain(); err != nil {
+	if err := n.drainLocked(); err != nil {
 		return err
 	}
 	n.tenants[ti] = nil
+	n.publishTable()
 	return nil
 }

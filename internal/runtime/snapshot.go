@@ -45,13 +45,17 @@ const (
 // may restore it at any shard count. Every hosted protocol must implement
 // server.StatefulProtocol (all of internal/core does).
 //
-// Like Ingest, Snapshot must be called from the single ingest-side
-// goroutine.
+// Like the other control calls, Snapshot must be called from the single
+// control-side goroutine; its barrier quiesces concurrent ingesters first,
+// so the snapshot reflects exactly the batches whose Ingest returned before
+// the barrier completed.
 func (n *Node) Snapshot() ([]byte, error) {
+	n.ingestMu.Lock()
+	defer n.ingestMu.Unlock()
 	if !n.started || n.stopped {
 		return nil, fmt.Errorf("runtime: node not running")
 	}
-	if err := n.Drain(); err != nil {
+	if err := n.drainLocked(); err != nil {
 		return nil, err
 	}
 	w := snapshot.NewWriter()
@@ -59,7 +63,7 @@ func (n *Node) Snapshot() ([]byte, error) {
 	w.Uint64(SnapshotVersion)
 	w.Int64(n.cfg.Seed)
 	w.Int64(n.nextSeedID)
-	w.Uint64(n.ingested)
+	w.Uint64(n.ingested.Load())
 	w.Int(len(n.tenants))
 	for ti, t := range n.tenants {
 		w.Bool(t != nil)
@@ -164,7 +168,8 @@ func RestoreNode(cfg Config, specs []TenantSpec, data []byte) (*Node, error) {
 		return nil, fmt.Errorf("runtime: snapshot has no tenant slots")
 	}
 	cfg.Seed = seed
-	n := &Node{cfg: cfg, nextSeedID: nextSeedID, ingested: ingested}
+	n := &Node{cfg: cfg, nextSeedID: nextSeedID}
+	n.ingested.Store(ingested)
 	shards := cfg.shards()
 	for ti := 0; ti < slots; ti++ {
 		alive := r.Bool()
@@ -331,5 +336,6 @@ func (n *Node) restoreComposite(r *snapshot.Reader, t *tenant, spec TenantSpec) 
 // life — including events for since-evicted tenants, so after a restore it
 // is exactly the number of merged-stream events the driver should skip to
 // resume where the snapshot was taken, no matter what the tenant set did
-// in between. Only call from the ingest-side goroutine.
-func (n *Node) TotalEvents() uint64 { return n.ingested }
+// in between. Safe to call concurrently with ingest (atomic read), though a
+// meaningful figure wants a barrier first.
+func (n *Node) TotalEvents() uint64 { return n.ingested.Load() }

@@ -38,9 +38,11 @@ const (
 // no placement information — a migrated tenant continues bit-identically on
 // any member at any shard count.
 //
-// Like Snapshot, ExportTenant must be called from the single ingest-side
-// goroutine.
+// Like Snapshot, ExportTenant must be called from the single control-side
+// goroutine; its barrier quiesces concurrent ingesters first.
 func (n *Node) ExportTenant(ti int) ([]byte, error) {
+	n.ingestMu.Lock()
+	defer n.ingestMu.Unlock()
 	if !n.started || n.stopped {
 		return nil, fmt.Errorf("runtime: node not running")
 	}
@@ -51,7 +53,7 @@ func (n *Node) ExportTenant(ti int) ([]byte, error) {
 	if t == nil {
 		return nil, fmt.Errorf("runtime: tenant %d was removed", ti)
 	}
-	if err := n.Drain(); err != nil {
+	if err := n.drainLocked(); err != nil {
 		return nil, err
 	}
 	w := snapshot.NewWriter()
@@ -108,8 +110,10 @@ func (n *Node) ExportTenant(ti int) ([]byte, error) {
 //
 // Corrupted, truncated or mismatched records return an error and leave the
 // node unchanged; decoding never panics. Must be called from the single
-// ingest-side goroutine.
+// control-side goroutine; its barrier quiesces concurrent ingesters first.
 func (n *Node) ImportTenant(spec TenantSpec, data []byte) (int, error) {
+	n.ingestMu.Lock()
+	defer n.ingestMu.Unlock()
 	if !n.started || n.stopped {
 		return 0, fmt.Errorf("runtime: node not running")
 	}
@@ -160,7 +164,7 @@ func (n *Node) ImportTenant(spec TenantSpec, data []byte) (int, error) {
 			return 0, fmt.Errorf("runtime: seed label %d already hosts tenant %q", seedID, t.name)
 		}
 	}
-	if err := n.Drain(); err != nil {
+	if err := n.drainLocked(); err != nil {
 		return 0, err
 	}
 	ti := len(n.tenants)
@@ -200,5 +204,6 @@ func (n *Node) ImportTenant(spec TenantSpec, data []byte) (int, error) {
 	// No t0 to run: the next work-channel send publishes the grown tenant
 	// table to the shard loops, exactly as AddTenant's barrier protocol does.
 	n.tenants = append(n.tenants, t)
+	n.publishTable()
 	return ti, nil
 }
